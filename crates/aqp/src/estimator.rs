@@ -1,0 +1,206 @@
+//! The accuracy-progress estimator of Rotary-AQP (paper §IV-A).
+//!
+//! The estimator predicts the accuracy a job would reach if granted
+//! resources for another epoch. It fits a progress curve through two pools:
+//!
+//! * **historical** — `(fraction processed, accuracy)` observations from
+//!   the top-k completed jobs most similar to the target, where similarity
+//!   combines query features: the referenced tables/columns (Jaccard) and
+//!   the estimated memory footprint (the paper also lists batch size, which
+//!   is uniform in our workload);
+//! * **real-time** — the job's own per-epoch observations, with the
+//!   equal-share weighting of [`JointCurveEstimator`].
+//!
+//! The x-axis is the fraction of the fact table processed rather than raw
+//! runtime: the two are proportional for a fixed thread count, and the
+//! fraction axis keeps historical curves comparable across jobs that ran
+//! with different grants (a choice documented in `DESIGN.md`).
+//!
+//! [`RandomEstimator`] is the Fig. 9 ablation: "their accuracy progress
+//! estimator will randomly return the estimated progress following a
+//! uniform distribution from 0 to 1".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rotary_core::estimate::similarity::{jaccard, scalar_similarity};
+use rotary_core::estimate::{CurveBasis, JointCurveEstimator};
+use rotary_core::history::{HistoryRepository, JobRecord};
+use rotary_core::job::JobKind;
+use rotary_engine::QueryPlan;
+
+/// Query features used for similarity search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFeatures {
+    /// Query label (`"q5"`).
+    pub label: String,
+    /// Tables the plan references (fact + joined).
+    pub tables: Vec<String>,
+    /// Columns the plan references.
+    pub columns: Vec<String>,
+    /// Estimated memory footprint in MB (proxy for plan size).
+    pub memory_mb: u64,
+}
+
+impl QueryFeatures {
+    /// Extracts features from a plan.
+    pub fn of(plan: &QueryPlan, memory_mb: u64) -> QueryFeatures {
+        let mut tables = vec![plan.fact.clone()];
+        tables.extend(plan.joins.iter().map(|j| j.table.clone()));
+        tables.sort();
+        tables.dedup();
+        let mut columns: Vec<String> =
+            plan.referenced_columns().iter().map(|c| c.column.clone()).collect();
+        columns.sort();
+        columns.dedup();
+        QueryFeatures { label: plan.label.clone(), tables, columns, memory_mb }
+    }
+
+    /// Similarity to a historical record in `[0, 1]`: identical queries
+    /// score 1; otherwise a weighted blend of table overlap, column overlap,
+    /// and memory-footprint similarity.
+    pub fn similarity(&self, record: &JobRecord) -> f64 {
+        if record.label == self.label {
+            return 1.0;
+        }
+        let tables: Vec<&str> = record
+            .tags
+            .iter()
+            .filter_map(|t| t.strip_prefix("table:"))
+            .collect();
+        let columns: Vec<&str> = record
+            .tags
+            .iter()
+            .filter_map(|t| t.strip_prefix("col:"))
+            .collect();
+        let own_tables: Vec<&str> = self.tables.iter().map(|s| s.as_str()).collect();
+        let own_columns: Vec<&str> = self.columns.iter().map(|s| s.as_str()).collect();
+        let mem = record.feature("memory_mb").unwrap_or(0.0);
+        0.4 * jaccard(&own_tables, &tables)
+            + 0.3 * jaccard(&own_columns, &columns)
+            + 0.3 * scalar_similarity(self.memory_mb as f64, mem)
+    }
+
+    /// The tag set a completed job stores in the repository.
+    pub fn tags(&self) -> Vec<String> {
+        self.tables
+            .iter()
+            .map(|t| format!("table:{t}"))
+            .chain(self.columns.iter().map(|c| format!("col:{c}")))
+            .collect()
+    }
+}
+
+/// Builds the joint estimator for a job from the repository: pools the
+/// progress curves of the `top_k` most similar completed AQP jobs as the
+/// historical data. With an empty repository the estimator starts cold and
+/// relies on real-time observations only (the cold-start condition the
+/// paper contrasts with ReLAQS).
+pub fn build_estimator(
+    features: &QueryFeatures,
+    history: &HistoryRepository,
+    top_k: usize,
+) -> JointCurveEstimator {
+    let similar = history.top_k_similar(JobKind::Aqp, top_k, |r| features.similarity(r));
+    let historical: Vec<(f64, f64)> =
+        similar.iter().flat_map(|(r, _)| r.curve.iter().copied()).collect();
+    JointCurveEstimator::new(CurveBasis::LogShifted, historical)
+}
+
+/// The Fig. 9 ablation: uniform-random progress estimates.
+#[derive(Debug, Clone)]
+pub struct RandomEstimator {
+    rng: StdRng,
+}
+
+impl RandomEstimator {
+    /// Seeded for reproducibility.
+    pub fn new(seed: u64) -> RandomEstimator {
+        RandomEstimator { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A uniform `[0, 1)` "estimate".
+    pub fn estimate(&mut self) -> f64 {
+        self.rng.gen_range(0.0..1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_engine::{query, QueryId};
+    use std::collections::BTreeMap;
+
+    fn features(id: u8, mem: u64) -> QueryFeatures {
+        QueryFeatures::of(&query(QueryId(id)), mem)
+    }
+
+    fn record_for(id: u8, mem: f64, curve: Vec<(f64, f64)>) -> JobRecord {
+        let f = features(id, mem as u64);
+        JobRecord {
+            kind: JobKind::Aqp,
+            label: f.label.clone(),
+            tags: f.tags(),
+            numeric_features: BTreeMap::from([("memory_mb".into(), mem)]),
+            curve,
+            final_metric: 1.0,
+            epochs: 10,
+        }
+    }
+
+    #[test]
+    fn identical_query_is_most_similar() {
+        let f = features(5, 1000);
+        let same = record_for(5, 900.0, vec![]);
+        let other = record_for(22, 100.0, vec![]);
+        assert_eq!(f.similarity(&same), 1.0);
+        assert!(f.similarity(&other) < 0.8);
+    }
+
+    #[test]
+    fn related_queries_score_higher_than_unrelated() {
+        // q3 and q18 share lineitem/orders/customer; q22 touches only
+        // customer.
+        let f = features(3, 2000);
+        let close = record_for(18, 2500.0, vec![]);
+        let far = record_for(22, 100.0, vec![]);
+        assert!(
+            f.similarity(&close) > f.similarity(&far),
+            "q18 should be nearer to q3 than q22"
+        );
+    }
+
+    #[test]
+    fn estimator_uses_similar_history() {
+        let mut repo = HistoryRepository::new();
+        // A "true" curve: accuracy = fraction^0.9-ish, monotone.
+        let curve: Vec<(f64, f64)> =
+            (1..=10).map(|i| (i as f64 / 10.0, (i as f64 / 10.0).powf(0.9))).collect();
+        repo.insert(record_for(5, 1000.0, curve));
+        // Noise record, dissimilar and with a misleading curve.
+        repo.insert(record_for(22, 50.0, vec![(0.1, 0.99), (1.0, 1.0)]));
+
+        let est = build_estimator(&features(5, 1000), &repo, 1);
+        assert_eq!(est.historical_len(), 10, "only the similar job's curve is pooled");
+        let predicted = est.predict(0.5).unwrap();
+        assert!((predicted - 0.5f64.powf(0.9)).abs() < 0.1, "predicted {predicted}");
+    }
+
+    #[test]
+    fn cold_start_estimator_is_empty() {
+        let est = build_estimator(&features(1, 500), &HistoryRepository::new(), 3);
+        assert_eq!(est.historical_len(), 0);
+        assert!(est.predict(0.5).is_err());
+    }
+
+    #[test]
+    fn random_estimator_is_uniform_and_seeded() {
+        let mut a = RandomEstimator::new(7);
+        let mut b = RandomEstimator::new(7);
+        let xs: Vec<f64> = (0..1000).map(|_| a.estimate()).collect();
+        let ys: Vec<f64> = (0..1000).map(|_| b.estimate()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

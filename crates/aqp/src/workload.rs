@@ -1,0 +1,255 @@
+//! The synthetic AQP workload (paper Table I).
+//!
+//! 30 jobs, each a random TPC-H query with an accuracy threshold and a
+//! deadline drawn uniformly from the Table I parameter spaces; arrivals
+//! follow a Poisson process with a 160-second mean gap. The class mix
+//! (40% light / 30% medium / 30% heavy) is adjustable, which is how the
+//! skewed workloads of Fig. 8 are built.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rotary_core::criteria::{CompletionCriterion, Deadline, Metric};
+use rotary_core::SimTime;
+use rotary_engine::{QueryClass, QueryId};
+use rotary_sim::PoissonArrivals;
+
+/// Accuracy thresholds of Table I.
+pub const ACCURACY_SPACE: [f64; 9] = [0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95];
+
+/// Table I deadline spaces, per class, in seconds.
+pub fn deadline_space(class: QueryClass) -> &'static [u64] {
+    match class {
+        QueryClass::Light => &[360, 420, 480, 540, 600, 660, 720, 780, 840, 900],
+        QueryClass::Medium => &[1080, 1200, 1320, 1440, 1560, 1680, 1800, 1920, 2040, 2160],
+        QueryClass::Heavy => &[1440, 1620, 1800, 1980, 2160, 2340, 2520, 2700, 2880, 3060],
+    }
+}
+
+/// One AQP job in a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AqpJobSpec {
+    /// The TPC-H query to run.
+    pub query: QueryId,
+    /// Accuracy the user wants (`ACC MIN threshold`).
+    pub threshold: f64,
+    /// Time budget to reach it (`WITHIN deadline`).
+    pub deadline: SimTime,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Optional error-bound requirement (paper §III-B: "Additional error
+    /// bounds, such as confidence interval, are optional as well"): when
+    /// set, the system only declares attainment once every AVG column's
+    /// relative 95% confidence-interval half-width is at or below this ε.
+    pub ci_epsilon: Option<f64>,
+}
+
+impl AqpJobSpec {
+    /// A job without the optional error-bound requirement.
+    pub fn new(query: QueryId, threshold: f64, deadline: SimTime, arrival: SimTime) -> Self {
+        AqpJobSpec { query, threshold, deadline, arrival, ci_epsilon: None }
+    }
+
+    /// Adds the confidence-interval requirement.
+    pub fn with_ci_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "ε must be positive");
+        self.ci_epsilon = Some(epsilon);
+        self
+    }
+
+    /// This job's completion criterion in the framework's terms.
+    pub fn criterion(&self) -> CompletionCriterion {
+        CompletionCriterion::Accuracy {
+            metric: Metric::Accuracy,
+            threshold: self.threshold,
+            deadline: Deadline::Time(self.deadline),
+        }
+    }
+
+    /// The job's query class.
+    pub fn class(&self) -> QueryClass {
+        self.query.class()
+    }
+}
+
+/// Class mix of a workload (fractions summing to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMix {
+    /// Fraction of jobs with light queries.
+    pub light: f64,
+    /// Fraction with medium queries.
+    pub medium: f64,
+    /// Fraction with heavy queries.
+    pub heavy: f64,
+}
+
+impl ClassMix {
+    /// Table I's balanced mix: 40/30/30.
+    pub const PAPER: ClassMix = ClassMix { light: 0.4, medium: 0.3, heavy: 0.3 };
+    /// Fig. 8's all-light skew.
+    pub const ALL_LIGHT: ClassMix = ClassMix { light: 1.0, medium: 0.0, heavy: 0.0 };
+    /// Fig. 8's all-medium skew.
+    pub const ALL_MEDIUM: ClassMix = ClassMix { light: 0.0, medium: 1.0, heavy: 0.0 };
+    /// Fig. 8's all-heavy skew.
+    pub const ALL_HEAVY: ClassMix = ClassMix { light: 0.0, medium: 0.0, heavy: 1.0 };
+
+    fn validate(&self) {
+        let sum = self.light + self.medium + self.heavy;
+        assert!(
+            (sum - 1.0).abs() < 1e-9 && self.light >= 0.0 && self.medium >= 0.0 && self.heavy >= 0.0,
+            "class mix must be non-negative and sum to 1, got {self:?}"
+        );
+    }
+}
+
+/// Generates Table I-style workloads.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    jobs: usize,
+    mix: ClassMix,
+    mean_arrival_gap_secs: f64,
+    seed: u64,
+}
+
+impl Default for WorkloadBuilder {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl WorkloadBuilder {
+    /// The paper's configuration: 30 jobs, 40/30/30 mix, Poisson(160 s).
+    pub fn paper() -> WorkloadBuilder {
+        WorkloadBuilder { jobs: 30, mix: ClassMix::PAPER, mean_arrival_gap_secs: 160.0, seed: 0 }
+    }
+
+    /// Sets the number of jobs.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the class mix.
+    pub fn mix(mut self, mix: ClassMix) -> Self {
+        mix.validate();
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the mean Poisson inter-arrival gap in seconds.
+    pub fn mean_arrival_gap(mut self, secs: f64) -> Self {
+        assert!(secs >= 0.0, "arrival gap must be non-negative");
+        self.mean_arrival_gap_secs = secs;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the job list, sorted by arrival time.
+    pub fn build(&self) -> Vec<AqpJobSpec> {
+        self.mix.validate();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let arrivals: Vec<SimTime> = if self.mean_arrival_gap_secs == 0.0 {
+            vec![SimTime::ZERO; self.jobs]
+        } else {
+            PoissonArrivals::new(self.seed ^ 0x5eed, self.mean_arrival_gap_secs).take(self.jobs)
+        };
+        (0..self.jobs)
+            .map(|i| {
+                let class = self.sample_class(&mut rng);
+                let ids = QueryId::of_class(class);
+                let query = ids[rng.gen_range(0..ids.len())];
+                let threshold = ACCURACY_SPACE[rng.gen_range(0..ACCURACY_SPACE.len())];
+                let space = deadline_space(class);
+                let deadline = SimTime::from_secs(space[rng.gen_range(0..space.len())]);
+                AqpJobSpec::new(query, threshold, deadline, arrivals[i])
+            })
+            .collect()
+    }
+
+    fn sample_class(&self, rng: &mut StdRng) -> QueryClass {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        if x < self.mix.light {
+            QueryClass::Light
+        } else if x < self.mix.light + self.mix.medium {
+            QueryClass::Medium
+        } else {
+            QueryClass::Heavy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_shape() {
+        let jobs = WorkloadBuilder::paper().seed(1).build();
+        assert_eq!(jobs.len(), 30);
+        assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for j in &jobs {
+            assert!(ACCURACY_SPACE.contains(&j.threshold));
+            let class = j.class();
+            assert!(deadline_space(class)
+                .contains(&(j.deadline.as_millis() / 1000)));
+        }
+    }
+
+    #[test]
+    fn mix_is_roughly_respected() {
+        let jobs = WorkloadBuilder::paper().jobs(3000).seed(2).build();
+        let frac = |c: QueryClass| {
+            jobs.iter().filter(|j| j.class() == c).count() as f64 / jobs.len() as f64
+        };
+        assert!((frac(QueryClass::Light) - 0.4).abs() < 0.05);
+        assert!((frac(QueryClass::Medium) - 0.3).abs() < 0.05);
+        assert!((frac(QueryClass::Heavy) - 0.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn skewed_mixes_are_pure() {
+        for (mix, class) in [
+            (ClassMix::ALL_LIGHT, QueryClass::Light),
+            (ClassMix::ALL_MEDIUM, QueryClass::Medium),
+            (ClassMix::ALL_HEAVY, QueryClass::Heavy),
+        ] {
+            let jobs = WorkloadBuilder::paper().mix(mix).seed(3).build();
+            assert!(jobs.iter().all(|j| j.class() == class), "{mix:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadBuilder::paper().seed(9).build();
+        let b = WorkloadBuilder::paper().seed(9).build();
+        assert_eq!(a, b);
+        let c = WorkloadBuilder::paper().seed(10).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_gap_means_all_at_once() {
+        let jobs = WorkloadBuilder::paper().mean_arrival_gap(0.0).seed(4).build();
+        assert!(jobs.iter().all(|j| j.arrival == SimTime::ZERO));
+    }
+
+    #[test]
+    fn criterion_round_trips_through_the_dsl() {
+        let spec =
+            AqpJobSpec::new(QueryId(5), 0.85, SimTime::from_secs(1800), SimTime::ZERO);
+        let c = spec.criterion();
+        let text = c.to_string();
+        let reparsed = rotary_core::parser::parse_criterion(&text).unwrap();
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn invalid_mix_panics() {
+        let _ = WorkloadBuilder::paper().mix(ClassMix { light: 0.9, medium: 0.3, heavy: 0.3 });
+    }
+}

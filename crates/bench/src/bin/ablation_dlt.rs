@@ -1,0 +1,111 @@
+//! Ablation study of Rotary-DLT's design space: the fairness/efficiency
+//! threshold `T`, checkpoint costs, GPU-pool size, and TEE's top-k.
+
+use rotary_bench::{header, mean, SEEDS};
+use rotary_core::progress::Objective;
+use rotary_core::resources::GpuPoolSpec;
+use rotary_core::SimTime;
+use rotary_dlt::{DltPolicy, DltSystem, DltSystemConfig, DltWorkloadBuilder};
+use rotary_sim::CheckpointModel;
+
+fn run_stat(config: DltSystemConfig, policy: DltPolicy, seed: u64) -> (f64, f64, f64) {
+    let specs = DltWorkloadBuilder::paper().seed(seed).build();
+    let mut sys = DltSystem::new(DltSystemConfig { seed, ..config });
+    sys.prepopulate_history(&specs, seed ^ 0xaa);
+    let r = sys.run(&specs, policy);
+    let t = SimTime::from_mins(120);
+    let min_p = r.attainment_progress_at(t).into_iter().fold(f64::INFINITY, f64::min);
+    (r.attained_by(t) as f64, min_p, r.makespan.as_secs_f64())
+}
+
+fn main() {
+    header(
+        "Ablation — Rotary-DLT design choices",
+        "the threshold T trades the progress floor against early completions; checkpoint \
+         costs and pool size shift makespan without changing the trade-off's shape",
+    );
+
+    println!("threshold sweep (at 120 min, averaged over {} seeds):", SEEDS.len());
+    println!("  {:<8} {:>10} {:>14} {:>14}", "T", "attained", "min-progress", "makespan (s)");
+    for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let stats: Vec<(f64, f64, f64)> = SEEDS
+            .iter()
+            .map(|&s| {
+                run_stat(DltSystemConfig::default(), DltPolicy::Rotary(Objective::Threshold(t)), s)
+            })
+            .collect();
+        println!(
+            "  {:<8} {:>10.1} {:>14.2} {:>14.0}",
+            format!("{:.0}%", t * 100.0),
+            mean(&stats.iter().map(|s| s.0).collect::<Vec<_>>()),
+            mean(&stats.iter().map(|s| s.1).collect::<Vec<_>>()),
+            mean(&stats.iter().map(|s| s.2).collect::<Vec<_>>()),
+        );
+    }
+
+    println!("\ncheckpoint-cost sweep (adaptive T=50%):");
+    println!("  {:<22} {:>14}", "model", "makespan (s)");
+    let hdd = CheckpointModel { latency: SimTime::from_millis(8), bandwidth_mb_per_s: 120.0 };
+    let remote = CheckpointModel { latency: SimTime::from_millis(40), bandwidth_mb_per_s: 25.0 };
+    for (name, model) in [
+        ("free (in-memory)", CheckpointModel::free()),
+        ("SSD (paper default)", CheckpointModel::ssd()),
+        ("HDD", hdd),
+        ("remote object store", remote),
+    ] {
+        let stats: Vec<f64> = SEEDS
+            .iter()
+            .map(|&s| {
+                run_stat(
+                    DltSystemConfig { checkpoint: model, ..Default::default() },
+                    DltPolicy::Rotary(Objective::Threshold(0.5)),
+                    s,
+                )
+                .2
+            })
+            .collect();
+        println!("  {:<22} {:>14.0}", name, mean(&stats));
+    }
+
+    println!("\nGPU-count scaling (efficiency T=0%):");
+    println!("  {:<8} {:>10} {:>14}", "GPUs", "attained", "makespan (s)");
+    for gpus in [1usize, 2, 4, 8] {
+        let stats: Vec<(f64, f64, f64)> = SEEDS
+            .iter()
+            .map(|&s| {
+                run_stat(
+                    DltSystemConfig {
+                        pool: GpuPoolSpec::homogeneous(gpus, 8 * 1024),
+                        ..Default::default()
+                    },
+                    DltPolicy::Rotary(Objective::Efficiency),
+                    s,
+                )
+            })
+            .collect();
+        println!(
+            "  {:<8} {:>10.1} {:>14.0}",
+            gpus,
+            mean(&stats.iter().map(|s| s.0).collect::<Vec<_>>()),
+            mean(&stats.iter().map(|s| s.2).collect::<Vec<_>>()),
+        );
+    }
+
+    println!("\nTEE top-k sweep (adaptive T=50%, attained at 120 min):");
+    print!(" ");
+    for k in [1usize, 3, 5, 10] {
+        let stats: Vec<f64> = SEEDS
+            .iter()
+            .map(|&s| {
+                run_stat(
+                    DltSystemConfig { top_k: k, ..Default::default() },
+                    DltPolicy::Rotary(Objective::Threshold(0.5)),
+                    s,
+                )
+                .0
+            })
+            .collect();
+        print!("  k={k}: {:.1}", mean(&stats));
+    }
+    println!();
+}

@@ -1,0 +1,70 @@
+//! Fig. 10 — attainment-progress distributions over time (the violin plots)
+//! for the three Rotary-DLT variants and the SRF/BCF/LAF baselines on the
+//! Table II workload, averaged over three runs.
+
+use rotary_bench::{header, mean, violin, SEEDS};
+use rotary_core::SimTime;
+use rotary_dlt::{DltPolicy, DltRunResult, DltSystem, DltSystemConfig, DltWorkloadBuilder};
+use rotary_sim::metrics::Distribution;
+
+fn run(policy: DltPolicy, seed: u64) -> DltRunResult {
+    let specs = DltWorkloadBuilder::paper().seed(seed).build();
+    let mut sys = DltSystem::new(DltSystemConfig { seed, ..Default::default() });
+    sys.prepopulate_history(&specs, seed ^ 0xaa);
+    sys.run(&specs, policy)
+}
+
+fn main() {
+    header(
+        "Fig 10 — attainment-progress violins over time, Rotary-DLT variants vs baselines",
+        "adaptive (T=50%) is fairness-first then efficiency; fairness (T=100%) maximises \
+         the minimum progress fastest; efficiency (T=0%) completes the most jobs early",
+    );
+    let marks: Vec<u64> = vec![60, 120, 180, 240, 300, 360];
+    let mut at_120: Vec<(String, f64, f64)> = Vec::new();
+
+    for policy in DltPolicy::all() {
+        let runs: Vec<DltRunResult> = SEEDS.iter().map(|&s| run(policy, s)).collect();
+        println!("\n─── {} ───", policy.name());
+        for &mins in &marks {
+            let t = SimTime::from_mins(mins);
+            let sample = Distribution::of(&runs[0].attainment_progress_at(t)).unwrap();
+            let min_avg = mean(
+                &runs
+                    .iter()
+                    .map(|r| {
+                        r.attainment_progress_at(t)
+                            .into_iter()
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            let done_avg =
+                mean(&runs.iter().map(|r| r.attained_by(t) as f64).collect::<Vec<_>>());
+            println!(
+                "  {:>3} min | {} | min(avg) {:>4.2}  attained(avg) {:>4.1}",
+                mins,
+                violin(&sample),
+                min_avg,
+                done_avg
+            );
+            if mins == 120 {
+                at_120.push((policy.name(), min_avg, done_avg));
+            }
+        }
+    }
+
+    println!("\nheadline comparison at 120 minutes (averaged over {} seeds):", SEEDS.len());
+    println!("  {:<20} {:>14} {:>10}", "policy", "min-progress", "attained");
+    for (name, min_p, done) in &at_120 {
+        println!("  {:<20} {:>14.2} {:>10.1}", name, min_p, done);
+    }
+    let best_min = at_120.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    let best_done = at_120.iter().max_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
+    println!(
+        "\nmeasured: highest min-progress at 120 min: {} ({:.2}); most attained: {} ({:.1}).\n\
+         expected shape: a fairness-flavoured Rotary variant leads min-progress,\n\
+         efficiency Rotary-DLT leads completions.",
+        best_min.0, best_min.1, best_done.0, best_done.2
+    );
+}

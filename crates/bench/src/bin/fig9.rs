@@ -1,0 +1,65 @@
+//! Fig. 9 — impact of progress estimation: Rotary-AQP with its real
+//! estimator vs the ablation whose estimator returns uniform(0, 1) noise.
+
+use rotary_aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
+use rotary_bench::{header, mean, SEEDS};
+use rotary_engine::QueryClass;
+use rotary_tpch::Generator;
+
+fn main() {
+    header(
+        "Fig 9 — impact of progress estimation (random-estimator ablation)",
+        "with artificial estimation, attainment drops to around the EDF/LAF level, \
+         slightly better than round-robin; the estimator is vital to Rotary",
+    );
+    let data = Generator::new(1, 0.005).generate();
+    let policies = [
+        AqpPolicy::Rotary,
+        AqpPolicy::RotaryRandomEstimator,
+        AqpPolicy::Edf,
+        AqpPolicy::Laf,
+        AqpPolicy::RoundRobin,
+    ];
+    println!(
+        "{:<24} {:>9} {:>8} {:>8} {:>8}",
+        "policy", "attained", "light", "medium", "heavy"
+    );
+    let mut results = std::collections::BTreeMap::new();
+    for policy in policies {
+        let mut total = Vec::new();
+        let mut per_class: std::collections::BTreeMap<QueryClass, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for &seed in &SEEDS {
+            let specs = WorkloadBuilder::paper().seed(seed).build();
+            let mut sys =
+                AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+            if matches!(policy, AqpPolicy::Rotary | AqpPolicy::RotaryRandomEstimator) {
+                sys.prepopulate_history(seed ^ 0xff);
+            }
+            let r = sys.run(&specs, policy);
+            total.push(r.summary.attained as f64);
+            for (class, (attained, _)) in r.attained_by_class() {
+                per_class.entry(class).or_default().push(attained as f64);
+            }
+        }
+        let avg = mean(&total);
+        results.insert(policy.name(), avg);
+        println!(
+            "{:<24} {:>9.1} {:>8.1} {:>8.1} {:>8.1}",
+            policy.name(),
+            avg,
+            per_class.get(&QueryClass::Light).map(|v| mean(v)).unwrap_or(0.0),
+            per_class.get(&QueryClass::Medium).map(|v| mean(v)).unwrap_or(0.0),
+            per_class.get(&QueryClass::Heavy).map(|v| mean(v)).unwrap_or(0.0),
+        );
+    }
+    let rotary = results["Rotary-AQP"];
+    let random = results["Rotary-AQP(random-est)"];
+    let rr = results["Round-robin"];
+    println!(
+        "\nmeasured: random estimation loses {:.1} attained jobs vs the real estimator\n\
+         and lands near the baselines (round-robin {:.1}) — the estimator is vital.",
+        rotary - random,
+        rr
+    );
+}

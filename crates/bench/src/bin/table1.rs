@@ -1,0 +1,42 @@
+//! Table I — the synthetic AQP workload specification, plus one sampled
+//! instance to show what the generator emits.
+
+use rotary_aqp::workload::{deadline_space, ACCURACY_SPACE};
+use rotary_aqp::WorkloadBuilder;
+use rotary_bench::header;
+use rotary_engine::{QueryClass, QueryId};
+
+fn main() {
+    header(
+        "Table I — synthetic AQP workload",
+        "query classes, accuracy thresholds, per-class deadline spaces, 40/30/30 mix, \
+         Poisson(160 s) arrivals — all selections uniform",
+    );
+    for class in [QueryClass::Light, QueryClass::Medium, QueryClass::Heavy] {
+        let ids: Vec<String> =
+            QueryId::of_class(class).iter().map(|q| q.to_string()).collect();
+        println!("{:<8} queries : {}", class.to_string(), ids.join(", "));
+    }
+    let acc: Vec<String> =
+        ACCURACY_SPACE.iter().map(|a| format!("{:.0}%", a * 100.0)).collect();
+    println!("accuracy space   : {}", acc.join(", "));
+    for class in [QueryClass::Light, QueryClass::Medium, QueryClass::Heavy] {
+        let d: Vec<String> =
+            deadline_space(class).iter().map(|s| s.to_string()).collect();
+        println!("{:<8} deadlines (s): {}", class.to_string(), d.join(", "));
+    }
+    println!("mix              : 40% light, 30% medium, 30% heavy; arrivals Poisson(160 s)");
+
+    println!("\nsampled instance (seed 11):");
+    for (i, job) in WorkloadBuilder::paper().seed(11).build().iter().enumerate() {
+        println!(
+            "  job{:<3} {:<4} {:<7} θ={:.0}%  deadline={:<6} arrives at {}",
+            i,
+            job.query.to_string(),
+            job.class().to_string(),
+            job.threshold * 100.0,
+            job.deadline.to_string(),
+            job.arrival
+        );
+    }
+}

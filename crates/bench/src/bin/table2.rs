@@ -1,0 +1,51 @@
+//! Table II — the survey-based DLT workload specification, plus one sampled
+//! instance.
+
+use rotary_bench::header;
+use rotary_dlt::models::LEARNING_RATES;
+use rotary_dlt::workload::{
+    ACCURACY_TARGETS, CONVERGENCE_DELTAS, MAX_EPOCHS, RUNTIME_EPOCHS_PRETRAINED,
+    RUNTIME_EPOCHS_SCRATCH,
+};
+use rotary_dlt::{Architecture, DltWorkloadBuilder, Domain, Optimizer};
+
+fn main() {
+    header(
+        "Table II — survey-based DLT workload",
+        "17 architectures, CV batch 2-32 / NLP batch 32-256, 4 optimizers, 5 learning \
+         rates; criteria mix 60% convergence / 20% accuracy / 20% runtime",
+    );
+    let names: Vec<String> = Architecture::ALL.iter().map(|a| a.to_string()).collect();
+    println!("architectures    : {}", names.join(", "));
+    let cv: Vec<String> = Architecture::ALL
+        .iter()
+        .filter(|a| a.profile().domain == Domain::Vision)
+        .map(|a| a.to_string())
+        .collect();
+    println!("  vision ({})    : CIFAR-10, batches {:?}", cv.len(), Architecture::ResNet18.batch_sizes());
+    println!(
+        "  language (3)   : UD Treebank / IMDB, batches {:?}",
+        Architecture::Bert.batch_sizes()
+    );
+    let opts: Vec<&str> = Optimizer::ALL.iter().map(|o| o.name()).collect();
+    println!("optimizers       : {}", opts.join(", "));
+    println!("learning rates   : {LEARNING_RATES:?}");
+    println!("convergence δ    : {CONVERGENCE_DELTAS:?}");
+    println!("accuracy targets : {ACCURACY_TARGETS:?}");
+    println!("runtime epochs   : scratch {RUNTIME_EPOCHS_SCRATCH:?}, fine-tune {RUNTIME_EPOCHS_PRETRAINED:?}");
+    println!("max epochs       : {MAX_EPOCHS:?}");
+
+    println!("\nsampled instance (seed 11, 32 jobs):");
+    for (i, job) in DltWorkloadBuilder::paper().seed(11).build().iter().enumerate() {
+        println!(
+            "  job{:<3} {:<16} batch={:<4} {:<9} lr={:<8} {}  [{}]",
+            i,
+            job.config.arch.to_string(),
+            job.config.batch_size,
+            job.config.optimizer.name(),
+            job.config.learning_rate,
+            if job.config.pretrained { "fine-tune" } else { "scratch  " },
+            job.criterion
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Table III — overall processing time and the (real, wall-clock) overhead
+//! of TTR, TEE, and TME as the DLT workload grows.
+
+use rotary_bench::header;
+use rotary_core::progress::Objective;
+use rotary_dlt::{DltPolicy, DltSystem, DltSystemConfig, DltWorkloadBuilder};
+
+fn main() {
+    header(
+        "Table III — overall running time and TTR/TEE/TME overhead vs workload size",
+        "the estimator overhead is an imperceptible fraction of the workload's \
+         processing time, even as the workload grows (paper: ≤2.6 s against ≥8142 s)",
+    );
+    println!(
+        "{:>6} {:>16} {:>12} {:>12} {:>12} {:>12}",
+        "jobs", "running time", "TTR", "TEE", "TME", "fraction"
+    );
+    for &size in &[10usize, 20, 30, 40] {
+        let specs = DltWorkloadBuilder::paper().jobs(size).seed(7).build();
+        let mut sys = DltSystem::new(DltSystemConfig { seed: 7, ..Default::default() });
+        sys.prepopulate_history(&specs, 3);
+        let r = sys.run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)));
+        let o = &r.overheads;
+        let total_overhead = o.ttr + o.tee + o.tme;
+        println!(
+            "{:>6} {:>15.0}s {:>11.1}ms {:>11.1}ms {:>11.1}ms {:>11.6}%",
+            size,
+            r.makespan.as_secs_f64(),
+            o.ttr.as_secs_f64() * 1000.0,
+            o.tee.as_secs_f64() * 1000.0,
+            o.tme.as_secs_f64() * 1000.0,
+            total_overhead.as_secs_f64() / r.makespan.as_secs_f64().max(1.0) * 100.0,
+        );
+    }
+    println!(
+        "\npaper reference (wall clock): size 10 → 8142 s total, 0.225 s TTR, 0.74 s TEE, \
+         0.58 s TME; size 40 → 43124 s, 1.12 s, 2.56 s, 2.11 s.\n\
+         measured: our estimator code costs milliseconds of real time against \
+         thousands of virtual seconds — the same 'imperceptible proportion' claim.",
+    );
+}

@@ -1,0 +1,120 @@
+//! The arbitration cost model (paper §III-C, second opportunity).
+//!
+//! "This leads to a cost model which should balance the progress improvement
+//! (i.e., providing more valuable results) and resource consumption (the
+//! cost to improve the progress or produce the results)."
+//!
+//! [`CostModel::utility`] scores a candidate grant: estimated progress gain
+//! per unit of resource consumed, discounted by the interruption overhead a
+//! grant would force on whatever job currently holds the resource. The
+//! shipped Rotary-AQP/DLT systems encode this balance *structurally*
+//! (adaptive epochs price resource consumption, the laxity/threshold
+//! rankings price progress), so the explicit model is the framework-level
+//! surface for custom policies — e.g. a policy that only preempts when
+//! `is_beneficial` holds.
+
+use serde::{Deserialize, Serialize};
+
+/// Weights balancing progress improvement against resource consumption.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Reward per unit of estimated progress gain (`Δφ̂ ∈ [0, 1]`).
+    pub progress_weight: f64,
+    /// Penalty per unit of normalised resource consumption (fraction of the
+    /// pool the grant would occupy, in `[0, 1]`).
+    pub resource_weight: f64,
+    /// Penalty applied when granting requires preempting a running job
+    /// (checkpoint + later restore), in the same utility units.
+    pub preemption_penalty: f64,
+}
+
+impl Default for CostModel {
+    /// A progress-dominant default: progress gains are worth ten times their
+    /// resource cost, and preemption costs as much as 5% progress. These
+    /// ratios reproduce the paper's qualitative behaviour (promising jobs
+    /// win resources; thrashing is discouraged).
+    fn default() -> Self {
+        CostModel { progress_weight: 10.0, resource_weight: 1.0, preemption_penalty: 0.5 }
+    }
+}
+
+impl CostModel {
+    /// Utility of a candidate grant.
+    ///
+    /// * `estimated_gain` — estimated progress improvement `Δφ̂` from the
+    ///   grant, clamped to `[0, 1]`.
+    /// * `resource_fraction` — fraction of the pool consumed, clamped to
+    ///   `[0, 1]`.
+    /// * `requires_preemption` — whether a running job must be checkpointed.
+    ///
+    /// Higher is better; can be negative (grant not worth it).
+    pub fn utility(
+        &self,
+        estimated_gain: f64,
+        resource_fraction: f64,
+        requires_preemption: bool,
+    ) -> f64 {
+        let gain = if estimated_gain.is_nan() { 0.0 } else { estimated_gain.clamp(0.0, 1.0) };
+        let frac =
+            if resource_fraction.is_nan() { 1.0 } else { resource_fraction.clamp(0.0, 1.0) };
+        let mut u = self.progress_weight * gain - self.resource_weight * frac;
+        if requires_preemption {
+            u -= self.preemption_penalty;
+        }
+        u
+    }
+
+    /// Convenience: is the grant worth making at all?
+    pub fn is_beneficial(
+        &self,
+        estimated_gain: f64,
+        resource_fraction: f64,
+        requires_preemption: bool,
+    ) -> bool {
+        self.utility(estimated_gain, resource_fraction, requires_preemption) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_gain_means_more_utility() {
+        let m = CostModel::default();
+        assert!(m.utility(0.5, 0.1, false) > m.utility(0.2, 0.1, false));
+    }
+
+    #[test]
+    fn more_resources_mean_less_utility() {
+        let m = CostModel::default();
+        assert!(m.utility(0.3, 0.1, false) > m.utility(0.3, 0.9, false));
+    }
+
+    #[test]
+    fn preemption_is_penalised() {
+        let m = CostModel::default();
+        let free = m.utility(0.3, 0.2, false);
+        let preempting = m.utility(0.3, 0.2, true);
+        assert!((free - preempting - m.preemption_penalty).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_gain_on_preemption_is_not_beneficial() {
+        let m = CostModel::default();
+        // 1% estimated gain does not justify checkpointing a running job.
+        assert!(!m.is_beneficial(0.01, 0.05, true));
+        // 20% gain does.
+        assert!(m.is_beneficial(0.20, 0.05, true));
+    }
+
+    #[test]
+    fn inputs_are_clamped() {
+        let m = CostModel::default();
+        assert_eq!(m.utility(5.0, 0.0, false), m.utility(1.0, 0.0, false));
+        assert_eq!(m.utility(-2.0, 0.0, false), 0.0);
+        assert_eq!(m.utility(f64::NAN, 0.5, false), m.utility(0.0, 0.5, false));
+        // NaN resource fraction is treated pessimistically as the whole pool.
+        assert_eq!(m.utility(0.5, f64::NAN, false), m.utility(0.5, 1.0, false));
+    }
+}

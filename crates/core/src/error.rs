@@ -1,0 +1,91 @@
+//! Error types shared across the Rotary framework.
+
+use std::fmt;
+
+/// Convenience alias used throughout the framework crates.
+pub type Result<T> = std::result::Result<T, RotaryError>;
+
+/// Errors produced by the Rotary framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RotaryError {
+    /// A completion-criterion statement failed to parse.
+    Parse {
+        /// The offending input (possibly truncated).
+        input: String,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// An estimator was asked to predict before it had any observations.
+    InsufficientData {
+        /// Which estimator raised the error.
+        estimator: &'static str,
+        /// How many observations it had.
+        have: usize,
+        /// How many it needs.
+        need: usize,
+    },
+    /// A job referenced by id does not exist in the system.
+    UnknownJob(u64),
+    /// A job cannot fit on any available resource.
+    ResourceExhausted {
+        /// Memory the job was estimated to need, in megabytes.
+        requested_mb: u64,
+        /// Largest amount any single resource could offer, in megabytes.
+        available_mb: u64,
+    },
+    /// An invalid configuration value was supplied.
+    InvalidConfig(String),
+    /// History-repository persistence failed.
+    Persistence(String),
+}
+
+impl fmt::Display for RotaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RotaryError::Parse { input, message } => {
+                write!(f, "failed to parse completion criterion {input:?}: {message}")
+            }
+            RotaryError::InsufficientData { estimator, have, need } => write!(
+                f,
+                "estimator {estimator} needs at least {need} observation(s), has {have}"
+            ),
+            RotaryError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            RotaryError::ResourceExhausted { requested_mb, available_mb } => write!(
+                f,
+                "job needs {requested_mb} MB but the largest available resource offers {available_mb} MB"
+            ),
+            RotaryError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RotaryError::Persistence(msg) => write!(f, "history persistence failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RotaryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RotaryError::Parse {
+            input: "ACC MAX".into(),
+            message: "expected MIN or DELTA".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("ACC MAX"));
+        assert!(s.contains("expected MIN or DELTA"));
+
+        let e = RotaryError::InsufficientData { estimator: "wlr", have: 1, need: 2 };
+        assert!(e.to_string().contains("wlr"));
+
+        let e = RotaryError::ResourceExhausted { requested_mb: 9000, available_mb: 8192 };
+        assert!(e.to_string().contains("9000"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(RotaryError::UnknownJob(3), RotaryError::UnknownJob(3));
+        assert_ne!(RotaryError::UnknownJob(3), RotaryError::UnknownJob(4));
+    }
+}

@@ -1,0 +1,257 @@
+//! Non-parametric envelope convergence detector (paper §IV-A).
+//!
+//! Rotary-AQP "keeps tracking the least and largest aggregation results
+//! within a time window (e.g., t epochs) and uses this gap to determine
+//! convergence". With `p` the least and `q` the largest aggregate in the
+//! window, the accuracy progress is approximated by `p/q`; the gap shrinks as
+//! the aggregate converges, and the job is declared converged once
+//! `1 − p/q` drops below a tolerance.
+//!
+//! The detector *can make mistakes* — a temporarily flat aggregate (e.g. a
+//! run of batches that barely touch the query's selective predicate) looks
+//! converged even though later batches would still move the result. The
+//! paper measures exactly these mistakes as **false attainment** (Fig. 7a)
+//! and notes they can be mitigated by lengthening the window.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Sliding-window min/max envelope over a stream of aggregation results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvelopeDetector {
+    window: usize,
+    tolerance: f64,
+    values: VecDeque<f64>,
+}
+
+impl EnvelopeDetector {
+    /// Creates a detector over a window of `window` epochs declaring
+    /// convergence when the relative gap `1 − p/q` falls to or below
+    /// `tolerance`.
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `tolerance` is negative/non-finite; these
+    /// are static configuration errors, not runtime conditions.
+    pub fn new(window: usize, tolerance: f64) -> Self {
+        assert!(window > 0, "envelope window must be positive");
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "envelope tolerance must be a finite non-negative number"
+        );
+        EnvelopeDetector { window, tolerance, values: VecDeque::with_capacity(window + 1) }
+    }
+
+    /// Records the aggregate observed at the end of an epoch.
+    /// Non-finite values are ignored (a failed batch produces no evidence).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.values.push_back(value);
+        while self.values.len() > self.window {
+            self.values.pop_front();
+        }
+    }
+
+    /// The least aggregate `p` currently in the window.
+    pub fn least(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
+    /// The largest aggregate `q` currently in the window.
+    pub fn largest(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Envelope progress `p/q ∈ [0, 1]`, the paper's approximate estimate of
+    /// aggregation accuracy. `None` until at least one observation exists;
+    /// a window straddling zero or of mixed sign yields 0 (no convergence
+    /// evidence).
+    pub fn progress(&self) -> Option<f64> {
+        let p = self.least()?;
+        let q = self.largest()?;
+        if q == 0.0 && p == 0.0 {
+            // Aggregate is identically zero: fully converged.
+            return Some(1.0);
+        }
+        if p.signum() != q.signum() {
+            return Some(0.0);
+        }
+        // For negative aggregates (-5 .. -4), p/q > 1; use |smaller|/|larger|.
+        let (lo, hi) = (p.abs().min(q.abs()), p.abs().max(q.abs()));
+        if hi == 0.0 {
+            Some(1.0)
+        } else {
+            Some((lo / hi).clamp(0.0, 1.0))
+        }
+    }
+
+    /// Whether the detector currently declares convergence: the window is
+    /// full *and* the relative gap is within tolerance. Requiring a full
+    /// window prevents declaring convergence off a single observation.
+    pub fn is_converged(&self) -> bool {
+        if self.values.len() < self.window {
+            return false;
+        }
+        match self.progress() {
+            Some(p) => 1.0 - p <= self.tolerance,
+            None => false,
+        }
+    }
+
+    /// Number of observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no observation has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The configured window length in epochs.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Clears all observations (used when a checkpointed job resumes with a
+    /// fresh sampling order).
+    pub fn reset(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_detector_reports_nothing() {
+        let d = EnvelopeDetector::new(3, 0.01);
+        assert!(d.is_empty());
+        assert_eq!(d.progress(), None);
+        assert!(!d.is_converged());
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut d = EnvelopeDetector::new(3, 0.01);
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            d.observe(v);
+        }
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.least(), Some(20.0));
+        assert_eq!(d.largest(), Some(40.0));
+    }
+
+    #[test]
+    fn progress_is_p_over_q() {
+        let mut d = EnvelopeDetector::new(4, 0.01);
+        d.observe(90.0);
+        d.observe(100.0);
+        assert!((d.progress().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_when_gap_shrinks() {
+        let mut d = EnvelopeDetector::new(3, 0.01);
+        d.observe(50.0);
+        d.observe(80.0);
+        d.observe(100.0);
+        assert!(!d.is_converged());
+        // The aggregate settles near 100.
+        for v in [99.5, 99.8, 100.0] {
+            d.observe(v);
+        }
+        assert!(d.is_converged());
+    }
+
+    #[test]
+    fn does_not_converge_on_partial_window() {
+        let mut d = EnvelopeDetector::new(5, 0.01);
+        d.observe(100.0);
+        d.observe(100.0);
+        // Gap is zero but the window is not full yet.
+        assert!(!d.is_converged());
+    }
+
+    #[test]
+    fn false_attainment_scenario() {
+        // A flat stretch inside a short window triggers convergence even
+        // though the true aggregate later moves: the paper's Fig. 7a mistake.
+        let mut short = EnvelopeDetector::new(2, 0.01);
+        short.observe(50.0);
+        short.observe(50.1);
+        assert!(short.is_converged(), "short window is fooled by a plateau");
+
+        // A longer window sees the earlier variation and is not fooled —
+        // "this issue can be mitigated by lengthening the time window".
+        let mut long = EnvelopeDetector::new(4, 0.01);
+        long.observe(30.0);
+        long.observe(42.0);
+        long.observe(50.0);
+        long.observe(50.1);
+        assert!(!long.is_converged());
+    }
+
+    #[test]
+    fn negative_aggregates_are_handled() {
+        let mut d = EnvelopeDetector::new(2, 0.05);
+        d.observe(-100.0);
+        d.observe(-98.0);
+        let p = d.progress().unwrap();
+        assert!((p - 0.98).abs() < 1e-12);
+        assert!(d.is_converged());
+    }
+
+    #[test]
+    fn mixed_sign_window_is_zero_progress() {
+        let mut d = EnvelopeDetector::new(2, 0.05);
+        d.observe(-10.0);
+        d.observe(10.0);
+        assert_eq!(d.progress(), Some(0.0));
+        assert!(!d.is_converged());
+    }
+
+    #[test]
+    fn zero_aggregate_is_converged() {
+        let mut d = EnvelopeDetector::new(2, 0.0);
+        d.observe(0.0);
+        d.observe(0.0);
+        assert_eq!(d.progress(), Some(1.0));
+        assert!(d.is_converged());
+    }
+
+    #[test]
+    fn non_finite_observations_ignored() {
+        let mut d = EnvelopeDetector::new(3, 0.01);
+        d.observe(f64::NAN);
+        d.observe(f64::INFINITY);
+        assert!(d.is_empty());
+        d.observe(5.0);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = EnvelopeDetector::new(2, 0.01);
+        d.observe(1.0);
+        d.observe(1.0);
+        assert!(d.is_converged());
+        d.reset();
+        assert!(d.is_empty());
+        assert!(!d.is_converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = EnvelopeDetector::new(0, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn negative_tolerance_panics() {
+        let _ = EnvelopeDetector::new(2, -0.5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Similarity-based top-k historical job selection (paper §IV-A and §IV-B).
+//!
+//! Rotary selects the top-k historical jobs most similar to the target job
+//! before fitting estimation curves. Rotary-DLT's training memory estimator
+//! defines `similarity(x, y) = 1 − |x − y| / max(x, y)` on model parameter
+//! counts; Rotary-AQP compares query features (predicates, tables, columns,
+//! batch size) — callers provide their own scoring function to [`top_k_by`]
+//! and can reuse [`scalar_similarity`] for numeric features.
+
+/// The paper's scalar similarity: `1 − |x − y| / max(x, y)`, in `[0, 1]`.
+///
+/// Both inputs must be positive for the formula to be meaningful; when either
+/// is non-positive the function returns 1.0 if they are equal and 0.0
+/// otherwise (a zero-parameter "model" is only like another zero-parameter
+/// model).
+pub fn scalar_similarity(x: f64, y: f64) -> f64 {
+    if x <= 0.0 || y <= 0.0 {
+        return if x == y { 1.0 } else { 0.0 };
+    }
+    1.0 - (x - y).abs() / x.max(y)
+}
+
+/// Selects the `k` items with the highest similarity score, in descending
+/// score order. Ties preserve the input order (stable), making selection
+/// deterministic. Items with non-finite scores are skipped.
+pub fn top_k_by<T, F>(items: &[T], k: usize, mut score: F) -> Vec<(&T, f64)>
+where
+    F: FnMut(&T) -> f64,
+{
+    let mut scored: Vec<(usize, &T, f64)> = items
+        .iter()
+        .enumerate()
+        .filter_map(|(i, item)| {
+            let s = score(item);
+            s.is_finite().then_some((i, item, s))
+        })
+        .collect();
+    // Stable by construction: sort by (score desc, original index asc).
+    scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    scored.into_iter().take(k).map(|(_, item, s)| (item, s)).collect()
+}
+
+/// Jaccard similarity of two string sets — used by the AQP estimator to
+/// compare query features such as referenced tables and columns.
+pub fn jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let set_a: std::collections::BTreeSet<&str> = a.iter().map(|s| s.as_ref()).collect();
+    let set_b: std::collections::BTreeSet<&str> = b.iter().map(|s| s.as_ref()).collect();
+    let inter = set_a.intersection(&set_b).count();
+    let union = set_a.union(&set_b).count();
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_similarity_matches_paper_formula() {
+        assert_eq!(scalar_similarity(10.0, 10.0), 1.0);
+        // |25−20|/25 = 0.2 → similarity 0.8
+        assert!((scalar_similarity(25.0, 20.0) - 0.8).abs() < 1e-12);
+        assert!((scalar_similarity(20.0, 25.0) - 0.8).abs() < 1e-12);
+        // Very different sizes → near zero.
+        assert!(scalar_similarity(1.0, 1000.0) < 0.01);
+    }
+
+    #[test]
+    fn scalar_similarity_degenerate_inputs() {
+        assert_eq!(scalar_similarity(0.0, 0.0), 1.0);
+        assert_eq!(scalar_similarity(0.0, 5.0), 0.0);
+        assert_eq!(scalar_similarity(-3.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let params = [11.0_f64, 25.0, 9.5, 100.0, 10.5];
+        let target = 10.0;
+        let top = top_k_by(&params, 3, |&p| scalar_similarity(target, p));
+        let picked: Vec<f64> = top.iter().map(|(p, _)| **p).collect();
+        assert_eq!(picked, vec![10.5, 9.5, 11.0]);
+        assert!(top[0].1 > top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn top_k_with_k_larger_than_items() {
+        let items = [1.0_f64, 2.0];
+        assert_eq!(top_k_by(&items, 10, |&x| x).len(), 2);
+        let empty: [f64; 0] = [];
+        assert!(top_k_by(&empty, 3, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn top_k_skips_nan_scores() {
+        let items = [1.0_f64, 2.0, 3.0];
+        let top = top_k_by(&items, 3, |&x| if x == 2.0 { f64::NAN } else { x });
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn top_k_ties_are_stable() {
+        let items = ["a", "b", "c"];
+        let top = top_k_by(&items, 2, |_| 0.5);
+        assert_eq!(*top[0].0, "a");
+        assert_eq!(*top[1].0, "b");
+    }
+
+    #[test]
+    fn jaccard_similarity() {
+        assert_eq!(jaccard(&["lineitem"], &["lineitem"]), 1.0);
+        assert_eq!(jaccard::<&str>(&[], &[]), 1.0);
+        assert_eq!(jaccard(&["a"], &["b"]), 0.0);
+        // {a,b} ∩ {b,c} = {b}; union = {a,b,c}.
+        assert!((jaccard(&["a", "b"], &["b", "c"]) - 1.0 / 3.0).abs() < 1e-12);
+        // Duplicates collapse.
+        assert_eq!(jaccard(&["a", "a"], &["a"]), 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Weighted linear regression (paper §IV-A, citing Kay's *Fundamentals of
+//! Statistical Signal Processing*).
+//!
+//! Fits `y = intercept + slope · x` minimising `Σ wᵢ (yᵢ − ŷᵢ)²`. This is
+//! the workhorse under both the AQP progress-runtime curve and the DLT
+//! accuracy-epoch / batch-size-memory curves; those callers transform their
+//! x-axis first (see [`super::joint::CurveBasis`]) so the concave
+//! diminishing-returns shape of Fig. 1 becomes (approximately) linear.
+
+use crate::error::{Result, RotaryError};
+
+/// One weighted observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedPoint {
+    /// Independent variable (already basis-transformed by the caller).
+    pub x: f64,
+    /// Dependent variable.
+    pub y: f64,
+    /// Non-negative weight; zero-weight points are ignored.
+    pub weight: f64,
+}
+
+impl WeightedPoint {
+    /// Convenience constructor.
+    pub fn new(x: f64, y: f64, weight: f64) -> Self {
+        WeightedPoint { x, y, weight }
+    }
+}
+
+/// The result of a weighted least-squares line fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Estimated intercept `a` of `y = a + b·x`.
+    pub intercept: f64,
+    /// Estimated slope `b`.
+    pub slope: f64,
+}
+
+impl LinearFit {
+    /// Fits a line through weighted points.
+    ///
+    /// Needs at least two points with positive weight and distinct `x`
+    /// values; a degenerate (vertical or single-point) configuration returns
+    /// [`RotaryError::InsufficientData`]. Points with non-finite coordinates
+    /// or weights are rejected via [`RotaryError::InvalidConfig`] rather than
+    /// silently skewing the fit.
+    pub fn fit(points: &[WeightedPoint]) -> Result<LinearFit> {
+        let mut w_sum = 0.0;
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut n_effective = 0usize;
+        for p in points {
+            if !(p.x.is_finite() && p.y.is_finite() && p.weight.is_finite()) || p.weight < 0.0 {
+                return Err(RotaryError::InvalidConfig(format!(
+                    "non-finite or negative-weight observation ({}, {}, w={})",
+                    p.x, p.y, p.weight
+                )));
+            }
+            if p.weight == 0.0 {
+                continue;
+            }
+            n_effective += 1;
+            w_sum += p.weight;
+            wx += p.weight * p.x;
+            wy += p.weight * p.y;
+        }
+        if n_effective < 2 {
+            return Err(RotaryError::InsufficientData {
+                estimator: "weighted-linear-regression",
+                have: n_effective,
+                need: 2,
+            });
+        }
+        let x_bar = wx / w_sum;
+        let y_bar = wy / w_sum;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for p in points.iter().filter(|p| p.weight > 0.0) {
+            let dx = p.x - x_bar;
+            sxx += p.weight * dx * dx;
+            sxy += p.weight * dx * (p.y - y_bar);
+        }
+        if sxx <= f64::EPSILON * w_sum.max(1.0) {
+            // All x identical: no slope information.
+            return Err(RotaryError::InsufficientData {
+                estimator: "weighted-linear-regression",
+                have: 1,
+                need: 2,
+            });
+        }
+        let slope = sxy / sxx;
+        Ok(LinearFit { intercept: y_bar - slope * x_bar, slope })
+    }
+
+    /// Predicts `ŷ` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Inverse prediction: the `x` at which the fitted line reaches `y`.
+    /// Returns `None` when the line is flat (slope ≈ 0), i.e. the target is
+    /// unreachable by extrapolation.
+    pub fn solve_for_x(&self, y: f64) -> Option<f64> {
+        if self.slope.abs() < 1e-12 {
+            None
+        } else {
+            Some((y - self.intercept) / self.slope)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unweighted(points: &[(f64, f64)]) -> Vec<WeightedPoint> {
+        points.iter().map(|&(x, y)| WeightedPoint::new(x, y, 1.0)).collect()
+    }
+
+    #[test]
+    fn recovers_exact_line() {
+        // y = 2 + 3x
+        let pts = unweighted(&[(0.0, 2.0), (1.0, 5.0), (2.0, 8.0), (5.0, 17.0)]);
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.intercept - 2.0).abs() < 1e-10);
+        assert!((fit.slope - 3.0).abs() < 1e-10);
+        assert!((fit.predict(10.0) - 32.0).abs() < 1e-9);
+        assert!((fit.solve_for_x(32.0).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_pull_the_fit() {
+        // Two clusters disagree; the heavier one dominates.
+        let pts = vec![
+            WeightedPoint::new(0.0, 0.0, 10.0),
+            WeightedPoint::new(1.0, 1.0, 10.0),
+            WeightedPoint::new(0.0, 5.0, 0.1),
+            WeightedPoint::new(1.0, 4.0, 0.1),
+        ];
+        let fit = LinearFit::fit(&pts).unwrap();
+        // Close to y = x (heavy cluster), far from y = 5 - x.
+        assert!(fit.slope > 0.8, "slope {}", fit.slope);
+        assert!(fit.intercept < 0.3, "intercept {}", fit.intercept);
+    }
+
+    #[test]
+    fn zero_weight_points_are_ignored() {
+        let pts = vec![
+            WeightedPoint::new(0.0, 1.0, 1.0),
+            WeightedPoint::new(1.0, 3.0, 1.0),
+            WeightedPoint::new(50.0, -999.0, 0.0),
+        ];
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-10);
+        assert!((fit.intercept - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn insufficient_data_errors() {
+        assert!(matches!(
+            LinearFit::fit(&[]),
+            Err(RotaryError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            LinearFit::fit(&unweighted(&[(1.0, 1.0)])),
+            Err(RotaryError::InsufficientData { .. })
+        ));
+        // Identical x's: vertical line, no usable slope.
+        assert!(matches!(
+            LinearFit::fit(&unweighted(&[(2.0, 1.0), (2.0, 5.0)])),
+            Err(RotaryError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs() {
+        let bad = vec![WeightedPoint::new(f64::NAN, 1.0, 1.0), WeightedPoint::new(1.0, 2.0, 1.0)];
+        assert!(matches!(LinearFit::fit(&bad), Err(RotaryError::InvalidConfig(_))));
+        let bad = vec![WeightedPoint::new(0.0, 1.0, -1.0), WeightedPoint::new(1.0, 2.0, 1.0)];
+        assert!(matches!(LinearFit::fit(&bad), Err(RotaryError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn flat_line_has_no_inverse() {
+        let pts = unweighted(&[(0.0, 4.0), (1.0, 4.0), (2.0, 4.0)]);
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!(fit.solve_for_x(9.0).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        // y = 1 + 0.5x with deterministic "noise".
+        let pts: Vec<WeightedPoint> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+                WeightedPoint::new(x, 1.0 + 0.5 * x + noise, 1.0)
+            })
+            .collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.slope - 0.5).abs() < 0.01);
+        assert!((fit.intercept - 1.0).abs() < 0.1);
+    }
+}

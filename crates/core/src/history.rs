@@ -1,0 +1,223 @@
+//! The historical-job repository (paper Fig. 5 "Store" and §IV-B).
+//!
+//! Rotary "stores the progressive iterative analytic jobs and tracks
+//! intermediate processing results since such information can be used to
+//! provide a better estimation". For completed DLT jobs the paper keeps
+//! "model architecture, training hyperparameters, training epochs, and
+//! evaluation accuracy"; for AQP jobs, query features and progress-runtime
+//! observations. [`JobRecord`] captures both shapes with a label, string
+//! tags, numeric features, and the observed metric curve.
+
+use crate::error::{Result, RotaryError};
+use crate::job::JobKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A completed job's footprint in the repository.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct JobRecord {
+    /// Application family the record belongs to.
+    pub kind: JobKind,
+    /// Human-readable identity: `"q5"`, `"ResNet-18"`, ….
+    pub label: String,
+    /// Categorical features: referenced tables/columns for AQP, optimizer
+    /// name or dataset for DLT.
+    pub tags: Vec<String>,
+    /// Numeric features: batch size, learning rate, parameter count (in
+    /// millions), estimated memory, ….
+    pub numeric_features: BTreeMap<String, f64>,
+    /// The observed metric curve as `(x, metric)` pairs — x is runtime
+    /// seconds for AQP, epochs for DLT.
+    pub curve: Vec<(f64, f64)>,
+    /// Final metric value when the job finished.
+    pub final_metric: f64,
+    /// Total epochs the job ran.
+    pub epochs: u64,
+}
+
+impl JobRecord {
+    /// Reads a numeric feature, if present.
+    pub fn feature(&self, name: &str) -> Option<f64> {
+        self.numeric_features.get(name).copied()
+    }
+}
+
+/// In-memory repository of completed jobs with JSON persistence.
+///
+/// The repository is append-only during a run: estimators read it, the
+/// execution loop inserts completed jobs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HistoryRepository {
+    records: Vec<JobRecord>,
+}
+
+impl HistoryRepository {
+    /// Creates an empty repository (the cold-start condition).
+    pub fn new() -> Self {
+        HistoryRepository::default()
+    }
+
+    /// Inserts a completed-job record.
+    pub fn insert(&mut self, record: JobRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no job has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records.iter()
+    }
+
+    /// Records of one application family.
+    pub fn of_kind(&self, kind: JobKind) -> Vec<&JobRecord> {
+        self.records.iter().filter(|r| r.kind == kind).collect()
+    }
+
+    /// Removes every record whose label satisfies the predicate. Returns how
+    /// many were removed. (Used by the Fig. 11 micro-benchmark, which drops
+    /// all NLP-model history to force erroneous estimation.)
+    pub fn remove_where<F: Fn(&JobRecord) -> bool>(&mut self, predicate: F) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| !predicate(r));
+        before - self.records.len()
+    }
+
+    /// Selects the top-k records of `kind` by a caller-supplied similarity
+    /// score, descending; ties keep insertion order.
+    pub fn top_k_similar<F>(&self, kind: JobKind, k: usize, score: F) -> Vec<(&JobRecord, f64)>
+    where
+        F: FnMut(&&JobRecord) -> f64,
+    {
+        let of_kind = self.of_kind(kind);
+        crate::estimate::similarity::top_k_by(&of_kind, k, score)
+            .into_iter()
+            .map(|(r, s)| (*r, s))
+            .collect()
+    }
+
+    /// Serialises the repository to pretty JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| RotaryError::Persistence(e.to_string()))
+    }
+
+    /// Restores a repository from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| RotaryError::Persistence(e.to_string()))
+    }
+
+    /// Writes the repository to a file.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_json()?)
+            .map_err(|e| RotaryError::Persistence(format!("{}: {e}", path.display())))
+    }
+
+    /// Loads a repository from a file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| RotaryError::Persistence(format!("{}: {e}", path.display())))?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::similarity::scalar_similarity;
+
+    fn record(label: &str, kind: JobKind, params_m: f64) -> JobRecord {
+        JobRecord {
+            kind,
+            label: label.into(),
+            tags: vec!["cifar10".into()],
+            numeric_features: BTreeMap::from([("params_m".into(), params_m)]),
+            curve: vec![(1.0, 0.4), (2.0, 0.6)],
+            final_metric: 0.6,
+            epochs: 2,
+        }
+    }
+
+    #[test]
+    fn insert_and_filter_by_kind() {
+        let mut repo = HistoryRepository::new();
+        assert!(repo.is_empty());
+        repo.insert(record("resnet18", JobKind::Dlt, 11.7));
+        repo.insert(record("q5", JobKind::Aqp, 0.0));
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.of_kind(JobKind::Dlt).len(), 1);
+        assert_eq!(repo.of_kind(JobKind::Aqp)[0].label, "q5");
+    }
+
+    #[test]
+    fn top_k_similar_by_parameter_count() {
+        let mut repo = HistoryRepository::new();
+        for (label, p) in [("lenet", 0.06), ("resnet18", 11.7), ("resnet34", 21.8), ("vgg16", 138.0)] {
+            repo.insert(record(label, JobKind::Dlt, p));
+        }
+        let target = 12.0;
+        let top = repo.top_k_similar(JobKind::Dlt, 2, |r| {
+            scalar_similarity(target, r.feature("params_m").unwrap_or(0.0))
+        });
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0.label, "resnet18");
+        assert_eq!(top[1].0.label, "resnet34");
+    }
+
+    #[test]
+    fn remove_where_drops_matching_records() {
+        let mut repo = HistoryRepository::new();
+        repo.insert(record("bert", JobKind::Dlt, 110.0));
+        repo.insert(record("lstm", JobKind::Dlt, 2.0));
+        repo.insert(record("resnet18", JobKind::Dlt, 11.7));
+        let removed = repo.remove_where(|r| r.label == "bert" || r.label == "lstm");
+        assert_eq!(removed, 2);
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.iter().next().unwrap().label, "resnet18");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut repo = HistoryRepository::new();
+        repo.insert(record("resnet18", JobKind::Dlt, 11.7));
+        let json = repo.to_json().unwrap();
+        let restored = HistoryRepository::from_json(&json).unwrap();
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.iter().next().unwrap(), repo.iter().next().unwrap());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut repo = HistoryRepository::new();
+        repo.insert(record("q7", JobKind::Aqp, 0.0));
+        let dir = std::env::temp_dir().join("rotary-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.json");
+        repo.save(&path).unwrap();
+        let restored = HistoryRepository::load(&path).unwrap();
+        assert_eq!(restored.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_persistence_error() {
+        let err = HistoryRepository::load(Path::new("/nonexistent/rotary.json")).unwrap_err();
+        assert!(matches!(err, RotaryError::Persistence(_)));
+    }
+
+    #[test]
+    fn from_bad_json_is_persistence_error() {
+        assert!(matches!(
+            HistoryRepository::from_json("{not json"),
+            Err(RotaryError::Persistence(_))
+        ));
+    }
+}

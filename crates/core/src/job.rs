@@ -1,0 +1,273 @@
+//! The job model: identities, lifecycle states, and per-epoch intermediate
+//! state time series (paper §III-A and §III-D).
+
+use crate::criteria::CompletionCriterion;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier for a job within a workload.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Which application family a job belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Approximate query processing (online aggregation).
+    Aqp,
+    /// Deep learning training.
+    Dlt,
+}
+
+/// One element of the per-epoch intermediate state time-series
+/// `{ins_(i,0), ins_(i,1), …}` each job emits (paper §III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntermediateState {
+    /// Epoch counter at which this state was observed (1-based after the
+    /// first completed epoch).
+    pub epoch: u64,
+    /// Virtual time at which the epoch completed.
+    pub at: SimTime,
+    /// The convergence-metric value (accuracy, loss, …) observed.
+    pub metric_value: f64,
+    /// Attainment progress `φ ∈ [0, 1]` toward the completion criterion.
+    pub progress: f64,
+}
+
+/// Lifecycle of a job under resource arbitration.
+///
+/// ```text
+/// Pending ─arrival→ Active ─grant→ Running ─epoch end→ Active
+///                     │                │  └─preempt→ Checkpointed ─grant→ Running
+///                     └──────────criterion met / deadline──────────┐
+///                                                                  ▼
+///                              Attained | FalselyAttained | DeadlineMissed
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Submitted but not yet arrived (future arrival time).
+    Pending,
+    /// In the active queue, waiting for resources.
+    Active,
+    /// Currently holding a resource and executing an epoch.
+    Running,
+    /// Preempted with state persisted; resuming pays a restore cost.
+    Checkpointed,
+    /// Completion criterion genuinely met.
+    Attained,
+    /// The system *declared* the job complete (e.g. the envelope function
+    /// decided it converged) but ground truth disagrees — Fig. 7a.
+    FalselyAttained,
+    /// Deadline passed without attainment.
+    DeadlineMissed,
+}
+
+impl JobStatus {
+    /// Terminal statuses never transition again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Attained | JobStatus::FalselyAttained | JobStatus::DeadlineMissed
+        )
+    }
+
+    /// Statuses in which the job is eligible for resource arbitration.
+    pub fn is_arbitrable(self) -> bool {
+        matches!(self, JobStatus::Active | JobStatus::Checkpointed)
+    }
+}
+
+/// Book-keeping state the framework tracks per job: the criterion, the
+/// lifecycle status, and the intermediate-state history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobState {
+    /// Identity within the workload.
+    pub id: JobId,
+    /// Application family.
+    pub kind: JobKind,
+    /// The user-defined completion criterion `c_i`.
+    pub criterion: CompletionCriterion,
+    /// Virtual arrival time (jobs arrive by a Poisson process in the paper's
+    /// AQP workload; 0 for all-at-once submission).
+    pub arrival: SimTime,
+    /// Current lifecycle status.
+    pub status: JobStatus,
+    /// Completed running epochs.
+    pub epochs_run: u64,
+    /// Total virtual time spent actually executing (excludes queueing).
+    pub service_time: SimTime,
+    /// Estimated virtual time the same work would have taken running
+    /// isolated with a full resource grant — the baseline of the paper's
+    /// waiting-time metric (Fig. 7b). `None` until the system records it.
+    pub isolated_service: Option<SimTime>,
+    /// Number of times the job was checkpointed (preempted after an epoch).
+    pub checkpoints: u64,
+    /// The emitted intermediate-state time series.
+    pub history: Vec<IntermediateState>,
+    /// Time at which the job reached a terminal status, if it has.
+    pub finished_at: Option<SimTime>,
+}
+
+impl JobState {
+    /// Creates a fresh pending job.
+    pub fn new(id: JobId, kind: JobKind, criterion: CompletionCriterion, arrival: SimTime) -> Self {
+        JobState {
+            id,
+            kind,
+            criterion,
+            arrival,
+            status: JobStatus::Pending,
+            epochs_run: 0,
+            service_time: SimTime::ZERO,
+            isolated_service: None,
+            checkpoints: 0,
+            history: Vec::new(),
+            finished_at: None,
+        }
+    }
+
+    /// Latest intermediate state, if any epoch has completed.
+    pub fn latest(&self) -> Option<&IntermediateState> {
+        self.history.last()
+    }
+
+    /// Second-to-latest intermediate state (for convergence checks).
+    pub fn previous(&self) -> Option<&IntermediateState> {
+        self.history.len().checked_sub(2).and_then(|i| self.history.get(i))
+    }
+
+    /// Current attainment progress `φ` (0 before the first epoch).
+    pub fn progress(&self) -> f64 {
+        self.latest().map(|s| s.progress).unwrap_or(0.0)
+    }
+
+    /// Records the result of a finished epoch.
+    pub fn record_epoch(&mut self, state: IntermediateState, service: SimTime) {
+        debug_assert!(
+            self.history.last().map(|p| p.epoch < state.epoch).unwrap_or(true),
+            "epochs must be recorded in order"
+        );
+        self.epochs_run = state.epoch;
+        self.service_time += service;
+        self.history.push(state);
+    }
+
+    /// Transitions to a terminal status at the given time.
+    pub fn finish(&mut self, status: JobStatus, at: SimTime) {
+        debug_assert!(status.is_terminal());
+        debug_assert!(!self.status.is_terminal(), "job finished twice");
+        self.status = status;
+        self.finished_at = Some(at);
+    }
+
+    /// Elapsed virtual time since submission, for deadline checks.
+    pub fn elapsed(&self, now: SimTime) -> SimTime {
+        now.saturating_sub(self.arrival)
+    }
+
+    /// Adds to the isolated-service estimate (what this epoch would have
+    /// cost with a full grant and no contention).
+    pub fn add_isolated_service(&mut self, time: SimTime) {
+        self.isolated_service = Some(self.isolated_service.unwrap_or(SimTime::ZERO) + time);
+    }
+
+    /// Waiting time as the paper defines it (Fig. 7b): "the difference
+    /// between its running time under Rotary or other baselines and the
+    /// time of running it independently and isolated". Falls back to the
+    /// contended service time when no isolated estimate was recorded.
+    pub fn waiting_time(&self, now: SimTime) -> SimTime {
+        let end = self.finished_at.unwrap_or(now);
+        let isolated = self.isolated_service.unwrap_or(self.service_time);
+        end.saturating_sub(self.arrival).saturating_sub(isolated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::{Deadline, Metric};
+
+    fn mk_job() -> JobState {
+        JobState::new(
+            JobId(1),
+            JobKind::Aqp,
+            CompletionCriterion::Accuracy {
+                metric: Metric::Accuracy,
+                threshold: 0.9,
+                deadline: Deadline::Time(SimTime::from_secs(600)),
+            },
+            SimTime::from_secs(5),
+        )
+    }
+
+    #[test]
+    fn fresh_job_is_pending_with_zero_progress() {
+        let j = mk_job();
+        assert_eq!(j.status, JobStatus::Pending);
+        assert_eq!(j.progress(), 0.0);
+        assert!(j.latest().is_none());
+        assert!(j.previous().is_none());
+    }
+
+    #[test]
+    fn epoch_recording_updates_series() {
+        let mut j = mk_job();
+        j.record_epoch(
+            IntermediateState { epoch: 1, at: SimTime::from_secs(65), metric_value: 0.5, progress: 0.55 },
+            SimTime::from_secs(60),
+        );
+        j.record_epoch(
+            IntermediateState { epoch: 2, at: SimTime::from_secs(130), metric_value: 0.7, progress: 0.77 },
+            SimTime::from_secs(60),
+        );
+        assert_eq!(j.epochs_run, 2);
+        assert_eq!(j.service_time, SimTime::from_secs(120));
+        assert_eq!(j.latest().unwrap().metric_value, 0.7);
+        assert_eq!(j.previous().unwrap().metric_value, 0.5);
+        assert!((j.progress() - 0.77).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waiting_time_subtracts_service() {
+        let mut j = mk_job(); // arrives at t=5s
+        j.record_epoch(
+            IntermediateState { epoch: 1, at: SimTime::from_secs(100), metric_value: 0.9, progress: 1.0 },
+            SimTime::from_secs(40),
+        );
+        j.finish(JobStatus::Attained, SimTime::from_secs(100));
+        // makespan = 95 s, service = 40 s → waiting = 55 s
+        assert_eq!(j.waiting_time(SimTime::from_secs(999)), SimTime::from_secs(55));
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(JobStatus::Attained.is_terminal());
+        assert!(JobStatus::FalselyAttained.is_terminal());
+        assert!(JobStatus::DeadlineMissed.is_terminal());
+        assert!(!JobStatus::Running.is_terminal());
+        assert!(JobStatus::Active.is_arbitrable());
+        assert!(JobStatus::Checkpointed.is_arbitrable());
+        assert!(!JobStatus::Running.is_arbitrable());
+        assert!(!JobStatus::Pending.is_arbitrable());
+    }
+
+    #[test]
+    fn elapsed_is_relative_to_arrival() {
+        let j = mk_job();
+        assert_eq!(j.elapsed(SimTime::from_secs(65)), SimTime::from_secs(60));
+        assert_eq!(j.elapsed(SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn job_id_displays_like_paper_figures() {
+        assert_eq!(JobId(4).to_string(), "job4");
+    }
+}

@@ -1,0 +1,293 @@
+//! The arbitration-policy abstraction (paper §III-D).
+//!
+//! A resource arbitration policy is a function `π : Q_t ↦ assign(W, M)` from
+//! the current queue state to an assignment of jobs onto resources. The
+//! queue state [`JobSnapshot`] carries, per job, the intermediate state and
+//! estimates a policy may consult; concrete assignment shapes differ between
+//! the CPU pool (thread counts) and the GPU pool (device indices), so the
+//! application crates define their own arbitration loops on top of the
+//! shared [`Prioritizer`] abstraction: a total order over arbitrable jobs.
+//!
+//! The classic dynamic-priority baselines of §V (EDF, LAF, SRF, BCF) are all
+//! prioritizers, as is the threshold-T rule at the heart of Algorithm 3.
+
+use crate::criteria::Deadline;
+use crate::job::{JobId, JobStatus};
+use crate::progress::Objective;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// A policy-facing view of one job in the queue `Q_t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSnapshot {
+    /// Job identity.
+    pub id: JobId,
+    /// Lifecycle status (policies only see arbitrable jobs in practice).
+    pub status: JobStatus,
+    /// Current attainment progress `φ ∈ [0, 1]`.
+    pub progress: f64,
+    /// Estimated attainment progress `φ̂` after one more epoch.
+    pub estimated_progress: f64,
+    /// Estimated memory consumption for the next epoch, in megabytes.
+    pub estimated_memory_mb: u64,
+    /// The job's deadline (criterion budget).
+    pub deadline: Deadline,
+    /// Arrival time, for FIFO tie-breaks.
+    pub arrival: SimTime,
+    /// Epochs completed so far.
+    pub epochs_run: u64,
+    /// Latest convergence-metric value (accuracy for most workloads).
+    pub metric_value: f64,
+    /// Whether the system currently believes the job has converged (i.e.
+    /// further epochs will not improve it) without having attained its goal.
+    pub considered_converged: bool,
+}
+
+impl JobSnapshot {
+    /// Estimated progress *gain* from one more epoch.
+    pub fn estimated_gain(&self) -> f64 {
+        (self.estimated_progress - self.progress).max(0.0)
+    }
+
+    /// Deadline pressure: virtual time remaining until the deadline, for
+    /// time-based deadlines. Epoch deadlines return `SimTime::MAX` (EDF in
+    /// the paper is evaluated on the AQP workload, whose deadlines are all
+    /// in seconds).
+    pub fn time_to_deadline(&self, now: SimTime) -> SimTime {
+        match self.deadline {
+            Deadline::Time(t) => (self.arrival + t).saturating_sub(now),
+            Deadline::Epochs(_) => SimTime::MAX,
+        }
+    }
+}
+
+/// A total order over queue snapshots: *smaller sorts first* (highest
+/// priority). Implementations must be deterministic; all built-ins fall back
+/// to `(arrival, id)` so equal-priority jobs are served FIFO.
+pub trait Prioritizer {
+    /// Stable, human-readable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Compares two jobs; `Ordering::Less` means `a` runs before `b`.
+    fn compare(&self, a: &JobSnapshot, b: &JobSnapshot, now: SimTime) -> Ordering;
+
+    /// Sorts a queue into priority order.
+    fn sort(&self, queue: &mut [JobSnapshot], now: SimTime) {
+        queue.sort_by(|a, b| self.compare(a, b, now));
+    }
+}
+
+fn fifo_tiebreak(a: &JobSnapshot, b: &JobSnapshot) -> Ordering {
+    a.arrival.cmp(&b.arrival).then(a.id.cmp(&b.id))
+}
+
+/// Earliest Deadline First: the AQP baseline that always prioritises the job
+/// whose deadline is nearest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EarliestDeadlineFirst;
+
+impl Prioritizer for EarliestDeadlineFirst {
+    fn name(&self) -> &'static str {
+        "EDF"
+    }
+    fn compare(&self, a: &JobSnapshot, b: &JobSnapshot, now: SimTime) -> Ordering {
+        a.time_to_deadline(now).cmp(&b.time_to_deadline(now)).then(fifo_tiebreak(a, b))
+    }
+}
+
+/// Least Accuracy First: prioritises the job with the lowest current metric
+/// (an AQP *and* DLT baseline in the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastAccuracyFirst;
+
+impl Prioritizer for LeastAccuracyFirst {
+    fn name(&self) -> &'static str {
+        "LAF"
+    }
+    fn compare(&self, a: &JobSnapshot, b: &JobSnapshot, _now: SimTime) -> Ordering {
+        a.metric_value
+            .partial_cmp(&b.metric_value)
+            .unwrap_or(Ordering::Equal)
+            .then(fifo_tiebreak(a, b))
+    }
+}
+
+/// The Rotary ordering for a given [`Objective`] (Algorithm 3's queue
+/// construction):
+///
+/// * while any job is below the threshold `T` (and not converged), the
+///   *lowest*-progress job runs first (fairness phase);
+/// * once every job has reached `T` or converged, the *highest*
+///   estimated-progress job runs first (efficiency phase).
+///
+/// The caller signals the phase via [`ThresholdPrioritizer::set_phase`] after
+/// inspecting the whole queue; `compare` alone cannot see global state.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdPrioritizer {
+    objective: Objective,
+    efficiency_phase: bool,
+}
+
+impl ThresholdPrioritizer {
+    /// Creates the prioritizer for an objective; starts in the fairness
+    /// phase (harmless for `T = 0`, where the first `update_phase` flips it
+    /// immediately).
+    pub fn new(objective: Objective) -> Self {
+        ThresholdPrioritizer { objective, efficiency_phase: false }
+    }
+
+    /// The objective's threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.objective.threshold()
+    }
+
+    /// Recomputes the phase from the queue: efficiency once "all the jobs
+    /// either achieve T progress or are considered converged".
+    pub fn update_phase(&mut self, queue: &[JobSnapshot]) {
+        let t = self.threshold();
+        self.efficiency_phase = queue
+            .iter()
+            .all(|j| j.progress >= t || j.considered_converged || j.status.is_terminal());
+    }
+
+    /// Overrides the phase directly (mainly for tests).
+    pub fn set_phase(&mut self, efficiency: bool) {
+        self.efficiency_phase = efficiency;
+    }
+
+    /// Whether the prioritizer is in the efficiency phase.
+    pub fn in_efficiency_phase(&self) -> bool {
+        self.efficiency_phase
+    }
+}
+
+impl Prioritizer for ThresholdPrioritizer {
+    fn name(&self) -> &'static str {
+        "Rotary"
+    }
+    fn compare(&self, a: &JobSnapshot, b: &JobSnapshot, _now: SimTime) -> Ordering {
+        let ord = if self.efficiency_phase {
+            // Highest estimated progress first.
+            b.estimated_progress.partial_cmp(&a.estimated_progress).unwrap_or(Ordering::Equal)
+        } else {
+            // Lowest current progress first.
+            a.progress.partial_cmp(&b.progress).unwrap_or(Ordering::Equal)
+        };
+        ord.then(fifo_tiebreak(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(id: u64, progress: f64, est: f64, metric: f64, deadline_s: u64, arrival_s: u64) -> JobSnapshot {
+        JobSnapshot {
+            id: JobId(id),
+            status: JobStatus::Active,
+            progress,
+            estimated_progress: est,
+            estimated_memory_mb: 1024,
+            deadline: Deadline::Time(SimTime::from_secs(deadline_s)),
+            arrival: SimTime::from_secs(arrival_s),
+            epochs_run: 1,
+            metric_value: metric,
+            considered_converged: false,
+        }
+    }
+
+    #[test]
+    fn estimated_gain_is_non_negative() {
+        let mut j = snap(1, 0.5, 0.7, 0.5, 100, 0);
+        assert!((j.estimated_gain() - 0.2).abs() < 1e-12);
+        j.estimated_progress = 0.3; // bad estimate below current progress
+        assert_eq!(j.estimated_gain(), 0.0);
+    }
+
+    #[test]
+    fn edf_orders_by_remaining_time() {
+        // Same deadline length; the earlier arrival has less time left? No —
+        // deadline is arrival + budget, so earlier arrival → earlier deadline.
+        let a = snap(1, 0.0, 0.0, 0.0, 600, 0);
+        let b = snap(2, 0.0, 0.0, 0.0, 600, 100);
+        let c = snap(3, 0.0, 0.0, 0.0, 60, 100); // tightest
+        let mut q = vec![a, b, c];
+        EarliestDeadlineFirst.sort(&mut q, SimTime::from_secs(150));
+        let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn laf_orders_by_metric() {
+        let mut q = vec![
+            snap(1, 0.9, 0.9, 0.8, 600, 0),
+            snap(2, 0.3, 0.4, 0.2, 600, 0),
+            snap(3, 0.5, 0.6, 0.5, 600, 0),
+        ];
+        LeastAccuracyFirst.sort(&mut q, SimTime::ZERO);
+        let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn threshold_prioritizer_switches_phase() {
+        let mut p = ThresholdPrioritizer::new(Objective::Threshold(0.5));
+        let queue = vec![snap(1, 0.2, 0.4, 0.2, 600, 0), snap(2, 0.8, 0.9, 0.8, 600, 0)];
+        p.update_phase(&queue);
+        assert!(!p.in_efficiency_phase(), "job 1 is below T=0.5");
+
+        // Fairness phase: lowest progress first.
+        let mut q = queue.clone();
+        p.sort(&mut q, SimTime::ZERO);
+        assert_eq!(q[0].id, JobId(1));
+
+        // All above threshold → efficiency phase, highest φ̂ first.
+        let queue2 = vec![snap(1, 0.6, 0.7, 0.6, 600, 0), snap(2, 0.8, 0.95, 0.8, 600, 0)];
+        p.update_phase(&queue2);
+        assert!(p.in_efficiency_phase());
+        let mut q2 = queue2;
+        p.sort(&mut q2, SimTime::ZERO);
+        assert_eq!(q2[0].id, JobId(2));
+    }
+
+    #[test]
+    fn converged_jobs_do_not_block_the_phase_switch() {
+        let mut p = ThresholdPrioritizer::new(Objective::Threshold(0.5));
+        let mut stuck = snap(1, 0.1, 0.1, 0.1, 600, 0);
+        stuck.considered_converged = true;
+        let queue = vec![stuck, snap(2, 0.9, 0.95, 0.9, 600, 0)];
+        p.update_phase(&queue);
+        assert!(p.in_efficiency_phase());
+    }
+
+    #[test]
+    fn efficiency_objective_is_immediately_in_efficiency_phase() {
+        let mut p = ThresholdPrioritizer::new(Objective::Efficiency);
+        let queue = vec![snap(1, 0.0, 0.1, 0.0, 600, 0)];
+        p.update_phase(&queue);
+        // T = 0: every job trivially meets the threshold.
+        assert!(p.in_efficiency_phase());
+    }
+
+    #[test]
+    fn fairness_objective_stays_fair_until_complete() {
+        let mut p = ThresholdPrioritizer::new(Objective::Fairness);
+        let queue = vec![snap(1, 0.99, 0.995, 0.99, 600, 0)];
+        p.update_phase(&queue);
+        assert!(!p.in_efficiency_phase(), "T=1.0 requires full completion");
+    }
+
+    #[test]
+    fn fifo_tiebreak_is_deterministic() {
+        let mut q = vec![snap(2, 0.5, 0.5, 0.5, 600, 10), snap(1, 0.5, 0.5, 0.5, 600, 10)];
+        LeastAccuracyFirst.sort(&mut q, SimTime::ZERO);
+        assert_eq!(q[0].id, JobId(1));
+    }
+
+    #[test]
+    fn epoch_deadlines_are_never_urgent_for_edf() {
+        let mut j = snap(1, 0.0, 0.0, 0.0, 600, 0);
+        j.deadline = Deadline::Epochs(10);
+        assert_eq!(j.time_to_deadline(SimTime::from_secs(100)), SimTime::MAX);
+    }
+}

@@ -1,0 +1,214 @@
+//! Virtual time.
+//!
+//! All of Rotary runs on a discrete-event virtual clock. [`SimTime`] is an
+//! instant (milliseconds since the start of a simulation); durations are also
+//! expressed as `SimTime` offsets. Using integer milliseconds keeps every
+//! experiment exactly reproducible — there is no floating-point clock drift
+//! and no dependence on the wall clock of the machine running the
+//! reproduction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A virtual instant or duration, in integer milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (start of the simulation).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as an "unreachable" deadline sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Creates a time from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60_000)
+    }
+
+    /// Creates a time from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3_600_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to milliseconds.
+    ///
+    /// Negative or non-finite inputs clamp to zero: virtual time never runs
+    /// backwards.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((secs * 1000.0).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Raw milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition; sticks at [`SimTime::MAX`].
+    pub fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    /// Scales a duration by a positive factor (used when dividing work across
+    /// a varying number of hardware threads).
+    pub fn scale(self, factor: f64) -> SimTime {
+        SimTime::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// True if this is the zero instant.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0;
+        if ms == u64::MAX {
+            return write!(f, "∞");
+        }
+        if ms.is_multiple_of(3_600_000) && ms > 0 {
+            write!(f, "{}h", ms / 3_600_000)
+        } else if ms.is_multiple_of(60_000) && ms > 0 {
+            write!(f, "{}m", ms / 60_000)
+        } else if ms.is_multiple_of(1000) {
+            write!(f, "{}s", ms / 1000)
+        } else {
+            write!(f, "{}ms", ms)
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs.max(1))
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2000));
+        assert_eq!(SimTime::from_mins(3), SimTime::from_secs(180));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_mins(60));
+    }
+
+    #[test]
+    fn fractional_seconds_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_millis(), 1500);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a - b, SimTime::ZERO);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b - a, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn addition_saturates_at_max() {
+        assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn scaling_divides_work() {
+        let epoch = SimTime::from_secs(60);
+        // Twice the threads → half the time.
+        assert_eq!(epoch.scale(0.5), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(SimTime::from_hours(2).to_string(), "2h");
+        assert_eq!(SimTime::from_mins(5).to_string(), "5m");
+        assert_eq!(SimTime::from_secs(42).to_string(), "42s");
+        assert_eq!(SimTime::from_millis(17).to_string(), "17ms");
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = [1u64, 2, 3].iter().map(|&s| SimTime::from_secs(s)).sum();
+        assert_eq!(total, SimTime::from_secs(6));
+    }
+}

@@ -1,0 +1,291 @@
+//! The survey-based DLT workload (paper Table II).
+//!
+//! The paper surveyed 30 deep-learning researchers and synthesised a
+//! workload from their answers: the Table II architecture list, batch-size
+//! / optimizer / learning-rate spaces, and a criteria mix of 60%
+//! convergence-oriented, 20% accuracy-oriented, and 20% runtime-oriented
+//! jobs. Hyperparameters and criterion parameters are sampled uniformly
+//! from their spaces; pre-trained (fine-tuning) jobs draw from the shorter
+//! runtime space.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rotary_core::criteria::{CompletionCriterion, Deadline, Metric};
+
+use crate::models::{Architecture, Optimizer, LEARNING_RATES};
+use crate::simulator::TrainingConfig;
+
+/// Table II convergence-criterion deltas (accuracy change per epoch).
+pub const CONVERGENCE_DELTAS: [f64; 12] = [
+    0.05, 0.03, 0.01, 0.005, 0.003, 0.001, 0.0005, 0.0003, 0.0001, 0.00005, 0.00003, 0.00001,
+];
+
+/// Table II accuracy-criterion targets.
+pub const ACCURACY_TARGETS: [f64; 12] =
+    [0.70, 0.72, 0.74, 0.76, 0.78, 0.80, 0.82, 0.84, 0.86, 0.88, 0.90, 0.92];
+
+/// Table II runtime-criterion epoch budgets for from-scratch jobs.
+pub const RUNTIME_EPOCHS_SCRATCH: [u64; 5] = [5, 10, 30, 50, 100];
+
+/// Table II runtime-criterion epoch budgets for fine-tuning jobs.
+pub const RUNTIME_EPOCHS_PRETRAINED: [u64; 5] = [1, 2, 3, 4, 5];
+
+/// Table II maximum-epoch space for accuracy/convergence deadlines.
+pub const MAX_EPOCHS: [u64; 7] = [1, 5, 10, 15, 20, 25, 30];
+
+/// One DLT job: hyperparameters plus its completion criterion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DltJobSpec {
+    /// The training configuration (architecture, batch, optimizer, lr,
+    /// pre-trained flag).
+    pub config: TrainingConfig,
+    /// The user-defined completion criterion.
+    pub criterion: CompletionCriterion,
+}
+
+impl DltJobSpec {
+    /// The epoch budget after which the job is cut off: the criterion
+    /// deadline for accuracy/convergence jobs, the runtime itself for
+    /// runtime jobs.
+    pub fn max_epochs(&self) -> u64 {
+        self.criterion.deadline().epochs().unwrap_or(u64::MAX)
+    }
+}
+
+/// Mix of criterion kinds (fractions summing to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriteriaMix {
+    /// Fraction with convergence-oriented criteria.
+    pub convergence: f64,
+    /// Fraction with accuracy-oriented criteria.
+    pub accuracy: f64,
+    /// Fraction with runtime-oriented criteria.
+    pub runtime: f64,
+}
+
+impl CriteriaMix {
+    /// Table II's survey mix: 60 / 20 / 20.
+    pub const PAPER: CriteriaMix =
+        CriteriaMix { convergence: 0.6, accuracy: 0.2, runtime: 0.2 };
+}
+
+/// Generates Table II workloads.
+#[derive(Debug, Clone)]
+pub struct DltWorkloadBuilder {
+    jobs: usize,
+    mix: CriteriaMix,
+    pretrained_fraction: f64,
+    seed: u64,
+}
+
+impl Default for DltWorkloadBuilder {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl DltWorkloadBuilder {
+    /// The paper's configuration (32 jobs — four per GPU times the paper's
+    /// survey scale — with the 60/20/20 mix; a third of the jobs on
+    /// pre-trainable architectures fine-tune).
+    pub fn paper() -> DltWorkloadBuilder {
+        DltWorkloadBuilder {
+            jobs: 32,
+            mix: CriteriaMix::PAPER,
+            pretrained_fraction: 0.33,
+            seed: 0,
+        }
+    }
+
+    /// Sets the job count.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the criteria mix.
+    pub fn mix(mut self, mix: CriteriaMix) -> Self {
+        let sum = mix.convergence + mix.accuracy + mix.runtime;
+        assert!((sum - 1.0).abs() < 1e-9, "criteria mix must sum to 1");
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the workload. All jobs are submitted at time zero (the
+    /// paper's DLT evaluation has no arrival process).
+    pub fn build(&self) -> Vec<DltJobSpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xd17);
+        (0..self.jobs).map(|_| self.sample_job(&mut rng)).collect()
+    }
+
+    fn sample_job(&self, rng: &mut StdRng) -> DltJobSpec {
+        let arch = Architecture::ALL[rng.gen_range(0..Architecture::ALL.len())];
+        let batches = arch.batch_sizes();
+        let batch_size = batches[rng.gen_range(0..batches.len())];
+        let optimizer = Optimizer::ALL[rng.gen_range(0..Optimizer::ALL.len())];
+        let learning_rate = LEARNING_RATES[rng.gen_range(0..LEARNING_RATES.len())];
+        let pretrained =
+            arch.profile().pretrainable && rng.gen_bool(self.pretrained_fraction);
+        let config = TrainingConfig { arch, batch_size, optimizer, learning_rate, pretrained };
+
+        let x: f64 = rng.gen_range(0.0..1.0);
+        let criterion = if x < self.mix.convergence {
+            CompletionCriterion::Convergence {
+                metric: Metric::Accuracy,
+                delta: CONVERGENCE_DELTAS[rng.gen_range(0..CONVERGENCE_DELTAS.len())],
+                deadline: Deadline::Epochs(self.sample_max_epochs(rng)),
+            }
+        } else if x < self.mix.convergence + self.mix.accuracy {
+            CompletionCriterion::Accuracy {
+                metric: Metric::Accuracy,
+                threshold: ACCURACY_TARGETS[rng.gen_range(0..ACCURACY_TARGETS.len())],
+                deadline: Deadline::Epochs(self.sample_max_epochs(rng)),
+            }
+        } else {
+            let space: &[u64] =
+                if pretrained { &RUNTIME_EPOCHS_PRETRAINED } else { &RUNTIME_EPOCHS_SCRATCH };
+            CompletionCriterion::Runtime {
+                runtime: Deadline::Epochs(space[rng.gen_range(0..space.len())]),
+            }
+        };
+        DltJobSpec { config, criterion }
+    }
+
+    /// Maximum epochs, excluding the degenerate 1-epoch deadline for
+    /// from-scratch convergence jobs (a convergence check needs two
+    /// observations).
+    fn sample_max_epochs(&self, rng: &mut StdRng) -> u64 {
+        loop {
+            let e = MAX_EPOCHS[rng.gen_range(0..MAX_EPOCHS.len())];
+            if e >= 2 {
+                return e;
+            }
+        }
+    }
+}
+
+/// The Fig. 11 micro-benchmark: eight jobs where jobs 4, 5, 6 are the BERT,
+/// Bi-LSTM, and LSTM jobs whose epoch estimates the experiment corrupts.
+pub fn fig11_microbenchmark() -> Vec<DltJobSpec> {
+    use Architecture::*;
+    let job = |arch: Architecture, batch: u32, pretrained: bool, criterion: CompletionCriterion| {
+        DltJobSpec {
+            config: TrainingConfig {
+                arch,
+                batch_size: batch,
+                optimizer: Optimizer::Adam,
+                learning_rate: 0.001,
+                pretrained,
+            },
+            criterion,
+        }
+    };
+    let acc = |t: f64, max: u64| CompletionCriterion::Accuracy {
+        metric: Metric::Accuracy,
+        threshold: t,
+        deadline: Deadline::Epochs(max),
+    };
+    let runtime = |e: u64| CompletionCriterion::Runtime { runtime: Deadline::Epochs(e) };
+    vec![
+        // jobs 0-3: CV training jobs.
+        job(ResNet18, 32, false, acc(0.86, 30)),
+        job(MobileNetV2, 16, false, acc(0.84, 30)),
+        job(DenseNet121, 16, false, runtime(20)),
+        job(ShuffleNetV2, 32, false, acc(0.82, 25)),
+        // jobs 4-6: the NLP jobs ("job4 is for BERT, job 5 is for Bi-LSTM,
+        // and job 6 is for LSTM") — quick fine-tune / fast converging.
+        job(Bert, 64, true, acc(0.85, 30)),
+        job(BiLstm, 128, false, acc(0.90, 30)),
+        job(Lstm, 128, false, acc(0.88, 30)),
+        // job 7: another CV job.
+        job(ResNet34, 16, false, runtime(15)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_core::criteria::CompletionCriterion as C;
+
+    #[test]
+    fn paper_workload_mix() {
+        let jobs = DltWorkloadBuilder::paper().jobs(3000).seed(1).build();
+        let frac = |f: fn(&C) -> bool| {
+            jobs.iter().filter(|j| f(&j.criterion)).count() as f64 / jobs.len() as f64
+        };
+        assert!((frac(|c| matches!(c, C::Convergence { .. })) - 0.6).abs() < 0.05);
+        assert!((frac(|c| matches!(c, C::Accuracy { .. })) - 0.2).abs() < 0.05);
+        assert!((frac(|c| matches!(c, C::Runtime { .. })) - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn parameters_come_from_table_two_spaces() {
+        for j in DltWorkloadBuilder::paper().jobs(500).seed(2).build() {
+            assert!(j.config.arch.batch_sizes().contains(&j.config.batch_size));
+            assert!(LEARNING_RATES.contains(&j.config.learning_rate));
+            match &j.criterion {
+                C::Convergence { delta, deadline, .. } => {
+                    assert!(CONVERGENCE_DELTAS.contains(delta));
+                    assert!(MAX_EPOCHS.contains(&deadline.epochs().unwrap()));
+                }
+                C::Accuracy { threshold, deadline, .. } => {
+                    assert!(ACCURACY_TARGETS.contains(threshold));
+                    assert!(MAX_EPOCHS.contains(&deadline.epochs().unwrap()));
+                }
+                C::Runtime { runtime } => {
+                    let e = runtime.epochs().unwrap();
+                    if j.config.pretrained {
+                        assert!(RUNTIME_EPOCHS_PRETRAINED.contains(&e));
+                    } else {
+                        assert!(RUNTIME_EPOCHS_SCRATCH.contains(&e));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pretrained_only_on_pretrainable_architectures() {
+        let jobs = DltWorkloadBuilder::paper().jobs(1000).seed(3).build();
+        for j in &jobs {
+            if j.config.pretrained {
+                assert!(j.config.arch.profile().pretrainable, "{}", j.config.arch);
+            }
+        }
+        assert!(jobs.iter().any(|j| j.config.pretrained), "some jobs fine-tune");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DltWorkloadBuilder::paper().seed(7).build();
+        let b = DltWorkloadBuilder::paper().seed(7).build();
+        assert_eq!(a, b);
+        assert_ne!(a, DltWorkloadBuilder::paper().seed(8).build());
+    }
+
+    #[test]
+    fn convergence_deadlines_allow_a_check() {
+        // A convergence criterion needs ≥ 2 epochs to ever fire.
+        for j in DltWorkloadBuilder::paper().jobs(2000).seed(4).build() {
+            if matches!(j.criterion, C::Convergence { .. }) {
+                assert!(j.max_epochs() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_jobs_match_the_paper() {
+        let jobs = fig11_microbenchmark();
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[4].config.arch, Architecture::Bert);
+        assert_eq!(jobs[5].config.arch, Architecture::BiLstm);
+        assert_eq!(jobs[6].config.arch, Architecture::Lstm);
+        assert!(jobs[4].config.pretrained);
+    }
+}

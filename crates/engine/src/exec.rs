@@ -1,0 +1,840 @@
+//! Plan binding and batch execution.
+//!
+//! [`Executor::bind`] compiles a [`QueryPlan`] against a concrete
+//! [`TpchData`]: aliases become slot indices, column names become column
+//! references, string literals become dictionary-code masks, and each join
+//! edge gets a primary-key hash index (built once per dataset and shared
+//! through [`IndexCache`] — the multi-tenant AQP system binds the same 22
+//! plans for every submitted job). [`Executor::process_rows`] then performs
+//! genuine per-row work: hash-join probes, predicate evaluation, and
+//! aggregate updates, returning operation counts the cost model converts to
+//! virtual time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rotary_tpch::date::year_of;
+use rotary_tpch::{Column, Table, TpchData};
+
+use crate::agg::AggState;
+use crate::expr::{CmpOp, ColRef, Expr, Pred};
+use crate::plan::{GroupKey, QueryPlan};
+
+/// A shared single-column primary-key index.
+type SingleIndex = Arc<HashMap<i64, u32>>;
+/// A shared composite (two-column) primary-key index.
+type CompositeIndex = Arc<HashMap<(i64, i64), u32>>;
+
+/// Shared primary-key indexes, keyed by `(table, key-columns)`.
+///
+/// One cache must only ever be used with the dataset it was first populated
+/// from; the AQP system owns one cache per dataset.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    single: HashMap<(String, String), SingleIndex>,
+    composite: HashMap<(String, String, String), CompositeIndex>,
+}
+
+impl IndexCache {
+    /// An empty cache.
+    pub fn new() -> IndexCache {
+        IndexCache::default()
+    }
+
+    fn single_index(&mut self, table: &Table, key: &str) -> SingleIndex {
+        self.single
+            .entry((table.name().to_string(), key.to_string()))
+            .or_insert_with(|| Arc::new(table.primary_index(key)))
+            .clone()
+    }
+
+    fn composite_index(
+        &mut self,
+        table: &Table,
+        key_a: &str,
+        key_b: &str,
+    ) -> CompositeIndex {
+        self.composite
+            .entry((table.name().to_string(), key_a.to_string(), key_b.to_string()))
+            .or_insert_with(|| {
+                let a = table.column_required(key_a);
+                let b = table.column_required(key_b);
+                let mut map = HashMap::with_capacity(table.rows());
+                for row in 0..table.rows() {
+                    let prior = map.insert((a.int(row), b.int(row)), row as u32);
+                    assert!(prior.is_none(), "duplicate composite key in {}", table.name());
+                }
+                Arc::new(map)
+            })
+            .clone()
+    }
+
+    /// Total entries across all cached indexes (for memory estimation).
+    pub fn total_entries(&self) -> usize {
+        self.single.values().map(|m| m.len()).sum::<usize>()
+            + self.composite.values().map(|m| m.len()).sum::<usize>()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BoundIndex {
+    Single(SingleIndex),
+    Composite(CompositeIndex),
+}
+
+#[derive(Debug, Clone)]
+struct BoundEdge<'a> {
+    src_slot: usize,
+    fk: Vec<&'a Column>,
+    index: BoundIndex,
+}
+
+#[derive(Debug, Clone)]
+enum BoundExpr<'a> {
+    Col { slot: usize, col: &'a Column },
+    Lit(f64),
+    Add(Box<BoundExpr<'a>>, Box<BoundExpr<'a>>),
+    Sub(Box<BoundExpr<'a>>, Box<BoundExpr<'a>>),
+    Mul(Box<BoundExpr<'a>>, Box<BoundExpr<'a>>),
+    Div(Box<BoundExpr<'a>>, Box<BoundExpr<'a>>),
+    PredVal(Box<BoundPred<'a>>),
+}
+
+impl BoundExpr<'_> {
+    fn eval(&self, ctx: &[u32]) -> f64 {
+        match self {
+            BoundExpr::Col { slot, col } => col.numeric(ctx[*slot] as usize),
+            BoundExpr::Lit(v) => *v,
+            BoundExpr::Add(a, b) => a.eval(ctx) + b.eval(ctx),
+            BoundExpr::Sub(a, b) => a.eval(ctx) - b.eval(ctx),
+            BoundExpr::Mul(a, b) => a.eval(ctx) * b.eval(ctx),
+            BoundExpr::Div(a, b) => {
+                let d = b.eval(ctx);
+                if d == 0.0 {
+                    0.0
+                } else {
+                    a.eval(ctx) / d
+                }
+            }
+            BoundExpr::PredVal(p) => {
+                if p.eval(ctx) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BoundPred<'a> {
+    True,
+    IntRange { slot: usize, col: &'a Column, lo: i64, hi: i64 },
+    IntIn { slot: usize, col: &'a Column, values: Vec<i64> },
+    FloatRange { slot: usize, col: &'a Column, lo: f64, hi: f64 },
+    DateRange { slot: usize, col: &'a Column, lo: i32, hi: i32 },
+    CatMask { slot: usize, col: &'a Column, mask: Vec<bool> },
+    RefCmp { a_slot: usize, a: &'a Column, op: CmpOp, b_slot: usize, b: &'a Column },
+    And(Vec<BoundPred<'a>>),
+    Or(Vec<BoundPred<'a>>),
+    Not(Box<BoundPred<'a>>),
+}
+
+impl BoundPred<'_> {
+    fn eval(&self, ctx: &[u32]) -> bool {
+        match self {
+            BoundPred::True => true,
+            BoundPred::IntRange { slot, col, lo, hi } => {
+                let v = col.int(ctx[*slot] as usize);
+                *lo <= v && v <= *hi
+            }
+            BoundPred::IntIn { slot, col, values } => {
+                values.contains(&col.int(ctx[*slot] as usize))
+            }
+            BoundPred::FloatRange { slot, col, lo, hi } => {
+                let v = col.float(ctx[*slot] as usize);
+                *lo <= v && v <= *hi
+            }
+            BoundPred::DateRange { slot, col, lo, hi } => {
+                let v = col.date_at(ctx[*slot] as usize);
+                *lo <= v && v < *hi
+            }
+            BoundPred::CatMask { slot, col, mask } => {
+                mask[col.cat_code(ctx[*slot] as usize) as usize]
+            }
+            BoundPred::RefCmp { a_slot, a, op, b_slot, b } => {
+                let x = a.numeric(ctx[*a_slot] as usize);
+                let y = b.numeric(ctx[*b_slot] as usize);
+                match op {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Eq => x == y,
+                }
+            }
+            BoundPred::And(ps) => ps.iter().all(|p| p.eval(ctx)),
+            BoundPred::Or(ps) => ps.iter().any(|p| p.eval(ctx)),
+            BoundPred::Not(p) => !p.eval(ctx),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BoundGroup<'a> {
+    Raw { slot: usize, col: &'a Column },
+    Year { slot: usize, col: &'a Column },
+}
+
+impl BoundGroup<'_> {
+    fn eval(&self, ctx: &[u32]) -> i64 {
+        match self {
+            BoundGroup::Raw { slot, col } => match col {
+                Column::Int(v) => v[ctx[*slot] as usize],
+                Column::Date(v) => v[ctx[*slot] as usize] as i64,
+                Column::Cat { codes, .. } => codes[ctx[*slot] as usize] as i64,
+                Column::Float(_) => panic!("cannot group by a float column"),
+            },
+            BoundGroup::Year { slot, col } => year_of(col.date_at(ctx[*slot] as usize)) as i64,
+        }
+    }
+}
+
+/// Work counters for one `process_rows` call; the cost model converts these
+/// to virtual time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Fact rows scanned.
+    pub rows_scanned: u64,
+    /// Hash-join probes performed.
+    pub probes: u64,
+    /// Rows that survived joins + filter and updated aggregates.
+    pub rows_aggregated: u64,
+}
+
+impl BatchStats {
+    /// Total primitive row operations — the cost model's unit of work.
+    pub fn row_ops(&self) -> u64 {
+        self.rows_scanned + self.probes + self.rows_aggregated
+    }
+
+    /// Accumulates another batch's counters.
+    pub fn add(&mut self, other: BatchStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.probes += other.probes;
+        self.rows_aggregated += other.rows_aggregated;
+    }
+}
+
+/// A plan bound to a dataset, ready to consume fact-row batches.
+#[derive(Debug)]
+pub struct Executor<'a> {
+    fact_rows: usize,
+    edges: Vec<BoundEdge<'a>>,
+    filter: BoundPred<'a>,
+    groups: Vec<BoundGroup<'a>>,
+    agg_exprs: Vec<BoundExpr<'a>>,
+    state: AggState,
+    totals: BatchStats,
+    ctx_buf: Vec<u32>,
+    key_buf: Vec<i64>,
+    val_buf: Vec<f64>,
+}
+
+struct Binder<'a> {
+    slots: Vec<&'a Table>,
+    aliases: Vec<String>,
+}
+
+impl<'a> Binder<'a> {
+    fn slot_of(&self, alias: &Option<String>) -> Result<usize, String> {
+        match alias {
+            None => Ok(0),
+            Some(a) => self
+                .aliases
+                .iter()
+                .position(|x| x == a)
+                .map(|i| i + 1)
+                .ok_or_else(|| format!("unknown alias {a}")),
+        }
+    }
+
+    fn column(&self, r: &ColRef) -> Result<(usize, &'a Column), String> {
+        let slot = self.slot_of(&r.alias)?;
+        let table = self.slots[slot];
+        table
+            .column(&r.column)
+            .map(|c| (slot, c))
+            .ok_or_else(|| format!("table {} has no column {}", table.name(), r.column))
+    }
+
+    fn pred(&self, p: &Pred) -> Result<BoundPred<'a>, String> {
+        Ok(match p {
+            Pred::True => BoundPred::True,
+            Pred::IntRange { col, lo, hi } => {
+                let (slot, c) = self.column(col)?;
+                BoundPred::IntRange { slot, col: c, lo: *lo, hi: *hi }
+            }
+            Pred::IntIn { col, values } => {
+                let (slot, c) = self.column(col)?;
+                BoundPred::IntIn { slot, col: c, values: values.clone() }
+            }
+            Pred::FloatRange { col, lo, hi } => {
+                let (slot, c) = self.column(col)?;
+                BoundPred::FloatRange { slot, col: c, lo: *lo, hi: *hi }
+            }
+            Pred::DateRange { col, lo, hi } => {
+                let (slot, c) = self.column(col)?;
+                BoundPred::DateRange { slot, col: c, lo: *lo, hi: *hi }
+            }
+            Pred::CatEq { col, value } => self.cat_mask(col, |s| s == value)?,
+            Pred::CatIn { col, values } => {
+                self.cat_mask(col, |s| values.iter().any(|v| v == s))?
+            }
+            Pred::CatPrefix { col, prefix } => self.cat_mask(col, |s| s.starts_with(prefix))?,
+            Pred::CatContains { col, substr } => self.cat_mask(col, |s| s.contains(substr))?,
+            Pred::RefCmp { a, op, b } => {
+                let (a_slot, ac) = self.column(a)?;
+                let (b_slot, bc) = self.column(b)?;
+                BoundPred::RefCmp { a_slot, a: ac, op: *op, b_slot, b: bc }
+            }
+            Pred::And(ps) => {
+                BoundPred::And(ps.iter().map(|p| self.pred(p)).collect::<Result<_, _>>()?)
+            }
+            Pred::Or(ps) => {
+                BoundPred::Or(ps.iter().map(|p| self.pred(p)).collect::<Result<_, _>>()?)
+            }
+            Pred::Not(p) => BoundPred::Not(Box::new(self.pred(p)?)),
+        })
+    }
+
+    fn cat_mask(
+        &self,
+        col: &ColRef,
+        matches: impl Fn(&str) -> bool,
+    ) -> Result<BoundPred<'a>, String> {
+        let (slot, c) = self.column(col)?;
+        let Column::Cat { dict, .. } = c else {
+            return Err(format!("{col} is not a category column"));
+        };
+        let mask = dict.iter().map(|s| matches(s)).collect();
+        Ok(BoundPred::CatMask { slot, col: c, mask })
+    }
+
+    fn expr(&self, e: &Expr) -> Result<BoundExpr<'a>, String> {
+        Ok(match e {
+            Expr::Col(c) => {
+                let (slot, col) = self.column(c)?;
+                BoundExpr::Col { slot, col }
+            }
+            Expr::Lit(v) => BoundExpr::Lit(*v),
+            Expr::Add(a, b) => BoundExpr::Add(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Sub(a, b) => BoundExpr::Sub(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Mul(a, b) => BoundExpr::Mul(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Div(a, b) => BoundExpr::Div(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::PredVal(p) => BoundExpr::PredVal(Box::new(self.pred(p)?)),
+        })
+    }
+}
+
+impl<'a> Executor<'a> {
+    /// Binds a plan to a dataset, building/reusing hash indexes via `cache`.
+    pub fn bind(
+        plan: &QueryPlan,
+        data: &'a TpchData,
+        cache: &mut IndexCache,
+    ) -> Result<Executor<'a>, String> {
+        plan.validate()?;
+        let fact =
+            data.table(&plan.fact).ok_or_else(|| format!("unknown fact table {}", plan.fact))?;
+        let mut binder = Binder { slots: vec![fact], aliases: Vec::new() };
+        let mut edges = Vec::with_capacity(plan.joins.len());
+        for edge in &plan.joins {
+            let target = data
+                .table(&edge.table)
+                .ok_or_else(|| format!("unknown join table {}", edge.table))?;
+            // All FK columns of one edge must come from the same slot.
+            let mut src_slot = None;
+            let mut fk_cols = Vec::with_capacity(edge.fk.len());
+            for fk in &edge.fk {
+                let (slot, col) = binder.column(fk)?;
+                if *src_slot.get_or_insert(slot) != slot {
+                    return Err(format!("join {}: FK columns span slots", edge.alias));
+                }
+                fk_cols.push(col);
+            }
+            let index = match edge.pk.as_slice() {
+                [k] => BoundIndex::Single(cache.single_index(target, k)),
+                [k1, k2] => BoundIndex::Composite(cache.composite_index(target, k1, k2)),
+                _ => return Err(format!("join {}: unsupported key arity", edge.alias)),
+            };
+            edges.push(BoundEdge { src_slot: src_slot.unwrap(), fk: fk_cols, index });
+            binder.slots.push(target);
+            binder.aliases.push(edge.alias.clone());
+        }
+
+        let filter = binder.pred(&plan.filter)?;
+        let groups = plan
+            .group_by
+            .iter()
+            .map(|g| {
+                let (slot, col) = binder.column(g.col())?;
+                Ok(match g {
+                    GroupKey::Raw(_) => BoundGroup::Raw { slot, col },
+                    GroupKey::Year(_) => BoundGroup::Year { slot, col },
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let agg_exprs = plan
+            .aggregates
+            .iter()
+            .map(|a| binder.expr(&a.expr))
+            .collect::<Result<Vec<_>, String>>()?;
+        let funcs = plan.aggregates.iter().map(|a| a.func).collect();
+
+        let slots = binder.slots.len();
+        Ok(Executor {
+            fact_rows: fact.rows(),
+            edges,
+            filter,
+            groups,
+            agg_exprs,
+            state: AggState::new(funcs),
+            totals: BatchStats::default(),
+            ctx_buf: vec![0; slots],
+            key_buf: Vec::new(),
+            val_buf: Vec::new(),
+        })
+    }
+
+    /// Processes a batch of fact-row indices, updating aggregate state.
+    pub fn process_rows(&mut self, rows: &[u32]) -> BatchStats {
+        let mut stats = BatchStats { rows_scanned: rows.len() as u64, ..Default::default() };
+        'rows: for &row in rows {
+            debug_assert!((row as usize) < self.fact_rows, "row index out of range");
+            self.ctx_buf[0] = row;
+            for (i, edge) in self.edges.iter().enumerate() {
+                stats.probes += 1;
+                let src = self.ctx_buf[edge.src_slot] as usize;
+                let hit = match &edge.index {
+                    BoundIndex::Single(map) => map.get(&edge.fk[0].int(src)).copied(),
+                    BoundIndex::Composite(map) => {
+                        map.get(&(edge.fk[0].int(src), edge.fk[1].int(src))).copied()
+                    }
+                };
+                match hit {
+                    Some(target_row) => self.ctx_buf[i + 1] = target_row,
+                    None => continue 'rows, // inner-join semantics
+                }
+            }
+            if !self.filter.eval(&self.ctx_buf) {
+                continue;
+            }
+            self.key_buf.clear();
+            for g in &self.groups {
+                self.key_buf.push(g.eval(&self.ctx_buf));
+            }
+            self.val_buf.clear();
+            for e in &self.agg_exprs {
+                self.val_buf.push(e.eval(&self.ctx_buf));
+            }
+            self.state.update(&self.key_buf, &self.val_buf);
+            stats.rows_aggregated += 1;
+        }
+        self.totals.add(stats);
+        stats
+    }
+
+    /// Processes the *entire* fact table (ground-truth computation).
+    pub fn process_all(&mut self) -> BatchStats {
+        let rows: Vec<u32> = (0..self.fact_rows as u32).collect();
+        self.process_rows(&rows)
+    }
+
+    /// The running aggregate state.
+    pub fn state(&self) -> &AggState {
+        &self.state
+    }
+
+    /// Cumulative work counters since binding.
+    pub fn totals(&self) -> BatchStats {
+        self.totals
+    }
+
+    /// Rows in the fact table.
+    pub fn fact_rows(&self) -> usize {
+        self.fact_rows
+    }
+
+    /// Number of join edges (for the cost model).
+    pub fn join_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggFunc, AggSpec};
+    use crate::plan::{JoinEdge, QueryClass};
+    use rotary_tpch::{date, Generator};
+
+    fn data() -> TpchData {
+        Generator::new(11, 0.002).generate()
+    }
+
+    fn q6ish() -> QueryPlan {
+        QueryPlan {
+            label: "q6ish".into(),
+            fact: "lineitem".into(),
+            joins: vec![],
+            filter: Pred::And(vec![
+                Pred::DateRange {
+                    col: ColRef::fact("l_shipdate"),
+                    lo: date(1994, 1, 1),
+                    hi: date(1995, 1, 1),
+                },
+                Pred::IntRange { col: ColRef::fact("l_quantity"), lo: 1, hi: 23 },
+            ]),
+            group_by: vec![],
+            aggregates: vec![
+                AggSpec::new(
+                    "revenue",
+                    AggFunc::Sum,
+                    Expr::Mul(
+                        Box::new(Expr::Col(ColRef::fact("l_extendedprice"))),
+                        Box::new(Expr::Col(ColRef::fact("l_discount"))),
+                    ),
+                ),
+                AggSpec::count("n"),
+            ],
+            class: QueryClass::Light,
+        }
+    }
+
+    #[test]
+    fn scalar_filter_aggregate_matches_naive() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let mut exec = Executor::bind(&q6ish(), &d, &mut cache).unwrap();
+        exec.process_all();
+
+        // Naive recomputation.
+        let li = &d.lineitem;
+        let mut expect = 0.0;
+        let mut count = 0u64;
+        for r in 0..li.rows() {
+            let ship = li.column_required("l_shipdate").date_at(r);
+            let qty = li.column_required("l_quantity").int(r);
+            if ship >= date(1994, 1, 1) && ship < date(1995, 1, 1) && (1..=23).contains(&qty) {
+                expect += li.column_required("l_extendedprice").float(r)
+                    * li.column_required("l_discount").float(r);
+                count += 1;
+            }
+        }
+        assert!(count > 0, "test data too small for the predicate");
+        let got = exec.state().combined(0).unwrap();
+        assert!((got - expect).abs() < 1e-6);
+        assert_eq!(exec.state().combined(1), Some(count as f64));
+    }
+
+    #[test]
+    fn join_chain_resolves_dimensions() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        // Revenue by customer nation name through lineitem→orders→customer→nation.
+        let plan = QueryPlan {
+            label: "j".into(),
+            fact: "lineitem".into(),
+            joins: vec![
+                JoinEdge::new("o", "orders", ColRef::fact("l_orderkey"), "o_orderkey"),
+                JoinEdge::new("c", "customer", ColRef::via("o", "o_custkey"), "c_custkey"),
+                JoinEdge::new("cn", "nation", ColRef::via("c", "c_nationkey"), "n_nationkey"),
+            ],
+            filter: Pred::CatEq { col: ColRef::via("cn", "n_name"), value: "FRANCE".into() },
+            group_by: vec![],
+            aggregates: vec![AggSpec::count("n")],
+            class: QueryClass::Medium,
+        };
+        let mut exec = Executor::bind(&plan, &d, &mut cache).unwrap();
+        let stats = exec.process_all();
+        assert_eq!(stats.rows_scanned as usize, d.lineitem.rows());
+        assert!(stats.probes >= stats.rows_scanned, "every row probes orders");
+
+        // Naive: count lineitems whose order's customer is French.
+        let cust_nation: Vec<i64> = (0..d.customer.rows())
+            .map(|r| d.customer.column_required("c_nationkey").int(r))
+            .collect();
+        let order_cust: HashMap<i64, i64> = (0..d.orders.rows())
+            .map(|r| {
+                (
+                    d.orders.column_required("o_orderkey").int(r),
+                    d.orders.column_required("o_custkey").int(r),
+                )
+            })
+            .collect();
+        let france = rotary_tpch::gen::NATIONS.iter().position(|&(n, _)| n == "FRANCE").unwrap();
+        let mut expect = 0u64;
+        for r in 0..d.lineitem.rows() {
+            let ok = d.lineitem.column_required("l_orderkey").int(r);
+            let cust = order_cust[&ok];
+            if cust_nation[(cust - 1) as usize] == france as i64 {
+                expect += 1;
+            }
+        }
+        assert_eq!(exec.state().combined(0), Some(expect as f64));
+    }
+
+    #[test]
+    fn grouped_aggregation_by_category() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let plan = QueryPlan {
+            label: "g".into(),
+            fact: "lineitem".into(),
+            joins: vec![],
+            filter: Pred::True,
+            group_by: vec![GroupKey::Raw(ColRef::fact("l_returnflag"))],
+            aggregates: vec![AggSpec::new(
+                "qty",
+                AggFunc::Sum,
+                Expr::Col(ColRef::fact("l_quantity")),
+            )],
+            class: QueryClass::Light,
+        };
+        let mut exec = Executor::bind(&plan, &d, &mut cache).unwrap();
+        exec.process_all();
+        // R, A, N all occur.
+        assert_eq!(exec.state().group_count(), 3);
+        // Total across groups equals the ungrouped sum.
+        let total: f64 = (0..d.lineitem.rows())
+            .map(|r| d.lineitem.column_required("l_quantity").int(r) as f64)
+            .sum();
+        assert!((exec.state().combined(0).unwrap() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batches_equal_full_scan() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let mut whole = Executor::bind(&q6ish(), &d, &mut cache).unwrap();
+        whole.process_all();
+
+        let mut batched = Executor::bind(&q6ish(), &d, &mut cache).unwrap();
+        let mut src = rotary_tpch::BatchSource::new(3, d.lineitem.rows(), 1000);
+        while let Some(batch) = src.next_batch() {
+            batched.process_rows(batch);
+        }
+        // Floating-point sums depend on fold order; allow relative epsilon.
+        let a = whole.state().combined(0).unwrap();
+        let b = batched.state().combined(0).unwrap();
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        assert_eq!(whole.state().combined(1), batched.state().combined(1));
+    }
+
+    #[test]
+    fn index_cache_shares_indexes() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let plan = QueryPlan {
+            label: "x".into(),
+            fact: "lineitem".into(),
+            joins: vec![JoinEdge::new("o", "orders", ColRef::fact("l_orderkey"), "o_orderkey")],
+            filter: Pred::True,
+            group_by: vec![],
+            aggregates: vec![AggSpec::count("n")],
+            class: QueryClass::Light,
+        };
+        let _a = Executor::bind(&plan, &d, &mut cache).unwrap();
+        let entries_after_one = cache.total_entries();
+        let _b = Executor::bind(&plan, &d, &mut cache).unwrap();
+        assert_eq!(cache.total_entries(), entries_after_one, "index rebuilt instead of shared");
+        assert_eq!(entries_after_one, d.orders.rows());
+    }
+
+    #[test]
+    fn composite_join_probes_partsupp() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let plan = QueryPlan {
+            label: "q9ish".into(),
+            fact: "lineitem".into(),
+            joins: vec![JoinEdge::composite(
+                "ps",
+                "partsupp",
+                [ColRef::fact("l_partkey"), ColRef::fact("l_suppkey")],
+                ["ps_partkey", "ps_suppkey"],
+            )],
+            filter: Pred::True,
+            group_by: vec![],
+            aggregates: vec![AggSpec::count("n")],
+            class: QueryClass::Heavy,
+        };
+        let mut exec = Executor::bind(&plan, &d, &mut cache).unwrap();
+        let stats = exec.process_all();
+        // Most (partkey, suppkey) pairs in lineitem are random and so do NOT
+        // exist in partsupp (which has only 4 suppliers per part) — the
+        // inner join drops those rows; some rows survive at this scale only
+        // by luck, so just check the join executes and never exceeds input.
+        assert!(stats.rows_aggregated <= stats.rows_scanned);
+        assert_eq!(stats.probes, stats.rows_scanned);
+    }
+
+    #[test]
+    fn bind_errors_are_descriptive() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let mut plan = q6ish();
+        plan.fact = "widgets".into();
+        assert!(Executor::bind(&plan, &d, &mut cache).unwrap_err().contains("unknown fact table"));
+
+        let mut plan = q6ish();
+        plan.filter =
+            Pred::IntRange { col: ColRef::fact("nonexistent"), lo: 0, hi: 1 };
+        assert!(Executor::bind(&plan, &d, &mut cache).unwrap_err().contains("no column"));
+
+        let mut plan = q6ish();
+        plan.filter = Pred::CatEq { col: ColRef::fact("l_quantity"), value: "X".into() };
+        assert!(Executor::bind(&plan, &d, &mut cache)
+            .unwrap_err()
+            .contains("not a category column"));
+    }
+
+    #[test]
+    fn division_expression_and_zero_guard() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        // avg(extendedprice / quantity) — per-unit price; quantity ≥ 1 so no
+        // zero path, then a second aggregate dividing by (discount - discount)
+        // to pin the division-by-zero guard at 0.
+        let plan = QueryPlan {
+            label: "div".into(),
+            fact: "lineitem".into(),
+            joins: vec![],
+            filter: Pred::True,
+            group_by: vec![],
+            aggregates: vec![
+                AggSpec::new(
+                    "unit_price",
+                    AggFunc::Avg,
+                    Expr::Div(
+                        Box::new(Expr::Col(ColRef::fact("l_extendedprice"))),
+                        Box::new(Expr::Col(ColRef::fact("l_quantity"))),
+                    ),
+                ),
+                AggSpec::new(
+                    "zero",
+                    AggFunc::Max,
+                    Expr::Div(
+                        Box::new(Expr::Lit(1.0)),
+                        Box::new(Expr::Sub(
+                            Box::new(Expr::Col(ColRef::fact("l_discount"))),
+                            Box::new(Expr::Col(ColRef::fact("l_discount"))),
+                        )),
+                    ),
+                ),
+            ],
+            class: QueryClass::Light,
+        };
+        let mut exec = Executor::bind(&plan, &d, &mut cache).unwrap();
+        exec.process_all();
+        let avg_unit = exec.state().combined(0).unwrap();
+        // Unit prices are retail prices: ~900..2100.
+        assert!((800.0..2300.0).contains(&avg_unit), "{avg_unit}");
+        assert_eq!(exec.state().combined(1), Some(0.0), "x/0 must yield 0");
+    }
+
+    #[test]
+    fn ref_cmp_le_and_eq_operators() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let mut count_where = |op: CmpOp| {
+            let plan = QueryPlan {
+                label: "cmp".into(),
+                fact: "lineitem".into(),
+                joins: vec![],
+                filter: Pred::RefCmp {
+                    a: ColRef::fact("l_shipdate"),
+                    op,
+                    b: ColRef::fact("l_commitdate"),
+                },
+                group_by: vec![],
+                aggregates: vec![AggSpec::count("n")],
+                class: QueryClass::Light,
+            };
+            let mut exec = Executor::bind(&plan, &d, &mut cache).unwrap();
+            exec.process_all();
+            exec.state().combined(0).unwrap() as u64
+        };
+        let lt = count_where(CmpOp::Lt);
+        let le = count_where(CmpOp::Le);
+        let eq = count_where(CmpOp::Eq);
+        assert_eq!(le, lt + eq, "Le = Lt + Eq partition");
+        assert!(lt > 0, "some lines ship before commit");
+    }
+
+    #[test]
+    fn cat_prefix_and_int_in_masks() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let plan = QueryPlan {
+            label: "mask".into(),
+            fact: "lineitem".into(),
+            joins: vec![JoinEdge::new("p", "part", ColRef::fact("l_partkey"), "p_partkey")],
+            filter: Pred::And(vec![
+                Pred::CatPrefix { col: ColRef::via("p", "p_type"), prefix: "PROMO".into() },
+                Pred::IntIn { col: ColRef::via("p", "p_size"), values: vec![1, 2, 3, 4, 5] },
+            ]),
+            group_by: vec![],
+            aggregates: vec![AggSpec::count("n")],
+            class: QueryClass::Light,
+        };
+        let mut exec = Executor::bind(&plan, &d, &mut cache).unwrap();
+        exec.process_all();
+        // Naive check.
+        let mut expect = 0u64;
+        for r in 0..d.lineitem.rows() {
+            let pk = d.lineitem.column_required("l_partkey").int(r) as usize - 1;
+            let ty = d.part.column_required("p_type").cat_str(pk);
+            let size = d.part.column_required("p_size").int(pk);
+            if ty.starts_with("PROMO") && (1..=5).contains(&size) {
+                expect += 1;
+            }
+        }
+        assert_eq!(exec.state().combined(0), Some(expect as f64));
+    }
+
+    #[test]
+    fn predval_case_aggregation() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        // sum(case when returnflag = 'R' then quantity else 0 end)
+        let plan = QueryPlan {
+            label: "case".into(),
+            fact: "lineitem".into(),
+            joins: vec![],
+            filter: Pred::True,
+            group_by: vec![],
+            aggregates: vec![AggSpec::new(
+                "r_qty",
+                AggFunc::Sum,
+                Expr::Mul(
+                    Box::new(Expr::PredVal(Box::new(Pred::CatEq {
+                        col: ColRef::fact("l_returnflag"),
+                        value: "R".into(),
+                    }))),
+                    Box::new(Expr::Col(ColRef::fact("l_quantity"))),
+                ),
+            )],
+            class: QueryClass::Light,
+        };
+        let mut exec = Executor::bind(&plan, &d, &mut cache).unwrap();
+        exec.process_all();
+        let mut expect = 0.0;
+        for r in 0..d.lineitem.rows() {
+            if d.lineitem.column_required("l_returnflag").cat_str(r) == "R" {
+                expect += d.lineitem.column_required("l_quantity").int(r) as f64;
+            }
+        }
+        assert!((exec.state().combined(0).unwrap() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,274 @@
+//! Column references, scalar expressions, and predicates.
+//!
+//! These are the *unbound* forms used to declare queries; [`crate::exec`]
+//! compiles them against a concrete dataset (resolving names to columns and
+//! string literals to dictionary codes) before any row is touched.
+
+use rotary_tpch::Date;
+
+/// A reference to a column, optionally qualified by a join alias.
+///
+/// TPC-H column prefixes are unique per table, so fact-table columns are
+/// written bare (`l_quantity`); columns reached through a join are qualified
+/// by the join's alias (`sn.n_name`) — necessary when a table is joined more
+/// than once, as with the customer- and supplier-side nation joins of q5/q7.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Join alias the column lives under; `None` = the fact table.
+    pub alias: Option<String>,
+    /// Column name within that table.
+    pub column: String,
+}
+
+impl ColRef {
+    /// A fact-table column.
+    pub fn fact(column: &str) -> ColRef {
+        ColRef { alias: None, column: column.to_string() }
+    }
+
+    /// A column reached through the join `alias`.
+    pub fn via(alias: &str, column: &str) -> ColRef {
+        ColRef { alias: Some(alias.to_string()), column: column.to_string() }
+    }
+}
+
+impl std::fmt::Display for ColRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{a}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// A scalar expression evaluated per (joined) row, producing `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column's numeric view (ints, floats, dates, or category codes).
+    Col(ColRef),
+    /// A literal.
+    Lit(f64),
+    /// `a + b`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `a - b`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `a * b`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `a / b`; division by zero yields 0 (SQL would yield NULL — the
+    /// engine's numeric pipeline has no NULLs, and 0 keeps aggregates
+    /// well-defined).
+    Div(Box<Expr>, Box<Expr>),
+    /// A predicate as a value: 1.0 when it holds, else 0.0 — the engine's
+    /// `CASE WHEN p THEN 1 ELSE 0 END`, used by q12/q14-style conditional
+    /// aggregates.
+    PredVal(Box<Pred>),
+}
+
+impl Expr {
+    /// Column reference shorthand.
+    pub fn col(c: ColRef) -> Expr {
+        Expr::Col(c)
+    }
+
+    /// `l_extendedprice * (1 - l_discount)` — revenue, the most common
+    /// aggregate input in TPC-H.
+    pub fn revenue() -> Expr {
+        Expr::Mul(
+            Box::new(Expr::Col(ColRef::fact("l_extendedprice"))),
+            Box::new(Expr::Sub(Box::new(Expr::Lit(1.0)), Box::new(Expr::Col(ColRef::fact("l_discount"))))),
+        )
+    }
+
+    /// Every column the expression references (for memory estimation and
+    /// plan validation).
+    pub fn referenced_columns(&self, out: &mut Vec<ColRef>) {
+        match self {
+            Expr::Col(c) => out.push(c.clone()),
+            Expr::Lit(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.referenced_columns(out);
+                b.referenced_columns(out);
+            }
+            Expr::PredVal(p) => p.referenced_columns(out),
+        }
+    }
+}
+
+/// Comparison operators for column-to-column predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `a < b`.
+    Lt,
+    /// `a ≤ b`.
+    Le,
+    /// `a = b`.
+    Eq,
+}
+
+/// A filter predicate over the (joined) row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Always true (no filter).
+    True,
+    /// `lo ≤ col ≤ hi` on an integer column.
+    IntRange {
+        /// Column tested.
+        col: ColRef,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// `col ∈ values` on an integer column.
+    IntIn {
+        /// Column tested.
+        col: ColRef,
+        /// Accepted values.
+        values: Vec<i64>,
+    },
+    /// `lo ≤ col ≤ hi` on a float column.
+    FloatRange {
+        /// Column tested.
+        col: ColRef,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// `lo ≤ col < hi` on a date column (the SQL half-open idiom
+    /// `col >= DATE a AND col < DATE b`).
+    DateRange {
+        /// Column tested.
+        col: ColRef,
+        /// Inclusive lower bound.
+        lo: Date,
+        /// Exclusive upper bound.
+        hi: Date,
+    },
+    /// `col = value` on a dictionary column.
+    CatEq {
+        /// Column tested.
+        col: ColRef,
+        /// String the category must equal.
+        value: String,
+    },
+    /// `col ∈ values` on a dictionary column.
+    CatIn {
+        /// Column tested.
+        col: ColRef,
+        /// Accepted strings.
+        values: Vec<String>,
+    },
+    /// `col LIKE 'prefix%'` on a dictionary column.
+    CatPrefix {
+        /// Column tested.
+        col: ColRef,
+        /// Required prefix.
+        prefix: String,
+    },
+    /// `col LIKE '%substr%'` on a dictionary column.
+    CatContains {
+        /// Column tested.
+        col: ColRef,
+        /// Required substring.
+        substr: String,
+    },
+    /// Column-to-column comparison (`l_commitdate < l_receiptdate`,
+    /// `cn.n_nationkey = sn.n_nationkey`, …) on numerically comparable
+    /// columns.
+    RefCmp {
+        /// Left-hand column.
+        a: ColRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand column.
+        b: ColRef,
+    },
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// Every column the predicate references.
+    pub fn referenced_columns(&self, out: &mut Vec<ColRef>) {
+        match self {
+            Pred::True => {}
+            Pred::IntRange { col, .. }
+            | Pred::IntIn { col, .. }
+            | Pred::FloatRange { col, .. }
+            | Pred::DateRange { col, .. }
+            | Pred::CatEq { col, .. }
+            | Pred::CatIn { col, .. }
+            | Pred::CatPrefix { col, .. }
+            | Pred::CatContains { col, .. } => out.push(col.clone()),
+            Pred::RefCmp { a, b, .. } => {
+                out.push(a.clone());
+                out.push(b.clone());
+            }
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.referenced_columns(out);
+                }
+            }
+            Pred::Not(p) => p.referenced_columns(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colref_display() {
+        assert_eq!(ColRef::fact("l_quantity").to_string(), "l_quantity");
+        assert_eq!(ColRef::via("sn", "n_name").to_string(), "sn.n_name");
+    }
+
+    #[test]
+    fn revenue_expression_shape() {
+        let mut cols = Vec::new();
+        Expr::revenue().referenced_columns(&mut cols);
+        assert_eq!(
+            cols,
+            vec![ColRef::fact("l_extendedprice"), ColRef::fact("l_discount")]
+        );
+    }
+
+    #[test]
+    fn predicate_column_collection_recurses() {
+        let p = Pred::And(vec![
+            Pred::CatEq { col: ColRef::via("r", "r_name"), value: "ASIA".into() },
+            Pred::Or(vec![
+                Pred::DateRange { col: ColRef::fact("l_shipdate"), lo: 0, hi: 100 },
+                Pred::Not(Box::new(Pred::RefCmp {
+                    a: ColRef::via("cn", "n_nationkey"),
+                    op: CmpOp::Eq,
+                    b: ColRef::via("sn", "n_nationkey"),
+                })),
+            ]),
+        ]);
+        let mut cols = Vec::new();
+        p.referenced_columns(&mut cols);
+        assert_eq!(cols.len(), 4);
+        assert!(cols.contains(&ColRef::via("sn", "n_nationkey")));
+    }
+
+    #[test]
+    fn predval_collects_inner_columns() {
+        let e = Expr::Mul(
+            Box::new(Expr::PredVal(Box::new(Pred::CatPrefix {
+                col: ColRef::via("p", "p_type"),
+                prefix: "PROMO".into(),
+            }))),
+            Box::new(Expr::revenue()),
+        );
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols.len(), 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! # Mini relational engine with online aggregation
+//!
+//! Rotary-AQP's execution platform in the paper is "a single-user
+//! progressive query processing system based on Apache Spark" modified for
+//! multi-tenancy. This crate is the corresponding from-scratch substrate: a
+//! columnar engine evaluating star-join aggregation queries over the
+//! `rotary-tpch` dataset, batch-at-a-time, exactly the way an online
+//! aggregation system does —
+//!
+//! * [`expr`] — column references, scalar expressions, predicates;
+//! * [`plan`] — query plans: a streamed *fact* table, a chain of hash-join
+//!   edges to dimension tables, a filter, optional grouping, and aggregates;
+//! * [`exec`] — the executor: binds a plan to a dataset (building reusable
+//!   primary-key hash indexes), then evaluates row batches with genuine
+//!   per-row join probes, predicate evaluation, and aggregate updates;
+//! * [`agg`] — running aggregate state (SUM / AVG / COUNT / MIN / MAX,
+//!   grouped or scalar);
+//! * [`online`] — progressive execution: feeds shuffled batches through the
+//!   executor, tracks per-column accuracy `α_c / α_f` against ground truth
+//!   (paper §IV-A), and reports per-epoch intermediate results;
+//! * [`queries`] — definitions of all 22 TPC-H queries (simplified to the
+//!   engine's star-join dialect; every simplification is documented on the
+//!   query), with the light/medium/heavy classes of Table I;
+//! * [`memory`] — the CBO-style memory-consumption estimator and the
+//!   row-operation cost model that maps engine work to virtual time.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod exec;
+pub mod expr;
+pub mod memory;
+pub mod online;
+pub mod plan;
+pub mod queries;
+
+pub use agg::{AggFunc, AggSpec};
+pub use exec::{Executor, IndexCache};
+pub use expr::{ColRef, Expr, Pred};
+pub use online::{EpochReport, OnlineAggregation};
+pub use plan::{GroupKey, JoinEdge, QueryClass, QueryPlan};
+pub use queries::{all_queries, query, QueryId};

@@ -1,0 +1,225 @@
+//! Query plans: star-join aggregation over a streamed fact table.
+
+use crate::agg::AggSpec;
+use crate::expr::{ColRef, Pred};
+
+/// How one dimension table hangs off the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdge {
+    /// Alias the joined table is referenced by (`o`, `c`, `sn`, …).
+    pub alias: String,
+    /// The dimension table's name in the dataset.
+    pub table: String,
+    /// Foreign-key column(s) on the *source* side — the fact table or an
+    /// earlier alias. Single-column for every TPC-H FK except the composite
+    /// `(l_partkey, l_suppkey) → partsupp` probe of q9.
+    pub fk: Vec<ColRef>,
+    /// Primary-key column(s) on the dimension side, positionally matching
+    /// `fk`.
+    pub pk: Vec<String>,
+}
+
+impl JoinEdge {
+    /// Single-column FK→PK edge.
+    pub fn new(alias: &str, table: &str, fk: ColRef, pk: &str) -> JoinEdge {
+        JoinEdge { alias: alias.into(), table: table.into(), fk: vec![fk], pk: vec![pk.into()] }
+    }
+
+    /// Composite-key edge (q9's partsupp probe).
+    pub fn composite(alias: &str, table: &str, fk: [ColRef; 2], pk: [&str; 2]) -> JoinEdge {
+        JoinEdge {
+            alias: alias.into(),
+            table: table.into(),
+            fk: fk.to_vec(),
+            pk: pk.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// One grouping key column, optionally transformed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupKey {
+    /// Group by the column's raw value (category code / int / date).
+    Raw(ColRef),
+    /// Group by the calendar year of a date column — `EXTRACT(YEAR …)` in
+    /// q7/q8/q9.
+    Year(ColRef),
+}
+
+impl GroupKey {
+    /// The underlying column.
+    pub fn col(&self) -> &ColRef {
+        match self {
+            GroupKey::Raw(c) | GroupKey::Year(c) => c,
+        }
+    }
+}
+
+/// The Table I workload classes, determined by observed memory consumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryClass {
+    /// Small dimension state, fast batches.
+    Light,
+    /// Moderate joins.
+    Medium,
+    /// Large joins (orders/customer-sized hash state), long batches.
+    Heavy,
+}
+
+impl std::fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QueryClass::Light => "light",
+            QueryClass::Medium => "medium",
+            QueryClass::Heavy => "heavy",
+        })
+    }
+}
+
+/// A full query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Stable label (`"q5"`).
+    pub label: String,
+    /// The streamed fact table.
+    pub fact: String,
+    /// Hash-join edges, in resolution order (an edge's FK may reference an
+    /// earlier edge's alias).
+    pub joins: Vec<JoinEdge>,
+    /// Row filter over fact + joined columns.
+    pub filter: Pred,
+    /// Optional grouping keys.
+    pub group_by: Vec<GroupKey>,
+    /// The aggregates to maintain.
+    pub aggregates: Vec<AggSpec>,
+    /// The Table I class this query belongs to.
+    pub class: QueryClass,
+}
+
+impl QueryPlan {
+    /// All columns the plan touches (filter + grouping + aggregates +
+    /// join keys), used by memory estimation.
+    pub fn referenced_columns(&self) -> Vec<ColRef> {
+        let mut cols = Vec::new();
+        self.filter.referenced_columns(&mut cols);
+        for g in &self.group_by {
+            cols.push(g.col().clone());
+        }
+        for a in &self.aggregates {
+            a.expr.referenced_columns(&mut cols);
+        }
+        for j in &self.joins {
+            cols.extend(j.fk.iter().cloned());
+        }
+        cols
+    }
+
+    /// Validates internal consistency: aliases are unique, FK sources
+    /// reference the fact table or an *earlier* alias, and every qualified
+    /// column reference names a declared alias. Returns a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = Vec::new();
+        for edge in &self.joins {
+            if seen.contains(&edge.alias) {
+                return Err(format!("{}: duplicate join alias {}", self.label, edge.alias));
+            }
+            if edge.fk.len() != edge.pk.len() || edge.fk.is_empty() {
+                return Err(format!("{}: join {} has mismatched key arity", self.label, edge.alias));
+            }
+            for fk in &edge.fk {
+                if let Some(alias) = &fk.alias {
+                    if !seen.contains(alias) {
+                        return Err(format!(
+                            "{}: join {} references alias {alias} before it is defined",
+                            self.label, edge.alias
+                        ));
+                    }
+                }
+            }
+            seen.push(edge.alias.clone());
+        }
+        for col in self.referenced_columns() {
+            if let Some(alias) = &col.alias {
+                if !seen.contains(alias) {
+                    return Err(format!("{}: column {col} references unknown alias", self.label));
+                }
+            }
+        }
+        if self.aggregates.is_empty() {
+            return Err(format!("{}: a progressive query needs at least one aggregate", self.label));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggFunc, AggSpec};
+    use crate::expr::Expr;
+
+    fn minimal_plan() -> QueryPlan {
+        QueryPlan {
+            label: "t".into(),
+            fact: "lineitem".into(),
+            joins: vec![
+                JoinEdge::new("o", "orders", ColRef::fact("l_orderkey"), "o_orderkey"),
+                JoinEdge::new("c", "customer", ColRef::via("o", "o_custkey"), "c_custkey"),
+            ],
+            filter: Pred::True,
+            group_by: vec![GroupKey::Raw(ColRef::via("c", "c_mktsegment"))],
+            aggregates: vec![AggSpec::new("revenue", AggFunc::Sum, Expr::revenue())],
+            class: QueryClass::Medium,
+        }
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        assert_eq!(minimal_plan().validate(), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let mut p = minimal_plan();
+        p.joins[1].alias = "o".into();
+        assert!(p.validate().unwrap_err().contains("duplicate join alias"));
+    }
+
+    #[test]
+    fn forward_alias_reference_rejected() {
+        let mut p = minimal_plan();
+        p.joins.swap(0, 1); // customer edge now references `o` before it exists
+        assert!(p.validate().unwrap_err().contains("before it is defined"));
+    }
+
+    #[test]
+    fn unknown_alias_in_column_rejected() {
+        let mut p = minimal_plan();
+        p.group_by = vec![GroupKey::Raw(ColRef::via("zz", "x"))];
+        assert!(p.validate().unwrap_err().contains("unknown alias"));
+    }
+
+    #[test]
+    fn aggregate_required() {
+        let mut p = minimal_plan();
+        p.aggregates.clear();
+        assert!(p.validate().unwrap_err().contains("at least one aggregate"));
+    }
+
+    #[test]
+    fn referenced_columns_cover_all_parts() {
+        let cols = minimal_plan().referenced_columns();
+        assert!(cols.contains(&ColRef::via("c", "c_mktsegment")));
+        assert!(cols.contains(&ColRef::fact("l_extendedprice")));
+        assert!(cols.contains(&ColRef::fact("l_orderkey")));
+        assert!(cols.contains(&ColRef::via("o", "o_custkey")));
+    }
+
+    #[test]
+    fn class_ordering_and_display() {
+        assert!(QueryClass::Light < QueryClass::Medium);
+        assert!(QueryClass::Medium < QueryClass::Heavy);
+        assert_eq!(QueryClass::Heavy.to_string(), "heavy");
+    }
+}

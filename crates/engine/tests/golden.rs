@@ -1,0 +1,58 @@
+//! Golden regression test: the ground-truth aggregates of all 22 queries at
+//! a pinned seed and scale factor. Generation and execution are both
+//! deterministic, so any change to these values signals a (possibly
+//! intentional, but always reviewable) behaviour change in the generator,
+//! the executor, or a query definition.
+//!
+//! If a change is deliberate, regenerate the table with the snippet in this
+//! file's history (bind + `compute_ground_truth` per query).
+
+use rotary_engine::online::compute_ground_truth;
+use rotary_engine::{query, IndexCache, QueryId};
+use rotary_tpch::Generator;
+
+#[test]
+fn all_query_ground_truths_are_pinned() {
+    let golden: Vec<(u8, Vec<Option<f64>>)> = vec![
+        (1, vec![Some(761130.0), Some(1065340620.0800016), Some(1012042017.5995984), Some(1052714733.7779067), Some(25.69822405294078), Some(35969.363903032), Some(0.049948004591800446), Some(29618.0)]),
+        (2, vec![None, None, Some(0.0)]),
+        (3, vec![Some(4694802.6573), Some(145.0)]),
+        (4, vec![Some(784.0)]),
+        (5, vec![Some(964420.4909999999)]),
+        (6, vec![Some(573262.6896999998)]),
+        (7, vec![Some(996200.6272)]),
+        (8, vec![Some(0.0), Some(299532.177)]),
+        (9, vec![Some(9915278.961467322)]),
+        (10, vec![Some(17590004.574200004), Some(522.0)]),
+        (11, vec![Some(170958702.4779732), Some(80.0)]),
+        (12, vec![Some(67.0), Some(92.0)]),
+        (13, vec![Some(6051.0), Some(142048.3455336273)]),
+        (14, vec![Some(2246844.9486999996), Some(13904173.79500001)]),
+        (15, vec![Some(38426428.6989), Some(1099.0)]),
+        (16, vec![Some(50.0), Some(640.0)]),
+        (17, vec![Some(14695.44), Some(2.0), Some(4.0)]),
+        (18, vec![Some(1357.0), Some(14634367.532889998), Some(35.0)]),
+        (19, vec![None]),
+        (20, vec![Some(81702.0), Some(585.947818055846), Some(17.0)]),
+        (21, vec![Some(539.0), Some(26.31539888682746)]),
+        (22, vec![Some(199.0), Some(951653.1170001578)]),
+    ];
+    let data = Generator::new(424242, 0.005).generate();
+    let mut cache = IndexCache::new();
+    assert_eq!(golden.len(), 22);
+    for (id, expected) in golden {
+        let plan = query(QueryId(id));
+        let truth = compute_ground_truth(&plan, &data, &mut cache).unwrap();
+        assert_eq!(truth.len(), expected.len(), "q{id} arity");
+        for (i, (got, want)) in truth.iter().zip(&expected).enumerate() {
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => assert!(
+                    (g - w).abs() <= 1e-6 * w.abs().max(1.0),
+                    "q{id} column {i}: got {g}, pinned {w}"
+                ),
+                _ => panic!("q{id} column {i}: presence changed ({got:?} vs {want:?})"),
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Job arrival processes.
+//!
+//! The paper's AQP workload simulates "users submitting approximate queries
+//! to the shared cluster" with Poisson arrivals at a mean inter-arrival time
+//! of 160 seconds (Table I); the DLT workload submits everything at once.
+//! [`PoissonArrivals`] generates the former; all-at-once is just an arrival
+//! list of zeros.
+
+use crate::rng::sample_exponential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rotary_core::SimTime;
+
+/// A Poisson arrival process over virtual time.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: StdRng,
+    mean_gap: f64,
+    next: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process whose inter-arrival gaps are exponential with the
+    /// given mean (in virtual seconds). The first arrival is at time 0 + gap.
+    pub fn new(seed: u64, mean_gap_secs: f64) -> Self {
+        assert!(mean_gap_secs > 0.0, "mean inter-arrival time must be positive");
+        PoissonArrivals { rng: StdRng::seed_from_u64(seed), mean_gap: mean_gap_secs, next: 0.0 }
+    }
+
+    /// The paper's Table I configuration: mean arrival gap 160 seconds.
+    pub fn paper_aqp(seed: u64) -> Self {
+        Self::new(seed, 160.0)
+    }
+
+    /// Draws the next arrival instant.
+    pub fn next_arrival(&mut self) -> SimTime {
+        self.next += sample_exponential(&mut self.rng, self.mean_gap);
+        SimTime::from_secs_f64(self.next)
+    }
+
+    /// Generates arrival times for `n` jobs, non-decreasing.
+    pub fn take(&mut self, n: usize) -> Vec<SimTime> {
+        (0..n).map(|_| self.next_arrival()).collect()
+    }
+}
+
+/// All-at-once submission: `n` arrivals at time zero (the DLT workload).
+pub fn all_at_once(n: usize) -> Vec<SimTime> {
+    vec![SimTime::ZERO; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let mut p = PoissonArrivals::paper_aqp(3);
+        let times = p.take(100);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times[0] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn mean_gap_is_approximately_160s() {
+        let mut p = PoissonArrivals::paper_aqp(5);
+        let times = p.take(5000);
+        let total = times.last().unwrap().as_secs_f64();
+        let mean_gap = total / 5000.0;
+        assert!((mean_gap - 160.0).abs() < 8.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = PoissonArrivals::new(9, 30.0).take(50);
+        let b = PoissonArrivals::new(9, 30.0).take(50);
+        assert_eq!(a, b);
+        let c = PoissonArrivals::new(10, 30.0).take(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_at_once_is_zeroes() {
+        let times = all_at_once(4);
+        assert_eq!(times, vec![SimTime::ZERO; 4]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Evaluation metrics (paper §V).
+//!
+//! The paper reports, per policy: the number of **attained** jobs (Fig. 6,
+//! 8, 9), **false attainment** (Fig. 7a), **average waiting time** (Fig. 7b
+//! — makespan under arbitration minus isolated runtime), the distribution of
+//! **attainment progress over time** (Fig. 10's violin plots), and the
+//! **job-placement timeline** (Fig. 11). [`WorkloadMetrics`] collects the
+//! raw traces during a run; [`WorkloadSummary`] condenses the terminal
+//! states.
+
+use rotary_core::error::{Result, RotaryError};
+use rotary_core::job::{JobId, JobState, JobStatus};
+use rotary_core::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One contiguous occupancy of a resource by a job (a rectangle in Fig. 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementSpan {
+    /// The job occupying the resource.
+    pub job: JobId,
+    /// Resource label, e.g. `"gpu0"` or `"cpu"`.
+    pub resource: String,
+    /// Span start (grant time).
+    pub start: SimTime,
+    /// Span end (epoch completion / release time).
+    pub end: SimTime,
+    /// Whether the job met its completion criteria at the end of this span
+    /// (the hatched rectangles in Fig. 11).
+    pub attained_at_end: bool,
+}
+
+/// A point-in-time snapshot of every job's attainment progress — the raw
+/// series behind the Fig. 10 violins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// Snapshot instant.
+    pub at: SimTime,
+    /// `(job, φ)` pairs for every job in the workload (terminal jobs report
+    /// φ = 1 if attained, else their last progress).
+    pub progress: Vec<(JobId, f64)>,
+}
+
+/// Trace collector for one simulated run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkloadMetrics {
+    spans: Vec<PlacementSpan>,
+    snapshots: Vec<ProgressSnapshot>,
+}
+
+impl WorkloadMetrics {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed placement span.
+    pub fn record_span(&mut self, span: PlacementSpan) {
+        debug_assert!(span.start <= span.end, "span ends before it starts");
+        self.spans.push(span);
+    }
+
+    /// Records a progress snapshot of the whole workload.
+    pub fn record_snapshot(&mut self, at: SimTime, progress: Vec<(JobId, f64)>) {
+        self.snapshots.push(ProgressSnapshot { at, progress });
+    }
+
+    /// All placement spans, in recording order.
+    pub fn spans(&self) -> &[PlacementSpan] {
+        &self.spans
+    }
+
+    /// All progress snapshots, in recording order.
+    pub fn snapshots(&self) -> &[ProgressSnapshot] {
+        &self.snapshots
+    }
+
+    /// The spans of one job (its row in Fig. 11).
+    pub fn spans_of(&self, job: JobId) -> Vec<&PlacementSpan> {
+        self.spans.iter().filter(|s| s.job == job).collect()
+    }
+
+    /// Total busy time per resource label — a utilisation view.
+    pub fn busy_time(&self, resource: &str) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.resource == resource)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Utilisation of a resource over `[0, horizon]`: busy time divided by
+    /// the horizon, in `[0, 1]` for unit resources. For pooled labels (the
+    /// AQP system records all thread occupancy under `"cpu"`) the value is
+    /// the average number of *jobs* concurrently holding the resource.
+    pub fn utilization(&self, resource: &str, horizon: SimTime) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        self.busy_time(resource).as_secs_f64() / horizon.as_secs_f64()
+    }
+
+    /// All distinct resource labels seen in the trace, sorted.
+    pub fn resources(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.spans.iter().map(|s| s.resource.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Serialises the full trace to pretty JSON (for external plotting of
+    /// the Fig. 10 violins or the Fig. 11 Gantt charts).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| RotaryError::Persistence(e.to_string()))
+    }
+
+    /// Restores a trace from JSON.
+    pub fn from_json(json: &str) -> Result<WorkloadMetrics> {
+        serde_json::from_str(json).map_err(|e| RotaryError::Persistence(e.to_string()))
+    }
+}
+
+/// Five-number summary of a progress distribution (one violin of Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Smallest value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Distribution {
+    /// Computes the summary of a sample; `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Distribution> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let idx = p * (sorted.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        Some(Distribution {
+            min: sorted[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *sorted.last().unwrap(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        })
+    }
+}
+
+/// Condensed terminal-state statistics for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Jobs that genuinely met their completion criteria.
+    pub attained: usize,
+    /// Jobs the system *declared* complete in error (Fig. 7a).
+    pub falsely_attained: usize,
+    /// Jobs whose deadline passed unmet.
+    pub deadline_missed: usize,
+    /// Jobs still unfinished when the run ended.
+    pub unfinished: usize,
+    /// Attainment rate ψ = attained / n.
+    pub attainment_rate: f64,
+    /// Mean waiting time over all jobs (makespan − isolated service time).
+    pub avg_waiting_time: SimTime,
+    /// Mean number of checkpoints per job (interruption overhead).
+    pub avg_checkpoints: f64,
+}
+
+impl WorkloadSummary {
+    /// Summarises a finished (or timed-out) workload at virtual time `now`.
+    pub fn from_jobs(jobs: &[JobState], now: SimTime) -> WorkloadSummary {
+        let n = jobs.len().max(1);
+        let count = |s: JobStatus| jobs.iter().filter(|j| j.status == s).count();
+        let attained = count(JobStatus::Attained);
+        let total_wait: SimTime = jobs.iter().map(|j| j.waiting_time(now)).sum();
+        let total_ckpt: u64 = jobs.iter().map(|j| j.checkpoints).sum();
+        WorkloadSummary {
+            attained,
+            falsely_attained: count(JobStatus::FalselyAttained),
+            deadline_missed: count(JobStatus::DeadlineMissed),
+            unfinished: jobs.iter().filter(|j| !j.status.is_terminal()).count(),
+            attainment_rate: attained as f64 / n as f64,
+            avg_waiting_time: total_wait / n as u64,
+            avg_checkpoints: total_ckpt as f64 / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_core::criteria::{CompletionCriterion, Deadline, Metric};
+    use rotary_core::job::{IntermediateState, JobKind};
+
+    fn job(id: u64, arrival_s: u64) -> JobState {
+        JobState::new(
+            JobId(id),
+            JobKind::Aqp,
+            CompletionCriterion::Accuracy {
+                metric: Metric::Accuracy,
+                threshold: 0.9,
+                deadline: Deadline::Time(SimTime::from_secs(600)),
+            },
+            SimTime::from_secs(arrival_s),
+        )
+    }
+
+    #[test]
+    fn spans_group_by_job_and_resource() {
+        let mut m = WorkloadMetrics::new();
+        m.record_span(PlacementSpan {
+            job: JobId(1),
+            resource: "gpu0".into(),
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(10),
+            attained_at_end: false,
+        });
+        m.record_span(PlacementSpan {
+            job: JobId(1),
+            resource: "gpu1".into(),
+            start: SimTime::from_secs(20),
+            end: SimTime::from_secs(35),
+            attained_at_end: true,
+        });
+        m.record_span(PlacementSpan {
+            job: JobId(2),
+            resource: "gpu0".into(),
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(18),
+            attained_at_end: false,
+        });
+        assert_eq!(m.spans_of(JobId(1)).len(), 2);
+        assert_eq!(m.busy_time("gpu0"), SimTime::from_secs(18));
+        assert_eq!(m.busy_time("gpu1"), SimTime::from_secs(15));
+        assert_eq!(m.busy_time("gpu9"), SimTime::ZERO);
+    }
+
+    #[test]
+    fn distribution_five_numbers() {
+        let d = Distribution::of(&[0.0, 0.25, 0.5, 0.75, 1.0]).unwrap();
+        assert_eq!(d.min, 0.0);
+        assert_eq!(d.q1, 0.25);
+        assert_eq!(d.median, 0.5);
+        assert_eq!(d.q3, 0.75);
+        assert_eq!(d.max, 1.0);
+        assert_eq!(d.mean, 0.5);
+        assert!(Distribution::of(&[]).is_none());
+        let single = Distribution::of(&[0.4]).unwrap();
+        assert_eq!(single.min, 0.4);
+        assert_eq!(single.max, 0.4);
+        assert_eq!(single.median, 0.4);
+    }
+
+    #[test]
+    fn summary_counts_statuses() {
+        let mut jobs = vec![job(1, 0), job(2, 0), job(3, 0), job(4, 0)];
+        jobs[0].record_epoch(
+            IntermediateState { epoch: 1, at: SimTime::from_secs(50), metric_value: 0.95, progress: 1.0 },
+            SimTime::from_secs(30),
+        );
+        jobs[0].finish(JobStatus::Attained, SimTime::from_secs(50));
+        jobs[1].finish(JobStatus::FalselyAttained, SimTime::from_secs(60));
+        jobs[2].finish(JobStatus::DeadlineMissed, SimTime::from_secs(600));
+        // jobs[3] unfinished.
+        let s = WorkloadSummary::from_jobs(&jobs, SimTime::from_secs(700));
+        assert_eq!(s.attained, 1);
+        assert_eq!(s.falsely_attained, 1);
+        assert_eq!(s.deadline_missed, 1);
+        assert_eq!(s.unfinished, 1);
+        assert_eq!(s.attainment_rate, 0.25);
+        // Job 1 waited 50−30 = 20 s; others have zero service time, so their
+        // whole makespan is waiting: 60 + 600 + 700 → avg (20+60+600+700)/4.
+        assert_eq!(s.avg_waiting_time, SimTime::from_secs(345));
+    }
+
+    #[test]
+    fn utilization_and_resources() {
+        let mut m = WorkloadMetrics::new();
+        m.record_span(PlacementSpan {
+            job: JobId(1),
+            resource: "gpu0".into(),
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(50),
+            attained_at_end: false,
+        });
+        m.record_span(PlacementSpan {
+            job: JobId(2),
+            resource: "gpu1".into(),
+            start: SimTime::from_secs(20),
+            end: SimTime::from_secs(100),
+            attained_at_end: true,
+        });
+        let horizon = SimTime::from_secs(100);
+        assert!((m.utilization("gpu0", horizon) - 0.5).abs() < 1e-12);
+        assert!((m.utilization("gpu1", horizon) - 0.8).abs() < 1e-12);
+        assert_eq!(m.utilization("gpu2", horizon), 0.0);
+        assert_eq!(m.utilization("gpu0", SimTime::ZERO), 0.0);
+        assert_eq!(m.resources(), vec!["gpu0".to_string(), "gpu1".to_string()]);
+    }
+
+    #[test]
+    fn trace_json_round_trip() {
+        let mut m = WorkloadMetrics::new();
+        m.record_span(PlacementSpan {
+            job: JobId(1),
+            resource: "cpu".into(),
+            start: SimTime::from_secs(1),
+            end: SimTime::from_secs(2),
+            attained_at_end: true,
+        });
+        m.record_snapshot(SimTime::from_secs(2), vec![(JobId(1), 0.5)]);
+        let json = m.to_json().unwrap();
+        let restored = WorkloadMetrics::from_json(&json).unwrap();
+        assert_eq!(restored.spans(), m.spans());
+        assert_eq!(restored.snapshots(), m.snapshots());
+        assert!(WorkloadMetrics::from_json("{bad").is_err());
+    }
+
+    #[test]
+    fn snapshots_accumulate() {
+        let mut m = WorkloadMetrics::new();
+        m.record_snapshot(SimTime::from_secs(60), vec![(JobId(1), 0.2), (JobId(2), 0.5)]);
+        m.record_snapshot(SimTime::from_secs(120), vec![(JobId(1), 0.6), (JobId(2), 0.9)]);
+        assert_eq!(m.snapshots().len(), 2);
+        let last = &m.snapshots()[1];
+        let values: Vec<f64> = last.progress.iter().map(|&(_, p)| p).collect();
+        let d = Distribution::of(&values).unwrap();
+        assert_eq!(d.min, 0.6);
+        assert_eq!(d.max, 0.9);
+    }
+}

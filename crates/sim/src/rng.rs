@@ -1,0 +1,87 @@
+//! Deterministic random sources for the simulator.
+//!
+//! All stochastic choices (arrival times, workload sampling, learning-curve
+//! noise) flow from a seeded [`rand::rngs::StdRng`] so every experiment is
+//! exactly reproducible. Distribution sampling beyond `rand`'s uniform
+//! primitives (exponential, normal) is implemented here rather than pulling
+//! in `rand_distr`, keeping the dependency set to the approved list.
+
+use rand::Rng;
+
+/// Samples an exponential inter-arrival time with the given mean.
+///
+/// Uses inverse-CDF sampling: `-mean · ln(1 − U)` for `U ~ Uniform[0, 1)`.
+/// A Poisson arrival *process* with rate `λ = 1/mean` has exactly these
+/// inter-arrival gaps.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -mean * (1.0 - u).ln()
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen_range(0.0..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, std_dev²)`.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * sample_standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let mean_target = 160.0;
+        let sum: f64 = (0..n).map(|_| sample_exponential(&mut rng, mean_target)).sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - mean_target).abs() < mean_target * 0.03,
+            "sample mean {mean} too far from {mean_target}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_non_negative() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!((0..10_000).all(|_| sample_exponential(&mut rng, 5.0) >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(sample_exponential(&mut a, 3.0), sample_exponential(&mut b, 3.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn zero_mean_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_exponential(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Compact date handling.
+//!
+//! TPC-H dates span 1992-01-01 .. 1998-12-31. Dates are stored as [`Date`],
+//! the number of days since 1992-01-01, which makes range predicates integer
+//! comparisons — exactly what a columnar engine wants.
+
+/// Days since 1992-01-01.
+pub type Date = i32;
+
+/// The first order date in TPC-H.
+pub const EPOCH_YEAR: i32 = 1992;
+
+const DAYS_IN_MONTH: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_year(year: i32) -> i32 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+/// Converts a calendar date to days since 1992-01-01.
+///
+/// # Panics
+/// Panics on out-of-domain months/days or years before 1992 — date literals
+/// in query definitions are static and must be valid.
+pub fn date(year: i32, month: u32, day: u32) -> Date {
+    assert!((1..=12).contains(&month), "month {month} out of range");
+    assert!(year >= EPOCH_YEAR, "year {year} precedes the TPC-H epoch");
+    let mut days: i32 = 0;
+    for y in EPOCH_YEAR..year {
+        days += days_in_year(y);
+    }
+    for (m, &len) in DAYS_IN_MONTH.iter().enumerate().take((month - 1) as usize) {
+        days += len;
+        if m == 1 && is_leap(year) {
+            days += 1;
+        }
+    }
+    let max_day = DAYS_IN_MONTH[(month - 1) as usize]
+        + if month == 2 && is_leap(year) { 1 } else { 0 };
+    assert!(
+        (1..=max_day as u32).contains(&day),
+        "day {day} out of range for {year}-{month:02}"
+    );
+    days + day as i32 - 1
+}
+
+/// Extracts the calendar year of a [`Date`] (needed by queries grouping by
+/// `EXTRACT(YEAR FROM ...)`, e.g. q7/q8/q9).
+pub fn year_of(mut d: Date) -> i32 {
+    let mut year = EPOCH_YEAR;
+    loop {
+        let len = days_in_year(year);
+        if d < len {
+            return year;
+        }
+        d -= len;
+        year += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date(1992, 1, 1), 0);
+        assert_eq!(date(1992, 1, 31), 30);
+        assert_eq!(date(1992, 2, 1), 31);
+    }
+
+    #[test]
+    fn leap_years_are_respected() {
+        // 1992 is a leap year: Feb 29 exists.
+        assert_eq!(date(1992, 2, 29), 59);
+        assert_eq!(date(1992, 3, 1), 60);
+        // 1993 Jan 1 = 366 days after epoch.
+        assert_eq!(date(1993, 1, 1), 366);
+    }
+
+    #[test]
+    fn known_tpch_literals() {
+        // Standard predicate boundaries used by the queries.
+        assert_eq!(date(1995, 1, 1) - date(1994, 1, 1), 365);
+        assert_eq!(date(1998, 12, 1), date(1998, 1, 1) + 334);
+        assert!(date(1998, 12, 31) > date(1992, 1, 1));
+    }
+
+    #[test]
+    fn year_extraction_round_trips() {
+        for (y, m, d) in [(1992, 1, 1), (1994, 6, 15), (1996, 2, 29), (1998, 12, 31)] {
+            assert_eq!(year_of(date(y, m, d)), y, "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_day_panics() {
+        let _ = date(1993, 2, 29); // 1993 is not a leap year
+    }
+
+    #[test]
+    #[should_panic(expected = "month")]
+    fn invalid_month_panics() {
+        let _ = date(1994, 13, 1);
+    }
+}

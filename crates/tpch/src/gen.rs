@@ -1,0 +1,670 @@
+//! The pseudo-`dbgen`: deterministic generation of the eight TPC-H tables.
+//!
+//! Cardinalities match the specification (per scale factor `SF`):
+//! `supplier = 10k·SF`, `part = 200k·SF`, `partsupp = 4·part`,
+//! `customer = 150k·SF`, `orders = 1.5M·SF`, `lineitem ≈ 4·orders`
+//! (1–7 lines per order), plus the fixed 25-nation / 5-region tables.
+//! Key relationships and the value domains every TPC-H query predicates on
+//! (dates, brands, types, segments, modes, flags) follow the spec; free-text
+//! comment and name columns are omitted.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::date::{date, Date};
+use crate::table::{cat_column, Column, Table};
+
+/// TPC-H's "current date" used to derive return flags and line status.
+fn current_date() -> Date {
+    date(1995, 6, 17)
+}
+
+/// Fixed region names.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Fixed nations with their region assignment, per the TPC-H specification.
+pub const NATIONS: [(&str, u32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Market segments.
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Ship instructions.
+pub const SHIP_INSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+fn part_types() -> Vec<String> {
+    let a = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+    let b = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+    let c = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+    let mut out = Vec::with_capacity(a.len() * b.len() * c.len());
+    for x in a {
+        for y in b {
+            for z in c {
+                out.push(format!("{x} {y} {z}"));
+            }
+        }
+    }
+    out
+}
+
+fn containers() -> Vec<String> {
+    let a = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+    let b = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push(format!("{x} {y}"));
+        }
+    }
+    out
+}
+
+fn brands() -> Vec<String> {
+    let mut out = Vec::with_capacity(25);
+    for m in 1..=5 {
+        for n in 1..=5 {
+            out.push(format!("Brand#{m}{n}"));
+        }
+    }
+    out
+}
+
+fn mfgrs() -> Vec<String> {
+    (1..=5).map(|m| format!("Manufacturer#{m}")).collect()
+}
+
+/// The generated dataset: all eight tables.
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    /// Scale factor the dataset was generated at.
+    pub scale_factor: f64,
+    /// `region(r_regionkey, r_name)`.
+    pub region: Table,
+    /// `nation(n_nationkey, n_name, n_regionkey)`.
+    pub nation: Table,
+    /// `supplier(s_suppkey, s_nationkey, s_acctbal)`.
+    pub supplier: Table,
+    /// `part(p_partkey, p_mfgr, p_brand, p_type, p_size, p_container, p_retailprice)`.
+    pub part: Table,
+    /// `partsupp(ps_partkey, ps_suppkey, ps_availqty, ps_supplycost)`.
+    pub partsupp: Table,
+    /// `customer(c_custkey, c_nationkey, c_mktsegment, c_acctbal, c_phone_cc)`.
+    pub customer: Table,
+    /// `orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate, o_orderpriority, o_shippriority)`.
+    pub orders: Table,
+    /// `lineitem(l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity,
+    /// l_extendedprice, l_discount, l_tax, l_returnflag, l_linestatus,
+    /// l_shipdate, l_commitdate, l_receiptdate, l_shipinstruct, l_shipmode)`.
+    pub lineitem: Table,
+}
+
+impl TpchData {
+    /// Looks a table up by its TPC-H name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        match name {
+            "region" => Some(&self.region),
+            "nation" => Some(&self.nation),
+            "supplier" => Some(&self.supplier),
+            "part" => Some(&self.part),
+            "partsupp" => Some(&self.partsupp),
+            "customer" => Some(&self.customer),
+            "orders" => Some(&self.orders),
+            "lineitem" => Some(&self.lineitem),
+            _ => None,
+        }
+    }
+
+    /// Total dataset footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        [
+            &self.region,
+            &self.nation,
+            &self.supplier,
+            &self.part,
+            &self.partsupp,
+            &self.customer,
+            &self.orders,
+            &self.lineitem,
+        ]
+        .iter()
+        .map(|t| t.byte_size())
+        .sum()
+    }
+}
+
+/// The deterministic generator.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    seed: u64,
+    scale_factor: f64,
+}
+
+impl Generator {
+    /// Creates a generator. `scale_factor = 1.0` matches the paper's
+    /// evaluation size; tests typically use 0.01.
+    ///
+    /// # Panics
+    /// Panics on non-positive scale factors.
+    pub fn new(seed: u64, scale_factor: f64) -> Self {
+        assert!(
+            scale_factor > 0.0 && scale_factor.is_finite(),
+            "scale factor must be positive"
+        );
+        Generator { seed, scale_factor }
+    }
+
+    fn scaled(&self, base: usize) -> usize {
+        ((base as f64 * self.scale_factor).round() as usize).max(1)
+    }
+
+    /// Generates the full dataset.
+    pub fn generate(&self) -> TpchData {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_supplier = self.scaled(10_000);
+        let n_part = self.scaled(200_000);
+        let n_customer = self.scaled(150_000);
+        let n_orders = self.scaled(1_500_000);
+
+        let region = gen_region();
+        let nation = gen_nation();
+        let supplier = gen_supplier(&mut rng, n_supplier);
+        let (part, retail_prices) = gen_part(&mut rng, n_part);
+        let partsupp = gen_partsupp(&mut rng, n_part, n_supplier);
+        let customer = gen_customer(&mut rng, n_customer);
+        let (orders, lineitem) =
+            gen_orders_and_lineitem(&mut rng, n_orders, n_customer, n_part, n_supplier, &retail_prices);
+
+        TpchData {
+            scale_factor: self.scale_factor,
+            region,
+            nation,
+            supplier,
+            part,
+            partsupp,
+            customer,
+            orders,
+            lineitem,
+        }
+    }
+}
+
+fn string_dict(values: &[&str]) -> Arc<Vec<String>> {
+    Arc::new(values.iter().map(|s| s.to_string()).collect())
+}
+
+fn gen_region() -> Table {
+    let dict = string_dict(&REGIONS);
+    Table::new(
+        "region",
+        vec![
+            ("r_regionkey".into(), Column::Int((0..5).collect())),
+            ("r_name".into(), cat_column(&dict, (0..5).collect())),
+        ],
+    )
+}
+
+fn gen_nation() -> Table {
+    let dict = Arc::new(NATIONS.iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>());
+    Table::new(
+        "nation",
+        vec![
+            ("n_nationkey".into(), Column::Int((0..25).collect())),
+            ("n_name".into(), cat_column(&dict, (0..25).collect())),
+            (
+                "n_regionkey".into(),
+                Column::Int(NATIONS.iter().map(|&(_, r)| r as i64).collect()),
+            ),
+        ],
+    )
+}
+
+fn gen_supplier(rng: &mut StdRng, n: usize) -> Table {
+    Table::new(
+        "supplier",
+        vec![
+            ("s_suppkey".into(), Column::Int((1..=n as i64).collect())),
+            (
+                "s_nationkey".into(),
+                Column::Int((0..n).map(|_| rng.gen_range(0..25)).collect()),
+            ),
+            (
+                "s_acctbal".into(),
+                Column::Float((0..n).map(|_| rng.gen_range(-999.99..9999.99)).collect()),
+            ),
+        ],
+    )
+}
+
+fn gen_part(rng: &mut StdRng, n: usize) -> (Table, Vec<f64>) {
+    let type_dict = Arc::new(part_types());
+    let container_dict = Arc::new(containers());
+    let brand_dict = Arc::new(brands());
+    let mfgr_dict = Arc::new(mfgrs());
+
+    // The spec's retail-price formula, producing prices in ~[900, 2100].
+    let retail_prices: Vec<f64> = (1..=n as i64)
+        .map(|k| (90_000 + ((k / 10) % 20_001) + 100 * (k % 1_000)) as f64 / 100.0)
+        .collect();
+
+    let brand_codes: Vec<u32> =
+        (0..n).map(|_| rng.gen_range(0..brand_dict.len() as u32)).collect();
+    // Brand#MN belongs to Manufacturer#M: codes 0..4 → mfgr 0, 5..9 → 1, ….
+    let mfgr_codes: Vec<u32> = brand_codes.iter().map(|&b| b / 5).collect();
+
+    let table = Table::new(
+        "part",
+        vec![
+            ("p_partkey".into(), Column::Int((1..=n as i64).collect())),
+            ("p_mfgr".into(), cat_column(&mfgr_dict, mfgr_codes)),
+            ("p_brand".into(), cat_column(&brand_dict, brand_codes)),
+            (
+                "p_type".into(),
+                cat_column(
+                    &type_dict,
+                    (0..n).map(|_| rng.gen_range(0..type_dict.len() as u32)).collect(),
+                ),
+            ),
+            (
+                "p_size".into(),
+                Column::Int((0..n).map(|_| rng.gen_range(1..=50)).collect()),
+            ),
+            (
+                "p_container".into(),
+                cat_column(
+                    &container_dict,
+                    (0..n).map(|_| rng.gen_range(0..container_dict.len() as u32)).collect(),
+                ),
+            ),
+            ("p_retailprice".into(), Column::Float(retail_prices.clone())),
+        ],
+    );
+    (table, retail_prices)
+}
+
+fn gen_partsupp(rng: &mut StdRng, n_part: usize, n_supplier: usize) -> Table {
+    // Four suppliers per part (fewer if the pool is tiny), spread evenly
+    // around the supplier key space so the pairs are distinct — the spec's
+    // exact offset scheme collides at sub-unit scale factors.
+    let s = n_supplier as i64;
+    let per_part = 4.min(s) as usize;
+    let n = n_part * per_part;
+    let mut ps_partkey = Vec::with_capacity(n);
+    let mut ps_suppkey = Vec::with_capacity(n);
+    let mut ps_availqty = Vec::with_capacity(n);
+    let mut ps_supplycost = Vec::with_capacity(n);
+    for p in 1..=n_part as i64 {
+        for i in 0..per_part as i64 {
+            ps_partkey.push(p);
+            ps_suppkey.push((p + (p - 1) / s + i * s / per_part as i64) % s + 1);
+            ps_availqty.push(rng.gen_range(1..=9999));
+            ps_supplycost.push(rng.gen_range(1.0..1000.0));
+        }
+    }
+    Table::new(
+        "partsupp",
+        vec![
+            ("ps_partkey".into(), Column::Int(ps_partkey)),
+            ("ps_suppkey".into(), Column::Int(ps_suppkey)),
+            ("ps_availqty".into(), Column::Int(ps_availqty)),
+            ("ps_supplycost".into(), Column::Float(ps_supplycost)),
+        ],
+    )
+}
+
+fn gen_customer(rng: &mut StdRng, n: usize) -> Table {
+    let seg_dict = string_dict(&SEGMENTS);
+    let nationkeys: Vec<i64> = (0..n).map(|_| rng.gen_range(0..25)).collect();
+    // TPC-H phone country code = nationkey + 10.
+    let phone_cc: Vec<i64> = nationkeys.iter().map(|&k| k + 10).collect();
+    Table::new(
+        "customer",
+        vec![
+            ("c_custkey".into(), Column::Int((1..=n as i64).collect())),
+            ("c_nationkey".into(), Column::Int(nationkeys)),
+            (
+                "c_mktsegment".into(),
+                cat_column(&seg_dict, (0..n).map(|_| rng.gen_range(0..5)).collect()),
+            ),
+            (
+                "c_acctbal".into(),
+                Column::Float((0..n).map(|_| rng.gen_range(-999.99..9999.99)).collect()),
+            ),
+            ("c_phone_cc".into(), Column::Int(phone_cc)),
+        ],
+    )
+}
+
+#[allow(clippy::too_many_lines)]
+fn gen_orders_and_lineitem(
+    rng: &mut StdRng,
+    n_orders: usize,
+    n_customer: usize,
+    n_part: usize,
+    n_supplier: usize,
+    retail_prices: &[f64],
+) -> (Table, Table) {
+    let status_dict = string_dict(&["O", "F", "P"]);
+    let prio_dict = string_dict(&PRIORITIES);
+    let flag_dict = string_dict(&["R", "A", "N"]);
+    let line_status_dict = string_dict(&["O", "F"]);
+    let mode_dict = string_dict(&SHIP_MODES);
+    let instruct_dict = string_dict(&SHIP_INSTRUCT);
+
+    let max_order_date = date(1998, 8, 2);
+    let today = current_date();
+
+    let mut o_orderkey = Vec::with_capacity(n_orders);
+    let mut o_custkey = Vec::with_capacity(n_orders);
+    let mut o_status = Vec::with_capacity(n_orders);
+    let mut o_totalprice = Vec::with_capacity(n_orders);
+    let mut o_orderdate = Vec::with_capacity(n_orders);
+    let mut o_priority = Vec::with_capacity(n_orders);
+    let mut o_shippriority = Vec::with_capacity(n_orders);
+
+    let approx_lines = n_orders * 4;
+    let mut l_orderkey = Vec::with_capacity(approx_lines);
+    let mut l_partkey = Vec::with_capacity(approx_lines);
+    let mut l_suppkey = Vec::with_capacity(approx_lines);
+    let mut l_linenumber = Vec::with_capacity(approx_lines);
+    let mut l_quantity = Vec::with_capacity(approx_lines);
+    let mut l_extendedprice = Vec::with_capacity(approx_lines);
+    let mut l_discount = Vec::with_capacity(approx_lines);
+    let mut l_tax = Vec::with_capacity(approx_lines);
+    let mut l_returnflag = Vec::with_capacity(approx_lines);
+    let mut l_linestatus = Vec::with_capacity(approx_lines);
+    let mut l_shipdate = Vec::with_capacity(approx_lines);
+    let mut l_commitdate = Vec::with_capacity(approx_lines);
+    let mut l_receiptdate = Vec::with_capacity(approx_lines);
+    let mut l_instruct = Vec::with_capacity(approx_lines);
+    let mut l_mode = Vec::with_capacity(approx_lines);
+
+    for key in 1..=n_orders as i64 {
+        let orderdate = rng.gen_range(0..=max_order_date);
+        let lines = rng.gen_range(1..=7);
+        let mut total = 0.0;
+        let mut all_filled = true;
+        let mut any_filled = false;
+        for line in 1..=lines {
+            let partkey = rng.gen_range(1..=n_part as i64);
+            let quantity = rng.gen_range(1..=50);
+            let extended = quantity as f64 * retail_prices[(partkey - 1) as usize];
+            let discount = rng.gen_range(0..=10) as f64 / 100.0;
+            let tax = rng.gen_range(0..=8) as f64 / 100.0;
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let commitdate = orderdate + rng.gen_range(30..=90);
+            let receiptdate = shipdate + rng.gen_range(1..=30);
+            let returned = receiptdate <= today;
+            let flag = if returned {
+                if rng.gen_bool(0.5) {
+                    0 // R
+                } else {
+                    1 // A
+                }
+            } else {
+                2 // N
+            };
+            let status = if shipdate > today {
+                0 // O
+            } else {
+                1 // F
+            };
+            if status == 1 {
+                any_filled = true;
+            } else {
+                all_filled = false;
+            }
+            total += extended * (1.0 + tax) * (1.0 - discount);
+
+            l_orderkey.push(key);
+            l_partkey.push(partkey);
+            l_suppkey.push(rng.gen_range(1..=n_supplier as i64));
+            l_linenumber.push(line as i64);
+            l_quantity.push(quantity);
+            l_extendedprice.push(extended);
+            l_discount.push(discount);
+            l_tax.push(tax);
+            l_returnflag.push(flag);
+            l_linestatus.push(status);
+            l_shipdate.push(shipdate);
+            l_commitdate.push(commitdate);
+            l_receiptdate.push(receiptdate);
+            l_instruct.push(rng.gen_range(0..SHIP_INSTRUCT.len() as u32));
+            l_mode.push(rng.gen_range(0..SHIP_MODES.len() as u32));
+        }
+        o_orderkey.push(key);
+        o_custkey.push(rng.gen_range(1..=n_customer as i64));
+        o_status.push(if all_filled {
+            1 // F
+        } else if any_filled {
+            2 // P
+        } else {
+            0 // O
+        });
+        o_totalprice.push(total);
+        o_orderdate.push(orderdate);
+        o_priority.push(rng.gen_range(0..PRIORITIES.len() as u32));
+        o_shippriority.push(0);
+    }
+
+    let orders = Table::new(
+        "orders",
+        vec![
+            ("o_orderkey".into(), Column::Int(o_orderkey)),
+            ("o_custkey".into(), Column::Int(o_custkey)),
+            ("o_orderstatus".into(), cat_column(&status_dict, o_status)),
+            ("o_totalprice".into(), Column::Float(o_totalprice)),
+            ("o_orderdate".into(), Column::Date(o_orderdate)),
+            ("o_orderpriority".into(), cat_column(&prio_dict, o_priority)),
+            ("o_shippriority".into(), Column::Int(o_shippriority)),
+        ],
+    );
+    let lineitem = Table::new(
+        "lineitem",
+        vec![
+            ("l_orderkey".into(), Column::Int(l_orderkey)),
+            ("l_partkey".into(), Column::Int(l_partkey)),
+            ("l_suppkey".into(), Column::Int(l_suppkey)),
+            ("l_linenumber".into(), Column::Int(l_linenumber)),
+            ("l_quantity".into(), Column::Int(l_quantity)),
+            ("l_extendedprice".into(), Column::Float(l_extendedprice)),
+            ("l_discount".into(), Column::Float(l_discount)),
+            ("l_tax".into(), Column::Float(l_tax)),
+            ("l_returnflag".into(), cat_column(&flag_dict, l_returnflag)),
+            ("l_linestatus".into(), cat_column(&line_status_dict, l_linestatus)),
+            ("l_shipdate".into(), Column::Date(l_shipdate)),
+            ("l_commitdate".into(), Column::Date(l_commitdate)),
+            ("l_receiptdate".into(), Column::Date(l_receiptdate)),
+            ("l_shipinstruct".into(), cat_column(&instruct_dict, l_instruct)),
+            ("l_shipmode".into(), cat_column(&mode_dict, l_mode)),
+        ],
+    );
+    (orders, lineitem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small() -> TpchData {
+        Generator::new(42, 0.005).generate()
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let d = small();
+        assert_eq!(d.region.rows(), 5);
+        assert_eq!(d.nation.rows(), 25);
+        assert_eq!(d.supplier.rows(), 50);
+        assert_eq!(d.part.rows(), 1000);
+        assert_eq!(d.partsupp.rows(), 4000);
+        assert_eq!(d.customer.rows(), 750);
+        assert_eq!(d.orders.rows(), 7500);
+        // 1–7 lines per order, mean 4.
+        let ratio = d.lineitem.rows() as f64 / d.orders.rows() as f64;
+        assert!((3.5..4.5).contains(&ratio), "lines per order = {ratio}");
+    }
+
+    #[test]
+    fn referential_integrity_lineitem() {
+        let d = small();
+        let orders: HashSet<i64> = (0..d.orders.rows())
+            .map(|r| d.orders.column_required("o_orderkey").int(r))
+            .collect();
+        let parts = d.part.rows() as i64;
+        let supps = d.supplier.rows() as i64;
+        let li = &d.lineitem;
+        for r in 0..li.rows() {
+            assert!(orders.contains(&li.column_required("l_orderkey").int(r)));
+            let p = li.column_required("l_partkey").int(r);
+            assert!((1..=parts).contains(&p));
+            let s = li.column_required("l_suppkey").int(r);
+            assert!((1..=supps).contains(&s));
+        }
+    }
+
+    #[test]
+    fn referential_integrity_orders_and_partsupp() {
+        let d = small();
+        let custs = d.customer.rows() as i64;
+        for r in 0..d.orders.rows() {
+            let c = d.orders.column_required("o_custkey").int(r);
+            assert!((1..=custs).contains(&c));
+        }
+        let supps = d.supplier.rows() as i64;
+        let mut seen = HashSet::new();
+        for r in 0..d.partsupp.rows() {
+            let p = d.partsupp.column_required("ps_partkey").int(r);
+            let s = d.partsupp.column_required("ps_suppkey").int(r);
+            assert!((1..=supps).contains(&s));
+            assert!(seen.insert((p, s)), "duplicate (partkey, suppkey) = ({p}, {s})");
+        }
+    }
+
+    #[test]
+    fn date_invariants() {
+        let d = small();
+        let li = &d.lineitem;
+        let today = current_date();
+        for r in 0..li.rows() {
+            let ship = li.column_required("l_shipdate").date_at(r);
+            let receipt = li.column_required("l_receiptdate").date_at(r);
+            assert!(receipt > ship, "receipt after ship");
+            let flag = li.column_required("l_returnflag").cat_str(r);
+            if receipt <= today {
+                assert!(flag == "R" || flag == "A");
+            } else {
+                assert_eq!(flag, "N");
+            }
+            let status = li.column_required("l_linestatus").cat_str(r);
+            assert_eq!(status == "O", ship > today);
+        }
+    }
+
+    #[test]
+    fn totalprice_matches_lines() {
+        let d = small();
+        let li = &d.lineitem;
+        let mut per_order: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+        for r in 0..li.rows() {
+            let key = li.column_required("l_orderkey").int(r);
+            let ext = li.column_required("l_extendedprice").float(r);
+            let tax = li.column_required("l_tax").float(r);
+            let disc = li.column_required("l_discount").float(r);
+            *per_order.entry(key).or_insert(0.0) += ext * (1.0 + tax) * (1.0 - disc);
+        }
+        for r in 0..d.orders.rows().min(500) {
+            let key = d.orders.column_required("o_orderkey").int(r);
+            let total = d.orders.column_required("o_totalprice").float(r);
+            let computed = per_order[&key];
+            assert!((total - computed).abs() < 1e-6, "order {key}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Generator::new(7, 0.002).generate();
+        let b = Generator::new(7, 0.002).generate();
+        assert_eq!(a.lineitem.rows(), b.lineitem.rows());
+        for r in (0..a.lineitem.rows()).step_by(97) {
+            assert_eq!(
+                a.lineitem.column_required("l_extendedprice").float(r),
+                b.lineitem.column_required("l_extendedprice").float(r)
+            );
+        }
+        let c = Generator::new(8, 0.002).generate();
+        assert_ne!(
+            (0..a.orders.rows())
+                .map(|r| a.orders.column_required("o_orderdate").date_at(r))
+                .collect::<Vec<_>>(),
+            (0..c.orders.rows())
+                .map(|r| c.orders.column_required("o_orderdate").date_at(r))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn table_lookup_by_name() {
+        let d = small();
+        for name in
+            ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"]
+        {
+            assert!(d.table(name).is_some(), "{name} missing");
+            assert_eq!(d.table(name).unwrap().name(), name);
+        }
+        assert!(d.table("widgets").is_none());
+        assert!(d.byte_size() > 0);
+    }
+
+    #[test]
+    fn phone_country_code_is_nation_plus_ten() {
+        let d = small();
+        for r in 0..d.customer.rows() {
+            let nk = d.customer.column_required("c_nationkey").int(r);
+            let cc = d.customer.column_required("c_phone_cc").int(r);
+            assert_eq!(cc, nk + 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn zero_scale_factor_panics() {
+        let _ = Generator::new(1, 0.0);
+    }
+}

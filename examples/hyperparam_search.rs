@@ -1,0 +1,93 @@
+//! The paper's motivating hyperparameter-optimisation scenario (§I): a set
+//! of training trials sampled from a hyperparameter space, all with
+//! convergence-oriented criteria. Resource arbitration "could stop the
+//! trials that contain unpromising hyperparameter configurations
+//! prematurely and allocate more resources to the promising ones so that
+//! the best-performing hyperparameters can be discovered sooner".
+//!
+//! ```text
+//! cargo run --release --example hyperparam_search
+//! ```
+
+use rotary::core::criteria::{CompletionCriterion, Deadline, Metric};
+use rotary::core::progress::Objective;
+use rotary::dlt::{
+    Architecture, DltJobSpec, DltPolicy, DltSystem, DltSystemConfig, Optimizer, TrainingConfig,
+};
+
+fn main() {
+    // Eight trials of the same model over a learning-rate grid: the classic
+    // random-search sweep. Each trial stops when accuracy converges
+    // (delta ≤ 0.005) or after 25 epochs.
+    let learning_rates = [0.1, 0.03, 0.01, 0.003, 0.001, 0.0003, 0.0001, 0.00001];
+    let trials: Vec<DltJobSpec> = learning_rates
+        .iter()
+        .map(|&lr| DltJobSpec {
+            config: TrainingConfig {
+                arch: Architecture::ResNet18,
+                batch_size: 32,
+                optimizer: Optimizer::Sgd,
+                learning_rate: lr,
+                pretrained: false,
+            },
+            criterion: CompletionCriterion::Convergence {
+                metric: Metric::Accuracy,
+                delta: 0.005,
+                deadline: Deadline::Epochs(25),
+            },
+        })
+        .collect();
+
+    let mut sys = DltSystem::new(DltSystemConfig { seed: 17, ..Default::default() });
+    sys.prepopulate_history(&trials, 3);
+    let result = sys.run(&trials, DltPolicy::Rotary(Objective::Efficiency));
+
+    println!("{:<10} {:>8} {:>10} {:>12} {:>12}", "lr", "epochs", "final acc", "finished", "status");
+    let mut best = (0.0f64, 0.0f64);
+    for (spec, state) in &result.jobs {
+        let acc = state.latest().map(|s| s.metric_value).unwrap_or(0.0);
+        if acc > best.1 {
+            best = (spec.config.learning_rate, acc);
+        }
+        println!(
+            "{:<10} {:>8} {:>9.1}% {:>12} {:>12?}",
+            spec.config.learning_rate,
+            state.epochs_run,
+            acc * 100.0,
+            state.finished_at.map(|t| t.to_string()).unwrap_or_default(),
+            state.status,
+        );
+    }
+    println!(
+        "\nbest configuration: lr = {} at {:.1}% accuracy.\n\
+         note how badly-tuned trials plateau, are detected as converged, and are\n\
+         dequeued after a handful of epochs instead of burning their full budget —\n\
+         the resource-arbitration win the paper's introduction motivates.",
+        best.0,
+        best.1 * 100.0
+    );
+
+    // The same search, driven by the successive-halving harness built on
+    // top of Rotary-DLT (the Hyperband-style search the paper cites).
+    use rotary::dlt::SuccessiveHalving;
+    let candidates: Vec<_> = trials.iter().map(|t| t.config).collect();
+    let mut sys = DltSystem::new(DltSystemConfig { seed: 17, ..Default::default() });
+    let outcome = SuccessiveHalving::default().run(
+        &mut sys,
+        &candidates,
+        DltPolicy::Rotary(Objective::Efficiency),
+    );
+    println!("\nsuccessive halving over the same grid:");
+    for rung in &outcome.rungs {
+        println!(
+            "  rung: {} candidates × {} epochs → {} promoted  ({})",
+            rung.candidates, rung.budget_epochs, rung.survivors, rung.makespan
+        );
+    }
+    println!(
+        "  winner: lr = {} at {:.1}% accuracy in {} of pool time",
+        outcome.best.config.learning_rate,
+        outcome.best.accuracy * 100.0,
+        outcome.total_time
+    );
+}

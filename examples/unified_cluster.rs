@@ -1,0 +1,49 @@
+//! The paper's §VI outlook, running: one cluster serving approximate
+//! queries on its CPU pool and training jobs on its GPU pool, with a
+//! combined attainment report over the shared virtual timeline.
+//!
+//! ```text
+//! cargo run --release --example unified_cluster
+//! ```
+
+use rotary::aqp::{AqpPolicy, WorkloadBuilder};
+use rotary::core::progress::Objective;
+use rotary::dlt::{DltPolicy, DltWorkloadBuilder};
+use rotary::tpch::Generator;
+use rotary::unified::{UnifiedCluster, UnifiedConfig};
+
+fn main() {
+    let data = Generator::new(11, 0.002).generate();
+    let mut cluster = UnifiedCluster::new(&data, UnifiedConfig::default());
+
+    let queries = WorkloadBuilder::paper().jobs(12).seed(5).build();
+    let trainings = DltWorkloadBuilder::paper().jobs(12).seed(5).build();
+    cluster.prepopulate_history(&trainings, 21);
+
+    let result = cluster.run(
+        &queries,
+        &trainings,
+        AqpPolicy::Rotary,
+        DltPolicy::Rotary(Objective::Threshold(0.5)),
+    );
+
+    println!("mixed workload: {} AQP + {} DLT jobs", queries.len(), trainings.len());
+    println!(
+        "AQP side : attained {}/{}  (false {}, missed {})",
+        result.aqp.summary.attained,
+        queries.len(),
+        result.aqp.summary.falsely_attained,
+        result.aqp.summary.deadline_missed
+    );
+    println!(
+        "DLT side : attained {}/{}  (missed {})",
+        result.dlt.summary.attained,
+        trainings.len(),
+        result.dlt.summary.deadline_missed
+    );
+    println!(
+        "combined : ψ = {:.0}%  makespan = {}",
+        result.combined_attainment_rate() * 100.0,
+        result.makespan()
+    );
+}

@@ -1,0 +1,217 @@
+//! `rotary-cli` — run progressive iterative analytic statements from the
+//! shell against the simulated cluster.
+//!
+//! ```text
+//! rotary-cli aqp "TPCH Q5 ACC MIN 85% WITHIN 1800 SECONDS" [--sf 0.005] [--seed 7]
+//! rotary-cli dlt "TRAIN ResNet-18 ON CIFAR10 ACC MIN 86% WITHIN 30 EPOCHS" [--seed 7]
+//! rotary-cli demo [--seed 7]
+//! ```
+//!
+//! Statements use the paper's Fig. 3 criterion grammar; the AQP command
+//! prefix names a TPC-H query (`TPCH Q5`, `Q5`, or `q5`), the DLT prefix is
+//! the full `TRAIN …` grammar of `rotary_dlt::parse`.
+
+use std::process::ExitCode;
+
+use rotary::aqp::{AqpJobSpec, AqpPolicy, AqpSystem, AqpSystemConfig};
+use rotary::core::progress::Objective;
+use rotary::core::parser::parse_statement;
+use rotary::dlt::{parse_train_statement, DltPolicy, DltSystem, DltSystemConfig};
+use rotary::engine::QueryId;
+use rotary::tpch::Generator;
+
+struct Options {
+    statement: String,
+    scale_factor: f64,
+    seed: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rotary-cli aqp \"<TPCH Qn> <criterion>\" [--sf 0.005] [--seed 7]\n  \
+         rotary-cli dlt \"TRAIN <model> … <criterion>\" [--seed 7]\n  \
+         rotary-cli demo [--seed 7]\n\ncriteria (paper Fig. 3):\n  \
+         ACC MIN 95% WITHIN 3600 SECONDS | ACC DELTA 0.001 WITHIN 30 EPOCHS | FOR 2 HOURS"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut statement = None;
+    let mut scale_factor = 0.005;
+    let mut seed = 7u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                scale_factor = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v| *v > 0.0)
+                    .ok_or("--sf needs a positive number")?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+                i += 2;
+            }
+            other if statement.is_none() && !other.starts_with("--") => {
+                statement = Some(other.to_string());
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Options { statement: statement.unwrap_or_default(), scale_factor, seed })
+}
+
+/// `TPCH Q5` / `Q5` / `q17` → QueryId.
+fn parse_query_id(command: &str) -> Result<QueryId, String> {
+    let token = command
+        .split_whitespace()
+        .last()
+        .ok_or("empty AQP command; name a query like `TPCH Q5`")?;
+    let digits = token.trim_start_matches(['q', 'Q']);
+    let n: u8 = digits
+        .parse()
+        .map_err(|_| format!("cannot read a TPC-H query number from {token:?}"))?;
+    if (1..=22).contains(&n) {
+        Ok(QueryId(n))
+    } else {
+        Err(format!("TPC-H has queries 1..=22, got {n}"))
+    }
+}
+
+fn run_aqp(opts: &Options) -> Result<(), String> {
+    let (command, criterion) =
+        parse_statement(&opts.statement).map_err(|e| e.to_string())?;
+    let query = parse_query_id(&command)?;
+    let rotary::core::CompletionCriterion::Accuracy { threshold, deadline, .. } = &criterion
+    else {
+        return Err(
+            "the AQP runner takes accuracy-oriented criteria (ACC MIN … WITHIN …)".into()
+        );
+    };
+    let deadline = deadline
+        .time()
+        .ok_or("AQP deadlines are in time units (SECONDS/MINUTES/HOURS)")?;
+
+    eprintln!("generating TPC-H (SF {})…", opts.scale_factor);
+    let data = Generator::new(opts.seed, opts.scale_factor).generate();
+    let mut system =
+        AqpSystem::new(&data, AqpSystemConfig { seed: opts.seed, ..Default::default() });
+    system.prepopulate_history(opts.seed ^ 0xf00d);
+    let spec = AqpJobSpec::new(
+        query,
+        *threshold,
+        deadline,
+        rotary::core::SimTime::ZERO,
+    );
+    let result = system.run(&[spec], AqpPolicy::Rotary);
+    let (_, state) = &result.jobs[0];
+    println!("query     : {query} ({})", query.class());
+    println!("criterion : {criterion}");
+    println!("status    : {:?}", state.status);
+    println!("epochs    : {}", state.epochs_run);
+    println!(
+        "finished  : {} (virtual)",
+        state.finished_at.map(|t| t.to_string()).unwrap_or_default()
+    );
+    Ok(())
+}
+
+fn run_dlt(opts: &Options) -> Result<(), String> {
+    let spec = parse_train_statement(&opts.statement).map_err(|e| e.to_string())?;
+    let mut system =
+        DltSystem::new(DltSystemConfig { seed: opts.seed, ..Default::default() });
+    let result = system.run(
+        std::slice::from_ref(&spec),
+        DltPolicy::Rotary(Objective::Threshold(0.5)),
+    );
+    let (submitted, state) = &result.jobs[0];
+    println!(
+        "job       : {} batch {} {} lr {}{}",
+        submitted.config.arch,
+        submitted.config.batch_size,
+        submitted.config.optimizer.name(),
+        submitted.config.learning_rate,
+        if submitted.config.pretrained { " (fine-tune)" } else { "" }
+    );
+    println!("criterion : {}", submitted.criterion);
+    println!("status    : {:?}", state.status);
+    println!("epochs    : {}", state.epochs_run);
+    println!(
+        "accuracy  : {:.1}%",
+        state.latest().map(|s| s.metric_value).unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "finished  : {} (virtual)",
+        state.finished_at.map(|t| t.to_string()).unwrap_or_default()
+    );
+    Ok(())
+}
+
+fn run_demo(opts: &Options) -> Result<(), String> {
+    use rotary::aqp::WorkloadBuilder;
+    use rotary::dlt::DltWorkloadBuilder;
+    use rotary::unified::{UnifiedCluster, UnifiedConfig};
+
+    eprintln!("generating TPC-H (SF {})…", opts.scale_factor);
+    let data = Generator::new(opts.seed, opts.scale_factor).generate();
+    let mut cluster = UnifiedCluster::new(&data, UnifiedConfig::default());
+    let queries = WorkloadBuilder::paper().jobs(10).seed(opts.seed).build();
+    let trainings = DltWorkloadBuilder::paper().jobs(10).seed(opts.seed).build();
+    cluster.prepopulate_history(&trainings, opts.seed ^ 0xbeef);
+    let result = cluster.run(
+        &queries,
+        &trainings,
+        AqpPolicy::Rotary,
+        DltPolicy::Rotary(Objective::Threshold(0.5)),
+    );
+    println!(
+        "mixed demo: {} AQP + {} DLT jobs → ψ = {:.0}%, makespan {}",
+        queries.len(),
+        trainings.len(),
+        result.combined_attainment_rate() * 100.0,
+        result.makespan()
+    );
+    println!(
+        "AQP: {} attained / {} false / {} missed   DLT: {} attained / {} missed",
+        result.aqp.summary.attained,
+        result.aqp.summary.falsely_attained,
+        result.aqp.summary.deadline_missed,
+        result.dlt.summary.attained,
+        result.dlt.summary.deadline_missed
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else {
+        return usage();
+    };
+    let opts = match parse_options(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let outcome = match mode.as_str() {
+        "aqp" if !opts.statement.is_empty() => run_aqp(&opts),
+        "dlt" if !opts.statement.is_empty() => run_dlt(&opts),
+        "demo" => run_demo(&opts),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # Rotary — resource arbitration for progressive iterative analytics
+//!
+//! Facade crate re-exporting the full public API of the Rotary workspace, a
+//! from-scratch Rust reproduction of *"Rotary: A Resource Arbitration
+//! Framework for Progressive Iterative Analytics"* (Liu, Elmore, Franklin,
+//! Krishnan — ICDE 2023).
+//!
+//! * [`core`] — the application-independent framework: completion-criteria
+//!   DSL, attainment progress `φ`, estimators, policies, history repository.
+//! * [`sim`] — the discrete-event substrate: virtual clock, Poisson
+//!   arrivals, resource pools, checkpoint costs, evaluation metrics.
+//! * [`tpch`] — deterministic TPC-H-style data generation and the
+//!   progressive batch source.
+//! * [`engine`] — the mini relational engine with online aggregation that
+//!   stands in for the paper's Spark-based AQP executor.
+//! * [`aqp`] — Rotary-AQP (Algorithm 2) and its baselines (ReLAQS, EDF,
+//!   LAF, round-robin).
+//! * [`dlt`] — Rotary-DLT (Algorithms 3–4), the training simulator, TEE /
+//!   TME / TTR, and its baselines (SRF, BCF, LAF).
+//!
+//! See `examples/quickstart.rs` for a three-minute tour.
+
+#![warn(missing_docs)]
+
+pub mod unified;
+
+pub use rotary_aqp as aqp;
+pub use rotary_core as core;
+pub use rotary_dlt as dlt;
+pub use rotary_engine as engine;
+pub use rotary_sim as sim;
+pub use rotary_tpch as tpch;

@@ -1,0 +1,171 @@
+//! A unified AQP + DLT arbitration run — the paper's §VI outlook.
+//!
+//! "It is more interesting to have a unified resource arbitration system on
+//! a cluster to handle AQP and DLT jobs together. Such a system can serve
+//! more users and enormously improve resource utilization." This module is
+//! a first step in that direction: one cluster description holding both a
+//! CPU pool (for approximate queries) and a GPU pool (for training jobs),
+//! one submission surface taking the shared completion-criteria DSL, and
+//! one report over the combined workload on a common virtual timeline.
+//!
+//! Resource arbitration remains per-pool — queries cannot consume GPUs, nor
+//! training jobs CPU threads, which mirrors how mixed clusters are
+//! partitioned in practice — but the combined attainment rate `ψ`, the
+//! shared clock, and the merged timeline give operators the single-pane
+//! view the paper's discussion asks for.
+
+use rotary_aqp::{AqpJobSpec, AqpPolicy, AqpRunResult, AqpSystem, AqpSystemConfig};
+use rotary_core::job::JobStatus;
+use rotary_core::SimTime;
+use rotary_dlt::{DltJobSpec, DltPolicy, DltRunResult, DltSystem, DltSystemConfig};
+use rotary_tpch::TpchData;
+
+/// Configuration of a mixed cluster.
+#[derive(Debug, Clone, Default)]
+pub struct UnifiedConfig {
+    /// The CPU side (threads + shared memory) serving AQP jobs.
+    pub aqp: AqpSystemConfig,
+    /// The GPU side serving DLT jobs.
+    pub dlt: DltSystemConfig,
+}
+
+/// Outcome of a combined run.
+#[derive(Debug)]
+pub struct UnifiedRunResult {
+    /// The AQP half.
+    pub aqp: AqpRunResult,
+    /// The DLT half.
+    pub dlt: DltRunResult,
+}
+
+impl UnifiedRunResult {
+    /// Jobs submitted across both pools.
+    pub fn total_jobs(&self) -> usize {
+        self.aqp.jobs.len() + self.dlt.jobs.len()
+    }
+
+    /// Genuinely attained jobs across both pools.
+    pub fn total_attained(&self) -> usize {
+        self.aqp.summary.attained + self.dlt.summary.attained
+    }
+
+    /// Combined attainment rate `ψ` over the whole mixed workload.
+    pub fn combined_attainment_rate(&self) -> f64 {
+        if self.total_jobs() == 0 {
+            0.0
+        } else {
+            self.total_attained() as f64 / self.total_jobs() as f64
+        }
+    }
+
+    /// The mixed workload's makespan on the shared virtual timeline.
+    pub fn makespan(&self) -> SimTime {
+        self.aqp.makespan.max(self.dlt.makespan)
+    }
+
+    /// Jobs (from either pool) still unfinished — always zero after `run`.
+    pub fn unfinished(&self) -> usize {
+        self.aqp
+            .jobs
+            .iter()
+            .map(|(_, s)| s)
+            .chain(self.dlt.jobs.iter().map(|(_, s)| s))
+            .filter(|s| !s.status.is_terminal())
+            .count()
+    }
+
+    /// Deadline misses across both pools.
+    pub fn total_missed(&self) -> usize {
+        self.aqp
+            .jobs
+            .iter()
+            .map(|(_, s)| s)
+            .chain(self.dlt.jobs.iter().map(|(_, s)| s))
+            .filter(|s| s.status == JobStatus::DeadlineMissed)
+            .count()
+    }
+}
+
+/// A mixed AQP + DLT cluster under one submission surface.
+pub struct UnifiedCluster<'a> {
+    aqp: AqpSystem<'a>,
+    dlt: DltSystem,
+}
+
+impl<'a> UnifiedCluster<'a> {
+    /// Brings the cluster up against a TPC-H dataset (the AQP side's
+    /// streamed source).
+    pub fn new(data: &'a TpchData, config: UnifiedConfig) -> UnifiedCluster<'a> {
+        UnifiedCluster {
+            aqp: AqpSystem::new(data, config.aqp),
+            dlt: DltSystem::new(config.dlt),
+        }
+    }
+
+    /// Warms both history repositories (the Rotary estimators' fuel).
+    pub fn prepopulate_history(&mut self, dlt_specs: &[DltJobSpec], seed: u64) {
+        self.aqp.prepopulate_history(seed);
+        self.dlt.prepopulate_history(dlt_specs, seed);
+    }
+
+    /// Runs a mixed workload: AQP jobs on the CPU pool, DLT jobs on the
+    /// GPU pool, both on the same virtual timeline.
+    pub fn run(
+        &mut self,
+        aqp_jobs: &[AqpJobSpec],
+        dlt_jobs: &[DltJobSpec],
+        aqp_policy: AqpPolicy,
+        dlt_policy: DltPolicy,
+    ) -> UnifiedRunResult {
+        UnifiedRunResult {
+            aqp: self.aqp.run(aqp_jobs, aqp_policy),
+            dlt: self.dlt.run(dlt_jobs, dlt_policy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotary_aqp::WorkloadBuilder;
+    use rotary_core::progress::Objective;
+    use rotary_dlt::DltWorkloadBuilder;
+    use rotary_tpch::Generator;
+
+    #[test]
+    fn mixed_workload_runs_on_one_timeline() {
+        let data = Generator::new(9, 0.002).generate();
+        let mut cluster = UnifiedCluster::new(&data, UnifiedConfig::default());
+        let aqp_jobs = WorkloadBuilder::paper().jobs(6).seed(3).build();
+        let dlt_jobs = DltWorkloadBuilder::paper().jobs(6).seed(3).build();
+        cluster.prepopulate_history(&dlt_jobs, 7);
+
+        let result = cluster.run(
+            &aqp_jobs,
+            &dlt_jobs,
+            AqpPolicy::Rotary,
+            DltPolicy::Rotary(Objective::Threshold(0.5)),
+        );
+        assert_eq!(result.total_jobs(), 12);
+        assert_eq!(result.unfinished(), 0);
+        assert!(result.makespan() >= result.aqp.makespan);
+        assert!(result.makespan() >= result.dlt.makespan);
+        let psi = result.combined_attainment_rate();
+        assert!((0.0..=1.0).contains(&psi));
+        assert_eq!(
+            result.total_attained() + result.total_missed()
+                + result.aqp.summary.falsely_attained,
+            12
+        );
+    }
+
+    #[test]
+    fn empty_workloads_are_harmless() {
+        let data = Generator::new(9, 0.002).generate();
+        let mut cluster = UnifiedCluster::new(&data, UnifiedConfig::default());
+        let result = cluster.run(&[], &[], AqpPolicy::Rotary, DltPolicy::Srf);
+        assert_eq!(result.total_jobs(), 0);
+        assert_eq!(result.combined_attainment_rate(), 0.0);
+        assert_eq!(result.makespan(), SimTime::ZERO);
+    }
+}

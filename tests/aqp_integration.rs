@@ -1,0 +1,143 @@
+//! Cross-crate integration tests of the Rotary-AQP pipeline: workload
+//! generation → engine execution → arbitration → metrics.
+
+use rotary::aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, ClassMix, WorkloadBuilder};
+use rotary::core::job::JobStatus;
+use rotary::core::resources::CpuPoolSpec;
+use rotary::core::SimTime;
+use rotary::tpch::{Generator, TpchData};
+
+fn data() -> TpchData {
+    Generator::new(1, 0.002).generate()
+}
+
+#[test]
+fn every_policy_terminates_every_job_with_consistent_accounting() {
+    let data = data();
+    let specs = WorkloadBuilder::paper().jobs(12).seed(21).build();
+    for policy in AqpPolicy::all() {
+        let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed: 21, ..Default::default() });
+        let r = sys.run(&specs, policy);
+        let s = &r.summary;
+        assert_eq!(
+            s.attained + s.falsely_attained + s.deadline_missed + s.unfinished,
+            specs.len(),
+            "{}",
+            policy.name()
+        );
+        assert_eq!(s.unfinished, 0, "{}", policy.name());
+        for (_, state) in &r.jobs {
+            // Makespan is an upper bound for every completion.
+            assert!(state.finished_at.unwrap() <= r.makespan);
+            // Service time can never exceed the time between arrival and
+            // completion.
+            assert!(state.service_time <= state.finished_at.unwrap() - state.arrival);
+        }
+    }
+}
+
+#[test]
+fn placement_spans_never_overlap_beyond_thread_capacity() {
+    let data = data();
+    let mut cfg = AqpSystemConfig { seed: 4, ..Default::default() };
+    cfg.pool = CpuPoolSpec { threads: 4, memory_mb: 120 * 1024 };
+    let specs = WorkloadBuilder::paper().jobs(10).seed(4).build();
+    let mut sys = AqpSystem::new(&data, cfg);
+    let r = sys.run(&specs, AqpPolicy::Rotary);
+    // Count concurrent spans at every span boundary: at most 4 jobs can
+    // hold threads simultaneously (each holds ≥ 1 of 4 threads).
+    let spans = r.metrics.spans();
+    let mut boundaries: Vec<SimTime> = spans.iter().flat_map(|s| [s.start, s.end]).collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    for &t in &boundaries {
+        let live = spans.iter().filter(|s| s.start <= t && t < s.end).count();
+        assert!(live <= 4, "{live} concurrent jobs on a 4-thread pool at {t}");
+    }
+}
+
+#[test]
+fn history_improves_rotary_over_cold_start() {
+    // Same workload, Rotary with and without a pre-populated repository:
+    // warm estimation should never be substantially worse across seeds.
+    let data = data();
+    let mut warm_total = 0usize;
+    let mut cold_total = 0usize;
+    for seed in [5u64, 6, 7, 8] {
+        let specs = WorkloadBuilder::paper().jobs(20).seed(seed).build();
+        let mut cold =
+            AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+        cold_total += cold.run(&specs, AqpPolicy::Rotary).summary.attained;
+        let mut warm =
+            AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+        warm.prepopulate_history(seed ^ 0x11);
+        warm_total += warm.run(&specs, AqpPolicy::Rotary).summary.attained;
+    }
+    assert!(
+        warm_total + 2 >= cold_total,
+        "history should not hurt: warm {warm_total} vs cold {cold_total}"
+    );
+}
+
+#[test]
+fn skewed_workloads_are_harder_with_heavier_classes() {
+    let data = data();
+    let mut attained = Vec::new();
+    for mix in [ClassMix::ALL_LIGHT, ClassMix::ALL_HEAVY] {
+        let specs = WorkloadBuilder::paper().jobs(16).mix(mix).seed(9).build();
+        let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed: 9, ..Default::default() });
+        sys.prepopulate_history(3);
+        attained.push(sys.run(&specs, AqpPolicy::Rotary).summary.attained);
+    }
+    assert!(
+        attained[0] >= attained[1],
+        "all-light ({}) should attain at least as many as all-heavy ({})",
+        attained[0],
+        attained[1]
+    );
+}
+
+#[test]
+fn false_attainment_is_detected_against_ground_truth() {
+    // Across policies and seeds, some job should occasionally be falsely
+    // attained (the envelope makes mistakes), and every falsely-attained
+    // job must have been declared complete before its deadline.
+    let data = data();
+    let mut any_false = false;
+    for seed in [1u64, 2, 3] {
+        let specs = WorkloadBuilder::paper().jobs(15).seed(seed).build();
+        let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+        let r = sys.run(&specs, AqpPolicy::RoundRobin);
+        for (spec, state) in &r.jobs {
+            if state.status == JobStatus::FalselyAttained {
+                any_false = true;
+                assert!(
+                    state.finished_at.unwrap() <= spec.arrival + spec.deadline,
+                    "false attainment happens before the deadline"
+                );
+            }
+        }
+    }
+    assert!(any_false, "the envelope should make at least one mistake across 45 jobs");
+}
+
+#[test]
+fn tighter_pools_attain_fewer_jobs() {
+    let data = data();
+    let specs = WorkloadBuilder::paper().jobs(16).seed(2).build();
+    let run = |threads: u32| {
+        let mut sys = AqpSystem::new(
+            &data,
+            AqpSystemConfig {
+                seed: 2,
+                pool: CpuPoolSpec { threads, memory_mb: 180 * 1024 },
+                ..Default::default()
+            },
+        );
+        sys.prepopulate_history(5);
+        sys.run(&specs, AqpPolicy::Rotary).summary.attained
+    };
+    let small = run(2);
+    let large = run(24);
+    assert!(large >= small, "24 threads ({large}) must beat 2 threads ({small})");
+}

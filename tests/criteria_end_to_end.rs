@@ -1,0 +1,76 @@
+//! End-to-end tests of the completion-criteria surface: statements parsed
+//! from the paper's grammar drive real arbitration runs.
+
+use rotary::aqp::{AqpJobSpec, AqpPolicy, AqpSystem, AqpSystemConfig};
+use rotary::core::criteria::{CompletionCriterion, Deadline, Metric};
+use rotary::core::job::JobStatus;
+use rotary::core::parser::{parse_criterion, parse_statement};
+use rotary::core::SimTime;
+use rotary::engine::QueryId;
+use rotary::tpch::Generator;
+
+#[test]
+fn parsed_criterion_drives_an_aqp_run() {
+    let (_, criterion) =
+        parse_statement("SELECT SUM(REVENUE) FROM LINEITEM ACC MIN 60% WITHIN 900 SECONDS")
+            .unwrap();
+    let CompletionCriterion::Accuracy { threshold, deadline, .. } = criterion else {
+        panic!("expected accuracy criterion");
+    };
+    let data = Generator::new(3, 0.002).generate();
+    let mut sys = AqpSystem::new(&data, AqpSystemConfig::default());
+    let spec = AqpJobSpec::new(QueryId(6), threshold, deadline.time().unwrap(), SimTime::ZERO);
+    let result = sys.run(&[spec], AqpPolicy::Rotary);
+    let (_, state) = &result.jobs[0];
+    assert!(state.status.is_terminal());
+    assert!(state.epochs_run > 0, "the job actually processed data");
+}
+
+#[test]
+fn all_three_templates_round_trip_and_evaluate() {
+    let cases = [
+        ("ACC MIN 80% WITHIN 30 EPOCHS", "acc"),
+        ("LOSS DELTA 0.01 WITHIN 20 EPOCHS", "conv"),
+        ("FOR 10 EPOCHS", "runtime"),
+    ];
+    for (text, kind) in cases {
+        let c = parse_criterion(text).unwrap();
+        assert_eq!(c.kind_tag(), kind, "{text}");
+        // Display → parse is stable.
+        assert_eq!(parse_criterion(&c.to_string()).unwrap(), c);
+    }
+}
+
+#[test]
+fn deadline_units_convert_to_virtual_time() {
+    for (text, expect) in [
+        ("FOR 90 SECONDS", SimTime::from_secs(90)),
+        ("FOR 3 MINUTES", SimTime::from_mins(3)),
+        ("FOR 2 HOURS", SimTime::from_hours(2)),
+    ] {
+        let CompletionCriterion::Runtime { runtime: Deadline::Time(t) } =
+            parse_criterion(text).unwrap()
+        else {
+            panic!("{text}");
+        };
+        assert_eq!(t, expect, "{text}");
+    }
+}
+
+#[test]
+fn impossible_statement_jobs_miss_their_deadline() {
+    // A 95% target within one virtual second cannot be met.
+    let data = Generator::new(3, 0.002).generate();
+    let mut sys = AqpSystem::new(&data, AqpSystemConfig::default());
+    let spec = AqpJobSpec::new(QueryId(1), 0.95, SimTime::from_secs(1), SimTime::ZERO);
+    let result = sys.run(&[spec], AqpPolicy::Rotary);
+    assert_eq!(result.jobs[0].1.status, JobStatus::DeadlineMissed);
+    assert_eq!(result.summary.attained, 0);
+}
+
+#[test]
+fn metrics_other_than_accuracy_parse_into_dlt_criteria() {
+    let (_, crit) = parse_statement("TRAIN BERT ON IMDB F1 MIN 88% WITHIN 10 EPOCHS").unwrap();
+    assert_eq!(crit.metric(), Some(&Metric::F1));
+    assert_eq!(crit.deadline(), Deadline::Epochs(10));
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration tests of the Rotary-DLT pipeline: survey
+//! workload → training simulator → threshold arbitration → metrics.
+
+use rotary::core::job::JobStatus;
+use rotary::core::progress::Objective;
+use rotary::core::resources::GpuPoolSpec;
+use rotary::core::SimTime;
+use rotary::dlt::{
+    fig11_microbenchmark, DltPolicy, DltSystem, DltSystemConfig, DltWorkloadBuilder,
+};
+
+#[test]
+fn gpu_spans_never_overlap_on_one_device() {
+    let specs = DltWorkloadBuilder::paper().jobs(14).seed(3).build();
+    let mut sys = DltSystem::new(DltSystemConfig { seed: 3, ..Default::default() });
+    let r = sys.run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)));
+    for device in 0..4 {
+        let name = format!("gpu{device}");
+        let mut spans: Vec<(SimTime, SimTime)> = r
+            .metrics
+            .spans()
+            .iter()
+            .filter(|s| s.resource == name)
+            .map(|s| (s.start, s.end))
+            .collect();
+        spans.sort();
+        for pair in spans.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].0,
+                "overlapping occupancy on {name}: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn progress_metrics_are_monotone_over_time() {
+    let specs = DltWorkloadBuilder::paper().jobs(10).seed(8).build();
+    let mut sys = DltSystem::new(DltSystemConfig { seed: 8, ..Default::default() });
+    sys.prepopulate_history(&specs, 1);
+    let r = sys.run(&specs, DltPolicy::Srf);
+    let mut prev = vec![0.0; specs.len()];
+    for mins in (30..=600).step_by(30) {
+        let now = r.attainment_progress_at(SimTime::from_mins(mins));
+        for (i, (&p, &q)) in prev.iter().zip(&now).enumerate() {
+            assert!(q + 1e-9 >= p, "job {i} progress decreased: {p} → {q} at {mins} min");
+        }
+        prev = now;
+    }
+    // Everything is in [0, 1].
+    assert!(prev.iter().all(|p| (0.0..=1.0).contains(p)));
+}
+
+#[test]
+fn criteria_mix_survives_the_run() {
+    use rotary::core::criteria::CompletionCriterion as C;
+    let specs = DltWorkloadBuilder::paper().jobs(30).seed(12).build();
+    let mut sys = DltSystem::new(DltSystemConfig { seed: 12, ..Default::default() });
+    let r = sys.run(&specs, DltPolicy::Laf);
+    // Runtime jobs always attain; convergence jobs with generous deltas
+    // should mostly attain; extremely small deltas mostly miss.
+    for (spec, state) in &r.jobs {
+        match &spec.criterion {
+            C::Runtime { .. } => assert_eq!(state.status, JobStatus::Attained),
+            C::Convergence { delta, .. } if *delta >= 0.03 => {
+                assert_eq!(
+                    state.status,
+                    JobStatus::Attained,
+                    "a {delta} delta fires within a few epochs"
+                );
+            }
+            _ => assert!(state.status.is_terminal()),
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_pool_is_exercised() {
+    // One fast and one slow device: both get used, and the run terminates.
+    let pool = GpuPoolSpec {
+        devices: vec![
+            rotary::core::resources::GpuDeviceSpec { memory_mb: 8 * 1024, speed: 1.0 },
+            rotary::core::resources::GpuDeviceSpec { memory_mb: 8 * 1024, speed: 0.5 },
+        ],
+    };
+    let specs = DltWorkloadBuilder::paper().jobs(8).seed(5).build();
+    let mut sys = DltSystem::new(DltSystemConfig { pool, seed: 5, ..Default::default() });
+    let r = sys.run(&specs, DltPolicy::Rotary(Objective::Efficiency));
+    let used: std::collections::BTreeSet<&str> =
+        r.metrics.spans().iter().map(|s| s.resource.as_str()).collect();
+    assert!(used.contains("gpu0") && used.contains("gpu1"), "{used:?}");
+    assert!(r.jobs.iter().all(|(_, s)| s.status.is_terminal()));
+}
+
+#[test]
+fn fig11_microbenchmark_runs_to_completion_under_every_policy() {
+    let specs = fig11_microbenchmark();
+    for policy in DltPolicy::all() {
+        let mut sys = DltSystem::new(DltSystemConfig { seed: 9, ..Default::default() });
+        sys.prepopulate_history(&specs, 31);
+        let r = sys.run(&specs, policy);
+        assert!(r.jobs.iter().all(|(_, s)| s.status.is_terminal()), "{}", r.policy);
+    }
+}
+
+#[test]
+fn checkpoint_costs_extend_the_makespan() {
+    use rotary::sim::CheckpointModel;
+    let specs = DltWorkloadBuilder::paper().jobs(12).seed(4).build();
+    let run = |checkpoint: CheckpointModel| {
+        let mut sys = DltSystem::new(DltSystemConfig {
+            checkpoint,
+            pool: GpuPoolSpec::homogeneous(2, 8 * 1024),
+            seed: 4,
+            ..Default::default()
+        });
+        sys.run(&specs, DltPolicy::Srf).makespan
+    };
+    let free = run(CheckpointModel::free());
+    // A deliberately punishing restore cost: minutes per resume, so the
+    // effect is unmistakably on the critical path.
+    let slow = run(CheckpointModel {
+        latency: SimTime::from_mins(10),
+        bandwidth_mb_per_s: 10.0,
+    });
+    assert!(slow > free, "expensive checkpoints must cost virtual time: {slow} vs {free}");
+}
