@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 verification, fully offline. The workspace has no external
+# dependencies by policy (see DESIGN.md), so this must pass with the
+# network disabled and an empty cargo registry.
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q

@@ -20,13 +20,12 @@
 //! estimator will randomly return the estimated progress following a
 //! uniform distribution from 0 to 1".
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rotary_core::estimate::similarity::{jaccard, scalar_similarity};
 use rotary_core::estimate::{CurveBasis, JointCurveEstimator};
 use rotary_core::history::{HistoryRepository, JobRecord};
 use rotary_core::job::JobKind;
 use rotary_engine::QueryPlan;
+use rotary_sim::rng::Rng;
 
 /// Query features used for similarity search.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,16 +61,10 @@ impl QueryFeatures {
         if record.label == self.label {
             return 1.0;
         }
-        let tables: Vec<&str> = record
-            .tags
-            .iter()
-            .filter_map(|t| t.strip_prefix("table:"))
-            .collect();
-        let columns: Vec<&str> = record
-            .tags
-            .iter()
-            .filter_map(|t| t.strip_prefix("col:"))
-            .collect();
+        let tables: Vec<&str> =
+            record.tags.iter().filter_map(|t| t.strip_prefix("table:")).collect();
+        let columns: Vec<&str> =
+            record.tags.iter().filter_map(|t| t.strip_prefix("col:")).collect();
         let own_tables: Vec<&str> = self.tables.iter().map(|s| s.as_str()).collect();
         let own_columns: Vec<&str> = self.columns.iter().map(|s| s.as_str()).collect();
         let mem = record.feature("memory_mb").unwrap_or(0.0);
@@ -109,18 +102,18 @@ pub fn build_estimator(
 /// The Fig. 9 ablation: uniform-random progress estimates.
 #[derive(Debug, Clone)]
 pub struct RandomEstimator {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl RandomEstimator {
     /// Seeded for reproducibility.
     pub fn new(seed: u64) -> RandomEstimator {
-        RandomEstimator { rng: StdRng::seed_from_u64(seed) }
+        RandomEstimator { rng: Rng::seed_from_u64(seed).fork("random-estimator") }
     }
 
     /// A uniform `[0, 1)` "estimate".
     pub fn estimate(&mut self) -> f64 {
-        self.rng.gen_range(0.0..1.0)
+        self.rng.next_f64()
     }
 }
 
@@ -163,10 +156,7 @@ mod tests {
         let f = features(3, 2000);
         let close = record_for(18, 2500.0, vec![]);
         let far = record_for(22, 100.0, vec![]);
-        assert!(
-            f.similarity(&close) > f.similarity(&far),
-            "q18 should be nearer to q3 than q22"
-        );
+        assert!(f.similarity(&close) > f.similarity(&far), "q18 should be nearer to q3 than q22");
     }
 
     #[test]

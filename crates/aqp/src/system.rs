@@ -243,8 +243,7 @@ impl RunJob<'_> {
             return true;
         }
         let window_full = self.envelopes.iter().all(|e| e.len() >= e.window());
-        if !window_full
-            || self.estimated_accuracy() < self.spec.threshold + self.declaration_margin
+        if !window_full || self.estimated_accuracy() < self.spec.threshold + self.declaration_margin
         {
             return false;
         }
@@ -367,10 +366,7 @@ impl<'a> AqpSystem<'a> {
                 kind: JobKind::Aqp,
                 label: plan.label.clone(),
                 tags: features.tags(),
-                numeric_features: BTreeMap::from([(
-                    "memory_mb".into(),
-                    self.memory[&id.0] as f64,
-                )]),
+                numeric_features: BTreeMap::from([("memory_mb".into(), self.memory[&id.0] as f64)]),
                 curve,
                 final_metric: 1.0,
                 epochs: 0,
@@ -423,7 +419,8 @@ impl<'a> AqpSystem<'a> {
                 }
                 _ => self.config.base_epoch_batches,
             };
-            let mut core = JobState::new(JobId(i as u64), JobKind::Aqp, spec.criterion(), spec.arrival);
+            let mut core =
+                JobState::new(JobId(i as u64), JobKind::Aqp, spec.criterion(), spec.arrival);
             core.status = JobStatus::Pending;
             jobs.push(RunJob {
                 spec: spec.clone(),
@@ -597,9 +594,10 @@ impl<'a> AqpSystem<'a> {
             .core
             .history
             .iter()
-            .zip(std::iter::successors(Some(job.fraction_per_epoch * job.epoch_batches as f64), |f| {
-                Some(f + job.fraction_per_epoch * job.epoch_batches as f64)
-            }))
+            .zip(std::iter::successors(
+                Some(job.fraction_per_epoch * job.epoch_batches as f64),
+                |f| Some(f + job.fraction_per_epoch * job.epoch_batches as f64),
+            ))
             .map(|(s, frac)| (frac.min(1.0), s.metric_value))
             .collect();
         self.history.insert(JobRecord {
@@ -680,8 +678,7 @@ impl<'a> AqpSystem<'a> {
         // (possibly starved) rate suffices.
         let observed = job.core.service_time.as_secs_f64() / job.core.epochs_run as f64;
         let eff = |t: u32| 1.0 + (t.max(1) - 1) as f64 * 0.85;
-        let best_case = observed * eff(job.last_threads)
-            / eff(self.config.max_threads_per_job);
+        let best_case = observed * eff(job.last_threads) / eff(self.config.max_threads_per_job);
         let projected = SimTime::from_secs_f64(epochs_needed * best_case);
         projected <= remaining
     }
@@ -715,9 +712,7 @@ impl<'a> AqpSystem<'a> {
                         // the Fig. 9 ablation replaces the estimate with
                         // uniform noise.
                         let remaining = match policy {
-                            AqpPolicy::RotaryRandomEstimator => {
-                                random_est.estimate() * 3600.0
-                            }
+                            AqpPolicy::RotaryRandomEstimator => random_est.estimate() * 3600.0,
                             _ => Self::estimated_remaining_secs(
                                 &jobs[i],
                                 avg_epoch_secs,
@@ -729,18 +724,16 @@ impl<'a> AqpSystem<'a> {
                         // estimated remaining work first. Rotary maximises
                         // attainment: least *laxity* first — the feasible
                         // job with the smallest deadline slack (time left
-                        // minus buffered work left) runs first. The 1.5
+                        // minus buffered work left) runs first. The 1.25
                         // buffer scales with job length: a long (heavy) job
                         // cannot be compressed into its final epochs, so its
-                        // slack must be banked earlier.
+                        // slack must be banked earlier. (Calibrated against
+                        // a 20-seed Fig. 6 sweep; see DESIGN.md §7.)
                         let key = match policy {
                             AqpPolicy::Relaqs => remaining,
                             _ => {
-                                let left = jobs[i]
-                                    .deadline_at()
-                                    .saturating_sub(now)
-                                    .as_secs_f64();
-                                left - 1.5 * remaining
+                                let left = jobs[i].deadline_at().saturating_sub(now).as_secs_f64();
+                                left - 1.25 * remaining
                             }
                         };
                         // Rotary's completion-criteria awareness: feasible
@@ -754,9 +747,7 @@ impl<'a> AqpSystem<'a> {
                     })
                     .collect();
                 keyed.sort_by(|a, b| {
-                    b.1.cmp(&a.1)
-                        .then(a.2.partial_cmp(&b.2).unwrap())
-                        .then(a.0.cmp(&b.0))
+                    b.1.cmp(&a.1).then(a.2.partial_cmp(&b.2).unwrap()).then(a.0.cmp(&b.0))
                 });
                 keyed.into_iter().map(|(i, _, _)| i).collect()
             }
@@ -860,9 +851,7 @@ impl<'a> AqpSystem<'a> {
         let alive: Vec<usize> = jobs
             .iter()
             .enumerate()
-            .filter(|(_, j)| {
-                !j.core.status.is_terminal() && j.core.status != JobStatus::Pending
-            })
+            .filter(|(_, j)| !j.core.status.is_terminal() && j.core.status != JobStatus::Pending)
             .map(|(i, _)| i)
             .collect();
         if alive.is_empty() {
@@ -931,10 +920,8 @@ impl<'a> AqpSystem<'a> {
                 let frac_per_batch = job.fraction_per_epoch;
                 let batches_done =
                     (job.online.fraction_processed() / frac_per_batch.max(1e-12)).max(1.0);
-                let per_batch_secs =
-                    job.core.service_time.as_secs_f64() / batches_done;
-                let remaining =
-                    job.deadline_at().saturating_sub(now).as_secs_f64() * 0.95;
+                let per_batch_secs = job.core.service_time.as_secs_f64() / batches_done;
+                let remaining = job.deadline_at().saturating_sub(now).as_secs_f64() * 0.95;
                 if per_batch_secs > 0.0 {
                     let fit = (remaining / per_batch_secs).floor() as usize;
                     batches = batches.min(fit.max(1));
@@ -990,8 +977,7 @@ mod tests {
     fn single_job_attains_uncontended() {
         let data = small_data();
         let mut sys = AqpSystem::new(&data, quick_config());
-        let specs =
-            vec![AqpJobSpec::new(QueryId(6), 0.55, SimTime::from_secs(900), SimTime::ZERO)];
+        let specs = vec![AqpJobSpec::new(QueryId(6), 0.55, SimTime::from_secs(900), SimTime::ZERO)];
         let result = sys.run(&specs, AqpPolicy::Rotary);
         let (_, state) = &result.jobs[0];
         assert!(
@@ -1081,8 +1067,7 @@ mod tests {
         let data = small_data();
         let mut sys = AqpSystem::new(&data, quick_config());
         // An impossible deadline.
-        let specs =
-            vec![AqpJobSpec::new(QueryId(7), 0.95, SimTime::from_secs(5), SimTime::ZERO)];
+        let specs = vec![AqpJobSpec::new(QueryId(7), 0.95, SimTime::from_secs(5), SimTime::ZERO)];
         let result = sys.run(&specs, AqpPolicy::Rotary);
         assert_eq!(result.jobs[0].1.status, JobStatus::DeadlineMissed);
     }

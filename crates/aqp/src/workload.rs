@@ -6,11 +6,10 @@
 //! (40% light / 30% medium / 30% heavy) is adjustable, which is how the
 //! skewed workloads of Fig. 8 are built.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rotary_core::criteria::{CompletionCriterion, Deadline, Metric};
 use rotary_core::SimTime;
 use rotary_engine::{QueryClass, QueryId};
+use rotary_sim::rng::Rng;
 use rotary_sim::PoissonArrivals;
 
 /// Accuracy thresholds of Table I.
@@ -95,7 +94,10 @@ impl ClassMix {
     fn validate(&self) {
         let sum = self.light + self.medium + self.heavy;
         assert!(
-            (sum - 1.0).abs() < 1e-9 && self.light >= 0.0 && self.medium >= 0.0 && self.heavy >= 0.0,
+            (sum - 1.0).abs() < 1e-9
+                && self.light >= 0.0
+                && self.medium >= 0.0
+                && self.heavy >= 0.0,
             "class mix must be non-negative and sum to 1, got {self:?}"
         );
     }
@@ -151,11 +153,13 @@ impl WorkloadBuilder {
     /// Builds the job list, sorted by arrival time.
     pub fn build(&self) -> Vec<AqpJobSpec> {
         self.mix.validate();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let root = Rng::seed_from_u64(self.seed);
+        let mut rng = root.fork("aqp-jobs");
         let arrivals: Vec<SimTime> = if self.mean_arrival_gap_secs == 0.0 {
             vec![SimTime::ZERO; self.jobs]
         } else {
-            PoissonArrivals::new(self.seed ^ 0x5eed, self.mean_arrival_gap_secs).take(self.jobs)
+            PoissonArrivals::with_rng(root.fork("arrivals"), self.mean_arrival_gap_secs)
+                .take(self.jobs)
         };
         (0..self.jobs)
             .map(|i| {
@@ -170,7 +174,7 @@ impl WorkloadBuilder {
             .collect()
     }
 
-    fn sample_class(&self, rng: &mut StdRng) -> QueryClass {
+    fn sample_class(&self, rng: &mut Rng) -> QueryClass {
         let x: f64 = rng.gen_range(0.0..1.0);
         if x < self.mix.light {
             QueryClass::Light
@@ -194,8 +198,7 @@ mod tests {
         for j in &jobs {
             assert!(ACCURACY_SPACE.contains(&j.threshold));
             let class = j.class();
-            assert!(deadline_space(class)
-                .contains(&(j.deadline.as_millis() / 1000)));
+            assert!(deadline_space(class).contains(&(j.deadline.as_millis() / 1000)));
         }
     }
 
@@ -239,8 +242,7 @@ mod tests {
 
     #[test]
     fn criterion_round_trips_through_the_dsl() {
-        let spec =
-            AqpJobSpec::new(QueryId(5), 0.85, SimTime::from_secs(1800), SimTime::ZERO);
+        let spec = AqpJobSpec::new(QueryId(5), 0.85, SimTime::from_secs(1800), SimTime::ZERO);
         let c = spec.criterion();
         let text = c.to_string();
         let reparsed = rotary_core::parser::parse_criterion(&text).unwrap();

@@ -2,9 +2,9 @@
 //! runs: every generated workload must be valid, and the system's
 //! accounting invariants must hold for arbitrary seeds.
 
-use proptest::prelude::*;
 use rotary_aqp::workload::{deadline_space, ACCURACY_SPACE};
 use rotary_aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
+use rotary_check::check;
 use rotary_tpch::{Generator, TpchData};
 use std::sync::OnceLock;
 
@@ -13,45 +13,50 @@ fn data() -> &'static TpchData {
     DATA.get_or_init(|| Generator::new(5, 0.001).generate())
 }
 
-proptest! {
-    /// Every sampled job draws from the Table I spaces, and arrivals are
-    /// sorted.
-    #[test]
-    fn workloads_are_valid(seed in any::<u64>(), jobs in 1usize..60) {
+/// Every sampled job draws from the Table I spaces, and arrivals are
+/// sorted.
+#[test]
+fn workloads_are_valid() {
+    check("workloads_are_valid", |src| {
+        let seed = src.raw();
+        let jobs = src.usize_in(1, 59);
         let specs = WorkloadBuilder::paper().jobs(jobs).seed(seed).build();
-        prop_assert_eq!(specs.len(), jobs);
+        assert_eq!(specs.len(), jobs);
         for w in specs.windows(2) {
-            prop_assert!(w[0].arrival <= w[1].arrival);
+            assert!(w[0].arrival <= w[1].arrival);
         }
         for s in &specs {
-            prop_assert!(ACCURACY_SPACE.contains(&s.threshold));
+            assert!(ACCURACY_SPACE.contains(&s.threshold));
             let secs = s.deadline.as_millis() / 1000;
-            prop_assert!(deadline_space(s.class()).contains(&secs));
+            assert!(deadline_space(s.class()).contains(&secs));
         }
-    }
+    });
+}
 
-    /// Small runs terminate with exact accounting under every policy and
-    /// any seed.
-    #[test]
-    fn runs_account_for_every_job(seed in 0u64..1000, policy_idx in 0usize..6) {
-        let policy = AqpPolicy::all()[policy_idx];
+/// Small runs terminate with exact accounting under every policy and
+/// any seed.
+#[test]
+fn runs_account_for_every_job() {
+    check("runs_account_for_every_job", |src| {
+        let seed = src.u64_in(0, 999);
+        let policy = *src.pick(&AqpPolicy::all());
         let specs = WorkloadBuilder::paper().jobs(5).seed(seed).build();
         let mut sys = AqpSystem::new(data(), AqpSystemConfig { seed, ..Default::default() });
         let r = sys.run(&specs, policy);
         let s = &r.summary;
-        prop_assert_eq!(s.attained + s.falsely_attained + s.deadline_missed, 5);
-        prop_assert_eq!(s.unfinished, 0);
+        assert_eq!(s.attained + s.falsely_attained + s.deadline_missed, 5);
+        assert_eq!(s.unfinished, 0);
         for (spec, state) in &r.jobs {
-            prop_assert!(state.status.is_terminal());
+            assert!(state.status.is_terminal());
             let finished = state.finished_at.unwrap();
             // Nothing finishes before it arrives.
-            prop_assert!(finished >= spec.arrival);
+            assert!(finished >= spec.arrival);
             // Attained/false jobs finish at or before the deadline; missed
             // jobs are classified at or after it (the classifying event may
             // be an epoch ending past the deadline).
             if state.status != rotary_core::job::JobStatus::DeadlineMissed {
-                prop_assert!(finished <= spec.arrival + spec.deadline);
+                assert!(finished <= spec.arrival + spec.deadline);
             }
         }
-    }
+    });
 }

@@ -2,78 +2,47 @@
 //! and a full DLT workload run per objective. These measure the simulator's
 //! own throughput — how much virtual-time scheduling one real second buys.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rotary_aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
+use rotary_bench::timing::{bench, black_box};
 use rotary_core::progress::Objective;
 use rotary_dlt::{DltPolicy, DltSystem, DltSystemConfig, DltWorkloadBuilder};
 use rotary_tpch::{Generator, TpchData};
 
-fn bench_aqp_run(c: &mut Criterion) {
+fn bench_aqp_run() {
     let data: TpchData = Generator::new(1, 0.002).generate();
     let specs = WorkloadBuilder::paper().jobs(10).seed(5).build();
-    let mut group = c.benchmark_group("aqp_workload_run");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
     for policy in [AqpPolicy::Rotary, AqpPolicy::Relaqs, AqpPolicy::RoundRobin] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy.name()),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    let mut sys = AqpSystem::new(
-                        &data,
-                        AqpSystemConfig { seed: 5, ..Default::default() },
-                    );
-                    black_box(sys.run(&specs, policy))
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_dlt_run(c: &mut Criterion) {
-    let specs = DltWorkloadBuilder::paper().jobs(16).seed(5).build();
-    let mut group = c.benchmark_group("dlt_workload_run");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
-    for (label, policy) in [
-        ("rotary_t50", DltPolicy::Rotary(Objective::Threshold(0.5))),
-        ("srf", DltPolicy::Srf),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
-            b.iter(|| {
-                let mut sys =
-                    DltSystem::new(DltSystemConfig { seed: 5, ..Default::default() });
-                sys.prepopulate_history(&specs, 9);
-                black_box(sys.run(&specs, policy))
-            })
+        bench(&format!("aqp_workload_run/{}", policy.name()), || {
+            let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed: 5, ..Default::default() });
+            black_box(sys.run(&specs, policy));
         });
     }
-    group.finish();
 }
 
-fn bench_aqp_system_setup(c: &mut Criterion) {
+fn bench_dlt_run() {
+    let specs = DltWorkloadBuilder::paper().jobs(16).seed(5).build();
+    for (label, policy) in
+        [("rotary_t50", DltPolicy::Rotary(Objective::Threshold(0.5))), ("srf", DltPolicy::Srf)]
+    {
+        bench(&format!("dlt_workload_run/{label}"), || {
+            let mut sys = DltSystem::new(DltSystemConfig { seed: 5, ..Default::default() });
+            sys.prepopulate_history(&specs, 9);
+            black_box(sys.run(&specs, policy));
+        });
+    }
+}
+
+fn bench_aqp_system_setup() {
     let data: TpchData = Generator::new(1, 0.002).generate();
-    let mut group = c.benchmark_group("aqp_system_bind");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
     // Binding computes ground truth for all 22 queries — the dominant
     // startup cost of the multi-tenant AQP service.
-    group.bench_function("all_22_queries", |b| {
-        b.iter(|| {
-            black_box(AqpSystem::new(
-                &data,
-                AqpSystemConfig { seed: 1, ..Default::default() },
-            ))
-        })
+    bench("aqp_system_bind/all_22_queries", || {
+        black_box(AqpSystem::new(&data, AqpSystemConfig { seed: 1, ..Default::default() }));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_aqp_run, bench_dlt_run, bench_aqp_system_setup);
-criterion_main!(benches);
+fn main() {
+    bench_aqp_run();
+    bench_dlt_run();
+    bench_aqp_system_setup();
+}

@@ -3,28 +3,21 @@
 //! ground-truth computation. Batch execution is the per-epoch work every
 //! AQP job performs.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use rotary_bench::timing::{bench, black_box};
 use rotary_engine::online::compute_ground_truth;
 use rotary_engine::{query, Executor, IndexCache, QueryId};
 use rotary_tpch::{BatchSource, Generator};
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tpch_generate");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
+fn bench_generation() {
     for sf in [0.001f64, 0.005] {
-        group.bench_with_input(BenchmarkId::from_parameter(sf), &sf, |b, &sf| {
-            b.iter(|| Generator::new(1, sf).generate())
+        bench(&format!("tpch_generate/{sf}"), || {
+            black_box(Generator::new(1, sf).generate());
         });
     }
-    group.finish();
 }
 
-fn bench_batch_execution(c: &mut Criterion) {
+fn bench_batch_execution() {
     let data = Generator::new(1, 0.005).generate();
-    let mut group = c.benchmark_group("batch_execution");
     // One representative per class: q6 light (no joins), q3 medium
     // (2 joins), q7 heavy (5 joins incl. double nation).
     for qid in [6u8, 3, 7] {
@@ -36,29 +29,26 @@ fn bench_batch_execution(c: &mut Criterion) {
             let mut src = BatchSource::new(3, data.lineitem.rows(), 1000);
             src.next_batch().unwrap().to_vec()
         };
-        group.bench_with_input(BenchmarkId::new("q", qid), &qid, |b, _| {
-            let mut exec = Executor::bind(&plan, &data, &mut cache).unwrap();
-            b.iter(|| black_box(exec.process_rows(black_box(&rows))))
+        let mut exec = Executor::bind(&plan, &data, &mut cache).unwrap();
+        bench(&format!("batch_execution/q{qid}"), || {
+            black_box(exec.process_rows(black_box(&rows)));
         });
     }
-    group.finish();
 }
 
-fn bench_ground_truth(c: &mut Criterion) {
+fn bench_ground_truth() {
     let data = Generator::new(1, 0.002).generate();
-    let mut group = c.benchmark_group("ground_truth_full_scan");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
     for qid in [1u8, 5] {
         let plan = query(QueryId(qid));
-        group.bench_with_input(BenchmarkId::new("q", qid), &qid, |b, _| {
-            let mut cache = IndexCache::new();
-            b.iter(|| compute_ground_truth(&plan, &data, &mut cache).unwrap())
+        let mut cache = IndexCache::new();
+        bench(&format!("ground_truth_full_scan/q{qid}"), || {
+            black_box(compute_ground_truth(&plan, &data, &mut cache).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_batch_execution, bench_ground_truth);
-criterion_main!(benches);
+fn main() {
+    bench_generation();
+    bench_batch_execution();
+    bench_ground_truth();
+}

@@ -3,61 +3,58 @@
 //! similarity search. These run on every arbitration round, so their cost
 //! is the framework's overhead budget (Table III).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotary_bench::timing::{bench, black_box};
 use rotary_core::estimate::similarity::{scalar_similarity, top_k_by};
 use rotary_core::estimate::wlr::{LinearFit, WeightedPoint};
 use rotary_core::estimate::{CurveBasis, EnvelopeDetector, JointCurveEstimator};
 
-fn bench_wlr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wlr_fit");
+fn bench_wlr() {
     for n in [16usize, 64, 256] {
-        let points: Vec<WeightedPoint> = (0..n)
-            .map(|i| WeightedPoint::new(i as f64, 0.2 + 0.1 * i as f64, 1.0))
-            .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
-            b.iter(|| LinearFit::fit(black_box(pts)).unwrap())
+        let points: Vec<WeightedPoint> =
+            (0..n).map(|i| WeightedPoint::new(i as f64, 0.2 + 0.1 * i as f64, 1.0)).collect();
+        bench(&format!("wlr_fit/{n}"), || {
+            black_box(LinearFit::fit(black_box(&points)).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_joint_estimator(c: &mut Criterion) {
+fn bench_joint_estimator() {
     let historical: Vec<(f64, f64)> =
         (0..100).map(|i| (i as f64, 0.2 + 0.15 * (1.0 + i as f64).ln())).collect();
     let mut est = JointCurveEstimator::new(CurveBasis::LogShifted, historical);
     for i in 0..10 {
         est.observe(i as f64, 0.2 + 0.15 * (1.0 + i as f64).ln());
     }
-    c.bench_function("joint_estimator_predict", |b| {
-        b.iter(|| est.predict(black_box(42.0)).unwrap())
+    bench("joint_estimator_predict", || {
+        black_box(est.predict(black_box(42.0)).unwrap());
     });
-    c.bench_function("joint_estimator_solve", |b| {
-        b.iter(|| est.solve_for_x(black_box(0.8)).unwrap())
-    });
-}
-
-fn bench_envelope(c: &mut Criterion) {
-    c.bench_function("envelope_observe_and_progress", |b| {
-        let mut env = EnvelopeDetector::new(5, 0.01);
-        let mut x = 0.0f64;
-        b.iter(|| {
-            x += 1.0;
-            env.observe(black_box(100.0 - 50.0 / (1.0 + x)));
-            black_box(env.progress())
-        })
+    bench("joint_estimator_solve", || {
+        black_box(est.solve_for_x(black_box(0.8)).unwrap());
     });
 }
 
-fn bench_top_k(c: &mut Criterion) {
-    let mut group = c.benchmark_group("top_k_similar");
+fn bench_envelope() {
+    let mut env = EnvelopeDetector::new(5, 0.01);
+    let mut x = 0.0f64;
+    bench("envelope_observe_and_progress", || {
+        x += 1.0;
+        env.observe(black_box(100.0 - 50.0 / (1.0 + x)));
+        black_box(env.progress());
+    });
+}
+
+fn bench_top_k() {
     for n in [22usize, 220, 2200] {
         let sizes: Vec<f64> = (0..n).map(|i| (i % 140) as f64 + 1.0).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &sizes, |b, sizes| {
-            b.iter(|| top_k_by(black_box(sizes), 5, |&s| scalar_similarity(42.0, s)))
+        bench(&format!("top_k_similar/{n}"), || {
+            black_box(top_k_by(black_box(&sizes), 5, |&s| scalar_similarity(42.0, s)));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_wlr, bench_joint_estimator, bench_envelope, bench_top_k);
-criterion_main!(benches);
+fn main() {
+    bench_wlr();
+    bench_joint_estimator();
+    bench_envelope();
+    bench_top_k();
+}

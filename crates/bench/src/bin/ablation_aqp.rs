@@ -29,20 +29,12 @@ fn main() {
         },
         Variant {
             name: "- adaptive epochs",
-            config: |seed| AqpSystemConfig {
-                seed,
-                adaptive_epochs: false,
-                ..Default::default()
-            },
+            config: |seed| AqpSystemConfig { seed, adaptive_epochs: false, ..Default::default() },
             warm: true,
         },
         Variant {
             name: "- feasibility check",
-            config: |seed| AqpSystemConfig {
-                seed,
-                feasibility_check: false,
-                ..Default::default()
-            },
+            config: |seed| AqpSystemConfig { seed, feasibility_check: false, ..Default::default() },
             warm: true,
         },
         Variant {
@@ -52,29 +44,19 @@ fn main() {
         },
         Variant {
             name: "- declaration margin",
-            config: |seed| AqpSystemConfig {
-                seed,
-                declaration_margin: 0.0,
-                ..Default::default()
-            },
+            config: |seed| AqpSystemConfig { seed, declaration_margin: 0.0, ..Default::default() },
             warm: true,
         },
         Variant {
             name: "margin 0.05",
-            config: |seed| AqpSystemConfig {
-                seed,
-                declaration_margin: 0.05,
-                ..Default::default()
-            },
+            config: |seed| AqpSystemConfig { seed, declaration_margin: 0.05, ..Default::default() },
             warm: true,
         },
         Variant {
             name: "memory-first 32GB",
             config: |seed| AqpSystemConfig {
                 seed,
-                materialization: MaterializationPolicy::MemoryFirst {
-                    budget_mb: 32 * 1024,
-                },
+                materialization: MaterializationPolicy::MemoryFirst { budget_mb: 32 * 1024 },
                 ..Default::default()
             },
             warm: true,

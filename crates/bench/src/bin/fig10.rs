@@ -32,15 +32,10 @@ fn main() {
             let min_avg = mean(
                 &runs
                     .iter()
-                    .map(|r| {
-                        r.attainment_progress_at(t)
-                            .into_iter()
-                            .fold(f64::INFINITY, f64::min)
-                    })
+                    .map(|r| r.attainment_progress_at(t).into_iter().fold(f64::INFINITY, f64::min))
                     .collect::<Vec<_>>(),
             );
-            let done_avg =
-                mean(&runs.iter().map(|r| r.attained_by(t) as f64).collect::<Vec<_>>());
+            let done_avg = mean(&runs.iter().map(|r| r.attained_by(t) as f64).collect::<Vec<_>>());
             println!(
                 "  {:>3} min | {} | min(avg) {:>4.2}  attained(avg) {:>4.1}",
                 mins,

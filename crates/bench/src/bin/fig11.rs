@@ -29,10 +29,7 @@ fn gantt(result: &DltRunResult, title: &str) {
             i,
             spec.config.arch.to_string(),
             line.iter().collect::<String>(),
-            state
-                .finished_at
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "-".into()),
+            state.finished_at.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
         );
     }
 }
@@ -60,9 +57,8 @@ fn main() {
 
     let mut bad = DltSystem::new(config());
     bad.prepopulate_history(&specs, 31);
-    let removed = bad
-        .history_mut()
-        .remove_where(|r| r.label.contains("LSTM") || r.label.contains("BERT"));
+    let removed =
+        bad.history_mut().remove_where(|r| r.label.contains("LSTM") || r.label.contains("BERT"));
     let without = bad.run(&specs, DltPolicy::Rotary(Objective::Efficiency));
     gantt(
         &without,
@@ -70,8 +66,7 @@ fn main() {
     );
 
     let avg = |r: &DltRunResult| -> SimTime {
-        let total: u64 =
-            (4..=6).map(|i| r.jobs[i].1.finished_at.unwrap().as_millis()).sum();
+        let total: u64 = (4..=6).map(|i| r.jobs[i].1.finished_at.unwrap().as_millis()).sum();
         SimTime::from_millis(total / 3)
     };
     println!(

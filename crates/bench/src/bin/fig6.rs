@@ -36,8 +36,7 @@ fn main() {
         let mut per_class = std::collections::BTreeMap::new();
         for &seed in &SEEDS {
             let specs = WorkloadBuilder::paper().seed(seed).build();
-            let mut sys =
-                AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+            let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
             if policy == AqpPolicy::Rotary {
                 sys.prepopulate_history(seed ^ 0xff);
             }

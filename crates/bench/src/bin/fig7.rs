@@ -19,18 +19,14 @@ fn main() {
         AqpPolicy::Relaqs,
         AqpPolicy::Rotary,
     ];
-    println!(
-        "{:<14} {:>10} {:>12} {:>14}",
-        "policy", "attained", "false-attain", "avg-wait (s)"
-    );
+    println!("{:<14} {:>10} {:>12} {:>14}", "policy", "attained", "false-attain", "avg-wait (s)");
     for policy in policies {
         let mut attained = Vec::new();
         let mut false_att = Vec::new();
         let mut waits = Vec::new();
         for &seed in &SEEDS {
             let specs = WorkloadBuilder::paper().seed(seed).build();
-            let mut sys =
-                AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+            let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
             if policy == AqpPolicy::Rotary {
                 sys.prepopulate_history(seed ^ 0xff);
             }
@@ -47,9 +43,7 @@ fn main() {
             mean(&waits)
         );
     }
-    println!(
-        "\nFig 7a mitigation check: lengthening the envelope window reduces mistakes —"
-    );
+    println!("\nFig 7a mitigation check: lengthening the envelope window reduces mistakes —");
     for window in [3usize, 5, 8] {
         let mut false_att = Vec::new();
         for &seed in &SEEDS {

@@ -36,8 +36,7 @@ fn main() {
             let mut attained = Vec::new();
             for &seed in &SEEDS {
                 let specs = WorkloadBuilder::paper().mix(*mix).seed(seed).build();
-                let mut sys =
-                    AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+                let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
                 if policy == AqpPolicy::Rotary {
                     sys.prepopulate_history(seed ^ 0xff);
                 }

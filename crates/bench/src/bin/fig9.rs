@@ -20,10 +20,7 @@ fn main() {
         AqpPolicy::Laf,
         AqpPolicy::RoundRobin,
     ];
-    println!(
-        "{:<24} {:>9} {:>8} {:>8} {:>8}",
-        "policy", "attained", "light", "medium", "heavy"
-    );
+    println!("{:<24} {:>9} {:>8} {:>8} {:>8}", "policy", "attained", "light", "medium", "heavy");
     let mut results = std::collections::BTreeMap::new();
     for policy in policies {
         let mut total = Vec::new();
@@ -31,8 +28,7 @@ fn main() {
             std::collections::BTreeMap::new();
         for &seed in &SEEDS {
             let specs = WorkloadBuilder::paper().seed(seed).build();
-            let mut sys =
-                AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+            let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
             if matches!(policy, AqpPolicy::Rotary | AqpPolicy::RotaryRandomEstimator) {
                 sys.prepopulate_history(seed ^ 0xff);
             }

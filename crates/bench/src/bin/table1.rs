@@ -13,16 +13,13 @@ fn main() {
          Poisson(160 s) arrivals — all selections uniform",
     );
     for class in [QueryClass::Light, QueryClass::Medium, QueryClass::Heavy] {
-        let ids: Vec<String> =
-            QueryId::of_class(class).iter().map(|q| q.to_string()).collect();
+        let ids: Vec<String> = QueryId::of_class(class).iter().map(|q| q.to_string()).collect();
         println!("{:<8} queries : {}", class.to_string(), ids.join(", "));
     }
-    let acc: Vec<String> =
-        ACCURACY_SPACE.iter().map(|a| format!("{:.0}%", a * 100.0)).collect();
+    let acc: Vec<String> = ACCURACY_SPACE.iter().map(|a| format!("{:.0}%", a * 100.0)).collect();
     println!("accuracy space   : {}", acc.join(", "));
     for class in [QueryClass::Light, QueryClass::Medium, QueryClass::Heavy] {
-        let d: Vec<String> =
-            deadline_space(class).iter().map(|s| s.to_string()).collect();
+        let d: Vec<String> = deadline_space(class).iter().map(|s| s.to_string()).collect();
         println!("{:<8} deadlines (s): {}", class.to_string(), d.join(", "));
     }
     println!("mix              : 40% light, 30% medium, 30% heavy; arrivals Poisson(160 s)");

@@ -22,7 +22,11 @@ fn main() {
         .filter(|a| a.profile().domain == Domain::Vision)
         .map(|a| a.to_string())
         .collect();
-    println!("  vision ({})    : CIFAR-10, batches {:?}", cv.len(), Architecture::ResNet18.batch_sizes());
+    println!(
+        "  vision ({})    : CIFAR-10, batches {:?}",
+        cv.len(),
+        Architecture::ResNet18.batch_sizes()
+    );
     println!(
         "  language (3)   : UD Treebank / IMDB, batches {:?}",
         Architecture::Bert.batch_sizes()

@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use rotary_sim::metrics::Distribution;
 
 /// Seeds used when an experiment averages over independent runs (the paper

@@ -1,0 +1,140 @@
+//! A minimal wall-clock timing harness replacing the external `criterion`
+//! crate (removed to keep the workspace dependency-free).
+//!
+//! Each benchmark auto-calibrates a batch size so one sample takes roughly
+//! [`TARGET_SAMPLE`], collects [`SAMPLES`] samples, and prints min / median
+//! / mean time per iteration. `ROTARY_BENCH_SAMPLES=n` overrides the sample
+//! count (useful to smoke-test bench binaries quickly with `n = 1`).
+//!
+//! ```no_run
+//! use rotary_bench::timing::{bench, black_box};
+//!
+//! bench("wlr_fit/64", || {
+//!     black_box(2u64 + 2);
+//! });
+//! ```
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark (median over these is reported).
+pub const SAMPLES: usize = 20;
+
+/// Calibration target for one sample's duration.
+pub const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Per-iteration timing statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest observed sample, per iteration.
+    pub min: Duration,
+    /// Median sample, per iteration.
+    pub median: Duration,
+    /// Mean over all samples, per iteration.
+    pub mean: Duration,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+fn samples_from_env() -> usize {
+    std::env::var("ROTARY_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(SAMPLES)
+}
+
+/// Times one closure invocation batch.
+fn time_batch(f: &mut impl FnMut(), iters: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed()
+}
+
+/// Measures `f` and returns per-iteration statistics without printing.
+pub fn measure(mut f: impl FnMut()) -> Stats {
+    // Warm-up and calibration: double the batch until one batch costs at
+    // least the target sample time (or a single iteration already does).
+    let mut iters = 1u64;
+    loop {
+        let elapsed = time_batch(&mut f, iters);
+        if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+            break;
+        }
+        // Jump close to the target in one step once we have a signal.
+        iters = if elapsed.is_zero() {
+            iters * 2
+        } else {
+            let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64();
+            (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+        };
+    }
+
+    let samples = samples_from_env();
+    let mut per_iter: Vec<Duration> =
+        (0..samples).map(|_| time_batch(&mut f, iters) / iters as u32).collect();
+    per_iter.sort();
+    let mean = per_iter.iter().sum::<Duration>() / samples as u32;
+    Stats { min: per_iter[0], median: per_iter[samples / 2], mean, iters, samples }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Runs one named benchmark and prints its statistics.
+pub fn bench(name: &str, f: impl FnMut()) -> Stats {
+    let stats = measure(f);
+    println!(
+        "{name:<40} min {:>10}  median {:>10}  mean {:>10}   ({} iters × {} samples)",
+        fmt_duration(stats.min),
+        fmt_duration(stats.median),
+        fmt_duration(stats.mean),
+        stats.iters,
+        stats.samples,
+    );
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_ordered_stats() {
+        let stats = measure(|| {
+            black_box((0..100u64).sum::<u64>());
+        });
+        assert!(stats.min <= stats.median);
+        assert!(stats.iters >= 1);
+        assert!(stats.samples >= 1);
+    }
+
+    #[test]
+    fn slow_bodies_run_one_iteration_per_sample() {
+        let stats = measure(|| std::thread::sleep(Duration::from_millis(12)));
+        assert_eq!(stats.iters, 1);
+        assert!(stats.median >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn duration_formatting_picks_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(150)), "150.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(25)), "25.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(11)), "11.00 s");
+    }
+}

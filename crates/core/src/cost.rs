@@ -13,10 +13,8 @@
 //! surface for custom policies — e.g. a policy that only preempts when
 //! `is_beneficial` holds.
 
-use serde::{Deserialize, Serialize};
-
 /// Weights balancing progress improvement against resource consumption.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Reward per unit of estimated progress gain (`Δφ̂ ∈ [0, 1]`).
     pub progress_weight: f64,
@@ -55,8 +53,7 @@ impl CostModel {
         requires_preemption: bool,
     ) -> f64 {
         let gain = if estimated_gain.is_nan() { 0.0 } else { estimated_gain.clamp(0.0, 1.0) };
-        let frac =
-            if resource_fraction.is_nan() { 1.0 } else { resource_fraction.clamp(0.0, 1.0) };
+        let frac = if resource_fraction.is_nan() { 1.0 } else { resource_fraction.clamp(0.0, 1.0) };
         let mut u = self.progress_weight * gain - self.resource_weight * frac;
         if requires_preemption {
             u -= self.preemption_penalty;

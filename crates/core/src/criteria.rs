@@ -17,14 +17,13 @@
 
 use crate::job::IntermediateState;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The convergence metric a criterion is defined over.
 ///
 /// The paper's examples use training/aggregation accuracy (`ACC`) but allow
 /// "other user-defined metrics, such as F1 score and Perplexity".
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Accuracy in `[0, 1]`; higher is better.
     Accuracy,
@@ -76,7 +75,7 @@ impl fmt::Display for Metric {
 
 /// A deadline: either a number of epochs or a span of virtual time
 /// (paper: "The deadline could be expressed in epochs or time units").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Deadline {
     /// At most this many epochs.
     Epochs(u64),
@@ -129,7 +128,7 @@ impl fmt::Display for Deadline {
 }
 
 /// A user-defined completion criterion (paper Fig. 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CompletionCriterion {
     /// `<metric> MIN <threshold> WITHIN <deadline>`.
     Accuracy {
@@ -273,7 +272,12 @@ mod tests {
     use super::*;
 
     fn state(epoch: u64, v: f64) -> IntermediateState {
-        IntermediateState { epoch, at: SimTime::from_secs(epoch * 10), metric_value: v, progress: 0.0 }
+        IntermediateState {
+            epoch,
+            at: SimTime::from_secs(epoch * 10),
+            metric_value: v,
+            progress: 0.0,
+        }
     }
 
     #[test]
@@ -285,7 +289,10 @@ mod tests {
         };
         assert_eq!(c.check(&state(1, 0.5), None, SimTime::from_secs(10)), CriterionCheck::Continue);
         assert_eq!(c.check(&state(2, 0.9), None, SimTime::from_secs(20)), CriterionCheck::Attained);
-        assert_eq!(c.check(&state(3, 0.95), None, SimTime::from_secs(30)), CriterionCheck::Attained);
+        assert_eq!(
+            c.check(&state(3, 0.95), None, SimTime::from_secs(30)),
+            CriterionCheck::Attained
+        );
     }
 
     #[test]

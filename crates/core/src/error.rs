@@ -68,10 +68,8 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = RotaryError::Parse {
-            input: "ACC MAX".into(),
-            message: "expected MIN or DELTA".into(),
-        };
+        let e =
+            RotaryError::Parse { input: "ACC MAX".into(), message: "expected MIN or DELTA".into() };
         let s = e.to_string();
         assert!(s.contains("ACC MAX"));
         assert!(s.contains("expected MIN or DELTA"));

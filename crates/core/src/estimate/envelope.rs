@@ -13,11 +13,10 @@
 //! paper measures exactly these mistakes as **false attainment** (Fig. 7a)
 //! and notes they can be mitigated by lengthening the window.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Sliding-window min/max envelope over a stream of aggregation results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnvelopeDetector {
     window: usize,
     tolerance: f64,

@@ -22,10 +22,9 @@
 
 use super::wlr::{LinearFit, WeightedPoint};
 use crate::error::Result;
-use serde::{Deserialize, Serialize};
 
 /// The x-axis transformation under the linear fit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CurveBasis {
     /// `y = a + b·x` — plain line (used for batch-size→memory, which is
     /// genuinely affine: activations scale linearly with batch size on top
@@ -57,7 +56,7 @@ impl CurveBasis {
 
 /// Fits `y = f(x)` through historical and real-time observations with the
 /// paper's equal-share weighting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JointCurveEstimator {
     basis: CurveBasis,
     historical: Vec<(f64, f64)>,
@@ -104,17 +103,17 @@ impl JointCurveEstimator {
             let share = if r == 0 { 1.0 } else { 1.0 / (r as f64 + 1.0) };
             let each = share / h as f64;
             points.extend(
-                self.historical.iter().map(|&(x, y)| {
-                    WeightedPoint::new(self.basis.transform(x), y, each)
-                }),
+                self.historical
+                    .iter()
+                    .map(|&(x, y)| WeightedPoint::new(self.basis.transform(x), y, each)),
             );
         }
         if r > 0 {
             let each = if h == 0 { 1.0 } else { 1.0 / (r as f64 + 1.0) };
             points.extend(
-                self.realtime.iter().map(|&(x, y)| {
-                    WeightedPoint::new(self.basis.transform(x), y, each)
-                }),
+                self.realtime
+                    .iter()
+                    .map(|&(x, y)| WeightedPoint::new(self.basis.transform(x), y, each)),
             );
         }
         points
@@ -209,8 +208,7 @@ mod tests {
         assert_eq!(est.realtime_weight(), 0.25);
 
         let pts = est.weighted_points();
-        let hist_total: f64 =
-            pts.iter().take(est.historical_len()).map(|p| p.weight).sum();
+        let hist_total: f64 = pts.iter().take(est.historical_len()).map(|p| p.weight).sum();
         let rt_weights: Vec<f64> =
             pts.iter().skip(est.historical_len()).map(|p| p.weight).collect();
         assert!((hist_total - 0.25).abs() < 1e-12);
@@ -271,10 +269,7 @@ mod tests {
 
     #[test]
     fn pooling_concatenates() {
-        let pooled = pool_historical_curves(&[
-            vec![(0.0, 0.1), (1.0, 0.2)],
-            vec![(0.0, 0.15)],
-        ]);
+        let pooled = pool_historical_curves(&[vec![(0.0, 0.1), (1.0, 0.2)], vec![(0.0, 0.15)]]);
         assert_eq!(pooled.len(), 3);
     }
 }

@@ -157,10 +157,7 @@ mod tests {
 
     #[test]
     fn insufficient_data_errors() {
-        assert!(matches!(
-            LinearFit::fit(&[]),
-            Err(RotaryError::InsufficientData { .. })
-        ));
+        assert!(matches!(LinearFit::fit(&[]), Err(RotaryError::InsufficientData { .. })));
         assert!(matches!(
             LinearFit::fit(&unweighted(&[(1.0, 1.0)])),
             Err(RotaryError::InsufficientData { .. })

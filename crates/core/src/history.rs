@@ -10,12 +10,12 @@
 
 use crate::error::{Result, RotaryError};
 use crate::job::JobKind;
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Json};
 use std::collections::BTreeMap;
 use std::path::Path;
 
 /// A completed job's footprint in the repository.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// Application family the record belongs to.
     pub kind: JobKind,
@@ -41,13 +41,74 @@ impl JobRecord {
     pub fn feature(&self, name: &str) -> Option<f64> {
         self.numeric_features.get(name).copied()
     }
+
+    fn to_json_value(&self) -> Json {
+        let kind = match self.kind {
+            JobKind::Aqp => "aqp",
+            JobKind::Dlt => "dlt",
+        };
+        Json::obj(vec![
+            ("kind", Json::Str(kind.into())),
+            ("label", Json::Str(self.label.clone())),
+            ("tags", Json::Arr(self.tags.iter().map(|t| Json::Str(t.clone())).collect())),
+            ("numeric_features", json::num_map_to_json(&self.numeric_features)),
+            (
+                "curve",
+                Json::Arr(
+                    self.curve
+                        .iter()
+                        .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                        .collect(),
+                ),
+            ),
+            ("final_metric", Json::Num(self.final_metric)),
+            ("epochs", Json::Num(self.epochs as f64)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> std::result::Result<JobRecord, String> {
+        let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field '{name}'"));
+        let kind = match field("kind")?.as_str().ok_or("'kind' is not a string")? {
+            "aqp" => JobKind::Aqp,
+            "dlt" => JobKind::Dlt,
+            other => return Err(format!("unknown job kind '{other}'")),
+        };
+        let tags = field("tags")?
+            .as_arr()
+            .ok_or("'tags' is not an array")?
+            .iter()
+            .map(|t| t.as_str().map(String::from).ok_or("tag is not a string".to_string()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let curve = field("curve")?
+            .as_arr()
+            .ok_or("'curve' is not an array")?
+            .iter()
+            .map(|p| {
+                let pair =
+                    p.as_arr().filter(|a| a.len() == 2).ok_or("curve point is not a pair")?;
+                match (pair[0].as_f64(), pair[1].as_f64()) {
+                    (Some(x), Some(y)) => Ok((x, y)),
+                    _ => Err("curve point is not numeric".to_string()),
+                }
+            })
+            .collect::<std::result::Result<Vec<_>, String>>()?;
+        Ok(JobRecord {
+            kind,
+            label: field("label")?.as_str().ok_or("'label' is not a string")?.to_string(),
+            tags,
+            numeric_features: json::num_map_from_json(field("numeric_features")?)?,
+            curve,
+            final_metric: field("final_metric")?.as_f64().ok_or("'final_metric' not numeric")?,
+            epochs: field("epochs")?.as_u64().ok_or("'epochs' not an integer")?,
+        })
+    }
 }
 
 /// In-memory repository of completed jobs with JSON persistence.
 ///
 /// The repository is append-only during a run: estimators read it, the
 /// execution loop inserts completed jobs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct HistoryRepository {
     records: Vec<JobRecord>,
 }
@@ -107,12 +168,22 @@ impl HistoryRepository {
 
     /// Serialises the repository to pretty JSON.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self).map_err(|e| RotaryError::Persistence(e.to_string()))
+        let records = Json::Arr(self.records.iter().map(JobRecord::to_json_value).collect());
+        Ok(Json::obj(vec![("records", records)]).to_pretty())
     }
 
     /// Restores a repository from JSON.
-    pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json).map_err(|e| RotaryError::Persistence(e.to_string()))
+    pub fn from_json(text: &str) -> Result<Self> {
+        let doc = json::parse(text).map_err(RotaryError::Persistence)?;
+        let records = doc
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| RotaryError::Persistence("missing 'records' array".into()))?
+            .iter()
+            .map(JobRecord::from_json_value)
+            .collect::<std::result::Result<Vec<_>, String>>()
+            .map_err(RotaryError::Persistence)?;
+        Ok(HistoryRepository { records })
     }
 
     /// Writes the repository to a file.
@@ -160,7 +231,9 @@ mod tests {
     #[test]
     fn top_k_similar_by_parameter_count() {
         let mut repo = HistoryRepository::new();
-        for (label, p) in [("lenet", 0.06), ("resnet18", 11.7), ("resnet34", 21.8), ("vgg16", 138.0)] {
+        for (label, p) in
+            [("lenet", 0.06), ("resnet18", 11.7), ("resnet34", 21.8), ("vgg16", 138.0)]
+        {
             repo.insert(record(label, JobKind::Dlt, p));
         }
         let target = 12.0;

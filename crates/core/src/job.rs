@@ -3,13 +3,10 @@
 
 use crate::criteria::CompletionCriterion;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique identifier for a job within a workload.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct JobId(pub u64);
 
 impl fmt::Display for JobId {
@@ -19,7 +16,7 @@ impl fmt::Display for JobId {
 }
 
 /// Which application family a job belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobKind {
     /// Approximate query processing (online aggregation).
     Aqp,
@@ -29,7 +26,7 @@ pub enum JobKind {
 
 /// One element of the per-epoch intermediate state time-series
 /// `{ins_(i,0), ins_(i,1), …}` each job emits (paper §III-D).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntermediateState {
     /// Epoch counter at which this state was observed (1-based after the
     /// first completed epoch).
@@ -51,7 +48,7 @@ pub struct IntermediateState {
 ///                                                                  ▼
 ///                              Attained | FalselyAttained | DeadlineMissed
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobStatus {
     /// Submitted but not yet arrived (future arrival time).
     Pending,
@@ -73,10 +70,7 @@ pub enum JobStatus {
 impl JobStatus {
     /// Terminal statuses never transition again.
     pub fn is_terminal(self) -> bool {
-        matches!(
-            self,
-            JobStatus::Attained | JobStatus::FalselyAttained | JobStatus::DeadlineMissed
-        )
+        matches!(self, JobStatus::Attained | JobStatus::FalselyAttained | JobStatus::DeadlineMissed)
     }
 
     /// Statuses in which the job is eligible for resource arbitration.
@@ -87,7 +81,7 @@ impl JobStatus {
 
 /// Book-keeping state the framework tracks per job: the criterion, the
 /// lifecycle status, and the intermediate-state history.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JobState {
     /// Identity within the workload.
     pub id: JobId,
@@ -221,11 +215,21 @@ mod tests {
     fn epoch_recording_updates_series() {
         let mut j = mk_job();
         j.record_epoch(
-            IntermediateState { epoch: 1, at: SimTime::from_secs(65), metric_value: 0.5, progress: 0.55 },
+            IntermediateState {
+                epoch: 1,
+                at: SimTime::from_secs(65),
+                metric_value: 0.5,
+                progress: 0.55,
+            },
             SimTime::from_secs(60),
         );
         j.record_epoch(
-            IntermediateState { epoch: 2, at: SimTime::from_secs(130), metric_value: 0.7, progress: 0.77 },
+            IntermediateState {
+                epoch: 2,
+                at: SimTime::from_secs(130),
+                metric_value: 0.7,
+                progress: 0.77,
+            },
             SimTime::from_secs(60),
         );
         assert_eq!(j.epochs_run, 2);
@@ -239,7 +243,12 @@ mod tests {
     fn waiting_time_subtracts_service() {
         let mut j = mk_job(); // arrives at t=5s
         j.record_epoch(
-            IntermediateState { epoch: 1, at: SimTime::from_secs(100), metric_value: 0.9, progress: 1.0 },
+            IntermediateState {
+                epoch: 1,
+                at: SimTime::from_secs(100),
+                metric_value: 0.9,
+                progress: 1.0,
+            },
             SimTime::from_secs(40),
         );
         j.finish(JobStatus::Attained, SimTime::from_secs(100));

@@ -23,7 +23,8 @@
 //!   pluggable basis functions, the paper's joint historical+real-time curve
 //!   fitting, similarity-based top-k neighbour selection, and the envelope
 //!   convergence detector used by Rotary-AQP;
-//! * the historical-job repository ([`history`]);
+//! * the historical-job repository ([`history`]) and the in-tree JSON
+//!   reader/writer backing its persistence ([`json`]);
 //! * resource descriptions ([`resources`]) and the arbitration policy
 //!   abstraction ([`policy`]);
 //! * the cost model balancing progress improvement against resource
@@ -41,6 +42,7 @@ pub mod error;
 pub mod estimate;
 pub mod history;
 pub mod job;
+pub mod json;
 pub mod parser;
 pub mod policy;
 pub mod progress;

@@ -120,18 +120,14 @@ fn parse_value(token: &str, metric: &Metric) -> Result<f64> {
         Some(b) => (b, true),
         None => (token, false),
     };
-    let raw: f64 =
-        body.parse().map_err(|_| err(token, "expected a number like 0.95 or 95%"))?;
+    let raw: f64 = body.parse().map_err(|_| err(token, "expected a number like 0.95 or 95%"))?;
     if !raw.is_finite() || raw < 0.0 {
         return Err(err(token, "threshold must be a finite non-negative number"));
     }
     let value = if percent { raw / 100.0 } else { raw };
     // Ratio metrics live in [0,1]; catch `ACC MIN 95` (missing the `%`).
     if matches!(metric, Metric::Accuracy | Metric::F1) && value > 1.0 {
-        return Err(err(
-            token,
-            "accuracy/F1 thresholds must be ≤ 1 (use a percentage like 95%)",
-        ));
+        return Err(err(token, "accuracy/F1 thresholds must be ≤ 1 (use a percentage like 95%)"));
     }
     Ok(value)
 }
@@ -224,8 +220,8 @@ mod tests {
 
     #[test]
     fn custom_metric_and_loss() {
-        let (_, crit) = parse_statement("TRAIN BERT ON IMDB PERPLEXITY MIN 12.5 WITHIN 4 HOURS")
-            .unwrap();
+        let (_, crit) =
+            parse_statement("TRAIN BERT ON IMDB PERPLEXITY MIN 12.5 WITHIN 4 HOURS").unwrap();
         assert!(matches!(
             crit,
             CompletionCriterion::Accuracy { metric: Metric::Perplexity, threshold, .. }
@@ -289,7 +285,10 @@ mod tests {
     #[test]
     fn fractional_time_deadlines_allowed() {
         let c = parse_criterion("FOR 0.5 HOURS").unwrap();
-        assert_eq!(c, CompletionCriterion::Runtime { runtime: Deadline::Time(SimTime::from_mins(30)) });
+        assert_eq!(
+            c,
+            CompletionCriterion::Runtime { runtime: Deadline::Time(SimTime::from_mins(30)) }
+        );
     }
 
     #[test]

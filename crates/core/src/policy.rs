@@ -181,7 +181,14 @@ impl Prioritizer for ThresholdPrioritizer {
 mod tests {
     use super::*;
 
-    fn snap(id: u64, progress: f64, est: f64, metric: f64, deadline_s: u64, arrival_s: u64) -> JobSnapshot {
+    fn snap(
+        id: u64,
+        progress: f64,
+        est: f64,
+        metric: f64,
+        deadline_s: u64,
+        arrival_s: u64,
+    ) -> JobSnapshot {
         JobSnapshot {
             id: JobId(id),
             status: JobStatus::Active,

@@ -8,7 +8,6 @@
 //! **efficiency** (maximise `ψ` by favouring jobs that can attain soonest).
 
 use crate::job::JobState;
-use serde::{Deserialize, Serialize};
 
 /// A clamped attainment-progress value in `[0, 1]`.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// `current epoch / estimated epochs` when the estimate was low) or be
 /// negative (regression artifacts); `Progress` normalises every producer to
 /// the unit interval so policies can compare values safely.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Progress(f64);
 
 impl Progress {
@@ -62,7 +61,7 @@ impl std::fmt::Display for Progress {
 }
 
 /// The optimisation objective guiding a policy (paper §III-D "Objective").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Objective {
     /// Maximise `min φ_i`: keep allocating to the lowest-progress job.
     Fairness,
@@ -94,8 +93,7 @@ pub fn attainment_rate(jobs: &[JobState]) -> f64 {
     if jobs.is_empty() {
         return 0.0;
     }
-    let attained =
-        jobs.iter().filter(|j| j.status == crate::job::JobStatus::Attained).count();
+    let attained = jobs.iter().filter(|j| j.status == crate::job::JobStatus::Attained).count();
     attained as f64 / jobs.len() as f64
 }
 
@@ -170,12 +168,22 @@ mod tests {
     fn min_progress_over_workload() {
         let mut jobs = vec![job(0), job(1)];
         jobs[0].record_epoch(
-            IntermediateState { epoch: 1, at: SimTime::from_secs(1), metric_value: 0.3, progress: 0.4 },
+            IntermediateState {
+                epoch: 1,
+                at: SimTime::from_secs(1),
+                metric_value: 0.3,
+                progress: 0.4,
+            },
             SimTime::from_secs(1),
         );
         assert_eq!(min_progress(&jobs), 0.0); // job 1 has not run yet
         jobs[1].record_epoch(
-            IntermediateState { epoch: 1, at: SimTime::from_secs(1), metric_value: 0.6, progress: 0.7 },
+            IntermediateState {
+                epoch: 1,
+                at: SimTime::from_secs(1),
+                metric_value: 0.6,
+                progress: 0.7,
+            },
             SimTime::from_secs(1),
         );
         assert!((min_progress(&jobs) - 0.4).abs() < 1e-12);

@@ -11,10 +11,8 @@
 //! * Rotary-DLT: `D` GPUs, each with its *own* memory `M_d` (Algorithm 3
 //!   places a job on GPU `d` only if its estimated memory fits that device).
 
-use serde::{Deserialize, Serialize};
-
 /// CPU pool: `D` hardware threads sharing one memory budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpuPoolSpec {
     /// Total hardware threads available to arbitration.
     pub threads: u32,
@@ -32,7 +30,7 @@ impl CpuPoolSpec {
 }
 
 /// One GPU device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuDeviceSpec {
     /// Device memory, in megabytes.
     pub memory_mb: u64,
@@ -43,7 +41,7 @@ pub struct GpuDeviceSpec {
 }
 
 /// GPU pool: independent devices, each with private memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuPoolSpec {
     /// The devices, indexed 0..D.
     pub devices: Vec<GpuDeviceSpec>,
@@ -52,9 +50,7 @@ pub struct GpuPoolSpec {
 impl GpuPoolSpec {
     /// A homogeneous pool of `count` devices with `memory_mb` each.
     pub fn homogeneous(count: usize, memory_mb: u64) -> Self {
-        GpuPoolSpec {
-            devices: vec![GpuDeviceSpec { memory_mb, speed: 1.0 }; count],
-        }
+        GpuPoolSpec { devices: vec![GpuDeviceSpec { memory_mb, speed: 1.0 }; count] }
     }
 
     /// The paper's DLT testbed: 4 × RTX 2080 with 8 GB graphics memory.
@@ -75,7 +71,7 @@ impl GpuPoolSpec {
 
 /// A CPU-side grant: how many threads and how much of the shared memory a
 /// job holds for the next running epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpuGrant {
     /// Hardware threads granted (≥ 1 while running).
     pub threads: u32,
@@ -84,7 +80,7 @@ pub struct CpuGrant {
 }
 
 /// A GPU-side grant: which device the job occupies for the next epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GpuGrant {
     /// Index into the pool's device list.
     pub device: usize,

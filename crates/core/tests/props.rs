@@ -1,79 +1,88 @@
 //! Property-based tests of the framework core: regression invariances,
 //! criteria coherence, and similarity-order properties.
 
-use proptest::prelude::*;
+use rotary_check::check;
 use rotary_core::criteria::{CompletionCriterion, CriterionCheck, Deadline, Metric};
 use rotary_core::estimate::similarity::{scalar_similarity, top_k_by};
 use rotary_core::estimate::wlr::{LinearFit, WeightedPoint};
 use rotary_core::job::IntermediateState;
 use rotary_core::SimTime;
 
-proptest! {
-    /// Scaling every weight by the same positive constant leaves the fit
-    /// unchanged (weights are relative).
-    #[test]
-    fn wlr_weight_scale_invariance(
-        points in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0, 0.1f64..10.0), 3..40),
-        scale in 0.01f64..100.0,
-    ) {
+/// Scaling every weight by the same positive constant leaves the fit
+/// unchanged (weights are relative).
+#[test]
+fn wlr_weight_scale_invariance() {
+    check("wlr_weight_scale_invariance", |src| {
+        let points = src.vec_of(3, 39, |s| {
+            (s.f64_in(-100.0, 100.0), s.f64_in(-100.0, 100.0), s.f64_in(0.1, 10.0))
+        });
+        let scale = src.f64_in(0.01, 100.0);
         let base: Vec<WeightedPoint> =
             points.iter().map(|&(x, y, w)| WeightedPoint::new(x, y, w)).collect();
         let scaled: Vec<WeightedPoint> =
             points.iter().map(|&(x, y, w)| WeightedPoint::new(x, y, w * scale)).collect();
         match (LinearFit::fit(&base), LinearFit::fit(&scaled)) {
             (Ok(a), Ok(b)) => {
-                prop_assert!((a.slope - b.slope).abs() < 1e-6 * a.slope.abs().max(1.0));
-                prop_assert!((a.intercept - b.intercept).abs() < 1e-6 * a.intercept.abs().max(1.0));
+                assert!((a.slope - b.slope).abs() < 1e-6 * a.slope.abs().max(1.0));
+                assert!((a.intercept - b.intercept).abs() < 1e-6 * a.intercept.abs().max(1.0));
             }
             (Err(_), Err(_)) => {}
-            (a, b) => prop_assert!(false, "fit feasibility diverged: {a:?} vs {b:?}"),
+            (a, b) => panic!("fit feasibility diverged: {a:?} vs {b:?}"),
         }
-    }
+    });
+}
 
-    /// Shifting x by a constant shifts only the intercept: slope invariant.
-    #[test]
-    fn wlr_translation_invariance(
-        points in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..30),
-        dx in -100.0f64..100.0,
-    ) {
+/// Shifting x by a constant shifts only the intercept: slope invariant.
+#[test]
+fn wlr_translation_invariance() {
+    check("wlr_translation_invariance", |src| {
+        let points = src.vec_of(3, 29, |s| (s.f64_in(-50.0, 50.0), s.f64_in(-50.0, 50.0)));
+        let dx = src.f64_in(-100.0, 100.0);
         let base: Vec<WeightedPoint> =
             points.iter().map(|&(x, y)| WeightedPoint::new(x, y, 1.0)).collect();
         let shifted: Vec<WeightedPoint> =
             points.iter().map(|&(x, y)| WeightedPoint::new(x + dx, y, 1.0)).collect();
         if let (Ok(a), Ok(b)) = (LinearFit::fit(&base), LinearFit::fit(&shifted)) {
-            prop_assert!((a.slope - b.slope).abs() < 1e-6 * a.slope.abs().max(1.0),
-                "slope changed under translation: {} vs {}", a.slope, b.slope);
+            assert!(
+                (a.slope - b.slope).abs() < 1e-6 * a.slope.abs().max(1.0),
+                "slope changed under translation: {} vs {}",
+                a.slope,
+                b.slope
+            );
         }
-    }
+    });
+}
 
-    /// The residual-orthogonality property of weighted least squares:
-    /// Σ wᵢ rᵢ = 0 and Σ wᵢ rᵢ xᵢ = 0.
-    #[test]
-    fn wlr_residuals_are_weight_orthogonal(
-        points in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0, 0.1f64..5.0), 3..30),
-    ) {
+/// The residual-orthogonality property of weighted least squares:
+/// Σ wᵢ rᵢ = 0 and Σ wᵢ rᵢ xᵢ = 0.
+#[test]
+fn wlr_residuals_are_weight_orthogonal() {
+    check("wlr_residuals_are_weight_orthogonal", |src| {
+        let points = src
+            .vec_of(3, 29, |s| (s.f64_in(-50.0, 50.0), s.f64_in(-50.0, 50.0), s.f64_in(0.1, 5.0)));
         let pts: Vec<WeightedPoint> =
             points.iter().map(|&(x, y, w)| WeightedPoint::new(x, y, w)).collect();
         if let Ok(fit) = LinearFit::fit(&pts) {
             let r0: f64 = pts.iter().map(|p| p.weight * (p.y - fit.predict(p.x))).sum();
             let r1: f64 = pts.iter().map(|p| p.weight * p.x * (p.y - fit.predict(p.x))).sum();
             let scale: f64 = pts.iter().map(|p| p.weight * p.y.abs()).sum::<f64>().max(1.0);
-            prop_assert!(r0.abs() < 1e-7 * scale, "Σwr = {r0}");
-            prop_assert!(r1.abs() < 1e-5 * scale * 100.0, "Σwrx = {r1}");
+            assert!(r0.abs() < 1e-7 * scale, "Σwr = {r0}");
+            assert!(r1.abs() < 1e-5 * scale * 100.0, "Σwrx = {r1}");
         }
-    }
+    });
+}
 
-    /// Criterion coherence: an accuracy criterion that reports `Attained`
-    /// really has metric ≥ threshold (higher-is-better) or ≤ (lower), and
-    /// `DeadlineMissed` really is past the deadline.
-    #[test]
-    fn accuracy_criterion_coherent(
-        threshold in 0.0f64..1.0,
-        value in 0.0f64..1.5,
-        deadline_s in 1u64..10_000,
-        elapsed_s in 0u64..20_000,
-        higher in any::<bool>(),
-    ) {
+/// Criterion coherence: an accuracy criterion that reports `Attained`
+/// really has metric ≥ threshold (higher-is-better) or ≤ (lower), and
+/// `DeadlineMissed` really is past the deadline.
+#[test]
+fn accuracy_criterion_coherent() {
+    check("accuracy_criterion_coherent", |src| {
+        let threshold = src.f64_in(0.0, 1.0);
+        let value = src.f64_in(0.0, 1.5);
+        let deadline_s = src.u64_in(1, 9_999);
+        let elapsed_s = src.u64_in(0, 19_999);
+        let higher = src.bool(0.5);
         let metric = if higher { Metric::Accuracy } else { Metric::Loss };
         let c = CompletionCriterion::Accuracy {
             metric: metric.clone(),
@@ -89,67 +98,79 @@ proptest! {
         match c.check(&state, None, SimTime::from_secs(elapsed_s)) {
             CriterionCheck::Attained => {
                 if higher {
-                    prop_assert!(value >= threshold);
+                    assert!(value >= threshold);
                 } else {
-                    prop_assert!(value <= threshold);
+                    assert!(value <= threshold);
                 }
             }
             CriterionCheck::DeadlineMissed => {
-                prop_assert!(elapsed_s >= deadline_s);
+                assert!(elapsed_s >= deadline_s);
                 if higher {
-                    prop_assert!(value < threshold);
+                    assert!(value < threshold);
                 } else {
-                    prop_assert!(value > threshold);
+                    assert!(value > threshold);
                 }
             }
             CriterionCheck::Continue => {
-                prop_assert!(elapsed_s < deadline_s);
+                assert!(elapsed_s < deadline_s);
             }
         }
-    }
+    });
+}
 
-    /// Convergence attainment implies the observed delta was within bounds.
-    #[test]
-    fn convergence_criterion_coherent(
-        delta in 0.0001f64..0.2,
-        prev_v in 0.0f64..1.0,
-        curr_v in 0.0f64..1.0,
-        epoch in 2u64..100,
-        max_epochs in 2u64..100,
-    ) {
+/// Convergence attainment implies the observed delta was within bounds.
+#[test]
+fn convergence_criterion_coherent() {
+    check("convergence_criterion_coherent", |src| {
+        let delta = src.f64_in(0.0001, 0.2);
+        let prev_v = src.f64_in(0.0, 1.0);
+        let curr_v = src.f64_in(0.0, 1.0);
+        let epoch = src.u64_in(2, 99);
+        let max_epochs = src.u64_in(2, 99);
         let c = CompletionCriterion::Convergence {
             metric: Metric::Accuracy,
             delta,
             deadline: Deadline::Epochs(max_epochs),
         };
-        let prev = IntermediateState { epoch: epoch - 1, at: SimTime::ZERO, metric_value: prev_v, progress: 0.0 };
-        let curr = IntermediateState { epoch, at: SimTime::ZERO, metric_value: curr_v, progress: 0.0 };
+        let prev = IntermediateState {
+            epoch: epoch - 1,
+            at: SimTime::ZERO,
+            metric_value: prev_v,
+            progress: 0.0,
+        };
+        let curr =
+            IntermediateState { epoch, at: SimTime::ZERO, metric_value: curr_v, progress: 0.0 };
         if c.check(&curr, Some(&prev), SimTime::ZERO) == CriterionCheck::Attained {
-            prop_assert!((curr_v - prev_v).abs() <= delta);
+            assert!((curr_v - prev_v).abs() <= delta);
         }
-    }
+    });
+}
 
-    /// scalar_similarity is symmetric, bounded, and 1 iff equal (positives).
-    #[test]
-    fn similarity_axioms(x in 0.001f64..1e9, y in 0.001f64..1e9) {
+/// scalar_similarity is symmetric, bounded, and 1 iff equal (positives).
+#[test]
+fn similarity_axioms() {
+    check("similarity_axioms", |src| {
+        let x = src.f64_in(0.001, 1e9);
+        let y = src.f64_in(0.001, 1e9);
         let s = scalar_similarity(x, y);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert!((s - scalar_similarity(y, x)).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&s));
+        assert!((s - scalar_similarity(y, x)).abs() < 1e-12);
         if (x - y).abs() < 1e-15 {
-            prop_assert!((s - 1.0).abs() < 1e-12);
+            assert!((s - 1.0).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    /// top_k returns scores in non-increasing order and at most k items.
-    #[test]
-    fn top_k_sorted_and_bounded(
-        items in proptest::collection::vec(0.0f64..1e6, 0..50),
-        k in 0usize..20,
-    ) {
+/// top_k returns scores in non-increasing order and at most k items.
+#[test]
+fn top_k_sorted_and_bounded() {
+    check("top_k_sorted_and_bounded", |src| {
+        let items = src.vec_of(0, 49, |s| s.f64_in(0.0, 1e6));
+        let k = src.usize_in(0, 19);
         let picked = top_k_by(&items, k, |&x| scalar_similarity(500.0, x));
-        prop_assert!(picked.len() <= k.min(items.len()));
+        assert!(picked.len() <= k.min(items.len()));
         for pair in picked.windows(2) {
-            prop_assert!(pair[0].1 >= pair[1].1);
+            assert!(pair[0].1 >= pair[1].1);
         }
-    }
+    });
 }

@@ -58,10 +58,7 @@ pub fn job_record(config: &TrainingConfig, curve: Vec<(f64, f64)>, epochs: u64) 
             (feature_keys::BATCH.to_string(), config.batch_size as f64),
             (feature_keys::LR.to_string(), config.learning_rate),
             (feature_keys::MEMORY_MB.to_string(), config.memory_mb() as f64),
-            (
-                feature_keys::PRETRAINED.to_string(),
-                if config.pretrained { 1.0 } else { 0.0 },
-            ),
+            (feature_keys::PRETRAINED.to_string(), if config.pretrained { 1.0 } else { 0.0 }),
         ]),
         curve,
         final_metric,
@@ -119,10 +116,7 @@ pub fn build_tee(
 /// TEE's headline query: estimated epochs for the job to reach `target`
 /// accuracy. `None` when the estimator cannot answer (no data) or the
 /// fitted curve never reaches the target.
-pub fn estimate_epochs_to_accuracy(
-    estimator: &JointCurveEstimator,
-    target: f64,
-) -> Option<u64> {
+pub fn estimate_epochs_to_accuracy(estimator: &JointCurveEstimator, target: f64) -> Option<u64> {
     match estimator.solve_for_x(target) {
         Ok(Some(epochs)) => Some(epochs.ceil().max(0.0) as u64),
         _ => None,
@@ -149,11 +143,7 @@ impl Tme {
     /// Predicts the job's peak GPU memory in MB from historical jobs on the
     /// same dataset, or `None` when no history exists (the caller falls
     /// back to a parameter-count heuristic).
-    pub fn estimate_mb(
-        &self,
-        config: &TrainingConfig,
-        history: &HistoryRepository,
-    ) -> Option<u64> {
+    pub fn estimate_mb(&self, config: &TrainingConfig, history: &HistoryRepository) -> Option<u64> {
         let dataset_tag = format!("dataset:{}", config.arch.dataset().name());
         let own_params = config.arch.profile().params_m;
         // "TME first retrieves all the data of historical jobs that use the
@@ -190,8 +180,8 @@ impl Tme {
     pub fn cold_start_mb(&self, config: &TrainingConfig) -> u64 {
         let p = config.arch.profile();
         let params_mb = p.params_m * 4.0 * (2.0 + config.optimizer.state_copies());
-        ((params_mb + 20.0 * config.batch_size as f64 + 600.0) * (1.0 + self.pad_fraction))
-            .ceil() as u64
+        ((params_mb + 20.0 * config.batch_size as f64 + 600.0) * (1.0 + self.pad_fraction)).ceil()
+            as u64
     }
 }
 
@@ -227,11 +217,7 @@ impl Ttr {
 
     /// The recorded epoch time of a job on *any* device (fastest record).
     pub fn any_epoch_time(&self, job: JobId) -> Option<SimTime> {
-        self.records
-            .iter()
-            .filter(|((j, _), _)| *j == job)
-            .map(|(_, &t)| t)
-            .min()
+        self.records.iter().filter(|((j, _), _)| *j == job).map(|(_, &t)| t).min()
     }
 
     /// Number of records held.

@@ -105,9 +105,7 @@ impl SuccessiveHalving {
                 .iter()
                 .map(|&config| DltJobSpec {
                     config,
-                    criterion: CompletionCriterion::Runtime {
-                        runtime: Deadline::Epochs(budget),
-                    },
+                    criterion: CompletionCriterion::Runtime { runtime: Deadline::Epochs(budget) },
                 })
                 .collect();
             let run = system.run(&specs, policy);
@@ -124,8 +122,7 @@ impl SuccessiveHalving {
                 .collect();
             results.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).unwrap());
 
-            let survivors =
-                if alive.len() == 1 { 1 } else { alive.len().div_ceil(self.eta) };
+            let survivors = if alive.len() == 1 { 1 } else { alive.len().div_ceil(self.eta) };
             rungs.push(RungSummary {
                 budget_epochs: budget,
                 candidates: alive.len(),
@@ -173,11 +170,7 @@ pub fn hyperband(
         let outcome = bracket.run(system, configs, policy);
         total_time += outcome.total_time;
         rungs.extend(outcome.rungs);
-        if best
-            .as_ref()
-            .map(|b| outcome.best.accuracy > b.accuracy)
-            .unwrap_or(true)
-        {
+        if best.as_ref().map(|b| outcome.best.accuracy > b.accuracy).unwrap_or(true) {
             best = Some(outcome.best);
         }
     }
@@ -218,10 +211,7 @@ mod tests {
         );
         // SGD's sweet spot is 0.01; the winner should be within a factor ~3.
         let lr = outcome.best.config.learning_rate;
-        assert!(
-            (0.003..=0.05).contains(&lr),
-            "winner lr {lr} far from the sweet spot"
-        );
+        assert!((0.003..=0.05).contains(&lr), "winner lr {lr} far from the sweet spot");
         assert!(outcome.best.accuracy > 0.5);
         // Rungs shrink and budgets grow.
         for pair in outcome.rungs.windows(2) {
@@ -263,11 +253,7 @@ mod tests {
     fn single_candidate_short_circuits() {
         let mut sys = system();
         let grid = lr_grid();
-        let outcome = SuccessiveHalving::default().run(
-            &mut sys,
-            &grid[..1],
-            DltPolicy::Srf,
-        );
+        let outcome = SuccessiveHalving::default().run(&mut sys, &grid[..1], DltPolicy::Srf);
         assert_eq!(outcome.rungs.len(), 1);
         assert_eq!(outcome.best.config, grid[0]);
     }
@@ -275,13 +261,8 @@ mod tests {
     #[test]
     fn hyperband_runs_multiple_brackets() {
         let mut sys = system();
-        let outcome = hyperband(
-            &mut sys,
-            &lr_grid(),
-            18,
-            3,
-            DltPolicy::Rotary(Objective::Efficiency),
-        );
+        let outcome =
+            hyperband(&mut sys, &lr_grid(), 18, 3, DltPolicy::Rotary(Objective::Efficiency));
         assert!(outcome.rungs.len() >= 2, "several rungs across brackets");
         assert!(outcome.best.accuracy > 0.4);
     }

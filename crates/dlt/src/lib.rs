@@ -21,8 +21,8 @@
 
 pub mod estimators;
 pub mod hpo;
-pub mod parse;
 pub mod models;
+pub mod parse;
 pub mod simulator;
 pub mod system;
 pub mod workload;

@@ -8,10 +8,8 @@
 //! NLP models on UD Treebank (LSTM/Bi-LSTM tagging) or the Large Movie
 //! Review dataset (BERT sentiment), as in Table II.
 
-use serde::{Deserialize, Serialize};
-
 /// Task family of a model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Domain {
     /// Computer vision (CIFAR-10).
     Vision,
@@ -20,7 +18,7 @@ pub enum Domain {
 }
 
 /// A dataset a job trains on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// 50 000 training images, 10 classes.
     Cifar10,
@@ -51,7 +49,7 @@ impl Dataset {
 }
 
 /// A model architecture from Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Architecture {
     Inception,
@@ -338,7 +336,7 @@ impl std::fmt::Display for Architecture {
 }
 
 /// Optimizers of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Optimizer {
     Sgd,
@@ -394,10 +392,8 @@ mod tests {
     #[test]
     fn zoo_covers_table_two() {
         assert_eq!(Architecture::ALL.len(), 18);
-        let nlp = Architecture::ALL
-            .iter()
-            .filter(|a| a.profile().domain == Domain::Language)
-            .count();
+        let nlp =
+            Architecture::ALL.iter().filter(|a| a.profile().domain == Domain::Language).count();
         assert_eq!(nlp, 3, "LSTM, Bi-LSTM, BERT");
     }
 
@@ -430,7 +426,12 @@ mod tests {
     #[test]
     fn pretrained_availability_matches_paper() {
         // "We also have pre-trained versions of BERT, VGG, and ResNet".
-        for a in [Architecture::Bert, Architecture::Vgg16, Architecture::ResNet18, Architecture::ResNet34] {
+        for a in [
+            Architecture::Bert,
+            Architecture::Vgg16,
+            Architecture::ResNet18,
+            Architecture::ResNet34,
+        ] {
             assert!(a.profile().pretrainable, "{a}");
         }
         assert!(!Architecture::LeNet.profile().pretrainable);

@@ -71,7 +71,10 @@ pub fn parse_train_statement(input: &str) -> Result<DltJobSpec> {
     };
     let arch = resolve_architecture(model_token).ok_or_else(|| {
         let known: Vec<&str> = Architecture::ALL.iter().map(|a| a.profile().name).collect();
-        parse_err(input, format!("unknown model {model_token:?}; known models: {}", known.join(", ")))
+        parse_err(
+            input,
+            format!("unknown model {model_token:?}; known models: {}", known.join(", ")),
+        )
     })?;
 
     let mut batch_size = match arch.profile().domain {
@@ -163,8 +166,9 @@ mod tests {
     #[test]
     fn parses_paper_fig4_examples() {
         // Middle example (ResNet-50 shrinks to our ResNet variants; use -34).
-        let s = parse_train_statement("TRAIN ResNet-34 ON CIFAR10 ACC DELTA 0.001 WITHIN 30 EPOCHS")
-            .unwrap();
+        let s =
+            parse_train_statement("TRAIN ResNet-34 ON CIFAR10 ACC DELTA 0.001 WITHIN 30 EPOCHS")
+                .unwrap();
         assert_eq!(s.config.arch, Architecture::ResNet34);
         assert!(matches!(s.criterion, CompletionCriterion::Convergence { .. }));
 

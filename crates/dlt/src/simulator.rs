@@ -15,10 +15,8 @@
 //! range from well-tuned runs to barely-learning ones. Pre-trained models
 //! (fine-tuning jobs) start high and converge in a handful of epochs.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rotary_core::SimTime;
-use rotary_sim::rng::sample_normal;
+use rotary_sim::rng::{sample_normal, Rng};
 
 use crate::models::{Architecture, Optimizer};
 
@@ -148,7 +146,7 @@ pub struct TrainingSim {
     config: TrainingConfig,
     epoch: u64,
     last_eval: f64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl TrainingSim {
@@ -158,7 +156,7 @@ impl TrainingSim {
             config,
             epoch: 0,
             last_eval: config.start_accuracy(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed).fork("eval-noise"),
         }
     }
 

@@ -15,16 +15,18 @@
 
 use rotary_core::criteria::{CompletionCriterion, CriterionCheck};
 use rotary_core::estimate::JointCurveEstimator;
-use rotary_core::policy::{JobSnapshot, Prioritizer, ThresholdPrioritizer};
 use rotary_core::history::HistoryRepository;
 use rotary_core::job::{IntermediateState, JobId, JobKind, JobState, JobStatus};
+use rotary_core::policy::{JobSnapshot, Prioritizer, ThresholdPrioritizer};
 use rotary_core::progress::Objective;
 use rotary_core::resources::GpuPoolSpec;
 use rotary_core::SimTime;
-use rotary_sim::{CheckpointModel, EventQueue, GpuPool, PlacementSpan, WorkloadMetrics, WorkloadSummary};
+use rotary_sim::{
+    CheckpointModel, EventQueue, GpuPool, PlacementSpan, WorkloadMetrics, WorkloadSummary,
+};
 
 use crate::estimators::{
-    build_tee, job_record, Component, OverheadMeter, Tme, Ttr,
+    build_tee, estimate_epochs_to_accuracy, job_record, Component, OverheadMeter, Tme, Ttr,
 };
 use crate::simulator::{TrainingSim, CUDA_WARMUP};
 use crate::workload::DltJobSpec;
@@ -125,8 +127,7 @@ impl DltRunResult {
         self.jobs
             .iter()
             .map(|(spec, state)| {
-                let epochs_at =
-                    state.history.iter().take_while(|s| s.at <= t).count() as u64;
+                let epochs_at = state.history.iter().take_while(|s| s.at <= t).count() as u64;
                 let acc_at = state
                     .history
                     .iter()
@@ -156,11 +157,8 @@ impl DltRunResult {
                             (epochs_at as f64 / (*budget).max(1) as f64).clamp(0.0, 1.0)
                         }
                         rotary_core::criteria::Deadline::Time(budget) => {
-                            let end = state
-                                .finished_at
-                                .map(|f| f.min(t))
-                                .unwrap_or(t)
-                                .as_secs_f64();
+                            let end =
+                                state.finished_at.map(|f| f.min(t)).unwrap_or(t).as_secs_f64();
                             (end / budget.as_secs_f64().max(1e-9)).clamp(0.0, 1.0)
                         }
                     },
@@ -261,17 +259,31 @@ impl DltSystem {
                     (now.as_secs_f64() / budget.as_secs_f64().max(1e-9)).clamp(0.0, 1.0)
                 }
             },
-            CompletionCriterion::Accuracy { threshold, .. } => {
-                // §V-B2: accuracy-oriented attainment progress is
-                // `current accuracy / completion criteria`. For the
-                // next-epoch estimate, predict the accuracy with TEE.
-                let acc = match observed_acc {
-                    Some(a) => a,
-                    None => meter.measure(Component::Tee, || {
-                        job.tee.predict(epochs as f64).unwrap_or(0.0)
-                    }),
-                };
-                (acc / threshold).clamp(0.0, 1.0)
+            CompletionCriterion::Accuracy { threshold, deadline, .. } => {
+                match observed_acc {
+                    // §V-B2: accuracy-oriented attainment progress is
+                    // `current accuracy / completion criteria`.
+                    Some(a) => (a / threshold).clamp(0.0, 1.0),
+                    // For the next-epoch estimate, measure the epoch
+                    // fraction of TEE's epochs-to-threshold answer. The
+                    // predicted-accuracy ratio saturates at 1.0 as soon
+                    // as the fitted curve crosses the threshold, so every
+                    // fast-converging job ties and the estimate drops out
+                    // of the efficiency ranking; the epoch fraction stays
+                    // ordered by estimated remaining work, which is what
+                    // mis-estimation must be able to distort (Fig. 11).
+                    None => {
+                        let e_max = deadline.epochs().unwrap_or(30).max(1);
+                        let e_hat = meter.measure(Component::Tee, || {
+                            estimate_epochs_to_accuracy(&job.tee, *threshold)
+                                .unwrap_or(e_max)
+                                .clamp(1, e_max)
+                        });
+                        // ê at or below the lookahead epoch means "attains
+                        // by then" — full estimated progress.
+                        (epochs as f64 / e_hat.max(epochs) as f64).clamp(0.0, 1.0)
+                    }
+                }
             }
             CompletionCriterion::Convergence { delta, deadline, .. } => {
                 let e_max = deadline.epochs().unwrap_or(30).max(1);
@@ -353,14 +365,30 @@ impl DltSystem {
         let mut makespan = SimTime::ZERO;
 
         // Initial arbitration at t = 0.
-        self.arbitrate(&mut jobs, SimTime::ZERO, &mut pool, &mut events, policy, &mut meter, &mut rr_cursor);
+        self.arbitrate(
+            &mut jobs,
+            SimTime::ZERO,
+            &mut pool,
+            &mut events,
+            policy,
+            &mut meter,
+            &mut rr_cursor,
+        );
 
         while let Some((now, Event::EpochDone(i))) = events.pop() {
             self.complete_epoch(&mut jobs[i], now, &mut pool, &mut metrics, &mut meter, &mut ttr);
             if jobs[i].core.status.is_terminal() {
                 makespan = makespan.max(now);
             }
-            self.arbitrate(&mut jobs, now, &mut pool, &mut events, policy, &mut meter, &mut rr_cursor);
+            self.arbitrate(
+                &mut jobs,
+                now,
+                &mut pool,
+                &mut events,
+                policy,
+                &mut meter,
+                &mut rr_cursor,
+            );
             metrics.record_snapshot(
                 now,
                 jobs.iter()
@@ -423,8 +451,7 @@ impl DltSystem {
         }
 
         let progress = Self::progress_at(job, epoch, Some(accuracy), now, meter);
-        let state =
-            IntermediateState { epoch, at: now, metric_value: accuracy, progress };
+        let state = IntermediateState { epoch, at: now, metric_value: accuracy, progress };
         let check = job.spec.criterion.check(&state, job.core.latest(), now);
         job.core.record_epoch(state, service);
 
@@ -444,12 +471,8 @@ impl DltSystem {
             Some(s) => {
                 job.core.finish(s, now);
                 // Archive: "all the completed jobs' information are stored".
-                let curve: Vec<(f64, f64)> = job
-                    .core
-                    .history
-                    .iter()
-                    .map(|s| (s.epoch as f64, s.metric_value))
-                    .collect();
+                let curve: Vec<(f64, f64)> =
+                    job.core.history.iter().map(|s| (s.epoch as f64, s.metric_value)).collect();
                 self.history.insert(job_record(&job.spec.config, curve, job.core.epochs_run));
             }
             None => job.core.status = JobStatus::Active,
@@ -704,16 +727,9 @@ mod tests {
         // minimum attainment progress; efficiency should have completed at
         // least as many jobs by the same (absolute) time.
         let t = SimTime::from_millis(fair.makespan.as_millis() / 4);
-        let min_fair = fair
-            .attainment_progress_at(t)
-            .into_iter()
-            .fold(f64::INFINITY, f64::min);
-        let min_eff =
-            eff.attainment_progress_at(t).into_iter().fold(f64::INFINITY, f64::min);
-        assert!(
-            min_fair >= min_eff,
-            "fairness min progress {min_fair} < efficiency {min_eff}"
-        );
+        let min_fair = fair.attainment_progress_at(t).into_iter().fold(f64::INFINITY, f64::min);
+        let min_eff = eff.attainment_progress_at(t).into_iter().fold(f64::INFINITY, f64::min);
+        assert!(min_fair >= min_eff, "fairness min progress {min_fair} < efficiency {min_eff}");
         assert!(eff.attained_by(t) >= fair.attained_by(t));
     }
 
@@ -759,10 +775,8 @@ mod tests {
     fn fig11_jobs_complete_under_both_estimation_regimes() {
         // The paper contends eight jobs; two devices keep the queue deep
         // enough that rank position translates into placement delay.
-        let contended = || DltSystemConfig {
-            pool: GpuPoolSpec::homogeneous(2, 8 * 1024),
-            ..quick()
-        };
+        let contended =
+            || DltSystemConfig { pool: GpuPoolSpec::homogeneous(2, 8 * 1024), ..quick() };
         let specs = fig11_microbenchmark();
         // Reliable estimation: history contains everything.
         let mut good = DltSystem::new(contended());
@@ -771,9 +785,7 @@ mod tests {
         // Erroneous estimation: NLP history stripped.
         let mut bad = DltSystem::new(contended());
         bad.prepopulate_history(&specs, 31);
-        bad.history_mut().remove_where(|r| {
-            r.label.contains("LSTM") || r.label.contains("BERT")
-        });
+        bad.history_mut().remove_where(|r| r.label.contains("LSTM") || r.label.contains("BERT"));
         let without = bad.run(&specs, DltPolicy::Rotary(Objective::Efficiency));
         for r in [&with, &without] {
             assert!(r.jobs.iter().all(|(_, s)| s.status.is_terminal()));
@@ -781,10 +793,8 @@ mod tests {
         // The NLP jobs (indices 4, 5, 6) finish no later under reliable
         // estimation.
         let finish = |r: &DltRunResult, i: usize| r.jobs[i].1.finished_at.unwrap();
-        let avg_with: u64 =
-            (4..=6).map(|i| finish(&with, i).as_millis()).sum::<u64>() / 3;
-        let avg_without: u64 =
-            (4..=6).map(|i| finish(&without, i).as_millis()).sum::<u64>() / 3;
+        let avg_with: u64 = (4..=6).map(|i| finish(&with, i).as_millis()).sum::<u64>() / 3;
+        let avg_without: u64 = (4..=6).map(|i| finish(&without, i).as_millis()).sum::<u64>() / 3;
         assert!(
             avg_with <= avg_without,
             "reliable estimation should finish NLP jobs earlier: {avg_with} vs {avg_without}"

@@ -8,17 +8,15 @@
 //! from their spaces; pre-trained (fine-tuning) jobs draw from the shorter
 //! runtime space.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rotary_core::criteria::{CompletionCriterion, Deadline, Metric};
+use rotary_sim::rng::Rng;
 
 use crate::models::{Architecture, Optimizer, LEARNING_RATES};
 use crate::simulator::TrainingConfig;
 
 /// Table II convergence-criterion deltas (accuracy change per epoch).
-pub const CONVERGENCE_DELTAS: [f64; 12] = [
-    0.05, 0.03, 0.01, 0.005, 0.003, 0.001, 0.0005, 0.0003, 0.0001, 0.00005, 0.00003, 0.00001,
-];
+pub const CONVERGENCE_DELTAS: [f64; 12] =
+    [0.05, 0.03, 0.01, 0.005, 0.003, 0.001, 0.0005, 0.0003, 0.0001, 0.00005, 0.00003, 0.00001];
 
 /// Table II accuracy-criterion targets.
 pub const ACCURACY_TARGETS: [f64; 12] =
@@ -65,8 +63,7 @@ pub struct CriteriaMix {
 
 impl CriteriaMix {
     /// Table II's survey mix: 60 / 20 / 20.
-    pub const PAPER: CriteriaMix =
-        CriteriaMix { convergence: 0.6, accuracy: 0.2, runtime: 0.2 };
+    pub const PAPER: CriteriaMix = CriteriaMix { convergence: 0.6, accuracy: 0.2, runtime: 0.2 };
 }
 
 /// Generates Table II workloads.
@@ -89,12 +86,7 @@ impl DltWorkloadBuilder {
     /// survey scale — with the 60/20/20 mix; a third of the jobs on
     /// pre-trainable architectures fine-tune).
     pub fn paper() -> DltWorkloadBuilder {
-        DltWorkloadBuilder {
-            jobs: 32,
-            mix: CriteriaMix::PAPER,
-            pretrained_fraction: 0.33,
-            seed: 0,
-        }
+        DltWorkloadBuilder { jobs: 32, mix: CriteriaMix::PAPER, pretrained_fraction: 0.33, seed: 0 }
     }
 
     /// Sets the job count.
@@ -120,18 +112,17 @@ impl DltWorkloadBuilder {
     /// Builds the workload. All jobs are submitted at time zero (the
     /// paper's DLT evaluation has no arrival process).
     pub fn build(&self) -> Vec<DltJobSpec> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xd17);
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0xd17).fork("dlt-workload");
         (0..self.jobs).map(|_| self.sample_job(&mut rng)).collect()
     }
 
-    fn sample_job(&self, rng: &mut StdRng) -> DltJobSpec {
+    fn sample_job(&self, rng: &mut Rng) -> DltJobSpec {
         let arch = Architecture::ALL[rng.gen_range(0..Architecture::ALL.len())];
         let batches = arch.batch_sizes();
         let batch_size = batches[rng.gen_range(0..batches.len())];
         let optimizer = Optimizer::ALL[rng.gen_range(0..Optimizer::ALL.len())];
         let learning_rate = LEARNING_RATES[rng.gen_range(0..LEARNING_RATES.len())];
-        let pretrained =
-            arch.profile().pretrainable && rng.gen_bool(self.pretrained_fraction);
+        let pretrained = arch.profile().pretrainable && rng.gen_bool(self.pretrained_fraction);
         let config = TrainingConfig { arch, batch_size, optimizer, learning_rate, pretrained };
 
         let x: f64 = rng.gen_range(0.0..1.0);
@@ -160,7 +151,7 @@ impl DltWorkloadBuilder {
     /// Maximum epochs, excluding the degenerate 1-epoch deadline for
     /// from-scratch convergence jobs (a convergence check needs two
     /// observations).
-    fn sample_max_epochs(&self, rng: &mut StdRng) -> u64 {
+    fn sample_max_epochs(&self, rng: &mut Rng) -> u64 {
         loop {
             let e = MAX_EPOCHS[rng.gen_range(0..MAX_EPOCHS.len())];
             if e >= 2 {

@@ -78,8 +78,7 @@ impl Accumulator {
             max: f64::NEG_INFINITY,
             mean: 0.0,
             m2: 0.0,
-            distinct: matches!(func, AggFunc::CountDistinct)
-                .then(std::collections::HashSet::new),
+            distinct: matches!(func, AggFunc::CountDistinct).then(std::collections::HashSet::new),
         }
     }
 
@@ -187,9 +186,10 @@ impl AggState {
     #[inline]
     pub fn update(&mut self, key: &[i64], values: &[f64]) {
         debug_assert_eq!(values.len(), self.funcs.len());
-        let accs = self.groups.entry(key.to_vec()).or_insert_with(|| {
-            self.funcs.iter().map(|&f| Accumulator::new(f)).collect()
-        });
+        let accs = self
+            .groups
+            .entry(key.to_vec())
+            .or_insert_with(|| self.funcs.iter().map(|&f| Accumulator::new(f)).collect());
         for (acc, &v) in accs.iter_mut().zip(values) {
             acc.update(v);
         }

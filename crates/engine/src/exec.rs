@@ -48,12 +48,7 @@ impl IndexCache {
             .clone()
     }
 
-    fn composite_index(
-        &mut self,
-        table: &Table,
-        key_a: &str,
-        key_b: &str,
-    ) -> CompositeIndex {
+    fn composite_index(&mut self, table: &Table, key_a: &str, key_b: &str) -> CompositeIndex {
         self.composite
             .entry((table.name().to_string(), key_a.to_string(), key_b.to_string()))
             .or_insert_with(|| {
@@ -287,9 +282,7 @@ impl<'a> Binder<'a> {
                 BoundPred::DateRange { slot, col: c, lo: *lo, hi: *hi }
             }
             Pred::CatEq { col, value } => self.cat_mask(col, |s| s == value)?,
-            Pred::CatIn { col, values } => {
-                self.cat_mask(col, |s| values.iter().any(|v| v == s))?
-            }
+            Pred::CatIn { col, values } => self.cat_mask(col, |s| values.iter().any(|v| v == s))?,
             Pred::CatPrefix { col, prefix } => self.cat_mask(col, |s| s.starts_with(prefix))?,
             Pred::CatContains { col, substr } => self.cat_mask(col, |s| s.contains(substr))?,
             Pred::RefCmp { a, op, b } => {
@@ -688,8 +681,7 @@ mod tests {
         assert!(Executor::bind(&plan, &d, &mut cache).unwrap_err().contains("unknown fact table"));
 
         let mut plan = q6ish();
-        plan.filter =
-            Pred::IntRange { col: ColRef::fact("nonexistent"), lo: 0, hi: 1 };
+        plan.filter = Pred::IntRange { col: ColRef::fact("nonexistent"), lo: 0, hi: 1 };
         assert!(Executor::bind(&plan, &d, &mut cache).unwrap_err().contains("no column"));
 
         let mut plan = q6ish();

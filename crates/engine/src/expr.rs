@@ -75,7 +75,10 @@ impl Expr {
     pub fn revenue() -> Expr {
         Expr::Mul(
             Box::new(Expr::Col(ColRef::fact("l_extendedprice"))),
-            Box::new(Expr::Sub(Box::new(Expr::Lit(1.0)), Box::new(Expr::Col(ColRef::fact("l_discount"))))),
+            Box::new(Expr::Sub(
+                Box::new(Expr::Lit(1.0)),
+                Box::new(Expr::Col(ColRef::fact("l_discount"))),
+            )),
         )
     }
 
@@ -233,10 +236,7 @@ mod tests {
     fn revenue_expression_shape() {
         let mut cols = Vec::new();
         Expr::revenue().referenced_columns(&mut cols);
-        assert_eq!(
-            cols,
-            vec![ColRef::fact("l_extendedprice"), ColRef::fact("l_discount")]
-        );
+        assert_eq!(cols, vec![ColRef::fact("l_extendedprice"), ColRef::fact("l_discount")]);
     }
 
     #[test]

@@ -120,9 +120,7 @@ fn lookup_column<'a>(
 ) -> Option<&'a rotary_tpch::Column> {
     let table_name = match &col_ref.alias {
         None => plan.fact.as_str(),
-        Some(alias) => {
-            &plan.joins.iter().find(|j| &j.alias == alias)?.table
-        }
+        Some(alias) => &plan.joins.iter().find(|j| &j.alias == alias)?.table,
     };
     data.table(table_name)?.column(&col_ref.column)
 }
@@ -191,9 +189,7 @@ mod tests {
         let batch = data.lineitem.rows() / 100;
         let avg_of = |class: crate::plan::QueryClass| {
             let ids = QueryId::of_class(class);
-            ids.iter()
-                .map(|&id| estimate_memory_mb(&query(id), &data, batch) as f64)
-                .sum::<f64>()
+            ids.iter().map(|&id| estimate_memory_mb(&query(id), &data, batch) as f64).sum::<f64>()
                 / ids.len() as f64
         };
         let light = avg_of(crate::plan::QueryClass::Light);

@@ -136,9 +136,7 @@ impl<'a> OnlineAggregation<'a> {
     fn accuracy_of(&self, values: &[Option<f64>]) -> f64 {
         let total_weight: f64 = self.weights.iter().sum();
         let mut acc = 0.0;
-        for ((current, truth), w) in
-            values.iter().zip(&self.ground_truth).zip(&self.weights)
-        {
+        for ((current, truth), w) in values.iter().zip(&self.ground_truth).zip(&self.weights) {
             acc += w * column_accuracy(*current, *truth);
         }
         acc / total_weight
@@ -234,8 +232,7 @@ mod tests {
         let (data, mut cache) = setup();
         let plan = query(QueryId(1));
         let truth = compute_ground_truth(&plan, &data, &mut cache).unwrap();
-        let mut oa =
-            OnlineAggregation::new(&plan, &data, &mut cache, truth, 9, 1000).unwrap();
+        let mut oa = OnlineAggregation::new(&plan, &data, &mut cache, truth, 9, 1000).unwrap();
 
         let mut last_report = None;
         let mut accuracies = Vec::new();
@@ -263,7 +260,7 @@ mod tests {
         let mut oa =
             OnlineAggregation::new(&plan, &data, &mut cache, truth.clone(), 10, 1000).unwrap();
         let report = oa.process_epoch(3).unwrap(); // ~10% of ~31k rows
-        // Column 4 is avg_qty.
+                                                   // Column 4 is avg_qty.
         let avg_now = report.values[4].unwrap();
         let avg_truth = truth[4].unwrap();
         assert!((avg_now / avg_truth - 1.0).abs() < 0.05, "{avg_now} vs {avg_truth}");
@@ -286,8 +283,7 @@ mod tests {
         let (data, mut cache) = setup();
         let plan = query(QueryId(14)); // promo_revenue + total_revenue
         let truth = compute_ground_truth(&plan, &data, &mut cache).unwrap();
-        let mut oa =
-            OnlineAggregation::new(&plan, &data, &mut cache, truth, 4, 500).unwrap();
+        let mut oa = OnlineAggregation::new(&plan, &data, &mut cache, truth, 4, 500).unwrap();
         oa.process_epoch(2).unwrap();
         let balanced = oa.current_accuracy();
         oa.set_column_weights(vec![0.0, 1.0]);
@@ -301,9 +297,8 @@ mod tests {
     fn ground_truth_arity_is_checked() {
         let (data, mut cache) = setup();
         let plan = query(QueryId(6));
-        let err =
-            OnlineAggregation::new(&plan, &data, &mut cache, vec![Some(1.0); 5], 1, 100)
-                .unwrap_err();
+        let err = OnlineAggregation::new(&plan, &data, &mut cache, vec![Some(1.0); 5], 1, 100)
+            .unwrap_err();
         assert!(err.contains("ground truth"));
     }
 
@@ -312,8 +307,7 @@ mod tests {
         let (data, mut cache) = setup();
         let plan = query(QueryId(22)); // fact = customer (small)
         let truth = compute_ground_truth(&plan, &data, &mut cache).unwrap();
-        let mut oa =
-            OnlineAggregation::new(&plan, &data, &mut cache, truth, 2, 10_000).unwrap();
+        let mut oa = OnlineAggregation::new(&plan, &data, &mut cache, truth, 2, 10_000).unwrap();
         assert!(oa.process_epoch(1000).is_some());
         assert!(oa.is_exhausted());
         assert!(oa.process_epoch(1).is_none());

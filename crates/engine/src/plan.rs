@@ -125,7 +125,10 @@ impl QueryPlan {
                 return Err(format!("{}: duplicate join alias {}", self.label, edge.alias));
             }
             if edge.fk.len() != edge.pk.len() || edge.fk.is_empty() {
-                return Err(format!("{}: join {} has mismatched key arity", self.label, edge.alias));
+                return Err(format!(
+                    "{}: join {} has mismatched key arity",
+                    self.label, edge.alias
+                ));
             }
             for fk in &edge.fk {
                 if let Some(alias) = &fk.alias {
@@ -147,7 +150,10 @@ impl QueryPlan {
             }
         }
         if self.aggregates.is_empty() {
-            return Err(format!("{}: a progressive query needs at least one aggregate", self.label));
+            return Err(format!(
+                "{}: a progressive query needs at least one aggregate",
+                self.label
+            ));
         }
         Ok(())
     }

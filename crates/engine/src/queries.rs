@@ -90,10 +90,7 @@ pub fn query(id: QueryId) -> QueryPlan {
                     "sum_charge",
                     Expr::Mul(
                         Box::new(Expr::revenue()),
-                        Box::new(Expr::Add(
-                            Box::new(Expr::Lit(1.0)),
-                            Box::new(col(fact("l_tax"))),
-                        )),
+                        Box::new(Expr::Add(Box::new(Expr::Lit(1.0)), Box::new(col(fact("l_tax"))))),
                     ),
                 ),
                 avg("avg_qty", col(fact("l_quantity"))),
@@ -283,10 +280,7 @@ pub fn query(id: QueryId) -> QueryPlan {
                     lo: date(1995, 1, 1),
                     hi: date(1997, 1, 1),
                 },
-                Pred::CatEq {
-                    col: via("p", "p_type"),
-                    value: "ECONOMY ANODIZED STEEL".into(),
-                },
+                Pred::CatEq { col: via("p", "p_type"), value: "ECONOMY ANODIZED STEEL".into() },
             ]),
             group_by: vec![GroupKey::Year(via("o", "o_orderdate"))],
             aggregates: vec![
@@ -395,10 +389,7 @@ pub fn query(id: QueryId) -> QueryPlan {
             fact: "lineitem".into(),
             joins: vec![JoinEdge::new("o", "orders", fact("l_orderkey"), "o_orderkey")],
             filter: Pred::And(vec![
-                Pred::CatIn {
-                    col: fact("l_shipmode"),
-                    values: vec!["MAIL".into(), "SHIP".into()],
-                },
+                Pred::CatIn { col: fact("l_shipmode"), values: vec!["MAIL".into(), "SHIP".into()] },
                 Pred::RefCmp { a: fact("l_commitdate"), op: CmpOp::Lt, b: fact("l_receiptdate") },
                 Pred::RefCmp { a: fact("l_shipdate"), op: CmpOp::Lt, b: fact("l_commitdate") },
                 Pred::DateRange {
@@ -439,7 +430,10 @@ pub fn query(id: QueryId) -> QueryPlan {
                 value: "1-URGENT".into(),
             })),
             group_by: vec![GroupKey::Raw(via("c", "c_mktsegment"))],
-            aggregates: vec![AggSpec::count("order_count"), avg("avg_price", col(fact("o_totalprice")))],
+            aggregates: vec![
+                AggSpec::count("order_count"),
+                avg("avg_price", col(fact("o_totalprice"))),
+            ],
             class: QueryClass::Light,
         },
         // q14 — promotion effect. Faithful: conditional promo revenue over
@@ -504,18 +498,11 @@ pub fn query(id: QueryId) -> QueryPlan {
                     col: via("p", "p_type"),
                     prefix: "MEDIUM POLISHED".into(),
                 })),
-                Pred::IntIn {
-                    col: via("p", "p_size"),
-                    values: vec![49, 14, 23, 45, 19, 3, 36, 9],
-                },
+                Pred::IntIn { col: via("p", "p_size"), values: vec![49, 14, 23, 45, 19, 3, 36, 9] },
             ]),
             group_by: vec![GroupKey::Raw(via("p", "p_brand"))],
             aggregates: vec![
-                AggSpec::new(
-                    "supplier_cnt",
-                    AggFunc::CountDistinct,
-                    col(fact("ps_suppkey")),
-                ),
+                AggSpec::new("supplier_cnt", AggFunc::CountDistinct, col(fact("ps_suppkey"))),
                 AggSpec::count("pairs"),
             ],
             class: QueryClass::Light,
@@ -551,11 +538,7 @@ pub fn query(id: QueryId) -> QueryPlan {
                 JoinEdge::new("o", "orders", fact("l_orderkey"), "o_orderkey"),
                 JoinEdge::new("c", "customer", via("o", "o_custkey"), "c_custkey"),
             ],
-            filter: Pred::FloatRange {
-                col: via("o", "o_totalprice"),
-                lo: 400_000.0,
-                hi: f64::MAX,
-            },
+            filter: Pred::FloatRange { col: via("o", "o_totalprice"), lo: 400_000.0, hi: f64::MAX },
             group_by: vec![GroupKey::Raw(via("c", "c_mktsegment"))],
             aggregates: vec![
                 sum("sum_qty", col(fact("l_quantity"))),
@@ -568,17 +551,18 @@ pub fn query(id: QueryId) -> QueryPlan {
         // brand/container/quantity/size with the shared shipmode/instruct
         // conditions.
         19 => {
-            let branch = |brand: &str, containers: &[&str], qty_lo: i64, qty_hi: i64, size_hi: i64| {
-                Pred::And(vec![
-                    Pred::CatEq { col: via("p", "p_brand"), value: brand.into() },
-                    Pred::CatIn {
-                        col: via("p", "p_container"),
-                        values: containers.iter().map(|s| s.to_string()).collect(),
-                    },
-                    Pred::IntRange { col: fact("l_quantity"), lo: qty_lo, hi: qty_hi },
-                    Pred::IntRange { col: via("p", "p_size"), lo: 1, hi: size_hi },
-                ])
-            };
+            let branch =
+                |brand: &str, containers: &[&str], qty_lo: i64, qty_hi: i64, size_hi: i64| {
+                    Pred::And(vec![
+                        Pred::CatEq { col: via("p", "p_brand"), value: brand.into() },
+                        Pred::CatIn {
+                            col: via("p", "p_container"),
+                            values: containers.iter().map(|s| s.to_string()).collect(),
+                        },
+                        Pred::IntRange { col: fact("l_quantity"), lo: qty_lo, hi: qty_hi },
+                        Pred::IntRange { col: via("p", "p_size"), lo: 1, hi: size_hi },
+                    ])
+                };
             QueryPlan {
                 label: "q19".into(),
                 fact: "lineitem".into(),
@@ -588,13 +572,16 @@ pub fn query(id: QueryId) -> QueryPlan {
                         col: fact("l_shipmode"),
                         values: vec!["AIR".into(), "REG AIR".into()],
                     },
-                    Pred::CatEq {
-                        col: fact("l_shipinstruct"),
-                        value: "DELIVER IN PERSON".into(),
-                    },
+                    Pred::CatEq { col: fact("l_shipinstruct"), value: "DELIVER IN PERSON".into() },
                     Pred::Or(vec![
                         branch("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5),
-                        branch("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10),
+                        branch(
+                            "Brand#23",
+                            &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                            10,
+                            20,
+                            10,
+                        ),
                         branch("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15),
                     ]),
                 ]),
@@ -645,7 +632,10 @@ pub fn query(id: QueryId) -> QueryPlan {
                 Pred::RefCmp { a: fact("l_commitdate"), op: CmpOp::Lt, b: fact("l_receiptdate") },
             ]),
             group_by: vec![],
-            aggregates: vec![AggSpec::count("numwait"), avg("avg_delay_qty", col(fact("l_quantity")))],
+            aggregates: vec![
+                AggSpec::count("numwait"),
+                avg("avg_delay_qty", col(fact("l_quantity"))),
+            ],
             class: QueryClass::Heavy,
         },
         // q22 — global sales opportunity. Simplified: the "has no orders"
@@ -657,17 +647,11 @@ pub fn query(id: QueryId) -> QueryPlan {
             fact: "customer".into(),
             joins: vec![],
             filter: Pred::And(vec![
-                Pred::IntIn {
-                    col: fact("c_phone_cc"),
-                    values: vec![13, 31, 23, 29, 30, 18, 17],
-                },
+                Pred::IntIn { col: fact("c_phone_cc"), values: vec![13, 31, 23, 29, 30, 18, 17] },
                 Pred::FloatRange { col: fact("c_acctbal"), lo: 0.0, hi: f64::MAX },
             ]),
             group_by: vec![GroupKey::Raw(fact("c_phone_cc"))],
-            aggregates: vec![
-                AggSpec::count("numcust"),
-                sum("totacctbal", col(fact("c_acctbal"))),
-            ],
+            aggregates: vec![AggSpec::count("numcust"), sum("totacctbal", col(fact("c_acctbal")))],
             class: QueryClass::Light,
         },
         other => panic!("TPC-H has queries 1..=22, got q{other}"),
@@ -739,11 +723,7 @@ mod tests {
             let mut exec = Executor::bind(&plan, &data, &mut cache).unwrap();
             let stats = exec.process_all();
             if plan.label != "q19" && plan.label != "q9" {
-                assert!(
-                    stats.rows_aggregated > 0,
-                    "{} aggregated no rows at SF 0.01",
-                    plan.label
-                );
+                assert!(stats.rows_aggregated > 0, "{} aggregated no rows at SF 0.01", plan.label);
             }
         }
     }

@@ -14,28 +14,40 @@ use rotary_tpch::Generator;
 #[test]
 fn all_query_ground_truths_are_pinned() {
     let golden: Vec<(u8, Vec<Option<f64>>)> = vec![
-        (1, vec![Some(761130.0), Some(1065340620.0800016), Some(1012042017.5995984), Some(1052714733.7779067), Some(25.69822405294078), Some(35969.363903032), Some(0.049948004591800446), Some(29618.0)]),
-        (2, vec![None, None, Some(0.0)]),
-        (3, vec![Some(4694802.6573), Some(145.0)]),
-        (4, vec![Some(784.0)]),
-        (5, vec![Some(964420.4909999999)]),
-        (6, vec![Some(573262.6896999998)]),
-        (7, vec![Some(996200.6272)]),
-        (8, vec![Some(0.0), Some(299532.177)]),
-        (9, vec![Some(9915278.961467322)]),
-        (10, vec![Some(17590004.574200004), Some(522.0)]),
-        (11, vec![Some(170958702.4779732), Some(80.0)]),
-        (12, vec![Some(67.0), Some(92.0)]),
-        (13, vec![Some(6051.0), Some(142048.3455336273)]),
-        (14, vec![Some(2246844.9486999996), Some(13904173.79500001)]),
-        (15, vec![Some(38426428.6989), Some(1099.0)]),
-        (16, vec![Some(50.0), Some(640.0)]),
-        (17, vec![Some(14695.44), Some(2.0), Some(4.0)]),
-        (18, vec![Some(1357.0), Some(14634367.532889998), Some(35.0)]),
+        (
+            1,
+            vec![
+                Some(758347.0),
+                Some(1060775567.8600011),
+                Some(1008158671.1752982),
+                Some(1048854812.6058294),
+                Some(25.4547193877551),
+                Some(35606.05423805052),
+                Some(0.04967642320085744),
+                Some(29792.0),
+            ],
+        ),
+        (2, vec![Some(333.74536694960784), Some(3688.555485418526), Some(4.0)]),
+        (3, vec![Some(5692693.854200003), Some(168.0)]),
+        (4, vec![Some(677.0)]),
+        (5, vec![Some(1233009.5358)]),
+        (6, vec![Some(566796.2725000002)]),
+        (7, vec![Some(1853962.6945)]),
+        (8, vec![Some(0.0), Some(806846.9209)]),
+        (9, vec![Some(9516912.968295828)]),
+        (10, vec![Some(18172496.3198), Some(558.0)]),
+        (11, vec![Some(957030414.9548157), Some(400.0)]),
+        (12, vec![Some(64.0), Some(105.0)]),
+        (13, vec![Some(5966.0), Some(141713.92518234957)]),
+        (14, vec![Some(2910051.269799999), Some(14203119.377999995)]),
+        (15, vec![Some(39028800.0656), Some(1175.0)]),
+        (16, vec![Some(50.0), Some(604.0)]),
+        (17, vec![None, None, Some(0.0)]),
+        (18, vec![Some(2180.0), Some(23827000.797495004), Some(56.0)]),
         (19, vec![None]),
-        (20, vec![Some(81702.0), Some(585.947818055846), Some(17.0)]),
-        (21, vec![Some(539.0), Some(26.31539888682746)]),
-        (22, vec![Some(199.0), Some(951653.1170001578)]),
+        (20, vec![Some(246266.0), Some(562.4116378236146), Some(52.0)]),
+        (21, vec![Some(159.0), Some(25.49056603773585)]),
+        (22, vec![Some(181.0), Some(824112.8271941366)]),
     ];
     let data = Generator::new(424242, 0.005).generate();
     let mut cache = IndexCache::new();

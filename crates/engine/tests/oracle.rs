@@ -3,7 +3,7 @@
 //! queries. Any divergence in join resolution, predicate evaluation, or
 //! aggregate accounting shows up here.
 
-use proptest::prelude::*;
+use rotary_check::{check, Source};
 use rotary_engine::agg::{AggFunc, AggSpec};
 use rotary_engine::expr::{CmpOp, ColRef, Expr, Pred};
 use rotary_engine::plan::{GroupKey, JoinEdge, QueryClass, QueryPlan};
@@ -18,49 +18,54 @@ fn data() -> &'static TpchData {
 }
 
 /// Random fact-table predicates over lineitem columns.
-fn arb_fact_pred() -> impl Strategy<Value = Pred> {
-    let leaf = prop_oneof![
-        (1i64..=50, 0i64..=25).prop_map(|(lo, span)| Pred::IntRange {
-            col: ColRef::fact("l_quantity"),
-            lo,
-            hi: lo + span,
-        }),
-        (0u32..=8).prop_map(|c| Pred::FloatRange {
-            col: ColRef::fact("l_discount"),
-            lo: 0.0,
-            hi: c as f64 / 100.0,
-        }),
-        (0i32..2200, 1i32..500).prop_map(|(lo, span)| Pred::DateRange {
-            col: ColRef::fact("l_shipdate"),
-            lo,
-            hi: lo + span,
-        }),
-        prop_oneof![Just("R"), Just("A"), Just("N")].prop_map(|v| Pred::CatEq {
+fn arb_leaf(src: &mut Source) -> Pred {
+    match src.usize_in(0, 5) {
+        0 => {
+            let lo = src.i64_in(1, 50);
+            let span = src.i64_in(0, 25);
+            Pred::IntRange { col: ColRef::fact("l_quantity"), lo, hi: lo + span }
+        }
+        1 => {
+            let c = src.u32_in(0, 8);
+            Pred::FloatRange { col: ColRef::fact("l_discount"), lo: 0.0, hi: c as f64 / 100.0 }
+        }
+        2 => {
+            let lo = src.i64_in(0, 2199) as i32;
+            let span = src.i64_in(1, 499) as i32;
+            Pred::DateRange { col: ColRef::fact("l_shipdate"), lo, hi: lo + span }
+        }
+        3 => Pred::CatEq {
             col: ColRef::fact("l_returnflag"),
-            value: v.to_string(),
-        }),
-        proptest::collection::vec(
-            prop_oneof![Just("AIR"), Just("MAIL"), Just("SHIP"), Just("RAIL")],
-            1..3
-        )
-        .prop_map(|vs| Pred::CatIn {
-            col: ColRef::fact("l_shipmode"),
-            values: vs.into_iter().map(String::from).collect(),
-        }),
-        Just(Pred::RefCmp {
+            value: src.pick(&["R", "A", "N"]).to_string(),
+        },
+        4 => {
+            let values = src.vec_of(1, 2, |s| s.pick(&["AIR", "MAIL", "SHIP", "RAIL"]).to_string());
+            Pred::CatIn { col: ColRef::fact("l_shipmode"), values }
+        }
+        _ => Pred::RefCmp {
             a: ColRef::fact("l_commitdate"),
             op: CmpOp::Lt,
             b: ColRef::fact("l_receiptdate"),
-        }),
-    ];
-    // One combinator level is enough to hit the And/Or/Not paths.
-    leaf.clone().prop_recursive(2, 8, 3, move |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Pred::And),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Pred::Or),
-            inner.prop_map(|p| Pred::Not(Box::new(p))),
-        ]
-    })
+        },
+    }
+}
+
+/// One or two combinator levels over the leaves hit the And/Or/Not paths.
+fn arb_fact_pred(src: &mut Source, depth: usize) -> Pred {
+    if depth == 0 || src.bool(0.4) {
+        return arb_leaf(src);
+    }
+    match src.usize_in(0, 2) {
+        0 => {
+            let n = src.usize_in(1, 2);
+            Pred::And((0..n).map(|_| arb_fact_pred(src, depth - 1)).collect())
+        }
+        1 => {
+            let n = src.usize_in(1, 2);
+            Pred::Or((0..n).map(|_| arb_fact_pred(src, depth - 1)).collect())
+        }
+        _ => Pred::Not(Box::new(arb_fact_pred(src, depth - 1))),
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -70,19 +75,9 @@ enum Shape {
     OrdersCustomer,
 }
 
-fn arb_shape() -> impl Strategy<Value = Shape> {
-    prop_oneof![Just(Shape::NoJoin), Just(Shape::Orders), Just(Shape::OrdersCustomer)]
-}
+const SHAPES: [Shape; 3] = [Shape::NoJoin, Shape::Orders, Shape::OrdersCustomer];
 
-fn arb_agg() -> impl Strategy<Value = AggFunc> {
-    prop_oneof![
-        Just(AggFunc::Sum),
-        Just(AggFunc::Avg),
-        Just(AggFunc::Count),
-        Just(AggFunc::Min),
-        Just(AggFunc::Max),
-    ]
-}
+const AGGS: [AggFunc; 5] = [AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Min, AggFunc::Max];
 
 fn build_plan(shape: Shape, pred: Pred, agg: AggFunc, grouped: bool) -> QueryPlan {
     let joins = match shape {
@@ -108,11 +103,7 @@ fn build_plan(shape: Shape, pred: Pred, agg: AggFunc, grouped: bool) -> QueryPla
         fact: "lineitem".into(),
         joins,
         filter,
-        group_by: if grouped {
-            vec![GroupKey::Raw(ColRef::fact("l_returnflag"))]
-        } else {
-            vec![]
-        },
+        group_by: if grouped { vec![GroupKey::Raw(ColRef::fact("l_returnflag"))] } else { vec![] },
         aggregates: vec![
             AggSpec::new("agg", agg, Expr::Col(ColRef::fact("l_extendedprice"))),
             AggSpec::count("n"),
@@ -222,73 +213,78 @@ fn oracle(plan: &QueryPlan, data: &TpchData) -> (OracleGroups, u64) {
     (groups, total)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn executor_matches_oracle(
-        pred in arb_fact_pred(),
-        shape in arb_shape(),
-        agg in arb_agg(),
-        grouped in any::<bool>(),
-    ) {
-        let data = data();
-        let plan = build_plan(shape, pred, agg, grouped);
-        let mut cache = IndexCache::new();
-        let mut exec = Executor::bind(&plan, data, &mut cache).unwrap();
-        exec.process_all();
+fn assert_executor_matches_oracle(pred: Pred, shape: Shape, agg: AggFunc, grouped: bool) {
+    let data = data();
+    let plan = build_plan(shape, pred, agg, grouped);
+    let mut cache = IndexCache::new();
+    let mut exec = Executor::bind(&plan, data, &mut cache).unwrap();
+    exec.process_all();
 
-        let (oracle_groups, oracle_total) = oracle(&plan, data);
+    let (oracle_groups, oracle_total) = oracle(&plan, data);
 
-        // Row counts must agree exactly.
-        prop_assert_eq!(
-            exec.state().combined(1),
-            Some(oracle_total as f64),
-            "row count divergence"
+    // Row counts must agree exactly.
+    assert_eq!(exec.state().combined(1), Some(oracle_total as f64), "row count divergence");
+    // Group count must agree.
+    let expected_groups = if oracle_total == 0 { 0 } else { oracle_groups.len() };
+    assert_eq!(exec.state().group_count(), expected_groups);
+
+    // The first aggregate, combined across groups, must match the
+    // oracle's fold (within float tolerance for sums).
+    let oracle_value = {
+        let (sum, count, min, max) = oracle_groups.values().fold(
+            (0.0, 0u64, f64::INFINITY, f64::NEG_INFINITY),
+            |(s, c, lo, hi), &(gs, gc, glo, ghi)| (s + gs, c + gc, lo.min(glo), hi.max(ghi)),
         );
-        // Group count must agree.
-        let expected_groups = if oracle_total == 0 { 0 } else { oracle_groups.len() };
-        prop_assert_eq!(exec.state().group_count(), expected_groups);
-
-        // The first aggregate, combined across groups, must match the
-        // oracle's fold (within float tolerance for sums).
-        let oracle_value = {
-            let (sum, count, min, max) = oracle_groups.values().fold(
-                (0.0, 0u64, f64::INFINITY, f64::NEG_INFINITY),
-                |(s, c, lo, hi), &(gs, gc, glo, ghi)| {
-                    (s + gs, c + gc, lo.min(glo), hi.max(ghi))
-                },
-            );
-            if count == 0 {
-                // COUNT over empty input is 0, not NULL (the executor is
-                // right; earlier versions of this oracle said None here).
-                if agg == AggFunc::Count {
-                    Some(0.0)
-                } else {
-                    None
-                }
+        if count == 0 {
+            // COUNT over empty input is 0, not NULL (the executor is
+            // right; earlier versions of this oracle said None here).
+            if agg == AggFunc::Count {
+                Some(0.0)
             } else {
-                Some(match agg {
-                    AggFunc::Sum => sum,
-                    AggFunc::Avg => sum / count as f64,
-                    AggFunc::Count => count as f64,
-                    // arb_agg never generates CountDistinct (the oracle
-                    // would need per-group value sets); covered by unit
-                    // tests instead.
-                    AggFunc::CountDistinct => unreachable!(),
-                    AggFunc::Min => min,
-                    AggFunc::Max => max,
-                })
+                None
             }
-        };
-        match (exec.state().combined(0), oracle_value) {
-            (None, None) => {}
-            (Some(a), Some(b)) => {
-                prop_assert!(
-                    (a - b).abs() <= 1e-6 * b.abs().max(1.0),
-                    "aggregate divergence: {} vs {}", a, b
-                );
-            }
-            (a, b) => prop_assert!(false, "presence divergence: {a:?} vs {b:?}"),
+        } else {
+            Some(match agg {
+                AggFunc::Sum => sum,
+                AggFunc::Avg => sum / count as f64,
+                AggFunc::Count => count as f64,
+                // arb_agg never generates CountDistinct (the oracle
+                // would need per-group value sets); covered by unit
+                // tests instead.
+                AggFunc::CountDistinct => unreachable!(),
+                AggFunc::Min => min,
+                AggFunc::Max => max,
+            })
         }
+    };
+    match (exec.state().combined(0), oracle_value) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0), "aggregate divergence: {a} vs {b}");
+        }
+        (a, b) => panic!("presence divergence: {a:?} vs {b:?}"),
     }
+}
+
+#[test]
+fn executor_matches_oracle() {
+    check("executor_matches_oracle", |src| {
+        let pred = arb_fact_pred(src, 2);
+        let shape = *src.pick(&SHAPES);
+        let agg = *src.pick(&AGGS);
+        let grouped = src.bool(0.5);
+        assert_executor_matches_oracle(pred, shape, agg, grouped);
+    });
+}
+
+/// Former proptest regression seed (`oracle.proptest-regressions`): a
+/// shrunken empty-selectivity conjunction that once diverged, preserved as
+/// a named deterministic case.
+#[test]
+fn regression_empty_conjunction_count_no_join() {
+    let pred = Pred::And(vec![
+        Pred::DateRange { col: ColRef::fact("l_shipdate"), lo: 0, hi: 1 },
+        Pred::IntRange { col: ColRef::fact("l_quantity"), lo: 1, hi: 1 },
+    ]);
+    assert_executor_matches_oracle(pred, Shape::NoJoin, AggFunc::Count, false);
 }

@@ -6,15 +6,13 @@
 //! [`PoissonArrivals`] generates the former; all-at-once is just an arrival
 //! list of zeros.
 
-use crate::rng::sample_exponential;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::{sample_exponential, Rng};
 use rotary_core::SimTime;
 
 /// A Poisson arrival process over virtual time.
 #[derive(Debug, Clone)]
 pub struct PoissonArrivals {
-    rng: StdRng,
+    rng: Rng,
     mean_gap: f64,
     next: f64,
 }
@@ -23,8 +21,14 @@ impl PoissonArrivals {
     /// Creates a process whose inter-arrival gaps are exponential with the
     /// given mean (in virtual seconds). The first arrival is at time 0 + gap.
     pub fn new(seed: u64, mean_gap_secs: f64) -> Self {
+        Self::with_rng(Rng::seed_from_u64(seed), mean_gap_secs)
+    }
+
+    /// Creates a process drawing from an existing stream — typically a named
+    /// fork, e.g. `PoissonArrivals::with_rng(root.fork("arrivals"), 160.0)`.
+    pub fn with_rng(rng: Rng, mean_gap_secs: f64) -> Self {
         assert!(mean_gap_secs > 0.0, "mean inter-arrival time must be positive");
-        PoissonArrivals { rng: StdRng::seed_from_u64(seed), mean_gap: mean_gap_secs, next: 0.0 }
+        PoissonArrivals { rng, mean_gap: mean_gap_secs, next: 0.0 }
     }
 
     /// The paper's Table I configuration: mean arrival gap 160 seconds.

@@ -124,14 +124,10 @@ impl MaterializationManager {
             return Vec::new();
         };
         let mut evicted = Vec::new();
-        while self.resident_mb().saturating_add(needed_mb) > budget_mb
-            && !self.resident.is_empty()
+        while self.resident_mb().saturating_add(needed_mb) > budget_mb && !self.resident.is_empty()
         {
-            let (&victim, _) = self
-                .resident
-                .iter()
-                .max_by_key(|(_, &mb)| mb)
-                .expect("non-empty resident set");
+            let (&victim, _) =
+                self.resident.iter().max_by_key(|(_, &mb)| mb).expect("non-empty resident set");
             self.resident.remove(&victim);
             evicted.push(victim);
         }

@@ -10,11 +10,11 @@
 
 use rotary_core::error::{Result, RotaryError};
 use rotary_core::job::{JobId, JobState, JobStatus};
+use rotary_core::json::{self, Json};
 use rotary_core::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One contiguous occupancy of a resource by a job (a rectangle in Fig. 11).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacementSpan {
     /// The job occupying the resource.
     pub job: JobId,
@@ -29,9 +29,36 @@ pub struct PlacementSpan {
     pub attained_at_end: bool,
 }
 
+impl PlacementSpan {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("job", Json::Num(self.job.0 as f64)),
+            ("resource", Json::Str(self.resource.clone())),
+            ("start_ms", Json::Num(self.start.as_millis() as f64)),
+            ("end_ms", Json::Num(self.end.as_millis() as f64)),
+            ("attained_at_end", Json::Bool(self.attained_at_end)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> std::result::Result<PlacementSpan, String> {
+        let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field '{name}'"));
+        Ok(PlacementSpan {
+            job: JobId(field("job")?.as_u64().ok_or("'job' not an integer")?),
+            resource: field("resource")?.as_str().ok_or("'resource' not a string")?.to_string(),
+            start: SimTime::from_millis(
+                field("start_ms")?.as_u64().ok_or("'start_ms' not an integer")?,
+            ),
+            end: SimTime::from_millis(field("end_ms")?.as_u64().ok_or("'end_ms' not an integer")?),
+            attained_at_end: field("attained_at_end")?
+                .as_bool()
+                .ok_or("'attained_at_end' not a bool")?,
+        })
+    }
+}
+
 /// A point-in-time snapshot of every job's attainment progress — the raw
 /// series behind the Fig. 10 violins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgressSnapshot {
     /// Snapshot instant.
     pub at: SimTime,
@@ -40,8 +67,46 @@ pub struct ProgressSnapshot {
     pub progress: Vec<(JobId, f64)>,
 }
 
+impl ProgressSnapshot {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("at_ms", Json::Num(self.at.as_millis() as f64)),
+            (
+                "progress",
+                Json::Arr(
+                    self.progress
+                        .iter()
+                        .map(|&(job, p)| Json::Arr(vec![Json::Num(job.0 as f64), Json::Num(p)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> std::result::Result<ProgressSnapshot, String> {
+        let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field '{name}'"));
+        let progress = field("progress")?
+            .as_arr()
+            .ok_or("'progress' is not an array")?
+            .iter()
+            .map(|p| {
+                let pair =
+                    p.as_arr().filter(|a| a.len() == 2).ok_or("progress entry is not a pair")?;
+                match (pair[0].as_u64(), pair[1].as_f64()) {
+                    (Some(job), Some(phi)) => Ok((JobId(job), phi)),
+                    _ => Err("progress entry is not numeric".to_string()),
+                }
+            })
+            .collect::<std::result::Result<Vec<_>, String>>()?;
+        Ok(ProgressSnapshot {
+            at: SimTime::from_millis(field("at_ms")?.as_u64().ok_or("'at_ms' not an integer")?),
+            progress,
+        })
+    }
+}
+
 /// Trace collector for one simulated run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WorkloadMetrics {
     spans: Vec<PlacementSpan>,
     snapshots: Vec<ProgressSnapshot>,
@@ -81,11 +146,7 @@ impl WorkloadMetrics {
 
     /// Total busy time per resource label — a utilisation view.
     pub fn busy_time(&self, resource: &str) -> SimTime {
-        self.spans
-            .iter()
-            .filter(|s| s.resource == resource)
-            .map(|s| s.end - s.start)
-            .sum()
+        self.spans.iter().filter(|s| s.resource == resource).map(|s| s.end - s.start).sum()
     }
 
     /// Utilisation of a resource over `[0, horizon]`: busy time divided by
@@ -101,8 +162,7 @@ impl WorkloadMetrics {
 
     /// All distinct resource labels seen in the trace, sorted.
     pub fn resources(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.spans.iter().map(|s| s.resource.clone()).collect();
+        let mut names: Vec<String> = self.spans.iter().map(|s| s.resource.clone()).collect();
         names.sort();
         names.dedup();
         names
@@ -111,17 +171,40 @@ impl WorkloadMetrics {
     /// Serialises the full trace to pretty JSON (for external plotting of
     /// the Fig. 10 violins or the Fig. 11 Gantt charts).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self).map_err(|e| RotaryError::Persistence(e.to_string()))
+        let doc = Json::obj(vec![
+            ("spans", Json::Arr(self.spans.iter().map(PlacementSpan::to_json_value).collect())),
+            (
+                "snapshots",
+                Json::Arr(self.snapshots.iter().map(ProgressSnapshot::to_json_value).collect()),
+            ),
+        ]);
+        Ok(doc.to_pretty())
     }
 
     /// Restores a trace from JSON.
-    pub fn from_json(json: &str) -> Result<WorkloadMetrics> {
-        serde_json::from_str(json).map_err(|e| RotaryError::Persistence(e.to_string()))
+    pub fn from_json(text: &str) -> Result<WorkloadMetrics> {
+        let doc = json::parse(text).map_err(RotaryError::Persistence)?;
+        let arr = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| RotaryError::Persistence(format!("missing '{name}' array")))
+        };
+        let spans = arr("spans")?
+            .iter()
+            .map(PlacementSpan::from_json_value)
+            .collect::<std::result::Result<Vec<_>, String>>()
+            .map_err(RotaryError::Persistence)?;
+        let snapshots = arr("snapshots")?
+            .iter()
+            .map(ProgressSnapshot::from_json_value)
+            .collect::<std::result::Result<Vec<_>, String>>()
+            .map_err(RotaryError::Persistence)?;
+        Ok(WorkloadMetrics { spans, snapshots })
     }
 }
 
 /// Five-number summary of a progress distribution (one violin of Fig. 10).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Distribution {
     /// Smallest value.
     pub min: f64,
@@ -165,7 +248,7 @@ impl Distribution {
 }
 
 /// Condensed terminal-state statistics for one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSummary {
     /// Jobs that genuinely met their completion criteria.
     pub attained: usize,
@@ -272,7 +355,12 @@ mod tests {
     fn summary_counts_statuses() {
         let mut jobs = vec![job(1, 0), job(2, 0), job(3, 0), job(4, 0)];
         jobs[0].record_epoch(
-            IntermediateState { epoch: 1, at: SimTime::from_secs(50), metric_value: 0.95, progress: 1.0 },
+            IntermediateState {
+                epoch: 1,
+                at: SimTime::from_secs(50),
+                metric_value: 0.95,
+                progress: 1.0,
+            },
             SimTime::from_secs(30),
         );
         jobs[0].finish(JobStatus::Attained, SimTime::from_secs(50));

@@ -73,9 +73,10 @@ impl CpuPool {
         if extra > self.free_threads() {
             return false;
         }
-        let grant = self.grants.get_mut(&job).unwrap_or_else(|| {
-            panic!("{job} holds no CPU grant to extend")
-        });
+        let grant = self
+            .grants
+            .get_mut(&job)
+            .unwrap_or_else(|| panic!("{job} holds no CPU grant to extend"));
         grant.0 += extra;
         true
     }
@@ -117,11 +118,7 @@ impl GpuPool {
 
     /// Indices of idle devices.
     pub fn free_devices(&self) -> Vec<usize> {
-        self.occupants
-            .iter()
-            .enumerate()
-            .filter_map(|(i, o)| o.is_none().then_some(i))
-            .collect()
+        self.occupants.iter().enumerate().filter_map(|(i, o)| o.is_none().then_some(i)).collect()
     }
 
     /// The first idle device with at least `memory_mb` of device memory —
@@ -142,10 +139,7 @@ impl GpuPool {
     pub fn place(&mut self, job: JobId, device: usize) {
         assert!(device < self.occupants.len(), "device {device} out of range");
         assert!(self.occupants[device].is_none(), "device {device} already occupied");
-        assert!(
-            !self.occupants.contains(&Some(job)),
-            "{job} is already placed on another device"
-        );
+        assert!(!self.occupants.contains(&Some(job)), "{job} is already placed on another device");
         self.occupants[device] = Some(job);
     }
 

@@ -8,9 +8,7 @@
 //! each batch has the (approximately) same batch size" (§III-A); the final
 //! batch may be smaller.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rotary_sim::rng::Rng;
 
 /// A shuffled, batched view over `0..rows` of a fact table.
 #[derive(Debug, Clone)]
@@ -30,7 +28,7 @@ impl BatchSource {
         assert!(batch_size > 0, "batch size must be positive");
         assert!(rows <= u32::MAX as usize, "row count exceeds u32 index space");
         let mut permutation: Vec<u32> = (0..rows as u32).collect();
-        permutation.shuffle(&mut StdRng::seed_from_u64(seed));
+        Rng::seed_from_u64(seed).fork("batch-order").shuffle(&mut permutation);
         BatchSource { permutation, batch_size, cursor: 0 }
     }
 

@@ -42,12 +42,9 @@ pub fn date(year: i32, month: u32, day: u32) -> Date {
             days += 1;
         }
     }
-    let max_day = DAYS_IN_MONTH[(month - 1) as usize]
-        + if month == 2 && is_leap(year) { 1 } else { 0 };
-    assert!(
-        (1..=max_day as u32).contains(&day),
-        "day {day} out of range for {year}-{month:02}"
-    );
+    let max_day =
+        DAYS_IN_MONTH[(month - 1) as usize] + if month == 2 && is_leap(year) { 1 } else { 0 };
+    assert!((1..=max_day as u32).contains(&day), "day {day} out of range for {year}-{month:02}");
     days + day as i32 - 1
 }
 

@@ -10,8 +10,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rotary_sim::rng::Rng;
 
 use crate::date::{date, Date};
 use crate::table::{cat_column, Column, Table};
@@ -54,12 +53,10 @@ pub const NATIONS: [(&str, u32); 25] = [
 ];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 
 /// Order priorities.
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Ship modes.
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -182,10 +179,7 @@ impl Generator {
     /// # Panics
     /// Panics on non-positive scale factors.
     pub fn new(seed: u64, scale_factor: f64) -> Self {
-        assert!(
-            scale_factor > 0.0 && scale_factor.is_finite(),
-            "scale factor must be positive"
-        );
+        assert!(scale_factor > 0.0 && scale_factor.is_finite(), "scale factor must be positive");
         Generator { seed, scale_factor }
     }
 
@@ -195,7 +189,7 @@ impl Generator {
 
     /// Generates the full dataset.
     pub fn generate(&self) -> TpchData {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed).fork("tpch-gen");
         let n_supplier = self.scaled(10_000);
         let n_part = self.scaled(200_000);
         let n_customer = self.scaled(150_000);
@@ -207,8 +201,14 @@ impl Generator {
         let (part, retail_prices) = gen_part(&mut rng, n_part);
         let partsupp = gen_partsupp(&mut rng, n_part, n_supplier);
         let customer = gen_customer(&mut rng, n_customer);
-        let (orders, lineitem) =
-            gen_orders_and_lineitem(&mut rng, n_orders, n_customer, n_part, n_supplier, &retail_prices);
+        let (orders, lineitem) = gen_orders_and_lineitem(
+            &mut rng,
+            n_orders,
+            n_customer,
+            n_part,
+            n_supplier,
+            &retail_prices,
+        );
 
         TpchData {
             scale_factor: self.scale_factor,
@@ -246,23 +246,17 @@ fn gen_nation() -> Table {
         vec![
             ("n_nationkey".into(), Column::Int((0..25).collect())),
             ("n_name".into(), cat_column(&dict, (0..25).collect())),
-            (
-                "n_regionkey".into(),
-                Column::Int(NATIONS.iter().map(|&(_, r)| r as i64).collect()),
-            ),
+            ("n_regionkey".into(), Column::Int(NATIONS.iter().map(|&(_, r)| r as i64).collect())),
         ],
     )
 }
 
-fn gen_supplier(rng: &mut StdRng, n: usize) -> Table {
+fn gen_supplier(rng: &mut Rng, n: usize) -> Table {
     Table::new(
         "supplier",
         vec![
             ("s_suppkey".into(), Column::Int((1..=n as i64).collect())),
-            (
-                "s_nationkey".into(),
-                Column::Int((0..n).map(|_| rng.gen_range(0..25)).collect()),
-            ),
+            ("s_nationkey".into(), Column::Int((0..n).map(|_| rng.gen_range(0..25)).collect())),
             (
                 "s_acctbal".into(),
                 Column::Float((0..n).map(|_| rng.gen_range(-999.99..9999.99)).collect()),
@@ -271,7 +265,7 @@ fn gen_supplier(rng: &mut StdRng, n: usize) -> Table {
     )
 }
 
-fn gen_part(rng: &mut StdRng, n: usize) -> (Table, Vec<f64>) {
+fn gen_part(rng: &mut Rng, n: usize) -> (Table, Vec<f64>) {
     let type_dict = Arc::new(part_types());
     let container_dict = Arc::new(containers());
     let brand_dict = Arc::new(brands());
@@ -282,8 +276,7 @@ fn gen_part(rng: &mut StdRng, n: usize) -> (Table, Vec<f64>) {
         .map(|k| (90_000 + ((k / 10) % 20_001) + 100 * (k % 1_000)) as f64 / 100.0)
         .collect();
 
-    let brand_codes: Vec<u32> =
-        (0..n).map(|_| rng.gen_range(0..brand_dict.len() as u32)).collect();
+    let brand_codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..brand_dict.len() as u32)).collect();
     // Brand#MN belongs to Manufacturer#M: codes 0..4 → mfgr 0, 5..9 → 1, ….
     let mfgr_codes: Vec<u32> = brand_codes.iter().map(|&b| b / 5).collect();
 
@@ -300,10 +293,7 @@ fn gen_part(rng: &mut StdRng, n: usize) -> (Table, Vec<f64>) {
                     (0..n).map(|_| rng.gen_range(0..type_dict.len() as u32)).collect(),
                 ),
             ),
-            (
-                "p_size".into(),
-                Column::Int((0..n).map(|_| rng.gen_range(1..=50)).collect()),
-            ),
+            ("p_size".into(), Column::Int((0..n).map(|_| rng.gen_range(1..=50)).collect())),
             (
                 "p_container".into(),
                 cat_column(
@@ -317,7 +307,7 @@ fn gen_part(rng: &mut StdRng, n: usize) -> (Table, Vec<f64>) {
     (table, retail_prices)
 }
 
-fn gen_partsupp(rng: &mut StdRng, n_part: usize, n_supplier: usize) -> Table {
+fn gen_partsupp(rng: &mut Rng, n_part: usize, n_supplier: usize) -> Table {
     // Four suppliers per part (fewer if the pool is tiny), spread evenly
     // around the supplier key space so the pairs are distinct — the spec's
     // exact offset scheme collides at sub-unit scale factors.
@@ -347,7 +337,7 @@ fn gen_partsupp(rng: &mut StdRng, n_part: usize, n_supplier: usize) -> Table {
     )
 }
 
-fn gen_customer(rng: &mut StdRng, n: usize) -> Table {
+fn gen_customer(rng: &mut Rng, n: usize) -> Table {
     let seg_dict = string_dict(&SEGMENTS);
     let nationkeys: Vec<i64> = (0..n).map(|_| rng.gen_range(0..25)).collect();
     // TPC-H phone country code = nationkey + 10.
@@ -372,7 +362,7 @@ fn gen_customer(rng: &mut StdRng, n: usize) -> Table {
 
 #[allow(clippy::too_many_lines)]
 fn gen_orders_and_lineitem(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     n_orders: usize,
     n_customer: usize,
     n_part: usize,
@@ -544,9 +534,8 @@ mod tests {
     #[test]
     fn referential_integrity_lineitem() {
         let d = small();
-        let orders: HashSet<i64> = (0..d.orders.rows())
-            .map(|r| d.orders.column_required("o_orderkey").int(r))
-            .collect();
+        let orders: HashSet<i64> =
+            (0..d.orders.rows()).map(|r| d.orders.column_required("o_orderkey").int(r)).collect();
         let parts = d.part.rows() as i64;
         let supps = d.supplier.rows() as i64;
         let li = &d.lineitem;

@@ -111,9 +111,7 @@ impl Column {
     /// Looks up a dictionary code by string, if present.
     pub fn code_of(&self, value: &str) -> Option<u32> {
         match self {
-            Column::Cat { dict, .. } => {
-                dict.iter().position(|s| s == value).map(|i| i as u32)
-            }
+            Column::Cat { dict, .. } => dict.iter().position(|s| s == value).map(|i| i as u32),
             _ => None,
         }
     }
@@ -177,8 +175,7 @@ impl Table {
 
     /// Column by name, panicking with a clear message when absent.
     pub fn column_required(&self, name: &str) -> &Column {
-        self.column(name)
-            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
+        self.column(name).unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
     }
 
     /// True if the table has a column of this name.
@@ -310,10 +307,7 @@ mod tests {
     fn ragged_columns_panic() {
         let _ = Table::new(
             "bad",
-            vec![
-                ("a".into(), Column::Int(vec![1])),
-                ("b".into(), Column::Int(vec![1, 2])),
-            ],
+            vec![("a".into(), Column::Int(vec![1])), ("b".into(), Column::Int(vec![1, 2]))],
         );
     }
 

@@ -1,20 +1,20 @@
 //! Property-based tests of the generator: referential integrity, value
 //! domains, and determinism must hold for every seed and scale factor.
 
-use proptest::prelude::*;
+use rotary_check::check;
 use rotary_tpch::{date, Generator};
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-    #[test]
-    fn generator_invariants(seed in any::<u64>(), sf_thousandths in 1u32..6) {
-        let sf = sf_thousandths as f64 / 1000.0;
+#[test]
+fn generator_invariants() {
+    check("generator_invariants", |src| {
+        let seed = src.raw();
+        let sf = src.u32_in(1, 5) as f64 / 1000.0;
         let d = Generator::new(seed, sf).generate();
 
         // Fixed tables.
-        prop_assert_eq!(d.region.rows(), 5);
-        prop_assert_eq!(d.nation.rows(), 25);
+        assert_eq!(d.region.rows(), 5);
+        assert_eq!(d.nation.rows(), 25);
 
         // Primary keys are dense 1..=n.
         for (table, key) in [
@@ -25,7 +25,7 @@ proptest! {
         ] {
             let col = table.column_required(key);
             for r in 0..table.rows() {
-                prop_assert_eq!(col.int(r), r as i64 + 1, "{} not dense", key);
+                assert_eq!(col.int(r), r as i64 + 1, "{key} not dense");
             }
         }
 
@@ -36,17 +36,17 @@ proptest! {
         let li = &d.lineitem;
         for r in 0..li.rows() {
             let ok = li.column_required("l_orderkey").int(r);
-            prop_assert!((1..=n_orders).contains(&ok));
-            prop_assert!((1..=n_parts).contains(&li.column_required("l_partkey").int(r)));
-            prop_assert!((1..=n_supp).contains(&li.column_required("l_suppkey").int(r)));
+            assert!((1..=n_orders).contains(&ok));
+            assert!((1..=n_parts).contains(&li.column_required("l_partkey").int(r)));
+            assert!((1..=n_supp).contains(&li.column_required("l_suppkey").int(r)));
             let qty = li.column_required("l_quantity").int(r);
-            prop_assert!((1..=50).contains(&qty));
+            assert!((1..=50).contains(&qty));
             let disc = li.column_required("l_discount").float(r);
-            prop_assert!((0.0..=0.10001).contains(&disc));
+            assert!((0.0..=0.10001).contains(&disc));
             let tax = li.column_required("l_tax").float(r);
-            prop_assert!((0.0..=0.08001).contains(&tax));
+            assert!((0.0..=0.08001).contains(&tax));
             let ship = li.column_required("l_shipdate").date_at(r);
-            prop_assert!(ship >= 0 && ship <= date(1998, 12, 31));
+            assert!(ship >= 0 && ship <= date(1998, 12, 31));
         }
 
         // Every order has at least one line, every line's extended price is
@@ -58,28 +58,31 @@ proptest! {
             let qty = li.column_required("l_quantity").int(r) as f64;
             let retail = d.part.column_required("p_retailprice").float(pk);
             let ext = li.column_required("l_extendedprice").float(r);
-            prop_assert!((ext - qty * retail).abs() < 1e-9);
+            assert!((ext - qty * retail).abs() < 1e-9);
         }
-        prop_assert_eq!(orders_with_lines.len(), d.orders.rows());
+        assert_eq!(orders_with_lines.len(), d.orders.rows());
 
         // Nation/region mapping is the fixed TPC-H one.
         for r in 0..25 {
             let region = d.nation.column_required("n_regionkey").int(r);
-            prop_assert!((0..5).contains(&region));
+            assert!((0..5).contains(&region));
         }
-    }
+    });
+}
 
-    #[test]
-    fn generation_is_a_pure_function(seed in any::<u64>()) {
+#[test]
+fn generation_is_a_pure_function() {
+    check("generation_is_a_pure_function", |src| {
+        let seed = src.raw();
         let a = Generator::new(seed, 0.001).generate();
         let b = Generator::new(seed, 0.001).generate();
-        prop_assert_eq!(a.lineitem.rows(), b.lineitem.rows());
-        prop_assert_eq!(a.byte_size(), b.byte_size());
+        assert_eq!(a.lineitem.rows(), b.lineitem.rows());
+        assert_eq!(a.byte_size(), b.byte_size());
         for r in (0..a.lineitem.rows()).step_by(211) {
-            prop_assert_eq!(
+            assert_eq!(
                 a.lineitem.column_required("l_extendedprice").float(r),
                 b.lineitem.column_required("l_extendedprice").float(r)
             );
         }
-    }
+    });
 }

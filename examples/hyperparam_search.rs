@@ -42,7 +42,10 @@ fn main() {
     sys.prepopulate_history(&trials, 3);
     let result = sys.run(&trials, DltPolicy::Rotary(Objective::Efficiency));
 
-    println!("{:<10} {:>8} {:>10} {:>12} {:>12}", "lr", "epochs", "final acc", "finished", "status");
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>12}",
+        "lr", "epochs", "final acc", "finished", "status"
+    );
     let mut best = (0.0f64, 0.0f64);
     for (spec, state) in &result.jobs {
         let acc = state.latest().map(|s| s.metric_value).unwrap_or(0.0);

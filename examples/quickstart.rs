@@ -14,10 +14,9 @@ use rotary::tpch::Generator;
 fn main() {
     // 1. Completion criteria are plain suffixes on the job's command —
     //    exactly the paper's Fig. 4 examples.
-    let (command, criterion) = parse_statement(
-        "SELECT AVG(PROFIT) FROM ORDERS ACC MIN 75% WITHIN 900 SECONDS",
-    )
-    .expect("valid statement");
+    let (command, criterion) =
+        parse_statement("SELECT AVG(PROFIT) FROM ORDERS ACC MIN 75% WITHIN 900 SECONDS")
+            .expect("valid statement");
     println!("command   : {command}");
     println!("criterion : {criterion}\n");
 
@@ -43,7 +42,10 @@ fn main() {
     ];
 
     let result = system.run(&workload, AqpPolicy::Rotary);
-    println!("{:<6} {:<7} {:>7} {:>9} {:>11} {:>12}", "job", "query", "θ", "epochs", "finished", "status");
+    println!(
+        "{:<6} {:<7} {:>7} {:>9} {:>11} {:>12}",
+        "job", "query", "θ", "epochs", "finished", "status"
+    );
     for (i, (spec, state)) in result.jobs.iter().enumerate() {
         println!(
             "job{:<3} {:<7} {:>6.0}% {:>9} {:>11} {:>12?}",

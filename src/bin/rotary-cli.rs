@@ -14,8 +14,8 @@
 use std::process::ExitCode;
 
 use rotary::aqp::{AqpJobSpec, AqpPolicy, AqpSystem, AqpSystemConfig};
-use rotary::core::progress::Objective;
 use rotary::core::parser::parse_statement;
+use rotary::core::progress::Objective;
 use rotary::dlt::{parse_train_statement, DltPolicy, DltSystem, DltSystemConfig};
 use rotary::engine::QueryId;
 use rotary::tpch::Generator;
@@ -75,9 +75,8 @@ fn parse_query_id(command: &str) -> Result<QueryId, String> {
         .last()
         .ok_or("empty AQP command; name a query like `TPCH Q5`")?;
     let digits = token.trim_start_matches(['q', 'Q']);
-    let n: u8 = digits
-        .parse()
-        .map_err(|_| format!("cannot read a TPC-H query number from {token:?}"))?;
+    let n: u8 =
+        digits.parse().map_err(|_| format!("cannot read a TPC-H query number from {token:?}"))?;
     if (1..=22).contains(&n) {
         Ok(QueryId(n))
     } else {
@@ -86,30 +85,20 @@ fn parse_query_id(command: &str) -> Result<QueryId, String> {
 }
 
 fn run_aqp(opts: &Options) -> Result<(), String> {
-    let (command, criterion) =
-        parse_statement(&opts.statement).map_err(|e| e.to_string())?;
+    let (command, criterion) = parse_statement(&opts.statement).map_err(|e| e.to_string())?;
     let query = parse_query_id(&command)?;
-    let rotary::core::CompletionCriterion::Accuracy { threshold, deadline, .. } = &criterion
-    else {
-        return Err(
-            "the AQP runner takes accuracy-oriented criteria (ACC MIN … WITHIN …)".into()
-        );
+    let rotary::core::CompletionCriterion::Accuracy { threshold, deadline, .. } = &criterion else {
+        return Err("the AQP runner takes accuracy-oriented criteria (ACC MIN … WITHIN …)".into());
     };
-    let deadline = deadline
-        .time()
-        .ok_or("AQP deadlines are in time units (SECONDS/MINUTES/HOURS)")?;
+    let deadline =
+        deadline.time().ok_or("AQP deadlines are in time units (SECONDS/MINUTES/HOURS)")?;
 
     eprintln!("generating TPC-H (SF {})…", opts.scale_factor);
     let data = Generator::new(opts.seed, opts.scale_factor).generate();
     let mut system =
         AqpSystem::new(&data, AqpSystemConfig { seed: opts.seed, ..Default::default() });
     system.prepopulate_history(opts.seed ^ 0xf00d);
-    let spec = AqpJobSpec::new(
-        query,
-        *threshold,
-        deadline,
-        rotary::core::SimTime::ZERO,
-    );
+    let spec = AqpJobSpec::new(query, *threshold, deadline, rotary::core::SimTime::ZERO);
     let result = system.run(&[spec], AqpPolicy::Rotary);
     let (_, state) = &result.jobs[0];
     println!("query     : {query} ({})", query.class());
@@ -125,12 +114,9 @@ fn run_aqp(opts: &Options) -> Result<(), String> {
 
 fn run_dlt(opts: &Options) -> Result<(), String> {
     let spec = parse_train_statement(&opts.statement).map_err(|e| e.to_string())?;
-    let mut system =
-        DltSystem::new(DltSystemConfig { seed: opts.seed, ..Default::default() });
-    let result = system.run(
-        std::slice::from_ref(&spec),
-        DltPolicy::Rotary(Objective::Threshold(0.5)),
-    );
+    let mut system = DltSystem::new(DltSystemConfig { seed: opts.seed, ..Default::default() });
+    let result =
+        system.run(std::slice::from_ref(&spec), DltPolicy::Rotary(Objective::Threshold(0.5)));
     let (submitted, state) = &result.jobs[0];
     println!(
         "job       : {} batch {} {} lr {}{}",
@@ -143,10 +129,7 @@ fn run_dlt(opts: &Options) -> Result<(), String> {
     println!("criterion : {}", submitted.criterion);
     println!("status    : {:?}", state.status);
     println!("epochs    : {}", state.epochs_run);
-    println!(
-        "accuracy  : {:.1}%",
-        state.latest().map(|s| s.metric_value).unwrap_or(0.0) * 100.0
-    );
+    println!("accuracy  : {:.1}%", state.latest().map(|s| s.metric_value).unwrap_or(0.0) * 100.0);
     println!(
         "finished  : {} (virtual)",
         state.finished_at.map(|t| t.to_string()).unwrap_or_default()

@@ -96,10 +96,7 @@ impl<'a> UnifiedCluster<'a> {
     /// Brings the cluster up against a TPC-H dataset (the AQP side's
     /// streamed source).
     pub fn new(data: &'a TpchData, config: UnifiedConfig) -> UnifiedCluster<'a> {
-        UnifiedCluster {
-            aqp: AqpSystem::new(data, config.aqp),
-            dlt: DltSystem::new(config.dlt),
-        }
+        UnifiedCluster { aqp: AqpSystem::new(data, config.aqp), dlt: DltSystem::new(config.dlt) }
     }
 
     /// Warms both history repositories (the Rotary estimators' fuel).
@@ -153,8 +150,7 @@ mod tests {
         let psi = result.combined_attainment_rate();
         assert!((0.0..=1.0).contains(&psi));
         assert_eq!(
-            result.total_attained() + result.total_missed()
-                + result.aqp.summary.falsely_attained,
+            result.total_attained() + result.total_missed() + result.aqp.summary.falsely_attained,
             12
         );
     }

@@ -65,11 +65,9 @@ fn history_improves_rotary_over_cold_start() {
     let mut cold_total = 0usize;
     for seed in [5u64, 6, 7, 8] {
         let specs = WorkloadBuilder::paper().jobs(20).seed(seed).build();
-        let mut cold =
-            AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+        let mut cold = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
         cold_total += cold.run(&specs, AqpPolicy::Rotary).summary.attained;
-        let mut warm =
-            AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
+        let mut warm = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
         warm.prepopulate_history(seed ^ 0x11);
         warm_total += warm.run(&specs, AqpPolicy::Rotary).summary.attained;
     }

@@ -121,9 +121,6 @@ fn checkpoint_costs_extend_the_makespan() {
     let free = run(CheckpointModel::free());
     // A deliberately punishing restore cost: minutes per resume, so the
     // effect is unmistakably on the critical path.
-    let slow = run(CheckpointModel {
-        latency: SimTime::from_mins(10),
-        bandwidth_mb_per_s: 10.0,
-    });
+    let slow = run(CheckpointModel { latency: SimTime::from_mins(10), bandwidth_mb_per_s: 10.0 });
     assert!(slow > free, "expensive checkpoints must cost virtual time: {slow} vs {free}");
 }
