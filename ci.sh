@@ -2,15 +2,45 @@
 # Tier-1 verification, fully offline. The workspace has no external
 # dependencies by policy (see DESIGN.md), so this must pass with the
 # network disabled and an empty cargo registry.
+#
+# Usage:
+#   ./ci.sh                 format + lint + build + test
+#   ./ci.sh --bench         ... then run the engine bench and compare
+#                           against the checked-in BENCH_engine.json
+#                           baseline (±25%), failing on regression
+#   ./ci.sh --bench-update  ... then refresh the baseline in place
 set -eu
 
 export CARGO_NET_OFFLINE=true
 
+MODE="${1:-}"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release =="
 cargo build --release
 
 echo "== cargo test --workspace =="
 cargo test --workspace -q
+
+case "$MODE" in
+--bench)
+    echo "== bench gate (BENCH_engine.json, ±25%) =="
+    ./target/release/bench_engine --check BENCH_engine.json
+    ;;
+--bench-update)
+    echo "== bench baseline refresh =="
+    ./target/release/bench_engine --write BENCH_engine.json
+    ;;
+"") ;;
+*)
+    echo "unknown option: $MODE (use --bench or --bench-update)" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI OK"

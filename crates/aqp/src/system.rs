@@ -22,7 +22,7 @@ use rotary_core::job::{IntermediateState, JobId, JobKind, JobState, JobStatus};
 use rotary_core::resources::CpuPoolSpec;
 use rotary_core::SimTime;
 use rotary_engine::memory::{estimate_memory_mb, BatchCostModel};
-use rotary_engine::online::{compute_ground_truth, GroundTruth, OnlineAggregation};
+use rotary_engine::online::{compute_ground_truth_with, GroundTruth, OnlineAggregation};
 use rotary_engine::{query, IndexCache, QueryClass, QueryId, QueryPlan};
 use rotary_sim::{
     CheckpointModel, CpuPool, EventQueue, MaterializationManager, MaterializationPolicy,
@@ -118,6 +118,12 @@ pub struct AqpSystemConfig {
     pub materialization: MaterializationPolicy,
     /// Seed for per-job sampling orders and the random estimator.
     pub seed: u64,
+    /// Worker threads for the *data plane* (real batch execution on the
+    /// host running the simulation; independent jobs' epochs execute
+    /// concurrently). Distinct from `pool`, which models the simulated
+    /// testbed's threads. Defaults to `ROTARY_THREADS` (1 when unset); the
+    /// replay fold keeps every metric bit-identical across values.
+    pub threads: usize,
 }
 
 impl Default for AqpSystemConfig {
@@ -136,6 +142,7 @@ impl Default for AqpSystemConfig {
             checkpoint: CheckpointModel::ssd(),
             materialization: MaterializationPolicy::AlwaysDisk,
             seed: 0,
+            threads: rotary_par::configured_threads(),
         }
     }
 }
@@ -277,19 +284,22 @@ pub struct AqpSystem<'a> {
     memory: BTreeMap<u8, u64>,
     reference_memory: f64,
     history: HistoryRepository,
+    /// Data-plane worker pool (real host threads, not the simulated pool).
+    exec_pool: rotary_par::ThreadPool,
 }
 
 impl<'a> AqpSystem<'a> {
     /// Binds the system to a dataset: builds plans, ground truths, and
     /// memory estimates for all 22 queries.
     pub fn new(data: &'a TpchData, config: AqpSystemConfig) -> AqpSystem<'a> {
+        let exec_pool = rotary_par::ThreadPool::new(config.threads);
         let mut cache = IndexCache::new();
         let mut plans = BTreeMap::new();
         let mut truths = BTreeMap::new();
         let mut memory = BTreeMap::new();
         for id in QueryId::all() {
             let plan = query(id);
-            let truth = compute_ground_truth(&plan, data, &mut cache)
+            let truth = compute_ground_truth_with(&plan, data, &mut cache, &exec_pool)
                 .unwrap_or_else(|e| panic!("{id}: {e}"));
             let batch_rows = Self::batch_rows_for(&plan, data, config.batch_fraction);
             memory.insert(id.0, estimate_memory_mb(&plan, data, batch_rows));
@@ -308,6 +318,7 @@ impl<'a> AqpSystem<'a> {
             memory,
             reference_memory,
             history: HistoryRepository::new(),
+            exec_pool,
         }
     }
 
@@ -335,12 +346,15 @@ impl<'a> AqpSystem<'a> {
     /// uncontended — the "historical jobs" Rotary's estimators draw on.
     /// Returns the number of records inserted.
     pub fn prepopulate_history(&mut self, seed: u64) -> usize {
+        // Control plane: bind every query serially (the index cache is a
+        // shared mutable resource), carrying the per-query features along.
         let ids: Vec<QueryId> = QueryId::all().collect();
+        let mut runs: Vec<(QueryFeatures, OnlineAggregation<'a>)> = Vec::with_capacity(ids.len());
         for (i, id) in ids.iter().enumerate() {
             let plan = self.plans[&id.0].clone();
             let batch_rows = Self::batch_rows_for(&plan, self.data, self.config.batch_fraction);
             let truth = self.truths[&id.0].clone();
-            let mut online = OnlineAggregation::new(
+            let online = OnlineAggregation::new(
                 &plan,
                 self.data,
                 &mut self.cache,
@@ -349,11 +363,19 @@ impl<'a> AqpSystem<'a> {
                 batch_rows,
             )
             .expect("prepopulation bind");
-            let mut envelopes: Vec<EnvelopeDetector> = (0..plan.aggregates.len())
-                .map(|_| EnvelopeDetector::new(self.config.envelope_window, 0.01))
+            runs.push((QueryFeatures::of(&plan, self.memory[&id.0]), online));
+        }
+
+        // Data plane: the 22 uncontended historical runs are independent, so
+        // they execute concurrently, one sequential run per worker.
+        let base_epoch_batches = self.config.base_epoch_batches;
+        let envelope_window = self.config.envelope_window;
+        let curves: Vec<Vec<(f64, f64)>> = self.exec_pool.map_mut(&mut runs, |_, (_, online)| {
+            let mut envelopes: Vec<EnvelopeDetector> = (0..online.agg_funcs().len())
+                .map(|_| EnvelopeDetector::new(envelope_window, 0.01))
                 .collect();
             let mut curve = Vec::new();
-            while let Some(report) = online.process_epoch(self.config.base_epoch_batches) {
+            while let Some(report) = online.process_epoch(base_epoch_batches) {
                 for (env, v) in envelopes.iter_mut().zip(&report.values) {
                     env.observe(v.unwrap_or(0.0));
                 }
@@ -361,12 +383,17 @@ impl<'a> AqpSystem<'a> {
                     / envelopes.len() as f64;
                 curve.push((report.fraction_processed, est));
             }
-            let features = QueryFeatures::of(&plan, self.memory[&id.0]);
+            curve
+        });
+
+        // Control plane again: insert in fixed query order so the
+        // repository's contents are independent of worker scheduling.
+        for ((features, _), curve) in runs.iter().zip(curves) {
             self.history.insert(JobRecord {
                 kind: JobKind::Aqp,
-                label: plan.label.clone(),
+                label: features.label.clone(),
                 tags: features.tags(),
-                numeric_features: BTreeMap::from([("memory_mb".into(), self.memory[&id.0] as f64)]),
+                numeric_features: BTreeMap::from([("memory_mb".into(), features.memory_mb as f64)]),
                 curve,
                 final_metric: 1.0,
                 epochs: 0,
@@ -837,7 +864,7 @@ impl<'a> AqpSystem<'a> {
     #[allow(clippy::too_many_arguments)]
     fn arbitrate(
         &mut self,
-        jobs: &mut [RunJob<'_>],
+        jobs: &mut [RunJob<'a>],
         now: SimTime,
         pool: &mut CpuPool,
         events: &mut EventQueue<Event>,
@@ -888,7 +915,13 @@ impl<'a> AqpSystem<'a> {
             }
         }
 
-        // Launch granted jobs for one epoch.
+        // Launch granted jobs for one epoch. The launch is split into a
+        // serial control-plane pre-pass (classify exhausted jobs, size each
+        // survivor's epoch), a parallel data-plane pass (independent jobs'
+        // epochs execute concurrently on the host pool), and a serial
+        // post-pass in granted order (cost accounting, materialization, and
+        // event scheduling — all order-sensitive).
+        let mut launches: Vec<(usize, usize, u32)> = Vec::new(); // (job, batches, threads)
         for &i in &granted {
             let job = &mut jobs[i];
             if job.online.is_exhausted() {
@@ -927,12 +960,28 @@ impl<'a> AqpSystem<'a> {
                     batches = batches.min(fit.max(1));
                 }
             }
-            let stats = job
-                .online
-                .process_epoch(batches)
-                .expect("non-exhausted job must yield an epoch")
-                .stats;
-            let mut duration = self.cost.batch_time(stats, threads);
+            launches.push((i, batches, threads));
+        }
+
+        // Data plane: each launched job runs its (sequential, and therefore
+        // bit-reproducible) epoch on a pool worker.
+        let epoch_stats: BTreeMap<usize, rotary_engine::exec::BatchStats> = {
+            let mut work: Vec<(usize, &mut OnlineAggregation<'a>, usize)> = Vec::new();
+            for (i, job) in jobs.iter_mut().enumerate() {
+                if let Some(&(_, batches, _)) = launches.iter().find(|&&(j, _, _)| j == i) {
+                    work.push((i, &mut job.online, batches));
+                }
+            }
+            let stats = self.exec_pool.map_mut(&mut work, |_, (_, online, batches)| {
+                online.process_epoch(*batches).expect("non-exhausted job must yield an epoch").stats
+            });
+            work.iter().map(|w| w.0).zip(stats).collect()
+        };
+
+        // Serial post-pass, in granted order.
+        for &(i, _, threads) in &launches {
+            let job = &mut jobs[i];
+            let mut duration = self.cost.batch_time(epoch_stats[&i], threads);
             if !job.in_memory && job.core.epochs_run > 0 {
                 // Resuming a paused job: pay the deferred persist cost plus
                 // the restore (zero when the state stayed memory-resident).

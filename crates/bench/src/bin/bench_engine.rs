@@ -1,0 +1,218 @@
+//! Engine-throughput benchmark + regression gate.
+//!
+//! Measures batch-execution throughput (rows/sec) for one query per class —
+//! sequentially and on `rotary-par` pools of 1/2/4/8 threads (the replay
+//! fold, plus the state-merge fold at the widest pool) — together with the
+//! estimator-fit timings that bound arbitration overhead. Results go to
+//! `BENCH_engine.json`.
+//!
+//! Modes:
+//!
+//! * (default)      — measure and print, no file I/O;
+//! * `--write [p]`  — measure and (over)write the baseline file;
+//! * `--check [p]`  — measure and compare against the baseline with a ±25%
+//!   tolerance, exiting non-zero on regression (`ci.sh --bench`).
+//!
+//! `ROTARY_BENCH_SAMPLES=n` shrinks the sample count for smoke tests.
+
+use std::collections::BTreeMap;
+
+use rotary_bench::timing::{black_box, measure};
+use rotary_core::estimate::wlr::{LinearFit, WeightedPoint};
+use rotary_core::estimate::{CurveBasis, JointCurveEstimator};
+use rotary_core::json;
+use rotary_engine::{query, Executor, IndexCache, QueryId};
+use rotary_par::ThreadPool;
+use rotary_tpch::{BatchSource, Generator};
+
+/// Default baseline location (repo root, where `ci.sh` runs).
+const BASELINE: &str = "BENCH_engine.json";
+
+/// Relative slack when comparing against the baseline.
+const TOLERANCE: f64 = 0.25;
+
+/// Pool widths swept by the throughput benchmark.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_throughput(metrics: &mut BTreeMap<String, f64>) {
+    let data = Generator::new(1, 0.005).generate();
+    // One representative per class: q6 light (no joins), q3 medium
+    // (2 joins), q7 heavy (5 joins incl. double nation).
+    for qid in [6u8, 3, 7] {
+        let plan = query(QueryId(qid));
+        let mut cache = IndexCache::new();
+        // Pre-warm the shared indexes so the bench isolates probe cost.
+        let _ = Executor::bind(&plan, &data, &mut cache).unwrap();
+        // One large shuffled batch — enough rows for many parallel chunks.
+        let rows: Vec<u32> = {
+            let n = data.lineitem.rows();
+            let mut src = BatchSource::new(3, n, n);
+            src.next_batch().unwrap().to_vec()
+        };
+        let per_sec = |secs: f64| rows.len() as f64 / secs.max(1e-12);
+
+        let mut exec = Executor::bind(&plan, &data, &mut cache).unwrap();
+        let stats = measure(|| {
+            black_box(exec.process_rows(black_box(&rows)));
+        });
+        report(metrics, format!("q{qid}/rows_per_sec/seq"), per_sec(stats.min.as_secs_f64()));
+
+        for threads in THREAD_SWEEP {
+            let pool = ThreadPool::new(threads);
+            let mut exec = Executor::bind(&plan, &data, &mut cache).unwrap();
+            let stats = measure(|| {
+                black_box(exec.process_rows_with(&pool, black_box(&rows)));
+            });
+            report(
+                metrics,
+                format!("q{qid}/rows_per_sec/threads{threads}"),
+                per_sec(stats.min.as_secs_f64()),
+            );
+        }
+
+        let widest = *THREAD_SWEEP.last().unwrap();
+        let pool = ThreadPool::new(widest);
+        let mut exec = Executor::bind(&plan, &data, &mut cache).unwrap();
+        let stats = measure(|| {
+            black_box(exec.process_rows_with_merge(&pool, black_box(&rows)));
+        });
+        report(
+            metrics,
+            format!("q{qid}/rows_per_sec/merge{widest}"),
+            per_sec(stats.min.as_secs_f64()),
+        );
+    }
+}
+
+fn bench_estimator_fits(metrics: &mut BTreeMap<String, f64>) {
+    // Nanosecond-scale timings swing with CPU frequency states across
+    // processes, so the raw `_ns` values are informational; the gate
+    // compares the `_rel` ratios against a floating-point probe measured in
+    // the same process, which cancels clock-speed differences.
+    let probe = measure(|| {
+        black_box((0..4096).fold(1.0f64, |a, i| a + black_box(i as f64).sqrt()));
+    });
+    let probe_ns = (probe.min.as_nanos() as f64).max(1.0);
+    report(metrics, "estimator/probe_ns".into(), probe_ns);
+
+    let points: Vec<WeightedPoint> =
+        (0..64).map(|i| WeightedPoint::new(i as f64, 0.2 + 0.1 * i as f64, 1.0)).collect();
+    let stats = measure(|| {
+        black_box(LinearFit::fit(black_box(&points)).unwrap());
+    });
+    report(metrics, "estimator/wlr_fit64_ns".into(), stats.min.as_nanos() as f64);
+    report(metrics, "estimator/wlr_fit64_rel".into(), stats.min.as_nanos() as f64 / probe_ns);
+
+    let historical: Vec<(f64, f64)> =
+        (0..100).map(|i| (i as f64, 0.2 + 0.15 * (1.0 + i as f64).ln())).collect();
+    let mut est = JointCurveEstimator::new(CurveBasis::LogShifted, historical);
+    for i in 0..10 {
+        est.observe(i as f64, 0.2 + 0.15 * (1.0 + i as f64).ln());
+    }
+    let stats = measure(|| {
+        black_box(est.solve_for_x(black_box(0.8)).unwrap());
+    });
+    report(metrics, "estimator/joint_solve_ns".into(), stats.min.as_nanos() as f64);
+    report(metrics, "estimator/joint_solve_rel".into(), stats.min.as_nanos() as f64 / probe_ns);
+}
+
+fn report(metrics: &mut BTreeMap<String, f64>, key: String, value: f64) {
+    println!("{key:<34} {value:>14.1}");
+    metrics.insert(key, value);
+}
+
+/// Lower-is-better metrics are timings/ratios; everything else is a
+/// throughput.
+fn lower_is_better(key: &str) -> bool {
+    key.ends_with("_ns") || key.ends_with("_rel")
+}
+
+/// Raw nanosecond timings are informational only (see
+/// [`bench_estimator_fits`]); their `_rel` ratios carry the gate.
+fn info_only(key: &str) -> bool {
+    key.ends_with("_ns")
+}
+
+/// Pool widths beyond the host's parallelism oversubscribe the scheduler
+/// and time bimodally — they are reported for information but not gated.
+fn oversubscribed(key: &str) -> bool {
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let width = |prefix: &str| {
+        key.rsplit('/')
+            .next()
+            .and_then(|leaf| leaf.strip_prefix(prefix))
+            .and_then(|n| n.parse::<usize>().ok())
+    };
+    width("threads").or_else(|| width("merge")).map(|w| w > avail).unwrap_or(false)
+}
+
+fn check(current: &BTreeMap<String, f64>, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = json::num_map_from_json(&json::parse(&text)?)?;
+    let mut failures = Vec::new();
+    for (key, &base) in &baseline {
+        if oversubscribed(key) || info_only(key) {
+            continue;
+        }
+        let Some(&now) = current.get(key) else {
+            failures.push(format!("{key}: present in baseline but not measured"));
+            continue;
+        };
+        let regressed = if lower_is_better(key) {
+            now > base * (1.0 + TOLERANCE)
+        } else {
+            now < base * (1.0 - TOLERANCE)
+        };
+        if regressed {
+            failures.push(format!(
+                "{key}: {now:.1} vs baseline {base:.1} (>{:.0}% regression)",
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("bench gate: all {} metrics within ±{:.0}%", baseline.len(), TOLERANCE * 100.0);
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("");
+    let path = args.get(1).cloned().unwrap_or_else(|| BASELINE.to_string());
+
+    let mut metrics = BTreeMap::new();
+    bench_throughput(&mut metrics);
+    bench_estimator_fits(&mut metrics);
+
+    match mode {
+        "--write" => {
+            let body = json::num_map_to_json(&metrics).to_pretty();
+            std::fs::write(&path, body + "\n").expect("write baseline");
+            println!("wrote {} metrics to {path}", metrics.len());
+        }
+        "--check" => {
+            // One full re-measurement before failing: a transiently noisy
+            // process (CPU frequency transitions, co-tenant load) should not
+            // fail the gate, while a real regression fails both passes.
+            if let Err(first) = check(&metrics, &path) {
+                eprintln!("bench gate: first pass failed, re-measuring once:\n{first}");
+                let mut retry = BTreeMap::new();
+                bench_throughput(&mut retry);
+                bench_estimator_fits(&mut retry);
+                if let Err(e) = check(&retry, &path) {
+                    eprintln!("bench gate FAILED (both passes):\n{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "" => {}
+        other => {
+            eprintln!("unknown mode {other}; use --write [path] or --check [path]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -84,6 +84,10 @@ pub struct DltSystemConfig {
     pub top_k: usize,
     /// Seed for evaluation noise.
     pub seed: u64,
+    /// Worker threads for the data plane (host threads running the training
+    /// simulations, not the simulated GPUs). Defaults to `ROTARY_THREADS`
+    /// (1 when unset); results are bit-identical across values.
+    pub threads: usize,
 }
 
 impl Default for DltSystemConfig {
@@ -93,6 +97,7 @@ impl Default for DltSystemConfig {
             checkpoint: CheckpointModel::ssd(),
             top_k: 5,
             seed: 0,
+            threads: rotary_par::configured_threads(),
         }
     }
 }
@@ -201,12 +206,15 @@ pub struct DltSystem {
     config: DltSystemConfig,
     history: HistoryRepository,
     tme: Tme,
+    /// Data-plane worker pool (host threads, not the simulated GPUs).
+    exec_pool: rotary_par::ThreadPool,
 }
 
 impl DltSystem {
     /// Creates a system with an empty history repository.
     pub fn new(config: DltSystemConfig) -> DltSystem {
-        DltSystem { config, history: HistoryRepository::new(), tme: Tme::default() }
+        let exec_pool = rotary_par::ThreadPool::new(config.threads);
+        DltSystem { config, history: HistoryRepository::new(), tme: Tme::default(), exec_pool }
     }
 
     /// Read access to the repository.
@@ -223,13 +231,20 @@ impl DltSystem {
     /// repository — the completed historical jobs the estimators rely on.
     /// Returns the number of records inserted.
     pub fn prepopulate_history(&mut self, specs: &[DltJobSpec], seed: u64) -> usize {
-        for (i, spec) in specs.iter().enumerate() {
+        // The uncontended historical runs are independent (each owns its
+        // seeded TrainingSim), so they execute concurrently on the host
+        // pool; insertion stays serial, in fixed spec order, so the
+        // repository's contents are independent of worker scheduling.
+        let curves: Vec<(Vec<(f64, f64)>, u64)> = self.exec_pool.map(specs, |i, spec| {
             let mut sim = TrainingSim::new(spec.config, seed ^ ((i as u64 + 1) * 0x9e3));
             let epochs = spec.max_epochs().clamp(5, 40);
             let mut curve = Vec::with_capacity(epochs as usize);
             for e in 1..=epochs {
                 curve.push((e as f64, sim.train_epoch()));
             }
+            (curve, epochs)
+        });
+        for (spec, (curve, epochs)) in specs.iter().zip(curves) {
             self.history.insert(job_record(&spec.config, curve, epochs));
         }
         specs.len()

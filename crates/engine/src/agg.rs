@@ -195,6 +195,29 @@ impl AggState {
         }
     }
 
+    /// The aggregate functions, in column order.
+    pub fn funcs(&self) -> &[AggFunc] {
+        &self.funcs
+    }
+
+    /// Merges another state built from the same aggregate columns — the
+    /// parallel Welford combination lifted to whole states. Groups present
+    /// in `other` only are copied; shared groups merge accumulator-wise.
+    /// Merging is per-key, so the iteration order of `other`'s hash map
+    /// cannot influence any group's resulting accumulator.
+    pub fn merge(&mut self, other: &AggState) {
+        debug_assert_eq!(self.funcs, other.funcs);
+        for (key, theirs) in &other.groups {
+            let mine = self
+                .groups
+                .entry(key.clone())
+                .or_insert_with(|| self.funcs.iter().map(|&f| Accumulator::new(f)).collect());
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge(b);
+            }
+        }
+    }
+
     /// Number of groups materialised so far.
     pub fn group_count(&self) -> usize {
         self.groups.len()
@@ -393,6 +416,54 @@ mod tests {
         }
         left.merge(&right);
         assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_merge_matches_single_stream_per_group() {
+        let feed = |s: &mut AggState, rows: &[(i64, f64)]| {
+            for &(k, v) in rows {
+                s.update(&[k], &[v, 1.0]);
+            }
+        };
+        let rows: Vec<(i64, f64)> =
+            (0..60).map(|i| ((i % 3) as i64, (i as f64 * 0.73).cos() * 5.0)).collect();
+
+        let mut whole = AggState::new(vec![AggFunc::Avg, AggFunc::Count]);
+        feed(&mut whole, &rows);
+
+        let mut left = AggState::new(vec![AggFunc::Avg, AggFunc::Count]);
+        let mut right = AggState::new(vec![AggFunc::Avg, AggFunc::Count]);
+        feed(&mut left, &rows[..23]);
+        feed(&mut right, &rows[23..]);
+        left.merge(&right);
+
+        assert_eq!(left.group_count(), whole.group_count());
+        assert_eq!(left.total_rows(), whole.total_rows());
+        let a = left.grouped_results();
+        let b = whole.grouped_results();
+        for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert_eq!(va[1], vb[1], "counts must match exactly");
+            let (x, y) = (va[0].unwrap(), vb[0].unwrap());
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn state_merge_copies_disjoint_groups() {
+        let mut a = AggState::new(vec![AggFunc::Sum]);
+        a.update(&[1], &[10.0]);
+        let mut b = AggState::new(vec![AggFunc::Sum]);
+        b.update(&[2], &[5.0]);
+        a.merge(&b);
+        assert_eq!(a.group_count(), 2);
+        assert_eq!(
+            a.grouped_results(),
+            vec![(vec![1], vec![Some(10.0)]), (vec![2], vec![Some(5.0)])]
+        );
+        // Merging an empty state is a no-op.
+        a.merge(&AggState::new(vec![AggFunc::Sum]));
+        assert_eq!(a.group_count(), 2);
     }
 
     #[test]

@@ -9,10 +9,32 @@
 //! genuine per-row work: hash-join probes, predicate evaluation, and
 //! aggregate updates, returning operation counts the cost model converts to
 //! virtual time.
+//!
+//! # Parallel batch execution
+//!
+//! Batch execution is the data plane of the control-plane/data-plane split
+//! (see DESIGN.md): [`Executor::process_rows_with`] cuts a batch into
+//! fixed-size row chunks ([`PAR_CHUNK_ROWS`], independent of the thread
+//! count), evaluates joins/filters/expressions per chunk on a
+//! [`rotary_par::ThreadPool`], and folds the chunk outputs back serially in
+//! **fixed chunk order**. Two fold strategies exist:
+//!
+//! * **replay** (the default, used by every system path): chunks emit the
+//!   surviving rows' group keys and expression values, and the fold replays
+//!   `AggState::update` in original row order — *bit-identical* to the
+//!   legacy sequential loop at every thread count, which is what keeps the
+//!   EXPERIMENTS.md calibrations valid;
+//! * **state merge** ([`Executor::process_rows_with_merge`]): chunks fold
+//!   into thread-local [`AggState`]s that are combined with the parallel
+//!   Welford merge in chunk order — still deterministic across thread
+//!   counts (the chunk grid is fixed), maximally parallel, but rounded
+//!   differently from the sequential fold, so it is reserved for paths
+//!   without legacy calibrations.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use rotary_par::ThreadPool;
 use rotary_tpch::date::year_of;
 use rotary_tpch::{Column, Table, TpchData};
 
@@ -220,6 +242,26 @@ impl BatchStats {
     }
 }
 
+/// Rows per parallel chunk. The chunk grid is a function of the batch
+/// alone — never of the thread count — so any pool size produces the same
+/// decomposition and, with the fixed-order fold, the same result.
+pub const PAR_CHUNK_ROWS: usize = 1024;
+
+/// Batches below this many rows skip the fan-out in
+/// [`Executor::process_rows_with`]; the replay fold makes the outcome
+/// bit-identical either way, so the threshold is purely a latency knob.
+pub const PAR_MIN_ROWS: usize = 2 * PAR_CHUNK_ROWS;
+
+/// What one chunk's data-plane evaluation produces: work counters plus the
+/// surviving rows' group keys and expression values, flattened in row
+/// order. The control plane replays these through `AggState::update` in
+/// fixed chunk order, reproducing the sequential fold bit-for-bit.
+struct ChunkOutput {
+    stats: BatchStats,
+    keys: Vec<i64>,
+    vals: Vec<f64>,
+}
+
 /// A plan bound to a dataset, ready to consume fact-row batches.
 #[derive(Debug)]
 pub struct Executor<'a> {
@@ -399,48 +441,178 @@ impl<'a> Executor<'a> {
         })
     }
 
+    /// Navigates one fact row: resolves every join edge into `ctx` and
+    /// applies the filter. Returns `true` iff the row survives (inner-join
+    /// semantics: any missed probe drops the row). Shared by the sequential
+    /// loop and the per-chunk data-plane evaluation so both execute the
+    /// exact same operation sequence.
+    #[inline]
+    fn resolve_row(&self, row: u32, ctx: &mut [u32], stats: &mut BatchStats) -> bool {
+        debug_assert!((row as usize) < self.fact_rows, "row index out of range");
+        ctx[0] = row;
+        for (i, edge) in self.edges.iter().enumerate() {
+            stats.probes += 1;
+            let src = ctx[edge.src_slot] as usize;
+            let hit = match &edge.index {
+                BoundIndex::Single(map) => map.get(&edge.fk[0].int(src)).copied(),
+                BoundIndex::Composite(map) => {
+                    map.get(&(edge.fk[0].int(src), edge.fk[1].int(src))).copied()
+                }
+            };
+            match hit {
+                Some(target_row) => ctx[i + 1] = target_row,
+                None => return false, // inner-join semantics
+            }
+        }
+        self.filter.eval(ctx)
+    }
+
     /// Processes a batch of fact-row indices, updating aggregate state.
     pub fn process_rows(&mut self, rows: &[u32]) -> BatchStats {
         let mut stats = BatchStats { rows_scanned: rows.len() as u64, ..Default::default() };
-        'rows: for &row in rows {
-            debug_assert!((row as usize) < self.fact_rows, "row index out of range");
-            self.ctx_buf[0] = row;
-            for (i, edge) in self.edges.iter().enumerate() {
-                stats.probes += 1;
-                let src = self.ctx_buf[edge.src_slot] as usize;
-                let hit = match &edge.index {
-                    BoundIndex::Single(map) => map.get(&edge.fk[0].int(src)).copied(),
-                    BoundIndex::Composite(map) => {
-                        map.get(&(edge.fk[0].int(src), edge.fk[1].int(src))).copied()
-                    }
-                };
-                match hit {
-                    Some(target_row) => self.ctx_buf[i + 1] = target_row,
-                    None => continue 'rows, // inner-join semantics
-                }
-            }
-            if !self.filter.eval(&self.ctx_buf) {
+        let mut ctx = std::mem::take(&mut self.ctx_buf);
+        let mut key = std::mem::take(&mut self.key_buf);
+        let mut val = std::mem::take(&mut self.val_buf);
+        for &row in rows {
+            if !self.resolve_row(row, &mut ctx, &mut stats) {
                 continue;
             }
-            self.key_buf.clear();
+            key.clear();
             for g in &self.groups {
-                self.key_buf.push(g.eval(&self.ctx_buf));
+                key.push(g.eval(&ctx));
             }
-            self.val_buf.clear();
+            val.clear();
             for e in &self.agg_exprs {
-                self.val_buf.push(e.eval(&self.ctx_buf));
+                val.push(e.eval(&ctx));
             }
-            self.state.update(&self.key_buf, &self.val_buf);
+            self.state.update(&key, &val);
             stats.rows_aggregated += 1;
+        }
+        self.ctx_buf = ctx;
+        self.key_buf = key;
+        self.val_buf = val;
+        self.totals.add(stats);
+        stats
+    }
+
+    /// Data-plane evaluation of one chunk: joins, filter, and expression
+    /// evaluation with **no** aggregate-state access. Runs concurrently on
+    /// pool workers; the caller owns the serial fold.
+    fn eval_chunk(&self, rows: &[u32]) -> ChunkOutput {
+        let mut stats = BatchStats { rows_scanned: rows.len() as u64, ..Default::default() };
+        let mut ctx = vec![0u32; self.ctx_buf.len().max(1)];
+        let mut keys = Vec::new();
+        let mut vals = Vec::new();
+        for &row in rows {
+            if !self.resolve_row(row, &mut ctx, &mut stats) {
+                continue;
+            }
+            for g in &self.groups {
+                keys.push(g.eval(&ctx));
+            }
+            for e in &self.agg_exprs {
+                vals.push(e.eval(&ctx));
+            }
+            stats.rows_aggregated += 1;
+        }
+        ChunkOutput { stats, keys, vals }
+    }
+
+    /// Parallel [`Executor::process_rows`] — the **replay** fold.
+    ///
+    /// The batch is cut into [`PAR_CHUNK_ROWS`]-sized chunks whose
+    /// join/filter/expression work runs on `pool`; the surviving rows' keys
+    /// and values are then replayed through `AggState::update` serially, in
+    /// original row order. Because aggregate updates happen in exactly the
+    /// sequence the sequential loop would apply them, the result is
+    /// bit-identical to [`Executor::process_rows`] at every pool size.
+    pub fn process_rows_with(&mut self, pool: &ThreadPool, rows: &[u32]) -> BatchStats {
+        if pool.threads() <= 1 || rows.len() < PAR_MIN_ROWS {
+            return self.process_rows(rows);
+        }
+        let chunks: Vec<&[u32]> = rows.chunks(PAR_CHUNK_ROWS).collect();
+        let outputs = {
+            let this: &Executor<'a> = self;
+            pool.map(&chunks, |_, chunk| this.eval_chunk(chunk))
+        };
+        let key_arity = self.groups.len();
+        let val_arity = self.agg_exprs.len();
+        let mut stats = BatchStats::default();
+        for out in &outputs {
+            stats.add(out.stats);
+            for r in 0..out.stats.rows_aggregated as usize {
+                self.state.update(
+                    &out.keys[r * key_arity..(r + 1) * key_arity],
+                    &out.vals[r * val_arity..(r + 1) * val_arity],
+                );
+            }
         }
         self.totals.add(stats);
         stats
+    }
+
+    /// Parallel `process_rows` — the **state-merge** fold.
+    ///
+    /// Each chunk folds into a thread-local [`AggState`]; locals are merged
+    /// into the running state with the parallel Welford combination in fixed
+    /// chunk order. The chunk grid depends only on the batch, so the result
+    /// is deterministic across thread counts — but the merge rounds
+    /// differently than the sequential per-row fold, so this path is for
+    /// workloads without legacy sequential calibrations. Chunking is applied
+    /// even on a single-lane pool to keep the fold structure (and therefore
+    /// the bits) independent of the pool size.
+    pub fn process_rows_with_merge(&mut self, pool: &ThreadPool, rows: &[u32]) -> BatchStats {
+        let chunks: Vec<&[u32]> = rows.chunks(PAR_CHUNK_ROWS).collect();
+        let locals = {
+            let this: &Executor<'a> = self;
+            pool.map(&chunks, |_, chunk| this.eval_chunk_state(chunk))
+        };
+        let mut stats = BatchStats::default();
+        for (chunk_stats, local) in &locals {
+            stats.add(*chunk_stats);
+            self.state.merge(local);
+        }
+        self.totals.add(stats);
+        stats
+    }
+
+    /// Like [`Executor::eval_chunk`] but folds straight into a fresh
+    /// thread-local [`AggState`] (for the state-merge path).
+    fn eval_chunk_state(&self, rows: &[u32]) -> (BatchStats, AggState) {
+        let mut stats = BatchStats { rows_scanned: rows.len() as u64, ..Default::default() };
+        let mut state = AggState::new(self.state.funcs().to_vec());
+        let mut ctx = vec![0u32; self.ctx_buf.len().max(1)];
+        let mut key = Vec::with_capacity(self.groups.len());
+        let mut val = Vec::with_capacity(self.agg_exprs.len());
+        for &row in rows {
+            if !self.resolve_row(row, &mut ctx, &mut stats) {
+                continue;
+            }
+            key.clear();
+            for g in &self.groups {
+                key.push(g.eval(&ctx));
+            }
+            val.clear();
+            for e in &self.agg_exprs {
+                val.push(e.eval(&ctx));
+            }
+            state.update(&key, &val);
+            stats.rows_aggregated += 1;
+        }
+        (stats, state)
     }
 
     /// Processes the *entire* fact table (ground-truth computation).
     pub fn process_all(&mut self) -> BatchStats {
         let rows: Vec<u32> = (0..self.fact_rows as u32).collect();
         self.process_rows(&rows)
+    }
+
+    /// Parallel [`Executor::process_all`] via the replay fold — bit-identical
+    /// to the sequential scan at every pool size.
+    pub fn process_all_with(&mut self, pool: &ThreadPool) -> BatchStats {
+        let rows: Vec<u32> = (0..self.fact_rows as u32).collect();
+        self.process_rows_with(pool, &rows)
     }
 
     /// The running aggregate state.
@@ -793,6 +965,153 @@ mod tests {
             }
         }
         assert_eq!(exec.state().combined(0), Some(expect as f64));
+    }
+
+    /// Bit-exact comparison of two executors' states: identical integer
+    /// counters and identical per-group accumulator values down to the last
+    /// bit. Uses `grouped_results` (sorted by key) so hash-map iteration
+    /// order cannot leak into the comparison.
+    fn assert_states_bit_identical(a: &Executor, b: &Executor) {
+        assert_eq!(a.totals(), b.totals());
+        let (ra, rb) = (a.state().grouped_results(), b.state().grouped_results());
+        assert_eq!(ra.len(), rb.len());
+        for ((ka, va), (kb, vb)) in ra.iter().zip(&rb) {
+            assert_eq!(ka, kb);
+            for (x, y) in va.iter().zip(vb) {
+                assert_eq!(
+                    x.map(f64::to_bits),
+                    y.map(f64::to_bits),
+                    "group {ka:?}: {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    fn grouped_join_plan() -> QueryPlan {
+        QueryPlan {
+            label: "par".into(),
+            fact: "lineitem".into(),
+            joins: vec![JoinEdge::new("o", "orders", ColRef::fact("l_orderkey"), "o_orderkey")],
+            filter: Pred::IntRange { col: ColRef::fact("l_quantity"), lo: 1, hi: 40 },
+            group_by: vec![GroupKey::Raw(ColRef::fact("l_returnflag"))],
+            aggregates: vec![
+                AggSpec::new(
+                    "rev",
+                    AggFunc::Sum,
+                    Expr::Mul(
+                        Box::new(Expr::Col(ColRef::fact("l_extendedprice"))),
+                        Box::new(Expr::Col(ColRef::fact("l_discount"))),
+                    ),
+                ),
+                AggSpec::new("avg_qty", AggFunc::Avg, Expr::Col(ColRef::fact("l_quantity"))),
+                AggSpec::count("n"),
+            ],
+            class: QueryClass::Medium,
+        }
+    }
+
+    #[test]
+    fn replay_fold_is_bit_identical_to_sequential_at_every_pool_size() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let plan = grouped_join_plan();
+        let rows: Vec<u32> = (0..d.lineitem.rows() as u32).rev().collect();
+
+        let mut seq = Executor::bind(&plan, &d, &mut cache).unwrap();
+        let seq_stats = seq.process_rows(&rows);
+
+        for threads in [1, 2, 4, 8] {
+            let pool = rotary_par::ThreadPool::new(threads);
+            let mut par = Executor::bind(&plan, &d, &mut cache).unwrap();
+            let par_stats = par.process_rows_with(&pool, &rows);
+            assert_eq!(seq_stats, par_stats, "threads={threads}");
+            assert_states_bit_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn process_all_with_matches_process_all_bitwise() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let mut seq = Executor::bind(&q6ish(), &d, &mut cache).unwrap();
+        seq.process_all();
+        let pool = rotary_par::ThreadPool::new(4);
+        let mut par = Executor::bind(&q6ish(), &d, &mut cache).unwrap();
+        par.process_all_with(&pool);
+        assert_states_bit_identical(&seq, &par);
+    }
+
+    #[test]
+    fn replay_fold_small_batches_take_sequential_path() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let pool = rotary_par::ThreadPool::new(4);
+        let mut seq = Executor::bind(&q6ish(), &d, &mut cache).unwrap();
+        let mut par = Executor::bind(&q6ish(), &d, &mut cache).unwrap();
+        // Below PAR_MIN_ROWS the parallel entry point must not fan out, and
+        // the result is (trivially) bit-identical.
+        let rows: Vec<u32> = (0..(PAR_MIN_ROWS as u32 - 1)).collect();
+        assert_eq!(seq.process_rows(&rows), par.process_rows_with(&pool, &rows));
+        assert_states_bit_identical(&seq, &par);
+    }
+
+    #[test]
+    fn state_merge_fold_is_deterministic_across_pool_sizes() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let plan = grouped_join_plan();
+        let rows: Vec<u32> = (0..d.lineitem.rows() as u32).collect();
+
+        let baseline = {
+            let pool = rotary_par::ThreadPool::new(1);
+            let mut e = Executor::bind(&plan, &d, &mut cache).unwrap();
+            e.process_rows_with_merge(&pool, &rows);
+            e.state().grouped_results()
+        };
+        for threads in [2, 4, 8] {
+            let pool = rotary_par::ThreadPool::new(threads);
+            let mut e = Executor::bind(&plan, &d, &mut cache).unwrap();
+            e.process_rows_with_merge(&pool, &rows);
+            let got = e.state().grouped_results();
+            assert_eq!(baseline.len(), got.len());
+            for ((ka, va), (kb, vb)) in baseline.iter().zip(&got) {
+                assert_eq!(ka, kb);
+                for (x, y) in va.iter().zip(vb) {
+                    assert_eq!(
+                        x.map(f64::to_bits),
+                        y.map(f64::to_bits),
+                        "threads={threads}, group {ka:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_merge_fold_matches_sequential_within_epsilon() {
+        let d = data();
+        let mut cache = IndexCache::new();
+        let plan = grouped_join_plan();
+        let rows: Vec<u32> = (0..d.lineitem.rows() as u32).collect();
+
+        let mut seq = Executor::bind(&plan, &d, &mut cache).unwrap();
+        let seq_stats = seq.process_rows(&rows);
+        let pool = rotary_par::ThreadPool::new(4);
+        let mut par = Executor::bind(&plan, &d, &mut cache).unwrap();
+        let par_stats = par.process_rows_with_merge(&pool, &rows);
+
+        // Work counters are integers: exactly equal.
+        assert_eq!(seq_stats, par_stats);
+        // Float aggregates agree to relative epsilon (different fold order).
+        let (ra, rb) = (seq.state().grouped_results(), par.state().grouped_results());
+        assert_eq!(ra.len(), rb.len());
+        for ((ka, va), (kb, vb)) in ra.iter().zip(&rb) {
+            assert_eq!(ka, kb);
+            for (x, y) in va.iter().zip(vb) {
+                let (x, y) = (x.unwrap(), y.unwrap());
+                assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0), "group {ka:?}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

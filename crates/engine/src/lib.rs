@@ -35,7 +35,7 @@ pub mod plan;
 pub mod queries;
 
 pub use agg::{AggFunc, AggSpec};
-pub use exec::{Executor, IndexCache};
+pub use exec::{Executor, IndexCache, PAR_CHUNK_ROWS, PAR_MIN_ROWS};
 pub use expr::{ColRef, Expr, Pred};
 pub use online::{EpochReport, OnlineAggregation};
 pub use plan::{GroupKey, JoinEdge, QueryClass, QueryPlan};

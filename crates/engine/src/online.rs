@@ -15,6 +15,7 @@
 //! value, so each column contributes `min(|α_c|, |α_f|) / max(|α_c|, |α_f|)`
 //! and mixed-sign estimates contribute 0.
 
+use rotary_par::ThreadPool;
 use rotary_tpch::{BatchSource, TpchData};
 
 use crate::exec::{BatchStats, Executor, IndexCache};
@@ -32,6 +33,20 @@ pub fn compute_ground_truth(
 ) -> Result<GroundTruth, String> {
     let mut exec = Executor::bind(plan, data, cache)?;
     exec.process_all();
+    Ok(exec.state().combined_all())
+}
+
+/// [`compute_ground_truth`] on a thread pool — the full-table scan runs
+/// through the replay fold, so the result is bit-identical to the sequential
+/// computation at every pool size.
+pub fn compute_ground_truth_with(
+    plan: &QueryPlan,
+    data: &TpchData,
+    cache: &mut IndexCache,
+    pool: &ThreadPool,
+) -> Result<GroundTruth, String> {
+    let mut exec = Executor::bind(plan, data, cache)?;
+    exec.process_all_with(pool);
     Ok(exec.state().combined_all())
 }
 
@@ -119,6 +134,16 @@ impl<'a> OnlineAggregation<'a> {
         // `executor` is disjoint, so copy the (small) index slice.
         let rows: Vec<u32> = rows.to_vec();
         let stats = self.executor.process_rows(&rows);
+        Some(self.report(stats))
+    }
+
+    /// [`OnlineAggregation::process_epoch`] on a thread pool. Batch
+    /// evaluation fans out across workers; the replay fold keeps the epoch
+    /// report bit-identical to the sequential path at every pool size.
+    pub fn process_epoch_with(&mut self, pool: &ThreadPool, batches: usize) -> Option<EpochReport> {
+        let rows = self.source.next_batches(batches.max(1))?;
+        let rows: Vec<u32> = rows.to_vec();
+        let stats = self.executor.process_rows_with(pool, &rows);
         Some(self.report(stats))
     }
 

@@ -1,0 +1,476 @@
+//! # Deterministic chunked thread pool
+//!
+//! Rotary's arbitration layer (the control plane) is serial and
+//! deterministic by design; what scales out is *batch execution* — the
+//! genuine per-row work of hash-join probes, predicate evaluation, and
+//! aggregate updates. This crate is the from-scratch, zero-dependency
+//! substrate for that data plane: a pool of persistent `std::thread`
+//! workers consuming index-addressed jobs, plus a scoped submit/join API.
+//!
+//! Design rules that make parallel execution reproducible:
+//!
+//! * **Fixed decomposition** — callers split work into chunks whose
+//!   boundaries do not depend on the thread count; the pool only decides
+//!   *who* evaluates a chunk, never *what* a chunk is.
+//! * **Ordered results** — [`ThreadPool::map`] returns results in item
+//!   order regardless of completion order, so callers can merge in a fixed
+//!   (chunk-index) order and obtain thread-count-independent output.
+//! * **Caller participation** — the submitting thread works through the
+//!   same cursor as the workers. A pool of `threads == 1` has no workers at
+//!   all and degenerates to inline sequential execution, and a nested
+//!   `map`/`scope` issued from inside a worker task always makes progress
+//!   (the nested caller drives its own cursor), so nesting cannot deadlock.
+//! * **Panic propagation** — a panicking task does not poison the pool; the
+//!   payload is captured and re-raised on the submitting thread after the
+//!   job completes, and the pool remains usable.
+//!
+//! The pool size is typically taken from the `ROTARY_THREADS` environment
+//! variable via [`configured_threads`]; the default of 1 preserves the
+//! historical single-threaded behaviour bit-for-bit.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Upper bound on the configured pool size (a safety valve against
+/// `ROTARY_THREADS=999999`-style mistakes).
+pub const MAX_THREADS: usize = 256;
+
+/// The pool size requested through the environment: `ROTARY_THREADS` parsed
+/// as a positive integer, clamped to [`MAX_THREADS`]; anything unset or
+/// unparsable means 1 (the historical sequential behaviour).
+pub fn configured_threads() -> usize {
+    std::env::var("ROTARY_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map(|n| n.min(MAX_THREADS))
+        .unwrap_or(1)
+}
+
+/// A type-erased borrow of the per-index task closure.
+///
+/// The `'static` lifetime is a lie told to the type system: the pointee is
+/// a stack-allocated closure borrowed for the duration of one
+/// [`ThreadPool::run_indexed`] call. Safety rests on the completion
+/// protocol — `run_indexed` does not return until every claimed index has
+/// finished, and workers never dereference the pointer except for an index
+/// they claimed while the job was still registered (claims past `total`
+/// fail without touching the closure).
+struct RawTask(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared evaluation from any thread is the
+// whole point) and the pointer itself is only a borrow; see `RawTask` docs
+// for the lifetime argument.
+unsafe impl Send for RawTask {}
+unsafe impl Sync for RawTask {}
+
+/// One in-flight indexed job: `total` indices, claimed through `cursor`,
+/// with completion counted in `done`.
+struct JobCore {
+    total: usize,
+    cursor: AtomicUsize,
+    task: RawTask,
+    done: Mutex<usize>,
+    finished: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl JobCore {
+    /// Claims and runs indices until the cursor is exhausted. Called by
+    /// workers and by the submitting thread alike.
+    fn drive(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            // SAFETY: `i < total` and the submitter blocks in `run_indexed`
+            // until `done == total`, so the closure outlives this call.
+            let task = unsafe { &*self.task.0 };
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(i)));
+            if let Err(payload) = outcome {
+                let mut slot = self.panic.lock().unwrap();
+                // Keep the first panic; later ones would mask the cause.
+                slot.get_or_insert(payload);
+            }
+            let mut done = self.done.lock().unwrap();
+            *done += 1;
+            if *done == self.total {
+                self.finished.notify_all();
+            }
+        }
+    }
+
+    fn has_unclaimed(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) < self.total
+    }
+}
+
+struct PoolState {
+    jobs: Vec<Arc<JobCore>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// A pool of persistent worker threads executing indexed jobs.
+///
+/// `threads` counts the submitting thread: `ThreadPool::new(4)` spawns
+/// three workers and the caller contributes the fourth lane. Dropping the
+/// pool joins all workers.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` total execution lanes (minimum 1). A
+    /// single-lane pool spawns no OS threads and runs everything inline on
+    /// the caller.
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.clamp(1, MAX_THREADS);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { jobs: Vec::new(), shutdown: false }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rotary-par-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn rotary-par worker")
+            })
+            .collect();
+        ThreadPool { shared, workers, threads }
+    }
+
+    /// A pool sized by [`configured_threads`] (`ROTARY_THREADS`, default 1).
+    pub fn from_env() -> ThreadPool {
+        ThreadPool::new(configured_threads())
+    }
+
+    /// Total execution lanes, including the submitting thread.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), …, f(total - 1)` across the pool, returning once
+    /// every index has completed. The caller participates, so this makes
+    /// progress even when every worker is busy (including when called from
+    /// inside a worker task). If any invocation panics, the first payload
+    /// is re-raised here after the job drains.
+    pub fn run_indexed<'env>(&self, total: usize, f: &(dyn Fn(usize) + Sync + 'env)) {
+        if total == 0 {
+            return;
+        }
+        if self.workers.is_empty() || total == 1 {
+            // Inline fast path: no cross-thread machinery, panics unwind
+            // naturally. This is the `ROTARY_THREADS=1` mode.
+            for i in 0..total {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: erasing the closure's lifetime is sound because this
+        // function blocks until `done == total` before returning (see
+        // `RawTask`): no worker dereferences the closure afterwards.
+        let task = RawTask(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + 'env),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const (dyn Fn(usize) + Sync + 'env))
+        });
+        let job = Arc::new(JobCore {
+            total,
+            cursor: AtomicUsize::new(0),
+            task,
+            done: Mutex::new(0),
+            finished: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        self.shared.state.lock().unwrap().jobs.push(Arc::clone(&job));
+        self.shared.work_ready.notify_all();
+
+        // Work the cursor alongside the workers, then wait for stragglers.
+        job.drive();
+        let mut done = job.done.lock().unwrap();
+        while *done < total {
+            done = job.finished.wait(done).unwrap();
+        }
+        drop(done);
+
+        self.shared.state.lock().unwrap().jobs.retain(|j| !Arc::ptr_eq(j, &job));
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Evaluates `f(i, &items[i])` for every item and returns the results
+    /// **in item order**, independent of which thread computed what — the
+    /// property that lets callers merge chunk results deterministically.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        self.run_indexed(items.len(), &|i| {
+            let r = f(i, &items[i]);
+            *slots[i].lock().unwrap() = Some(r);
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("completed map index must have a result"))
+            .collect()
+    }
+
+    /// Like [`ThreadPool::map`] but hands each task exclusive `&mut` access
+    /// to its item — the shape of Rotary's multi-job epoch step, where
+    /// independent jobs' executors advance concurrently.
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        struct SendPtr<T>(*mut T);
+        // SAFETY: each index is claimed by exactly one task (the atomic
+        // cursor hands every index out once), so the `&mut` derived below
+        // are disjoint.
+        unsafe impl<T: Send> Send for SendPtr<T> {}
+        unsafe impl<T: Send> Sync for SendPtr<T> {}
+        impl<T> SendPtr<T> {
+            fn at(&self, i: usize) -> *mut T {
+                // Keep the raw-pointer arithmetic behind a method so the
+                // closure below captures the `Sync` wrapper, not the field.
+                unsafe { self.0.add(i) }
+            }
+        }
+
+        let base = SendPtr(items.as_mut_ptr());
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        self.run_indexed(items.len(), &|i| {
+            // SAFETY: disjoint per-index access, see `SendPtr` above; `i`
+            // is in bounds because `run_indexed` never exceeds `total`.
+            let item = unsafe { &mut *base.at(i) };
+            let r = f(i, item);
+            *slots[i].lock().unwrap() = Some(r);
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("completed map index must have a result"))
+            .collect()
+    }
+
+    /// Opens a scope, lets `f` submit any number of borrowing tasks, then
+    /// runs them all across the pool and joins before returning — the
+    /// classic scoped submit/join shape over persistent workers.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&mut Scope<'env>) -> R) -> R {
+        let mut scope = Scope { tasks: Vec::new() };
+        let out = f(&mut scope);
+        let tasks: Vec<Mutex<Option<BoxedTask<'env>>>> =
+            scope.tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.run_indexed(tasks.len(), &|i| {
+            let task = tasks[i].lock().unwrap().take().expect("scope task claimed twice");
+            task();
+        });
+        out
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+type BoxedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Collects tasks submitted inside [`ThreadPool::scope`]; they start when
+/// the scope closure returns and are joined before `scope` itself returns.
+pub struct Scope<'env> {
+    tasks: Vec<BoxedTask<'env>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues a task for this scope. Tasks may borrow from the enclosing
+    /// stack frame (`'env`).
+    pub fn submit(&mut self, task: impl FnOnce() + Send + 'env) {
+        self.tasks.push(Box::new(task));
+    }
+
+    /// Number of tasks queued so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no task has been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(job) = state.jobs.iter().find(|j| j.has_unclaimed()) {
+                    break Arc::clone(job);
+                }
+                state = shared.work_ready.wait(state).unwrap();
+            }
+        };
+        job.drive();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_item_order_at_every_pool_size() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let got = pool.map(&items, |_, &x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_completes_immediately() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = Vec::new();
+        assert!(pool.map(&items, |_, &x| x).is_empty());
+        pool.run_indexed(0, &|_| panic!("must not be called"));
+        let ran = pool.scope(|_| 7);
+        assert_eq!(ran, 7);
+    }
+
+    #[test]
+    fn single_chunk_larger_than_worker_count() {
+        // Chunk-size > input: one item, many lanes — the job must complete
+        // without stranding a worker.
+        let pool = ThreadPool::new(8);
+        let got = pool.map(&[41u64], |_, &x| x + 1);
+        assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_, &i| {
+                if i == 13 {
+                    panic!("boom at {i}");
+                }
+                i
+            });
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
+        // The pool must remain fully usable after the panic drained.
+        let ok = pool.map(&items, |_, &i| i * 2);
+        assert_eq!(ok[13], 26);
+    }
+
+    #[test]
+    fn pool_reuse_across_many_submits() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicU64::new(0);
+        for round in 0..50u64 {
+            let items: Vec<u64> = (0..17).collect();
+            let got = pool.map(&items, |_, &x| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                x + round
+            });
+            assert_eq!(got[16], 16 + round);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50 * 17);
+    }
+
+    #[test]
+    fn map_mut_gives_exclusive_access() {
+        let pool = ThreadPool::new(4);
+        let mut items: Vec<Vec<u64>> = (0..32).map(|i| vec![i]).collect();
+        let sums = pool.map_mut(&mut items, |_, v| {
+            v.push(v[0] * 10);
+            v.iter().sum::<u64>()
+        });
+        assert_eq!(items[3], vec![3, 30]);
+        assert_eq!(sums[3], 33);
+    }
+
+    #[test]
+    fn scope_joins_all_submitted_tasks() {
+        let pool = ThreadPool::new(4);
+        let mut results = vec![0u64; 8];
+        pool.scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.submit(move || *slot = (i as u64 + 1) * 3);
+            }
+            assert_eq!(s.len(), 8);
+        });
+        assert_eq!(results, vec![3, 6, 9, 12, 15, 18, 21, 24]);
+    }
+
+    #[test]
+    fn nested_maps_do_not_deadlock() {
+        // Every outer task issues an inner map on the same pool; caller
+        // participation guarantees progress even with all lanes busy.
+        let pool = ThreadPool::new(2);
+        let outer: Vec<u64> = (0..8).collect();
+        let got = pool.map(&outer, |_, &x| {
+            let inner: Vec<u64> = (0..50).collect();
+            pool.map(&inner, |_, &y| y).into_iter().sum::<u64>() + x
+        });
+        assert_eq!(got[0], (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn configured_threads_defaults_to_one() {
+        // The suite cannot mutate the process environment safely, but the
+        // parser itself is pure — exercise the default path.
+        assert!(configured_threads() >= 1);
+        assert!(configured_threads() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let tid = std::thread::current().id();
+        let ids = pool.map(&[0u8; 16], |_, _| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == tid), "single-lane work must stay on the caller");
+    }
+}

@@ -11,6 +11,8 @@
 //!   arrivals, resource pools, checkpoint costs, evaluation metrics.
 //! * [`tpch`] — deterministic TPC-H-style data generation and the
 //!   progressive batch source.
+//! * [`par`] — the deterministic chunked thread pool behind multi-core
+//!   batch execution (`ROTARY_THREADS`).
 //! * [`engine`] — the mini relational engine with online aggregation that
 //!   stands in for the paper's Spark-based AQP executor.
 //! * [`aqp`] — Rotary-AQP (Algorithm 2) and its baselines (ReLAQS, EDF,
@@ -28,5 +30,6 @@ pub use rotary_aqp as aqp;
 pub use rotary_core as core;
 pub use rotary_dlt as dlt;
 pub use rotary_engine as engine;
+pub use rotary_par as par;
 pub use rotary_sim as sim;
 pub use rotary_tpch as tpch;

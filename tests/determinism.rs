@@ -16,17 +16,26 @@ fn data() -> &'static TpchData {
     DATA.get_or_init(|| Generator::new(7, 0.001).generate())
 }
 
-fn aqp_summary(seed: u64) -> WorkloadSummary {
+fn aqp_summary_threads(seed: u64, threads: usize) -> WorkloadSummary {
     let specs = WorkloadBuilder::paper().jobs(8).seed(seed).build();
-    let mut sys = AqpSystem::new(data(), AqpSystemConfig { seed, ..Default::default() });
+    let mut sys = AqpSystem::new(data(), AqpSystemConfig { seed, threads, ..Default::default() });
+    sys.prepopulate_history(seed);
     sys.run(&specs, AqpPolicy::Rotary).summary
 }
 
-fn dlt_summary(seed: u64) -> WorkloadSummary {
+fn aqp_summary(seed: u64) -> WorkloadSummary {
+    aqp_summary_threads(seed, 1)
+}
+
+fn dlt_summary_threads(seed: u64, threads: usize) -> WorkloadSummary {
     let specs = DltWorkloadBuilder::paper().jobs(8).seed(seed).build();
-    let mut sys = DltSystem::new(DltSystemConfig { seed, ..Default::default() });
+    let mut sys = DltSystem::new(DltSystemConfig { seed, threads, ..Default::default() });
     sys.prepopulate_history(&specs, 5);
     sys.run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5))).summary
+}
+
+fn dlt_summary(seed: u64) -> WorkloadSummary {
+    dlt_summary_threads(seed, 1)
 }
 
 #[test]
@@ -43,6 +52,36 @@ fn dlt_same_seed_is_bit_identical() {
     let a = dlt_summary(42);
     let b = dlt_summary(42);
     assert_eq!(a, b);
+}
+
+#[test]
+fn aqp_run_is_bit_identical_across_thread_counts() {
+    // The data plane (batch execution, history prepopulation, per-job
+    // epochs) fans out across a rotary-par pool, but the replay fold and
+    // the fixed chunk grid make every float independent of the pool width.
+    // Equality here is bit-for-bit: any scheduling leak fails this test.
+    let baseline = aqp_summary_threads(42, 1);
+    for threads in [2usize, 4, 8] {
+        let swept = aqp_summary_threads(42, threads);
+        assert_eq!(baseline, swept, "AQP summary diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn dlt_run_is_bit_identical_across_thread_counts() {
+    let baseline = dlt_summary_threads(42, 1);
+    for threads in [2usize, 4, 8] {
+        let swept = dlt_summary_threads(42, threads);
+        assert_eq!(baseline, swept, "DLT summary diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn rotary_threads_env_is_picked_up_by_default_config() {
+    // `ROTARY_THREADS` is read once per config construction; the default
+    // of 1 keeps single-threaded runs reproducing historical numbers.
+    assert_eq!(AqpSystemConfig::default().threads, rotary::par::configured_threads());
+    assert_eq!(DltSystemConfig::default().threads, rotary::par::configured_threads());
 }
 
 #[test]
