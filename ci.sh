@@ -27,6 +27,12 @@ cargo build --release
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+# The chaos suite runs as part of the workspace tests above; re-running it
+# with the case count pinned guards against a lowered ROTARY_CHECK_CASES in
+# the ambient environment quietly weakening the fault-injection coverage.
+echo "== chaos property suite (256 fault plans) =="
+ROTARY_CHECK_CASES=256 cargo test -q --test chaos
+
 case "$MODE" in
 --bench)
     echo "== bench gate (BENCH_engine.json, ±25%) =="

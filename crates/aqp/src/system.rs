@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 
+use rotary_core::error::RotaryError;
 use rotary_core::estimate::{CurveBasis, EnvelopeDetector, JointCurveEstimator};
 use rotary_core::history::{HistoryRepository, JobRecord};
 use rotary_core::job::{IntermediateState, JobId, JobKind, JobState, JobStatus};
@@ -24,6 +25,7 @@ use rotary_core::SimTime;
 use rotary_engine::memory::{estimate_memory_mb, BatchCostModel};
 use rotary_engine::online::{compute_ground_truth_with, GroundTruth, OnlineAggregation};
 use rotary_engine::{query, IndexCache, QueryClass, QueryId, QueryPlan};
+use rotary_faults::{EpochFault, FaultPlan};
 use rotary_sim::{
     CheckpointModel, CpuPool, EventQueue, MaterializationManager, MaterializationPolicy,
     PlacementSpan, WorkloadMetrics, WorkloadSummary,
@@ -118,6 +120,11 @@ pub struct AqpSystemConfig {
     pub materialization: MaterializationPolicy,
     /// Seed for per-job sampling orders and the random estimator.
     pub seed: u64,
+    /// Fault-injection plan consulted by the control plane. Defaults to
+    /// `ROTARY_FAULT_SEED` (the chaos profile at that seed; inert when
+    /// unset). An inert plan injects nothing and leaves the run
+    /// byte-identical to a build without the fault layer.
+    pub faults: FaultPlan,
     /// Worker threads for the *data plane* (real batch execution on the
     /// host running the simulation; independent jobs' epochs execute
     /// concurrently). Distinct from `pool`, which models the simulated
@@ -142,6 +149,7 @@ impl Default for AqpSystemConfig {
             checkpoint: CheckpointModel::ssd(),
             materialization: MaterializationPolicy::AlwaysDisk,
             seed: 0,
+            faults: FaultPlan::from_env(),
             threads: rotary_par::configured_threads(),
         }
     }
@@ -186,6 +194,10 @@ impl AqpRunResult {
 enum Event {
     Arrival(usize),
     EpochDone(usize),
+    /// An injected crash ends this job's in-flight epoch, losing its work.
+    EpochFailed(usize),
+    /// A crashed job's retry backoff has elapsed; it may re-enter arbitration.
+    RetryReady(usize),
     DeadlineCheck(usize),
 }
 
@@ -205,6 +217,12 @@ struct RunJob<'a> {
     threads: u32,
     last_threads: u32,
     pending_persist: SimTime,
+    /// Failed attempts at the current epoch; reset on success.
+    fault_attempts: u32,
+    /// Restores performed so far — indexes the restore-fault stream.
+    restores: u64,
+    /// Checkpoint writes so far — indexes the write-fault stream.
+    ckpt_writes: u64,
 }
 
 impl RunJob<'_> {
@@ -337,6 +355,12 @@ impl<'a> AqpSystem<'a> {
         self.history = history;
     }
 
+    /// Replaces the fault plan for subsequent runs (chaos testing reuses one
+    /// bound system across many plans — binding is the expensive part).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.config.faults = plan;
+    }
+
     /// The memory estimate for a query, in MB.
     pub fn memory_estimate(&self, id: QueryId) -> u64 {
         self.memory[&id.0]
@@ -465,6 +489,9 @@ impl<'a> AqpSystem<'a> {
                 threads: 0,
                 last_threads: 1,
                 pending_persist: SimTime::ZERO,
+                fault_attempts: 0,
+                restores: 0,
+                ckpt_writes: 0,
             });
         }
 
@@ -496,11 +523,36 @@ impl<'a> AqpSystem<'a> {
                         makespan = makespan.max(now);
                     }
                 }
-                Event::DeadlineCheck(i) => {
-                    // Catches jobs stuck waiting in the queue past their
-                    // deadline; running jobs are checked at epoch end.
+                Event::EpochFailed(i) => {
+                    self.fail_epoch(i, &mut jobs[i], now, &mut pool, &mut metrics, &mut events);
+                    if jobs[i].core.status.is_terminal() {
+                        material.forget(jobs[i].core.id.0);
+                        makespan = makespan.max(now);
+                    }
+                }
+                Event::RetryReady(i) => {
                     let job = &mut jobs[i];
-                    if job.core.status.is_arbitrable() && now >= job.deadline_at() {
+                    if job.core.status == JobStatus::Recovering {
+                        if now >= job.deadline_at() {
+                            job.core.finish(JobStatus::DeadlineMissed, now);
+                            material.forget(job.core.id.0);
+                            self.archive(job);
+                            makespan = makespan.max(now);
+                        } else {
+                            // Back from backoff: re-enters arbitration from
+                            // its last checkpoint.
+                            job.core.status = JobStatus::Checkpointed;
+                        }
+                    }
+                }
+                Event::DeadlineCheck(i) => {
+                    // Catches jobs stuck waiting in the queue (or sitting
+                    // out a retry backoff) past their deadline; running jobs
+                    // are checked at epoch end.
+                    let job = &mut jobs[i];
+                    let waiting =
+                        job.core.status.is_arbitrable() || job.core.status == JobStatus::Recovering;
+                    if waiting && now >= job.deadline_at() {
                         job.core.finish(JobStatus::DeadlineMissed, now);
                         material.forget(job.core.id.0);
                         self.archive(job);
@@ -518,6 +570,7 @@ impl<'a> AqpSystem<'a> {
                 &mut material,
                 &mut random_est,
                 &mut rr_cursor,
+                &mut metrics,
             );
             metrics.record_snapshot(
                 now,
@@ -554,9 +607,10 @@ impl<'a> AqpSystem<'a> {
         pool: &mut CpuPool,
         metrics: &mut WorkloadMetrics,
     ) {
-        pool.release(job.core.id);
+        pool.release(job.core.id).expect("completing job must hold a grant");
         let service = now - job.epoch_start;
         job.last_threads = job.threads.max(1);
+        job.fault_attempts = 0;
         // What this epoch would have cost isolated with a full grant — the
         // baseline of the Fig. 7b waiting-time metric.
         let eff = |t: u32| 1.0 + (t.max(1) - 1) as f64 * 0.85;
@@ -612,6 +666,70 @@ impl<'a> AqpSystem<'a> {
                 self.archive(job);
             }
             None => job.core.status = JobStatus::Active,
+        }
+    }
+
+    /// Handles an injected epoch crash: the in-flight epoch's work is lost,
+    /// the grant is released, and the job either backs off for a retry
+    /// (restoring from its last checkpoint when re-granted), misses its
+    /// deadline, or — with retries exhausted — fails terminally.
+    fn fail_epoch(
+        &mut self,
+        i: usize,
+        job: &mut RunJob<'_>,
+        now: SimTime,
+        pool: &mut CpuPool,
+        metrics: &mut WorkloadMetrics,
+        events: &mut EventQueue<Event>,
+    ) {
+        pool.release(job.core.id).expect("crashed job must hold a grant");
+        job.threads = 0;
+        job.fault_attempts += 1;
+        let epoch = job.core.epochs_run + 1;
+        let attempts = job.fault_attempts;
+        // The wasted occupancy still shows in the placement timeline.
+        metrics.record_span(PlacementSpan {
+            job: job.core.id,
+            resource: "cpu".into(),
+            start: job.epoch_start,
+            end: now,
+            attained_at_end: false,
+        });
+        job.core.record_lost_epoch(RotaryError::EpochFailed {
+            job: job.core.id.0,
+            epoch,
+            attempts,
+        });
+        let counters = metrics.recovery_of(job.core.id);
+        counters.crashes += 1;
+        counters.epochs_lost += 1;
+        // The crash destroyed the in-memory state: the next launch restores
+        // from the last checkpoint (checkpoint-based recovery).
+        job.in_memory = false;
+
+        if now >= job.deadline_at() {
+            job.core.finish(JobStatus::DeadlineMissed, now);
+            self.archive(job);
+            return;
+        }
+        match self.config.faults.retry().evaluate(job.core.id.0, epoch, attempts) {
+            Ok(backoff) if now + backoff < job.deadline_at() => {
+                job.core.retries += 1;
+                metrics.recovery_of(job.core.id).retries += 1;
+                job.core.status = JobStatus::Recovering;
+                events.schedule(now + backoff, Event::RetryReady(i));
+            }
+            Ok(_) => {
+                // The backoff alone overruns the deadline — the retry could
+                // never complete an epoch in time.
+                job.core.finish(JobStatus::DeadlineMissed, now);
+                self.archive(job);
+            }
+            Err(e) => {
+                job.core.failure = Some(e);
+                job.core.finish(JobStatus::Failed, now);
+                self.archive(job);
+            }
         }
     }
 
@@ -872,6 +990,7 @@ impl<'a> AqpSystem<'a> {
         material: &mut MaterializationManager,
         random_est: &mut RandomEstimator,
         rr_cursor: &mut usize,
+        metrics: &mut WorkloadMetrics,
     ) {
         // The queue Q_t: every arrived, unfinished job — including running
         // ones, whose grants are re-evaluated at their epoch boundaries.
@@ -891,6 +1010,9 @@ impl<'a> AqpSystem<'a> {
         // quota may exceed what is currently free because running jobs still
         // hold threads — grant what is available, at least one thread.
         let mut granted: Vec<usize> = Vec::new();
+        // Injected transient memory pressure shrinks what the arbiter may
+        // hand out for the duration of the current pressure slot.
+        let spike = self.config.faults.memory_pressure_mb(now);
         for &i in &ranked {
             if !jobs[i].core.status.is_arbitrable() {
                 continue;
@@ -901,13 +1023,16 @@ impl<'a> AqpSystem<'a> {
                 continue;
             }
             // Memory-resident paused state competes with running jobs for
-            // the shared pool; evict paused state (largest first, to disk)
-            // when a grant needs the room.
+            // the shared pool — as does the injected pressure; evict paused
+            // state (largest first, to disk) when a grant needs the room.
             let need = jobs[i].memory_mb;
-            if pool.free_memory_mb().saturating_sub(material.resident_mb()) < need {
+            let headroom = |pool: &CpuPool, material: &MaterializationManager| -> u64 {
+                pool.free_memory_mb().saturating_sub(material.resident_mb()).saturating_sub(spike)
+            };
+            if headroom(pool, material) < need {
                 material.make_room(need);
             }
-            if pool.free_memory_mb().saturating_sub(material.resident_mb()) < need {
+            if headroom(pool, material) < need {
                 continue;
             }
             if pool.grant(jobs[i].core.id, available, need) {
@@ -921,17 +1046,50 @@ impl<'a> AqpSystem<'a> {
         // epochs execute concurrently on the host pool), and a serial
         // post-pass in granted order (cost accounting, materialization, and
         // event scheduling — all order-sensitive).
-        let mut launches: Vec<(usize, usize, u32)> = Vec::new(); // (job, batches, threads)
+        // (job, batches, threads, straggler slowdown)
+        let mut launches: Vec<(usize, usize, u32, f64)> = Vec::new();
         for &i in &granted {
             let job = &mut jobs[i];
             if job.online.is_exhausted() {
                 // The stream finished earlier; the answer is exact.
-                pool.release(job.core.id);
+                pool.release(job.core.id).expect("granted job must hold its grant");
                 job.core.finish(JobStatus::Attained, now);
                 self.archive(job);
                 continue;
             }
             let threads = pool.threads_of(job.core.id);
+            // Consult the fault plan for this (job, epoch, attempt): a crash
+            // skips the data plane entirely — the epoch's work never happens
+            // and the grant burns until the crash fires; a straggler runs
+            // normally but its virtual duration is stretched in the
+            // post-pass. Serial pre-pass injection keeps multi-thread runs
+            // bit-identical.
+            let mut slowdown = 1.0;
+            match self.config.faults.epoch_fault(
+                job.core.id.0,
+                job.core.epochs_run + 1,
+                job.fault_attempts,
+            ) {
+                EpochFault::Crash { wasted_fraction } => {
+                    let est = if job.core.epochs_run > 0 {
+                        SimTime::from_secs_f64(
+                            job.core.service_time.as_secs_f64() / job.core.epochs_run as f64,
+                        )
+                    } else {
+                        SimTime::from_secs(60)
+                    };
+                    job.threads = threads;
+                    job.epoch_start = now;
+                    job.core.status = JobStatus::Running;
+                    events.schedule(now + est.scale(wasted_fraction), Event::EpochFailed(i));
+                    continue;
+                }
+                EpochFault::Straggler { slowdown: s } => {
+                    metrics.recovery_of(job.core.id).stragglers += 1;
+                    slowdown = s;
+                }
+                EpochFault::None => {}
+            }
             // Adaptive running epochs scale with the grant: a fully
             // resourced heavy job runs its long epoch, but a starved job
             // runs a short one so it returns to arbitration quickly instead
@@ -960,7 +1118,7 @@ impl<'a> AqpSystem<'a> {
                     batches = batches.min(fit.max(1));
                 }
             }
-            launches.push((i, batches, threads));
+            launches.push((i, batches, threads, slowdown));
         }
 
         // Data plane: each launched job runs its (sequential, and therefore
@@ -968,7 +1126,7 @@ impl<'a> AqpSystem<'a> {
         let epoch_stats: BTreeMap<usize, rotary_engine::exec::BatchStats> = {
             let mut work: Vec<(usize, &mut OnlineAggregation<'a>, usize)> = Vec::new();
             for (i, job) in jobs.iter_mut().enumerate() {
-                if let Some(&(_, batches, _)) = launches.iter().find(|&&(j, _, _)| j == i) {
+                if let Some(&(_, batches, _, _)) = launches.iter().find(|&&(j, _, _, _)| j == i) {
                     work.push((i, &mut job.online, batches));
                 }
             }
@@ -979,14 +1137,27 @@ impl<'a> AqpSystem<'a> {
         };
 
         // Serial post-pass, in granted order.
-        for &(i, _, threads) in &launches {
+        for &(i, _, threads, slowdown) in &launches {
             let job = &mut jobs[i];
             let mut duration = self.cost.batch_time(epoch_stats[&i], threads);
+            if slowdown != 1.0 {
+                // Straggler epoch: same work, stretched virtual time.
+                duration = duration.scale(slowdown);
+            }
             if !job.in_memory && job.core.epochs_run > 0 {
                 // Resuming a paused job: pay the deferred persist cost plus
                 // the restore (zero when the state stayed memory-resident).
-                duration += job.pending_persist + material.resume(job.core.id.0, job.memory_mb);
+                let mut resume_cost =
+                    job.pending_persist + material.resume(job.core.id.0, job.memory_mb);
                 job.pending_persist = SimTime::ZERO;
+                job.restores += 1;
+                if self.config.faults.restore(job.core.id.0, job.restores).is_err() {
+                    // The read failed once; the retry repeats the full
+                    // disk restore (bounded: exactly one extra read).
+                    resume_cost += self.config.checkpoint.restore_cost(job.memory_mb);
+                    metrics.recovery_of(job.core.id).restore_failures += 1;
+                }
+                duration += resume_cost;
             }
             job.in_memory = true;
             job.threads = threads;
@@ -1003,6 +1174,14 @@ impl<'a> AqpSystem<'a> {
                 job.core.checkpoints += 1;
                 job.core.status = JobStatus::Checkpointed;
                 job.pending_persist = material.pause(job.core.id.0, job.memory_mb);
+                job.ckpt_writes += 1;
+                if self.config.faults.checkpoint_write(job.core.id.0, job.ckpt_writes).is_err() {
+                    // The write failed once; the retry repeats the full disk
+                    // write, deferred to the job's next resume like the
+                    // original persist cost.
+                    job.pending_persist += self.config.checkpoint.checkpoint_cost(job.memory_mb);
+                    metrics.recovery_of(job.core.id).checkpoint_failures += 1;
+                }
             }
         }
     }

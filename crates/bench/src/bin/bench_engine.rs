@@ -3,7 +3,8 @@
 //! Measures batch-execution throughput (rows/sec) for one query per class —
 //! sequentially and on `rotary-par` pools of 1/2/4/8 threads (the replay
 //! fold, plus the state-merge fold at the widest pool) — together with the
-//! estimator-fit timings that bound arbitration overhead. Results go to
+//! estimator-fit timings that bound arbitration overhead and the advisory
+//! `recovery/*` fault-recovery cost metrics. Results go to
 //! `BENCH_engine.json`.
 //!
 //! Modes:
@@ -21,7 +22,10 @@ use rotary_bench::timing::{black_box, measure};
 use rotary_core::estimate::wlr::{LinearFit, WeightedPoint};
 use rotary_core::estimate::{CurveBasis, JointCurveEstimator};
 use rotary_core::json;
+use rotary_core::progress::Objective;
+use rotary_dlt::{DltPolicy, DltSystem, DltSystemConfig, DltWorkloadBuilder};
 use rotary_engine::{query, Executor, IndexCache, QueryId};
+use rotary_faults::FaultPlan;
 use rotary_par::ThreadPool;
 use rotary_tpch::{BatchSource, Generator};
 
@@ -116,6 +120,29 @@ fn bench_estimator_fits(metrics: &mut BTreeMap<String, f64>) {
     report(metrics, "estimator/joint_solve_rel".into(), stats.min.as_nanos() as f64 / probe_ns);
 }
 
+/// Advisory recovery-overhead metrics (`recovery/*`, never gated): the
+/// virtual-makespan cost of the default chaos profile on an 8-job DLT
+/// workload, plus the fault volume behind it. Fully deterministic — these
+/// track how expensive recovery *policy* is, not host speed.
+fn bench_recovery(metrics: &mut BTreeMap<String, f64>) {
+    let run = |faults: FaultPlan| {
+        let specs = DltWorkloadBuilder::paper().jobs(8).seed(17).build();
+        let mut sys =
+            DltSystem::new(DltSystemConfig { seed: 17, threads: 1, faults, ..Default::default() });
+        sys.prepopulate_history(&specs, 5);
+        sys.run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)))
+    };
+    let base = run(FaultPlan::none());
+    let chaos = run(FaultPlan::chaos(17));
+    let base_s = base.makespan.as_secs_f64();
+    let chaos_s = chaos.makespan.as_secs_f64();
+    report(metrics, "recovery/dlt_makespan_base_s".into(), base_s);
+    report(metrics, "recovery/dlt_makespan_chaos_s".into(), chaos_s);
+    report(metrics, "recovery/dlt_makespan_rel".into(), chaos_s / base_s.max(1e-9));
+    report(metrics, "recovery/dlt_epochs_lost".into(), chaos.summary.epochs_lost as f64);
+    report(metrics, "recovery/dlt_retries".into(), chaos.summary.retries as f64);
+}
+
 fn report(metrics: &mut BTreeMap<String, f64>, key: String, value: f64) {
     println!("{key:<34} {value:>14.1}");
     metrics.insert(key, value);
@@ -128,9 +155,12 @@ fn lower_is_better(key: &str) -> bool {
 }
 
 /// Raw nanosecond timings are informational only (see
-/// [`bench_estimator_fits`]); their `_rel` ratios carry the gate.
+/// [`bench_estimator_fits`]); their `_rel` ratios carry the gate. The
+/// `recovery/*` family is advisory too: it reports fault-recovery cost in
+/// virtual time, which shifts whenever the chaos profile or the recovery
+/// policy is retuned — tracked, not gated.
 fn info_only(key: &str) -> bool {
-    key.ends_with("_ns")
+    key.ends_with("_ns") || key.starts_with("recovery/")
 }
 
 /// Pool widths beyond the host's parallelism oversubscribe the scheduler
@@ -187,6 +217,7 @@ fn main() {
     let mut metrics = BTreeMap::new();
     bench_throughput(&mut metrics);
     bench_estimator_fits(&mut metrics);
+    bench_recovery(&mut metrics);
 
     match mode {
         "--write" => {
@@ -203,6 +234,7 @@ fn main() {
                 let mut retry = BTreeMap::new();
                 bench_throughput(&mut retry);
                 bench_estimator_fits(&mut retry);
+                bench_recovery(&mut retry);
                 if let Err(e) = check(&retry, &path) {
                     eprintln!("bench gate FAILED (both passes):\n{e}");
                     std::process::exit(1);

@@ -37,6 +37,31 @@ pub enum RotaryError {
     InvalidConfig(String),
     /// History-repository persistence failed.
     Persistence(String),
+    /// A checkpoint write or restore failed (injected fault or I/O error).
+    CheckpointFailed {
+        /// The job whose state was being persisted or restored.
+        job: u64,
+        /// Which operation failed: `"write"` or `"restore"`.
+        operation: &'static str,
+    },
+    /// A running epoch crashed mid-execution and was rolled back.
+    EpochFailed {
+        /// The job whose epoch crashed.
+        job: u64,
+        /// The (1-based) epoch that was lost.
+        epoch: u64,
+        /// Failed attempts at this epoch so far.
+        attempts: u32,
+    },
+    /// Every retry attempt for an epoch was consumed; the job is failed.
+    RetriesExhausted {
+        /// The job that ran out of retries.
+        job: u64,
+        /// The epoch that could not be completed.
+        epoch: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for RotaryError {
@@ -56,6 +81,17 @@ impl fmt::Display for RotaryError {
             ),
             RotaryError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             RotaryError::Persistence(msg) => write!(f, "history persistence failed: {msg}"),
+            RotaryError::CheckpointFailed { job, operation } => {
+                write!(f, "checkpoint {operation} failed for job {job}")
+            }
+            RotaryError::EpochFailed { job, epoch, attempts } => write!(
+                f,
+                "job {job} lost epoch {epoch} (attempt {attempts}); rolling back to last checkpoint"
+            ),
+            RotaryError::RetriesExhausted { job, epoch, attempts } => write!(
+                f,
+                "job {job} exhausted {attempts} attempts at epoch {epoch}; giving up"
+            ),
         }
     }
 }
@@ -79,6 +115,21 @@ mod tests {
 
         let e = RotaryError::ResourceExhausted { requested_mb: 9000, available_mb: 8192 };
         assert!(e.to_string().contains("9000"));
+    }
+
+    #[test]
+    fn fault_errors_carry_their_context() {
+        let e = RotaryError::CheckpointFailed { job: 7, operation: "restore" };
+        assert!(e.to_string().contains("restore"));
+        assert!(e.to_string().contains("7"));
+
+        let e = RotaryError::EpochFailed { job: 2, epoch: 9, attempts: 1 };
+        let s = e.to_string();
+        assert!(s.contains("epoch 9") && s.contains("job 2"), "{s}");
+
+        let e = RotaryError::RetriesExhausted { job: 3, epoch: 4, attempts: 3 };
+        let s = e.to_string();
+        assert!(s.contains("3 attempts") && s.contains("epoch 4"), "{s}");
     }
 
     #[test]

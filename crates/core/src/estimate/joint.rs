@@ -67,12 +67,23 @@ impl JointCurveEstimator {
     /// Creates an estimator with the given basis and historical points
     /// (possibly empty — the estimator then needs ≥ 2 real-time points
     /// before it can predict).
-    pub fn new(basis: CurveBasis, historical: Vec<(f64, f64)>) -> Self {
+    pub fn new(basis: CurveBasis, mut historical: Vec<(f64, f64)>) -> Self {
+        // Repositories populated under fault injection may carry poisoned
+        // entries; a single NaN here would make every later fit unusable.
+        historical.retain(|&(x, y)| x.is_finite() && y.is_finite());
         JointCurveEstimator { basis, historical, realtime: Vec::new() }
     }
 
     /// Records a real-time observation from the running job.
+    ///
+    /// Non-finite observations (a crashed epoch reporting NaN progress, an
+    /// overflowed runtime) are dropped rather than stored: one poisoned point
+    /// would otherwise turn every subsequent fit into NaN. The remaining
+    /// points simply re-share the weight — skip-and-reweight, never panic.
     pub fn observe(&mut self, x: f64, y: f64) {
+        if !(x.is_finite() && y.is_finite()) {
+            return;
+        }
         self.realtime.push((x, y));
     }
 
@@ -265,6 +276,31 @@ mod tests {
         assert_eq!(CurveBasis::Linear.invert(7.0), 7.0);
         let t = CurveBasis::LogShifted.transform(9.0);
         assert!((CurveBasis::LogShifted.invert(t) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_observations_are_skipped_and_reweighted() {
+        let mut est = JointCurveEstimator::new(CurveBasis::LogShifted, historical());
+        est.observe(5.0, truth(5.0));
+        est.observe(f64::NAN, 0.9); // crashed epoch reporting garbage
+        est.observe(10.0, f64::INFINITY);
+        est.observe(10.0, truth(10.0));
+        assert_eq!(est.realtime_len(), 2, "poisoned points never enter the set");
+        // Weights re-share over the two surviving points: 1/(2+1) each.
+        assert!((est.realtime_weight() - 1.0 / 3.0).abs() < 1e-12);
+        let y = est.predict(50.0).unwrap();
+        assert!(y.is_finite());
+        assert!((y - truth(50.0)).abs() < 0.05, "fit stays sane: got {y}");
+    }
+
+    #[test]
+    fn poisoned_history_is_filtered_at_construction() {
+        let mut hist = historical();
+        hist.push((f64::NAN, 0.5));
+        hist.push((30.0, f64::NEG_INFINITY));
+        let est = JointCurveEstimator::new(CurveBasis::LogShifted, hist);
+        assert_eq!(est.historical_len(), 20);
+        assert!(est.predict(50.0).unwrap().is_finite());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! state time series (paper §III-A and §III-D).
 
 use crate::criteria::CompletionCriterion;
+use crate::error::RotaryError;
 use crate::time::SimTime;
 use std::fmt;
 
@@ -44,9 +45,10 @@ pub struct IntermediateState {
 /// ```text
 /// Pending ─arrival→ Active ─grant→ Running ─epoch end→ Active
 ///                     │                │  └─preempt→ Checkpointed ─grant→ Running
+///                     │                └─crash→ Recovering ─backoff→ Checkpointed
 ///                     └──────────criterion met / deadline──────────┐
 ///                                                                  ▼
-///                              Attained | FalselyAttained | DeadlineMissed
+///                    Attained | FalselyAttained | DeadlineMissed | Failed
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobStatus {
@@ -58,6 +60,9 @@ pub enum JobStatus {
     Running,
     /// Preempted with state persisted; resuming pays a restore cost.
     Checkpointed,
+    /// An epoch crashed; the job sits out its retry backoff before
+    /// re-entering arbitration from its last checkpoint.
+    Recovering,
     /// Completion criterion genuinely met.
     Attained,
     /// The system *declared* the job complete (e.g. the envelope function
@@ -65,12 +70,20 @@ pub enum JobStatus {
     FalselyAttained,
     /// Deadline passed without attainment.
     DeadlineMissed,
+    /// The job exhausted its epoch retries and was given up on.
+    Failed,
 }
 
 impl JobStatus {
     /// Terminal statuses never transition again.
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobStatus::Attained | JobStatus::FalselyAttained | JobStatus::DeadlineMissed)
+        matches!(
+            self,
+            JobStatus::Attained
+                | JobStatus::FalselyAttained
+                | JobStatus::DeadlineMissed
+                | JobStatus::Failed
+        )
     }
 
     /// Statuses in which the job is eligible for resource arbitration.
@@ -104,6 +117,15 @@ pub struct JobState {
     pub isolated_service: Option<SimTime>,
     /// Number of times the job was checkpointed (preempted after an epoch).
     pub checkpoints: u64,
+    /// Epochs whose work was lost to injected crashes (each rolled the job
+    /// back to its last completed epoch).
+    pub epochs_lost: u64,
+    /// Retry attempts scheduled after crashed epochs.
+    pub retries: u64,
+    /// The most recent injected failure, if any; cleared by the next
+    /// successfully completed epoch. A job in [`JobStatus::Failed`] keeps
+    /// its terminal [`RotaryError::RetriesExhausted`] here.
+    pub failure: Option<RotaryError>,
     /// The emitted intermediate-state time series.
     pub history: Vec<IntermediateState>,
     /// Time at which the job reached a terminal status, if it has.
@@ -123,6 +145,9 @@ impl JobState {
             service_time: SimTime::ZERO,
             isolated_service: None,
             checkpoints: 0,
+            epochs_lost: 0,
+            retries: 0,
+            failure: None,
             history: Vec::new(),
             finished_at: None,
         }
@@ -151,7 +176,16 @@ impl JobState {
         );
         self.epochs_run = state.epoch;
         self.service_time += service;
+        self.failure = None;
         self.history.push(state);
+    }
+
+    /// Records a crashed epoch: the work is lost (nothing is appended to the
+    /// series), the typed failure is kept for inspection, and the recovery
+    /// counters advance.
+    pub fn record_lost_epoch(&mut self, failure: RotaryError) {
+        self.epochs_lost += 1;
+        self.failure = Some(failure);
     }
 
     /// Transitions to a terminal status at the given time.
@@ -261,11 +295,36 @@ mod tests {
         assert!(JobStatus::Attained.is_terminal());
         assert!(JobStatus::FalselyAttained.is_terminal());
         assert!(JobStatus::DeadlineMissed.is_terminal());
+        assert!(JobStatus::Failed.is_terminal());
         assert!(!JobStatus::Running.is_terminal());
+        assert!(!JobStatus::Recovering.is_terminal());
         assert!(JobStatus::Active.is_arbitrable());
         assert!(JobStatus::Checkpointed.is_arbitrable());
         assert!(!JobStatus::Running.is_arbitrable());
         assert!(!JobStatus::Pending.is_arbitrable());
+        assert!(!JobStatus::Recovering.is_arbitrable(), "backoff holds the job out of the queue");
+        assert!(!JobStatus::Failed.is_arbitrable());
+    }
+
+    #[test]
+    fn lost_epochs_keep_the_series_and_clear_on_success() {
+        let mut j = mk_job();
+        j.record_lost_epoch(RotaryError::EpochFailed { job: 1, epoch: 1, attempts: 1 });
+        j.retries += 1;
+        assert_eq!(j.epochs_lost, 1);
+        assert_eq!(j.epochs_run, 0, "lost work never enters the series");
+        assert!(j.failure.is_some());
+        j.record_epoch(
+            IntermediateState {
+                epoch: 1,
+                at: SimTime::from_secs(65),
+                metric_value: 0.5,
+                progress: 0.55,
+            },
+            SimTime::from_secs(60),
+        );
+        assert!(j.failure.is_none(), "a completed epoch clears the failure");
+        assert_eq!(j.epochs_lost, 1, "the loss counter is permanent");
     }
 
     #[test]

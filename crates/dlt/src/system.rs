@@ -14,6 +14,7 @@
 //! round-robin the rest, exactly as §V-B2 describes.
 
 use rotary_core::criteria::{CompletionCriterion, CriterionCheck};
+use rotary_core::error::RotaryError;
 use rotary_core::estimate::JointCurveEstimator;
 use rotary_core::history::HistoryRepository;
 use rotary_core::job::{IntermediateState, JobId, JobKind, JobState, JobStatus};
@@ -21,6 +22,7 @@ use rotary_core::policy::{JobSnapshot, Prioritizer, ThresholdPrioritizer};
 use rotary_core::progress::Objective;
 use rotary_core::resources::GpuPoolSpec;
 use rotary_core::SimTime;
+use rotary_faults::{EpochFault, FaultPlan};
 use rotary_sim::{
     CheckpointModel, EventQueue, GpuPool, PlacementSpan, WorkloadMetrics, WorkloadSummary,
 };
@@ -84,6 +86,11 @@ pub struct DltSystemConfig {
     pub top_k: usize,
     /// Seed for evaluation noise.
     pub seed: u64,
+    /// Fault-injection plan consulted by the control plane. Defaults to
+    /// `ROTARY_FAULT_SEED` (the chaos profile at that seed; inert when
+    /// unset). An inert plan injects nothing and leaves the run
+    /// byte-identical to a build without the fault layer.
+    pub faults: FaultPlan,
     /// Worker threads for the data plane (host threads running the training
     /// simulations, not the simulated GPUs). Defaults to `ROTARY_THREADS`
     /// (1 when unset); results are bit-identical across values.
@@ -97,6 +104,7 @@ impl Default for DltSystemConfig {
             checkpoint: CheckpointModel::ssd(),
             top_k: 5,
             seed: 0,
+            faults: FaultPlan::from_env(),
             threads: rotary_par::configured_threads(),
         }
     }
@@ -186,6 +194,14 @@ impl DltRunResult {
 #[derive(Debug)]
 enum Event {
     EpochDone(usize),
+    /// An injected crash ends this job's in-flight epoch, losing its work.
+    EpochFailed(usize),
+    /// A crashed job's retry backoff has elapsed; it may be placed again.
+    RetryReady(usize),
+    /// A memory-pressure slot boundary: re-arbitrate in case the pressure
+    /// that blocked placements has lifted (without this, an otherwise idle
+    /// queue would never wake up again).
+    Wake,
 }
 
 struct RunJob {
@@ -199,6 +215,12 @@ struct RunJob {
     in_memory: bool,
     last_device: Option<usize>,
     epoch_start: SimTime,
+    /// Failed attempts at the current epoch; reset on success.
+    fault_attempts: u32,
+    /// Restores performed so far — indexes the restore-fault stream.
+    restores: u64,
+    /// Checkpoint writes so far — indexes the write-fault stream.
+    ckpt_writes: u64,
 }
 
 /// The Rotary-DLT system.
@@ -225,6 +247,11 @@ impl DltSystem {
     /// Mutable access (the Fig. 11 experiment strips NLP records).
     pub fn history_mut(&mut self) -> &mut HistoryRepository {
         &mut self.history
+    }
+
+    /// Installs a fault-injection plan for subsequent runs.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.config.faults = plan;
     }
 
     /// Runs every workload job once, uncontended, to populate the
@@ -355,6 +382,9 @@ impl DltSystem {
                     in_memory: false,
                     last_device: None,
                     epoch_start: SimTime::ZERO,
+                    fault_attempts: 0,
+                    restores: 0,
+                    ckpt_writes: 0,
                     core,
                     spec: spec.clone(),
                 }
@@ -385,21 +415,48 @@ impl DltSystem {
             SimTime::ZERO,
             &mut pool,
             &mut events,
+            &mut metrics,
             policy,
             &mut meter,
             &mut rr_cursor,
         );
 
-        while let Some((now, Event::EpochDone(i))) = events.pop() {
-            self.complete_epoch(&mut jobs[i], now, &mut pool, &mut metrics, &mut meter, &mut ttr);
-            if jobs[i].core.status.is_terminal() {
-                makespan = makespan.max(now);
+        while let Some((now, event)) = events.pop() {
+            match event {
+                Event::EpochDone(i) => {
+                    self.complete_epoch(
+                        &mut jobs[i],
+                        now,
+                        &mut pool,
+                        &mut metrics,
+                        &mut meter,
+                        &mut ttr,
+                    );
+                    if jobs[i].core.status.is_terminal() {
+                        makespan = makespan.max(now);
+                    }
+                }
+                Event::EpochFailed(i) => {
+                    self.fail_epoch(i, &mut jobs[i], now, &mut pool, &mut metrics, &mut events);
+                    if jobs[i].core.status.is_terminal() {
+                        makespan = makespan.max(now);
+                    }
+                }
+                Event::RetryReady(i) => {
+                    if jobs[i].core.status == JobStatus::Recovering {
+                        // Backoff served: the job rejoins the arbitration
+                        // queue from its last durable checkpoint.
+                        jobs[i].core.status = JobStatus::Checkpointed;
+                    }
+                }
+                Event::Wake => {}
             }
             self.arbitrate(
                 &mut jobs,
                 now,
                 &mut pool,
                 &mut events,
+                &mut metrics,
                 policy,
                 &mut meter,
                 &mut rr_cursor,
@@ -440,8 +497,9 @@ impl DltSystem {
         meter: &mut OverheadMeter,
         ttr: &mut Ttr,
     ) {
-        let device = pool.vacate(job.core.id);
+        let device = pool.vacate(job.core.id).expect("completing job must occupy a device");
         let service = now - job.epoch_start;
+        job.fault_attempts = 0;
         // The isolated baseline: GPUs are not shared, so an epoch costs the
         // same alone; only queueing differs.
         job.core.add_isolated_service(service);
@@ -491,6 +549,61 @@ impl DltSystem {
                 self.history.insert(job_record(&job.spec.config, curve, job.core.epochs_run));
             }
             None => job.core.status = JobStatus::Active,
+        }
+    }
+
+    /// Handles an injected epoch crash: the in-flight epoch is lost, the
+    /// device is freed, and the job either backs off for a retry (rolling
+    /// back to its last durable checkpoint) or — with retries exhausted —
+    /// fails permanently, archiving whatever curve it did produce.
+    fn fail_epoch(
+        &mut self,
+        i: usize,
+        job: &mut RunJob,
+        now: SimTime,
+        pool: &mut GpuPool,
+        metrics: &mut WorkloadMetrics,
+        events: &mut EventQueue<Event>,
+    ) {
+        let device = pool.vacate(job.core.id).expect("crashed job must occupy a device");
+        job.fault_attempts += 1;
+        let epoch = job.core.epochs_run + 1;
+        let attempts = job.fault_attempts;
+        metrics.record_span(PlacementSpan {
+            job: job.core.id,
+            resource: format!("gpu{device}"),
+            start: job.epoch_start,
+            end: now,
+            attained_at_end: false,
+        });
+        job.core.record_lost_epoch(RotaryError::EpochFailed {
+            job: job.core.id.0,
+            epoch,
+            attempts,
+        });
+        let counters = metrics.recovery_of(job.core.id);
+        counters.crashes += 1;
+        counters.epochs_lost += 1;
+        // Device state died with the crash: the next launch restores from
+        // the last durable checkpoint.
+        job.in_memory = false;
+        match self.config.faults.retry().evaluate(job.core.id.0, epoch, attempts) {
+            Ok(backoff) => {
+                job.core.retries += 1;
+                metrics.recovery_of(job.core.id).retries += 1;
+                job.core.status = JobStatus::Recovering;
+                events.schedule(now + backoff, Event::RetryReady(i));
+            }
+            Err(e) => {
+                job.core.failure = Some(e);
+                job.core.finish(JobStatus::Failed, now);
+                if job.core.epochs_run > 0 {
+                    // Partial curves are still valid history for estimators.
+                    let curve: Vec<(f64, f64)> =
+                        job.core.history.iter().map(|s| (s.epoch as f64, s.metric_value)).collect();
+                    self.history.insert(job_record(&job.spec.config, curve, job.core.epochs_run));
+                }
+            }
         }
     }
 
@@ -601,6 +714,7 @@ impl DltSystem {
         now: SimTime,
         pool: &mut GpuPool,
         events: &mut EventQueue<Event>,
+        metrics: &mut WorkloadMetrics,
         policy: DltPolicy,
         meter: &mut OverheadMeter,
         rr_cursor: &mut usize,
@@ -616,9 +730,13 @@ impl DltSystem {
         }
         let ranked = self.rank(jobs, arbitrable, now, policy, meter, rr_cursor);
 
+        // Transient co-located pressure shrinks what a device can host this
+        // slot; zero under an inert plan.
+        let spike = self.config.faults.memory_pressure_mb(now);
+
         let mut placed: Vec<usize> = Vec::new();
         for &i in &ranked {
-            let estimate = jobs[i].memory_estimate_mb;
+            let estimate = jobs[i].memory_estimate_mb.saturating_add(spike);
             // Prefer the device the job last ran on (its state may still be
             // resident); otherwise first fit (Algorithm 3's m̂ ≤ M_d test).
             let device = match jobs[i].last_device {
@@ -642,7 +760,7 @@ impl DltSystem {
             if self.config.pool.devices[device].memory_mb < job.true_memory_mb {
                 job.memory_estimate_mb = job.true_memory_mb;
                 job.core.checkpoints += 1;
-                pool.vacate(job.core.id);
+                pool.vacate(job.core.id).expect("OOM job was placed just above");
                 placed.pop();
                 continue;
             }
@@ -654,13 +772,39 @@ impl DltSystem {
             }
             let same_device = job.last_device == Some(device);
             if job.core.epochs_run > 0 && (!job.in_memory || !same_device) {
-                duration += self.config.checkpoint.restore_cost(job.true_memory_mb);
+                let mut restore = self.config.checkpoint.restore_cost(job.true_memory_mb);
+                job.restores += 1;
+                if self.config.faults.restore(job.core.id.0, job.restores).is_err() {
+                    // A corrupt read is retried from the replica; the job
+                    // pays the restore path twice.
+                    restore += self.config.checkpoint.restore_cost(job.true_memory_mb);
+                    metrics.recovery_of(job.core.id).restore_failures += 1;
+                }
+                duration += restore;
             }
             job.in_memory = true;
             job.last_device = Some(device);
             job.epoch_start = now;
             job.core.status = JobStatus::Running;
-            events.schedule(now + duration, Event::EpochDone(i));
+            match self.config.faults.epoch_fault(
+                job.core.id.0,
+                job.core.epochs_run + 1,
+                job.fault_attempts,
+            ) {
+                EpochFault::Crash { wasted_fraction } => {
+                    // The epoch dies partway through: the device burns the
+                    // wasted span, the training work never lands.
+                    job.in_memory = false;
+                    events.schedule(now + duration.scale(wasted_fraction), Event::EpochFailed(i));
+                }
+                EpochFault::Straggler { slowdown } => {
+                    metrics.recovery_of(job.core.id).stragglers += 1;
+                    events.schedule(now + duration.scale(slowdown), Event::EpochDone(i));
+                }
+                EpochFault::None => {
+                    events.schedule(now + duration, Event::EpochDone(i));
+                }
+            }
         }
 
         // Jobs that just finished an epoch but were not re-placed are
@@ -669,7 +813,27 @@ impl DltSystem {
             if job.core.status == JobStatus::Active && job.in_memory {
                 job.in_memory = false;
                 job.core.checkpoints += 1;
+                job.ckpt_writes += 1;
+                if self.config.faults.checkpoint_write(job.core.id.0, job.ckpt_writes).is_err() {
+                    // The write is retried against the replica off the
+                    // critical path; only the failure is recorded.
+                    metrics.recovery_of(job.core.id).checkpoint_failures += 1;
+                }
                 job.core.status = JobStatus::Checkpointed;
+            }
+        }
+
+        // If transient pressure (and nothing else) is what kept a queued job
+        // off an otherwise-fitting device, make sure the system re-arbitrates
+        // when the pressure slot ends — the event queue may otherwise drain.
+        if spike > 0 {
+            let blocked = jobs.iter().any(|j| {
+                j.core.status.is_arbitrable() && pool.first_fit(j.memory_estimate_mb).is_some()
+            });
+            if blocked {
+                let slot_ms = self.config.faults.config().mem_spike_slot.as_millis().max(1);
+                let boundary = SimTime::from_millis((now.as_millis() / slot_ms + 1) * slot_ms);
+                events.schedule(boundary, Event::Wake);
             }
         }
     }

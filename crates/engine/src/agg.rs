@@ -167,16 +167,22 @@ impl Accumulator {
 
 /// Aggregate state for a whole query: a map from group key to one
 /// accumulator per aggregate column. Scalar queries use the empty key.
+///
+/// Groups live in a `BTreeMap` so every whole-state fold (e.g.
+/// [`AggState::combined`]) visits them in key order. A hash map's
+/// per-instance iteration order would reorder the floating-point merges and
+/// perturb results by an ULP from one run to the next, breaking the
+/// bit-identical reproducibility the simulators are pinned to.
 #[derive(Debug, Clone)]
 pub struct AggState {
     funcs: Vec<AggFunc>,
-    groups: std::collections::HashMap<Vec<i64>, Vec<Accumulator>>,
+    groups: std::collections::BTreeMap<Vec<i64>, Vec<Accumulator>>,
 }
 
 impl AggState {
     /// Fresh state for the given aggregate columns.
     pub fn new(funcs: Vec<AggFunc>) -> AggState {
-        AggState { funcs, groups: std::collections::HashMap::new() }
+        AggState { funcs, groups: std::collections::BTreeMap::new() }
     }
 
     /// Feeds one row: the group key plus one expression value per aggregate.
@@ -203,8 +209,8 @@ impl AggState {
     /// Merges another state built from the same aggregate columns — the
     /// parallel Welford combination lifted to whole states. Groups present
     /// in `other` only are copied; shared groups merge accumulator-wise.
-    /// Merging is per-key, so the iteration order of `other`'s hash map
-    /// cannot influence any group's resulting accumulator.
+    /// Merging is per-key, so iteration order cannot influence any group's
+    /// resulting accumulator.
     pub fn merge(&mut self, other: &AggState) {
         debug_assert_eq!(self.funcs, other.funcs);
         for (key, theirs) in &other.groups {
@@ -259,15 +265,12 @@ impl AggState {
         any.then_some(merged)
     }
 
-    /// Per-group results, sorted by key for deterministic output.
+    /// Per-group results, in key order (the map is ordered).
     pub fn grouped_results(&self) -> Vec<(Vec<i64>, Vec<Option<f64>>)> {
-        let mut rows: Vec<_> = self
-            .groups
+        self.groups
             .iter()
             .map(|(k, accs)| (k.clone(), accs.iter().map(|a| a.value()).collect()))
-            .collect();
-        rows.sort_by(|a, b| a.0.cmp(&b.0));
-        rows
+            .collect()
     }
 
     /// Total rows folded into the state.

@@ -1,0 +1,415 @@
+//! # Deterministic fault injection for the Rotary arbitration loop
+//!
+//! The paper's central trade-off — checkpointing paused jobs "brings
+//! additional overhead but allows more jobs to run simultaneously" (§VI) —
+//! only matters in a world where pauses, failures and restarts actually
+//! happen. This crate supplies that world: a seed-driven [`FaultPlan`] that
+//! both system loops (`rotary-aqp`, `rotary-dlt`) consult at well-defined
+//! points to inject epoch-level faults, plus the [`RetryPolicy`] governing
+//! recovery.
+//!
+//! ## Fault taxonomy
+//!
+//! * **Job crash** — an epoch dies partway through. The work of the epoch is
+//!   lost (the job rolls back to its last completed epoch; its in-memory
+//!   state is gone, so the next launch pays a checkpoint restore), the
+//!   wasted virtual time is still charged, and the job retries after a
+//!   capped exponential backoff.
+//! * **Straggler epoch** — the epoch completes but takes a slowdown
+//!   multiplier longer (a noisy neighbour, a degraded disk, a thermal
+//!   throttle).
+//! * **Checkpoint write failure** — persisting a paused job's state fails
+//!   once and is retried, charging one extra write.
+//! * **Checkpoint restore failure** — reading state back fails once and is
+//!   retried, charging one extra read.
+//! * **Memory-pressure spike** — a transient external reservation shrinks
+//!   the free memory the arbiter may hand out during a time slot.
+//!
+//! ## Determinism guarantee
+//!
+//! Every decision is a **pure function** of `(seed, decision coordinates)`:
+//! each query forks a fresh named stream from the plan's root seed
+//! ([`rotary_sim::rng::Rng::fork`] is position-independent), so the answer
+//! never depends on how many other decisions were made, in what order, or
+//! on which thread. Both systems consult the plan only from their *serial*
+//! control-plane passes, which keeps multi-thread runs bit-identical
+//! (`ROTARY_THREADS=1,2,4,8`) under any plan.
+//!
+//! An inert plan (all probabilities zero — [`FaultPlan::none`]) injects
+//! nothing, schedules nothing, and charges nothing: runs are byte-identical
+//! to a build without the fault layer.
+
+#![warn(missing_docs)]
+
+use rotary_core::error::{Result, RotaryError};
+use rotary_core::SimTime;
+use rotary_sim::rng::Rng;
+
+/// Epoch retry with capped exponential backoff, in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts allowed per epoch (first try included) before the job is
+    /// declared failed.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimTime,
+    /// Cap on the exponential backoff.
+    pub max_backoff: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimTime::from_secs(5),
+            max_backoff: SimTime::from_secs(120),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based): `base · 2^(a−1)`,
+    /// capped at [`RetryPolicy::max_backoff`].
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        let doublings = attempt.saturating_sub(1).min(32);
+        (self.base_backoff * (1u64 << doublings)).min(self.max_backoff)
+    }
+
+    /// Decides what happens after a failed attempt: `Ok(backoff)` schedules
+    /// a retry, [`RotaryError::RetriesExhausted`] ends the job.
+    pub fn evaluate(&self, job: u64, epoch: u64, attempts: u32) -> Result<SimTime> {
+        if attempts >= self.max_attempts {
+            Err(RotaryError::RetriesExhausted { job, epoch, attempts })
+        } else {
+            Ok(self.backoff(attempts))
+        }
+    }
+}
+
+/// Probabilities and magnitudes of the injected faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Root seed; all decisions derive from it via named fork streams.
+    pub seed: u64,
+    /// Per-attempt probability an epoch crashes mid-run.
+    pub crash_prob: f64,
+    /// Per-attempt probability an epoch straggles.
+    pub straggler_prob: f64,
+    /// Straggler slowdown multiplier range (uniform), `≥ 1`.
+    pub straggler_slowdown: (f64, f64),
+    /// Probability a checkpoint write fails (and is retried once).
+    pub checkpoint_fail_prob: f64,
+    /// Probability a checkpoint restore fails (and is retried once).
+    pub restore_fail_prob: f64,
+    /// Probability a given time slot carries a memory-pressure spike.
+    pub mem_spike_prob: f64,
+    /// Size of a spike, in MB withheld from the arbiter.
+    pub mem_spike_mb: u64,
+    /// Length of one pressure time slot.
+    pub mem_spike_slot: SimTime,
+    /// Recovery policy for crashed epochs.
+    pub retry: RetryPolicy,
+}
+
+impl FaultConfig {
+    /// An inert configuration: nothing ever fails.
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            crash_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: (1.0, 1.0),
+            checkpoint_fail_prob: 0.0,
+            restore_fail_prob: 0.0,
+            mem_spike_prob: 0.0,
+            mem_spike_mb: 0,
+            mem_spike_slot: SimTime::from_mins(10),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A moderately hostile configuration seeded by `seed` — the default
+    /// chaos profile behind `ROTARY_FAULT_SEED`.
+    pub fn chaos(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            crash_prob: 0.05,
+            straggler_prob: 0.10,
+            straggler_slowdown: (1.5, 4.0),
+            checkpoint_fail_prob: 0.05,
+            restore_fail_prob: 0.05,
+            mem_spike_prob: 0.10,
+            mem_spike_mb: 4096,
+            mem_spike_slot: SimTime::from_mins(10),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What the plan decreed for one `(job, epoch, attempt)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpochFault {
+    /// The epoch runs normally.
+    None,
+    /// The epoch crashes after wasting this fraction of its duration; its
+    /// work is lost and the job rolls back to its last checkpoint.
+    Crash {
+        /// Fraction of the epoch's virtual duration burned before the
+        /// crash, in `[0, 1)`.
+        wasted_fraction: f64,
+    },
+    /// The epoch completes, scaled by a slowdown multiplier `≥ 1`.
+    Straggler {
+        /// Duration multiplier.
+        slowdown: f64,
+    },
+}
+
+/// A deterministic, seed-driven fault plan.
+///
+/// The plan is stateless: every decision is recomputed on demand from the
+/// root seed and the decision's coordinates, so callers may query it in any
+/// order (or never) without perturbing other decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    /// Cached root stream — forking only reads the root seed, so one
+    /// instance serves every decision.
+    root: Rng,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan driven by the given configuration.
+    pub fn new(config: FaultConfig) -> FaultPlan {
+        let root = Rng::seed_from_u64(config.seed);
+        FaultPlan { config, root }
+    }
+
+    /// The inert plan: injects nothing, ever.
+    pub fn none() -> FaultPlan {
+        FaultPlan::new(FaultConfig::none())
+    }
+
+    /// The default chaos profile at the given seed.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan::new(FaultConfig::chaos(seed))
+    }
+
+    /// Reads `ROTARY_FAULT_SEED` from the environment: set to an integer it
+    /// yields [`FaultPlan::chaos`] at that seed, unset (or unparsable) the
+    /// inert plan.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("ROTARY_FAULT_SEED").ok().and_then(|v| v.parse::<u64>().ok()) {
+            Some(seed) => FaultPlan::chaos(seed),
+            None => FaultPlan::none(),
+        }
+    }
+
+    /// The configuration behind the plan.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The recovery policy.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.config.retry
+    }
+
+    /// True when the plan can never inject anything — the systems skip all
+    /// fault bookkeeping for inert plans (pay-for-what-you-use).
+    pub fn is_inert(&self) -> bool {
+        let c = &self.config;
+        c.crash_prob == 0.0
+            && c.straggler_prob == 0.0
+            && c.checkpoint_fail_prob == 0.0
+            && c.restore_fail_prob == 0.0
+            && (c.mem_spike_prob == 0.0 || c.mem_spike_mb == 0)
+    }
+
+    /// Named decision stream for one coordinate tuple.
+    fn stream(&self, name: &str) -> Rng {
+        self.root.fork(name)
+    }
+
+    /// The fate of attempt `attempt` (0-based) of epoch `epoch` (1-based)
+    /// of job `job`. Crash and straggler draws are independent per attempt,
+    /// so a retried epoch may crash again — that is what the retry cap is
+    /// for.
+    pub fn epoch_fault(&self, job: u64, epoch: u64, attempt: u32) -> EpochFault {
+        if self.is_inert() {
+            return EpochFault::None;
+        }
+        let mut rng = self.stream(&format!("epoch/{job}/{epoch}/{attempt}"));
+        if self.config.crash_prob > 0.0 && rng.gen_bool(self.config.crash_prob) {
+            return EpochFault::Crash { wasted_fraction: rng.gen_range(0.0..1.0) };
+        }
+        if self.config.straggler_prob > 0.0 && rng.gen_bool(self.config.straggler_prob) {
+            let (lo, hi) = self.config.straggler_slowdown;
+            let slowdown = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            return EpochFault::Straggler { slowdown: slowdown.max(1.0) };
+        }
+        EpochFault::None
+    }
+
+    /// Whether job `job`'s `nth` checkpoint write succeeds.
+    pub fn checkpoint_write(&self, job: u64, nth: u64) -> Result<()> {
+        if self.config.checkpoint_fail_prob > 0.0
+            && self.stream(&format!("ckpt/{job}/{nth}")).gen_bool(self.config.checkpoint_fail_prob)
+        {
+            return Err(RotaryError::CheckpointFailed { job, operation: "write" });
+        }
+        Ok(())
+    }
+
+    /// Whether job `job`'s `nth` checkpoint restore succeeds.
+    pub fn restore(&self, job: u64, nth: u64) -> Result<()> {
+        if self.config.restore_fail_prob > 0.0
+            && self.stream(&format!("restore/{job}/{nth}")).gen_bool(self.config.restore_fail_prob)
+        {
+            return Err(RotaryError::CheckpointFailed { job, operation: "restore" });
+        }
+        Ok(())
+    }
+
+    /// Transient memory pressure at virtual time `at`, in MB withheld from
+    /// the arbiter. A pure function of the time slot containing `at`.
+    pub fn memory_pressure_mb(&self, at: SimTime) -> u64 {
+        if self.config.mem_spike_prob == 0.0 || self.config.mem_spike_mb == 0 {
+            return 0;
+        }
+        let slot = at.as_millis() / self.config.mem_spike_slot.as_millis().max(1);
+        if self.stream(&format!("mem/{slot}")).gen_bool(self.config.mem_spike_prob) {
+            self.config.mem_spike_mb
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_inert());
+        for job in 0..50u64 {
+            for epoch in 1..20u64 {
+                assert_eq!(plan.epoch_fault(job, epoch, 0), EpochFault::None);
+            }
+            assert!(plan.checkpoint_write(job, 0).is_ok());
+            assert!(plan.restore(job, 0).is_ok());
+        }
+        for mins in 0..600 {
+            assert_eq!(plan.memory_pressure_mb(SimTime::from_mins(mins)), 0);
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_and_order_independent() {
+        let plan = FaultPlan::chaos(42);
+        // Query the same coordinates in different orders and interleavings;
+        // the answers must be identical.
+        let forward: Vec<EpochFault> = (1..50u64).map(|e| plan.epoch_fault(3, e, 0)).collect();
+        let _noise = plan.memory_pressure_mb(SimTime::from_hours(7));
+        let _other: Vec<EpochFault> = (1..50u64).map(|e| plan.epoch_fault(9, e, 2)).collect();
+        let backward: Vec<EpochFault> =
+            (1..50u64).rev().map(|e| plan.epoch_fault(3, e, 0)).collect();
+        let reversed: Vec<EpochFault> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+        // And a fresh plan with the same seed agrees.
+        let again = FaultPlan::chaos(42);
+        let fresh: Vec<EpochFault> = (1..50u64).map(|e| plan.epoch_fault(3, e, 0)).collect();
+        let fresh2: Vec<EpochFault> = (1..50u64).map(|e| again.epoch_fault(3, e, 0)).collect();
+        assert_eq!(fresh, fresh2);
+    }
+
+    #[test]
+    fn chaos_plan_actually_injects() {
+        let plan = FaultPlan::chaos(7);
+        assert!(!plan.is_inert());
+        let mut crashes = 0;
+        let mut stragglers = 0;
+        let n = 2000u64;
+        for job in 0..10u64 {
+            for epoch in 1..=(n / 10) {
+                match plan.epoch_fault(job, epoch, 0) {
+                    EpochFault::Crash { wasted_fraction } => {
+                        assert!((0.0..1.0).contains(&wasted_fraction));
+                        crashes += 1;
+                    }
+                    EpochFault::Straggler { slowdown } => {
+                        assert!((1.0..=4.0).contains(&slowdown), "slowdown {slowdown}");
+                        stragglers += 1;
+                    }
+                    EpochFault::None => {}
+                }
+            }
+        }
+        // 5% crash, 10% straggler over 2000 draws: loose 3σ-ish bounds.
+        assert!((60..=140).contains(&crashes), "crashes {crashes}");
+        assert!((130..=270).contains(&stragglers), "stragglers {stragglers}");
+        let failed_writes = (0..2000u64).filter(|&n| plan.checkpoint_write(1, n).is_err()).count();
+        assert!((60..=140).contains(&failed_writes), "failed writes {failed_writes}");
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let retry = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: SimTime::from_secs(5),
+            max_backoff: SimTime::from_secs(60),
+        };
+        assert_eq!(retry.backoff(1), SimTime::from_secs(5));
+        assert_eq!(retry.backoff(2), SimTime::from_secs(10));
+        assert_eq!(retry.backoff(3), SimTime::from_secs(20));
+        assert_eq!(retry.backoff(4), SimTime::from_secs(40));
+        assert_eq!(retry.backoff(5), SimTime::from_secs(60), "capped");
+        assert_eq!(retry.backoff(40), SimTime::from_secs(60), "cap survives overflow range");
+    }
+
+    #[test]
+    fn evaluate_exhausts_retries_with_typed_error() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.evaluate(4, 7, 1), Ok(retry.backoff(1)));
+        assert_eq!(retry.evaluate(4, 7, 2), Ok(retry.backoff(2)));
+        let err = retry.evaluate(4, 7, 3).unwrap_err();
+        assert_eq!(err, RotaryError::RetriesExhausted { job: 4, epoch: 7, attempts: 3 });
+        assert!(err.to_string().contains("job 4"));
+    }
+
+    #[test]
+    fn memory_pressure_is_slot_stable() {
+        let plan = FaultPlan::chaos(11);
+        let slot = plan.config().mem_spike_slot;
+        // Every instant within one slot sees the same pressure.
+        for slot_idx in 0..50u64 {
+            let base = SimTime::from_millis(slot_idx * slot.as_millis());
+            let a = plan.memory_pressure_mb(base);
+            let b = plan.memory_pressure_mb(base + slot / 2);
+            assert_eq!(a, b, "pressure changed within slot {slot_idx}");
+            assert!(a == 0 || a == plan.config().mem_spike_mb);
+        }
+        // And across many slots, some spike and some do not.
+        let spikes = (0..200u64)
+            .filter(|&i| plan.memory_pressure_mb(SimTime::from_millis(i * slot.as_millis())) > 0)
+            .count();
+        assert!(spikes > 0 && spikes < 200, "spikes {spikes}");
+    }
+
+    #[test]
+    fn env_plan_round_trips() {
+        // `from_env` is read-only on the environment; exercise both parses
+        // without mutating the process env (tests run concurrently).
+        assert!(FaultPlan::from_env().is_inert() || !FaultPlan::from_env().is_inert());
+        assert_eq!(FaultPlan::chaos(3).config().seed, 3);
+        assert!(FaultPlan::default().is_inert());
+    }
+}

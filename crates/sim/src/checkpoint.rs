@@ -92,10 +92,16 @@ impl MaterializationManager {
 
     /// Pauses a job with `state_mb` of state. Returns the virtual-time cost
     /// of persisting (zero when the state can stay resident).
+    ///
+    /// Re-pausing a job that is already resident is an idempotent update:
+    /// the old entry is dropped before the budget check, so stale sizes
+    /// never accumulate in `resident_mb` and the new size competes for the
+    /// budget on its own.
     pub fn pause(&mut self, job_id: u64, state_mb: u64) -> SimTime {
         match self.policy {
             MaterializationPolicy::AlwaysDisk => self.disk.checkpoint_cost(state_mb),
             MaterializationPolicy::MemoryFirst { budget_mb } => {
+                self.resident.remove(&job_id);
                 if self.resident_mb() + state_mb <= budget_mb {
                     self.resident.insert(job_id, state_mb);
                     SimTime::ZERO
@@ -205,6 +211,23 @@ mod tests {
         assert_eq!(mgr.resident_mb(), 300);
         // The evicted job now restores from disk.
         assert!(mgr.resume(2, 600) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn double_pause_is_an_idempotent_update() {
+        let mut mgr = MaterializationManager::new(
+            MaterializationPolicy::MemoryFirst { budget_mb: 1000 },
+            CheckpointModel::ssd(),
+        );
+        assert_eq!(mgr.pause(1, 600), SimTime::ZERO);
+        // Re-pausing the same job must replace its entry, not leak the old
+        // 600 MB: the update stays within budget and costs nothing.
+        assert_eq!(mgr.pause(1, 700), SimTime::ZERO);
+        assert_eq!(mgr.resident_mb(), 700);
+        // Growing past the budget spills to disk and drops the stale entry.
+        assert!(mgr.pause(1, 1200) > SimTime::ZERO);
+        assert_eq!(mgr.resident_mb(), 0);
+        assert!(mgr.resume(1, 1200) > SimTime::ZERO, "spilled job restores from disk");
     }
 
     #[test]

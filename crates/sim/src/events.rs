@@ -124,6 +124,31 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_fifo_across_schedule_and_schedule_after() {
+        // Fault events (scheduled relative via schedule_after) interleave
+        // with epoch events (scheduled at absolute times); at the same
+        // timestamp, the queue must replay them in exact insertion order
+        // regardless of which entry point enqueued them.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "warm-up");
+        q.pop(); // now = 1 s
+        q.schedule(SimTime::from_secs(4), "epoch-done");
+        q.schedule_after(SimTime::from_secs(3), "retry-ready"); // also t = 4 s
+        q.schedule(SimTime::from_secs(4), "deadline-check");
+        q.schedule_after(SimTime::from_secs(3), "epoch-failed"); // also t = 4 s
+        let order: Vec<(SimTime, &str)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::from_secs(4), "epoch-done"),
+                (SimTime::from_secs(4), "retry-ready"),
+                (SimTime::from_secs(4), "deadline-check"),
+                (SimTime::from_secs(4), "epoch-failed"),
+            ]
+        );
+    }
+
+    #[test]
     fn clock_advances_with_pops() {
         let mut q = EventQueue::new();
         assert_eq!(q.now(), SimTime::ZERO);

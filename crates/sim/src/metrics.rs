@@ -12,6 +12,64 @@ use rotary_core::error::{Result, RotaryError};
 use rotary_core::job::{JobId, JobState, JobStatus};
 use rotary_core::json::{self, Json};
 use rotary_core::SimTime;
+use std::collections::BTreeMap;
+
+/// Per-job recovery counters under fault injection. Every field is zero in
+/// a fault-free run, and a job with all-zero counters is never recorded —
+/// so the fault layer leaves no trace in metrics unless it actually fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryCounters {
+    /// Epoch crashes injected against this job.
+    pub crashes: u64,
+    /// Straggler epochs (slowed, but completed) this job suffered.
+    pub stragglers: u64,
+    /// Checkpoint writes that failed and were retried.
+    pub checkpoint_failures: u64,
+    /// Checkpoint restores that failed and were retried.
+    pub restore_failures: u64,
+    /// Retry attempts scheduled after crashed epochs.
+    pub retries: u64,
+    /// Completed-epoch work lost to rollbacks.
+    pub epochs_lost: u64,
+}
+
+impl RecoveryCounters {
+    /// True when no fault ever touched the job.
+    pub fn is_zero(&self) -> bool {
+        *self == RecoveryCounters::default()
+    }
+
+    fn to_json_value(self, job: JobId) -> Json {
+        Json::obj(vec![
+            ("job", Json::Num(job.0 as f64)),
+            ("crashes", Json::Num(self.crashes as f64)),
+            ("stragglers", Json::Num(self.stragglers as f64)),
+            ("checkpoint_failures", Json::Num(self.checkpoint_failures as f64)),
+            ("restore_failures", Json::Num(self.restore_failures as f64)),
+            ("retries", Json::Num(self.retries as f64)),
+            ("epochs_lost", Json::Num(self.epochs_lost as f64)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> std::result::Result<(JobId, RecoveryCounters), String> {
+        let num = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field '{name}'"))
+        };
+        Ok((
+            JobId(num("job")?),
+            RecoveryCounters {
+                crashes: num("crashes")?,
+                stragglers: num("stragglers")?,
+                checkpoint_failures: num("checkpoint_failures")?,
+                restore_failures: num("restore_failures")?,
+                retries: num("retries")?,
+                epochs_lost: num("epochs_lost")?,
+            },
+        ))
+    }
+}
 
 /// One contiguous occupancy of a resource by a job (a rectangle in Fig. 11).
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +168,7 @@ impl ProgressSnapshot {
 pub struct WorkloadMetrics {
     spans: Vec<PlacementSpan>,
     snapshots: Vec<ProgressSnapshot>,
+    recovery: BTreeMap<JobId, RecoveryCounters>,
 }
 
 impl WorkloadMetrics {
@@ -137,6 +196,23 @@ impl WorkloadMetrics {
     /// All progress snapshots, in recording order.
     pub fn snapshots(&self) -> &[ProgressSnapshot] {
         &self.snapshots
+    }
+
+    /// Mutable recovery counters for a job, created on first touch. Only
+    /// call this when a fault actually fires — an untouched job must stay
+    /// absent from the map so fault-free traces serialise unchanged.
+    pub fn recovery_of(&mut self, job: JobId) -> &mut RecoveryCounters {
+        self.recovery.entry(job).or_default()
+    }
+
+    /// Per-job recovery counters (empty in a fault-free run).
+    pub fn recovery(&self) -> &BTreeMap<JobId, RecoveryCounters> {
+        &self.recovery
+    }
+
+    /// Total completed-epoch work lost to rollbacks, across all jobs.
+    pub fn total_epochs_lost(&self) -> u64 {
+        self.recovery.values().map(|c| c.epochs_lost).sum()
     }
 
     /// The spans of one job (its row in Fig. 11).
@@ -171,14 +247,22 @@ impl WorkloadMetrics {
     /// Serialises the full trace to pretty JSON (for external plotting of
     /// the Fig. 10 violins or the Fig. 11 Gantt charts).
     pub fn to_json(&self) -> Result<String> {
-        let doc = Json::obj(vec![
+        let mut fields = vec![
             ("spans", Json::Arr(self.spans.iter().map(PlacementSpan::to_json_value).collect())),
             (
                 "snapshots",
                 Json::Arr(self.snapshots.iter().map(ProgressSnapshot::to_json_value).collect()),
             ),
-        ]);
-        Ok(doc.to_pretty())
+        ];
+        // Emitted only when some fault fired: a fault-free trace stays
+        // byte-identical to traces written before the fault layer existed.
+        if !self.recovery.is_empty() {
+            fields.push((
+                "recovery",
+                Json::Arr(self.recovery.iter().map(|(&job, c)| c.to_json_value(job)).collect()),
+            ));
+        }
+        Ok(Json::obj(fields).to_pretty())
     }
 
     /// Restores a trace from JSON.
@@ -199,7 +283,17 @@ impl WorkloadMetrics {
             .map(ProgressSnapshot::from_json_value)
             .collect::<std::result::Result<Vec<_>, String>>()
             .map_err(RotaryError::Persistence)?;
-        Ok(WorkloadMetrics { spans, snapshots })
+        // Absent in fault-free traces (and in traces predating the fault
+        // layer) — tolerate the missing key.
+        let recovery = match doc.get("recovery").and_then(Json::as_arr) {
+            Some(entries) => entries
+                .iter()
+                .map(RecoveryCounters::from_json_value)
+                .collect::<std::result::Result<BTreeMap<_, _>, String>>()
+                .map_err(RotaryError::Persistence)?,
+            None => BTreeMap::new(),
+        };
+        Ok(WorkloadMetrics { spans, snapshots, recovery })
     }
 }
 
@@ -256,6 +350,9 @@ pub struct WorkloadSummary {
     pub falsely_attained: usize,
     /// Jobs whose deadline passed unmet.
     pub deadline_missed: usize,
+    /// Jobs that exhausted their epoch retries and were given up on (zero
+    /// unless faults are injected).
+    pub failed: usize,
     /// Jobs still unfinished when the run ended.
     pub unfinished: usize,
     /// Attainment rate ψ = attained / n.
@@ -264,6 +361,10 @@ pub struct WorkloadSummary {
     pub avg_waiting_time: SimTime,
     /// Mean number of checkpoints per job (interruption overhead).
     pub avg_checkpoints: f64,
+    /// Total completed-epoch work lost to crash rollbacks, across all jobs.
+    pub epochs_lost: u64,
+    /// Total retry attempts scheduled after crashed epochs.
+    pub retries: u64,
 }
 
 impl WorkloadSummary {
@@ -278,10 +379,13 @@ impl WorkloadSummary {
             attained,
             falsely_attained: count(JobStatus::FalselyAttained),
             deadline_missed: count(JobStatus::DeadlineMissed),
+            failed: count(JobStatus::Failed),
             unfinished: jobs.iter().filter(|j| !j.status.is_terminal()).count(),
             attainment_rate: attained as f64 / n as f64,
             avg_waiting_time: total_wait / n as u64,
             avg_checkpoints: total_ckpt as f64 / n as f64,
+            epochs_lost: jobs.iter().map(|j| j.epochs_lost).sum(),
+            retries: jobs.iter().map(|j| j.retries).sum(),
         }
     }
 }
@@ -371,8 +475,11 @@ mod tests {
         assert_eq!(s.attained, 1);
         assert_eq!(s.falsely_attained, 1);
         assert_eq!(s.deadline_missed, 1);
+        assert_eq!(s.failed, 0);
         assert_eq!(s.unfinished, 1);
         assert_eq!(s.attainment_rate, 0.25);
+        assert_eq!(s.epochs_lost, 0);
+        assert_eq!(s.retries, 0);
         // Job 1 waited 50−30 = 20 s; others have zero service time, so their
         // whole makespan is waiting: 60 + 600 + 700 → avg (20+60+600+700)/4.
         assert_eq!(s.avg_waiting_time, SimTime::from_secs(345));
@@ -419,6 +526,42 @@ mod tests {
         assert_eq!(restored.spans(), m.spans());
         assert_eq!(restored.snapshots(), m.snapshots());
         assert!(WorkloadMetrics::from_json("{bad").is_err());
+    }
+
+    #[test]
+    fn summary_counts_failed_jobs_and_lost_epochs() {
+        use rotary_core::error::RotaryError;
+        let mut jobs = vec![job(1, 0), job(2, 0)];
+        jobs[0].record_lost_epoch(RotaryError::EpochFailed { job: 1, epoch: 1, attempts: 1 });
+        jobs[0].record_lost_epoch(RotaryError::EpochFailed { job: 1, epoch: 1, attempts: 2 });
+        jobs[0].retries += 2;
+        jobs[0].finish(JobStatus::Failed, SimTime::from_secs(300));
+        let s = WorkloadSummary::from_jobs(&jobs, SimTime::from_secs(400));
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.epochs_lost, 2);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.unfinished, 1);
+    }
+
+    #[test]
+    fn recovery_counters_serialise_only_when_touched() {
+        let mut m = WorkloadMetrics::new();
+        m.record_snapshot(SimTime::from_secs(2), vec![(JobId(1), 0.5)]);
+        // Fault-free trace: no "recovery" key at all.
+        let clean = m.to_json().unwrap();
+        assert!(!clean.contains("recovery"), "{clean}");
+        assert!(WorkloadMetrics::from_json(&clean).unwrap().recovery().is_empty());
+
+        m.recovery_of(JobId(3)).crashes = 2;
+        m.recovery_of(JobId(3)).epochs_lost = 2;
+        m.recovery_of(JobId(5)).stragglers = 1;
+        assert_eq!(m.total_epochs_lost(), 2);
+        let json = m.to_json().unwrap();
+        let restored = WorkloadMetrics::from_json(&json).unwrap();
+        assert_eq!(restored.recovery(), m.recovery());
+        assert_eq!(restored.recovery()[&JobId(3)].crashes, 2);
+        assert!(restored.recovery()[&JobId(5)].crashes == 0);
+        assert!(!restored.recovery()[&JobId(5)].is_zero());
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //! [`CpuPool`] models Rotary-AQP's resource shape — `D` hardware threads
 //! plus one shared memory budget (Algorithm 2) — and [`GpuPool`] models
 //! Rotary-DLT's — independent devices with private memory (Algorithm 3).
-//! Both panic on double-allocation or over-release: those are arbitration
-//! bugs the test suite must surface, not recoverable conditions.
+//! Both panic on double-allocation: granting twice is an arbitration bug
+//! the test suite must surface. Releasing a grant the pool does not hold
+//! returns a typed [`RotaryError::UnknownJob`] instead — under fault
+//! injection a recovery path may race a release against a crash handler,
+//! and the caller decides whether that is fatal.
 
+use rotary_core::error::{Result, RotaryError};
 use rotary_core::job::JobId;
 use rotary_core::resources::{CpuPoolSpec, GpuPoolSpec};
 use std::collections::BTreeMap;
@@ -81,12 +85,14 @@ impl CpuPool {
         true
     }
 
-    /// Releases a job's grant (at an epoch boundary).
-    ///
-    /// # Panics
-    /// Panics if the job holds no grant.
-    pub fn release(&mut self, job: JobId) {
-        assert!(self.grants.remove(&job).is_some(), "{job} holds no CPU grant to release");
+    /// Releases a job's grant (at an epoch boundary). Returns
+    /// [`RotaryError::UnknownJob`] — and changes nothing — if the job holds
+    /// no grant.
+    pub fn release(&mut self, job: JobId) -> Result<()> {
+        if self.grants.remove(&job).is_none() {
+            return Err(RotaryError::UnknownJob(job.0));
+        }
+        Ok(())
     }
 
     /// Jobs currently holding grants, in id order.
@@ -143,18 +149,17 @@ impl GpuPool {
         self.occupants[device] = Some(job);
     }
 
-    /// Vacates the device a job occupies.
-    ///
-    /// # Panics
-    /// Panics if the job is not placed.
-    pub fn vacate(&mut self, job: JobId) -> usize {
+    /// Vacates the device a job occupies, returning its index. Returns
+    /// [`RotaryError::UnknownJob`] — and changes nothing — if the job is not
+    /// placed anywhere.
+    pub fn vacate(&mut self, job: JobId) -> Result<usize> {
         let device = self
             .occupants
             .iter()
             .position(|o| *o == Some(job))
-            .unwrap_or_else(|| panic!("{job} occupies no device"));
+            .ok_or(RotaryError::UnknownJob(job.0))?;
         self.occupants[device] = None;
-        device
+        Ok(device)
     }
 
     /// The device a job occupies, if any.
@@ -192,7 +197,7 @@ mod tests {
         assert!(pool.holds(JobId(1)));
         assert_eq!(pool.threads_of(JobId(2)), 2);
 
-        pool.release(JobId(1));
+        pool.release(JobId(1)).unwrap();
         assert_eq!(pool.free_threads(), 2);
         assert_eq!(pool.free_memory_mb(), 500);
     }
@@ -229,10 +234,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "holds no CPU grant")]
-    fn cpu_over_release_panics() {
+    fn cpu_over_release_is_a_typed_error() {
         let mut pool = cpu();
-        pool.release(JobId(9));
+        pool.grant(JobId(1), 1, 100);
+        assert_eq!(pool.release(JobId(9)), Err(RotaryError::UnknownJob(9)));
+        // The failed release must not disturb existing grants.
+        assert!(pool.holds(JobId(1)));
+        assert_eq!(pool.free_threads(), 3);
+        // Releasing twice: first succeeds, second is the same typed error.
+        pool.release(JobId(1)).unwrap();
+        assert_eq!(pool.release(JobId(1)), Err(RotaryError::UnknownJob(1)));
     }
 
     fn gpu() -> GpuPool {
@@ -246,7 +257,7 @@ mod tests {
         pool.place(JobId(1), 0);
         assert_eq!(pool.free_devices(), vec![1]);
         assert_eq!(pool.device_of(JobId(1)), Some(0));
-        assert_eq!(pool.vacate(JobId(1)), 0);
+        assert_eq!(pool.vacate(JobId(1)), Ok(0));
         assert_eq!(pool.device_of(JobId(1)), None);
     }
 
@@ -282,9 +293,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "occupies no device")]
-    fn gpu_vacate_unplaced_panics() {
+    fn gpu_vacate_unplaced_is_a_typed_error() {
         let mut pool = gpu();
-        pool.vacate(JobId(3));
+        pool.place(JobId(1), 0);
+        assert_eq!(pool.vacate(JobId(3)), Err(RotaryError::UnknownJob(3)));
+        // The failed vacate must not disturb occupancy.
+        assert_eq!(pool.device_of(JobId(1)), Some(0));
+        assert_eq!(pool.vacate(JobId(1)), Ok(0));
+        assert_eq!(pool.vacate(JobId(1)), Err(RotaryError::UnknownJob(1)));
     }
 }

@@ -19,6 +19,9 @@
 //!   LAF, round-robin).
 //! * [`dlt`] — Rotary-DLT (Algorithms 3–4), the training simulator, TEE /
 //!   TME / TTR, and its baselines (SRF, BCF, LAF).
+//! * [`faults`] — deterministic seed-driven fault injection (crashes,
+//!   stragglers, checkpoint failures, memory-pressure spikes) and the
+//!   retry/backoff recovery policy (`ROTARY_FAULT_SEED`).
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
@@ -30,6 +33,7 @@ pub use rotary_aqp as aqp;
 pub use rotary_core as core;
 pub use rotary_dlt as dlt;
 pub use rotary_engine as engine;
+pub use rotary_faults as faults;
 pub use rotary_par as par;
 pub use rotary_sim as sim;
 pub use rotary_tpch as tpch;

@@ -1,0 +1,210 @@
+//! Chaos suite: both systems must survive arbitrary deterministic fault
+//! plans. Properties (256 seeded cases by default, `ROTARY_CHECK_CASES`
+//! overrides): every run terminates with every job in a terminal state and
+//! never panics; fixed chaos plans stay bit-identical across
+//! `ROTARY_THREADS` ∈ {1, 2, 4, 8}; and an inert plan — regardless of its
+//! seed — changes nothing at all relative to the fault-free default.
+
+use rotary::aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
+use rotary::core::progress::Objective;
+use rotary::core::SimTime;
+use rotary::dlt::{DltPolicy, DltSystem, DltSystemConfig, DltWorkloadBuilder};
+use rotary::faults::{FaultConfig, FaultPlan, RetryPolicy};
+use rotary::sim::metrics::WorkloadSummary;
+use rotary::tpch::{Generator, TpchData};
+use rotary_check::{check, Source};
+use std::sync::OnceLock;
+
+fn data() -> &'static TpchData {
+    static DATA: OnceLock<TpchData> = OnceLock::new();
+    DATA.get_or_init(|| Generator::new(7, 0.0005).generate())
+}
+
+/// Draws an arbitrary — possibly very hostile — fault configuration.
+///
+/// Memory-pressure probability stays below 1 so a pressure streak cannot
+/// starve the cluster forever (each slot draws independently).
+fn random_config(src: &mut Source) -> FaultConfig {
+    let slowdown_lo = src.f64_in(1.0, 2.5);
+    FaultConfig {
+        seed: src.raw(),
+        crash_prob: src.f64_in(0.0, 0.35),
+        straggler_prob: src.f64_in(0.0, 0.35),
+        straggler_slowdown: (slowdown_lo, slowdown_lo + src.f64_in(0.0, 2.5)),
+        checkpoint_fail_prob: src.f64_in(0.0, 0.5),
+        restore_fail_prob: src.f64_in(0.0, 0.5),
+        mem_spike_prob: src.f64_in(0.0, 0.5),
+        mem_spike_mb: src.u64_in(0, 6144),
+        mem_spike_slot: SimTime::from_secs(src.u64_in(30, 1800)),
+        retry: RetryPolicy {
+            max_attempts: src.u64_in(1, 5) as u32,
+            base_backoff: SimTime::from_secs(src.u64_in(1, 30)),
+            max_backoff: SimTime::from_secs(src.u64_in(30, 300)),
+        },
+    }
+}
+
+fn assert_all_terminal(summary: &WorkloadSummary, total: usize) {
+    assert_eq!(summary.unfinished, 0, "jobs left unfinished: {summary:?}");
+    assert_eq!(
+        summary.attained + summary.falsely_attained + summary.deadline_missed + summary.failed,
+        total,
+        "terminal states do not cover the workload: {summary:?}"
+    );
+}
+
+#[test]
+fn dlt_survives_arbitrary_fault_plans() {
+    check("dlt_chaos", |src| {
+        let config = random_config(src);
+        let wl_seed = src.u64_in(0, 1 << 20);
+        let specs = DltWorkloadBuilder::paper().jobs(4).seed(wl_seed).build();
+        let mut sys = DltSystem::new(DltSystemConfig {
+            seed: wl_seed ^ 0x5eed,
+            threads: 1,
+            faults: FaultPlan::new(config),
+            ..Default::default()
+        });
+        let r = sys.run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)));
+        assert_all_terminal(&r.summary, specs.len());
+        // The trace (spans + snapshots + recovery counters) still serialises.
+        let json = r.metrics.to_json().unwrap();
+        assert!(!json.contains("NaN"), "non-finite value leaked into the trace");
+    });
+}
+
+#[test]
+fn aqp_survives_arbitrary_fault_plans() {
+    check("aqp_chaos", |src| {
+        let config = random_config(src);
+        let wl_seed = src.u64_in(0, 1 << 20);
+        let specs = WorkloadBuilder::paper().jobs(3).seed(wl_seed).build();
+        let mut sys = AqpSystem::new(
+            data(),
+            AqpSystemConfig {
+                seed: wl_seed ^ 0xfa,
+                threads: 1,
+                faults: FaultPlan::new(config),
+                ..Default::default()
+            },
+        );
+        let r = sys.run(&specs, AqpPolicy::Rotary);
+        assert_all_terminal(&r.summary, specs.len());
+        let json = r.metrics.to_json().unwrap();
+        assert!(!json.contains("NaN"), "non-finite value leaked into the trace");
+    });
+}
+
+fn dlt_chaos_run(seed: u64, threads: usize) -> (WorkloadSummary, String) {
+    let specs = DltWorkloadBuilder::paper().jobs(6).seed(seed).build();
+    let mut sys = DltSystem::new(DltSystemConfig {
+        seed,
+        threads,
+        faults: FaultPlan::chaos(seed),
+        ..Default::default()
+    });
+    sys.prepopulate_history(&specs, 5);
+    let r = sys.run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)));
+    (r.summary, r.metrics.to_json().unwrap())
+}
+
+fn aqp_chaos_run(seed: u64, threads: usize) -> (WorkloadSummary, String) {
+    let specs = WorkloadBuilder::paper().jobs(4).seed(seed).build();
+    let mut sys = AqpSystem::new(
+        data(),
+        AqpSystemConfig { seed, threads, faults: FaultPlan::chaos(seed), ..Default::default() },
+    );
+    sys.prepopulate_history(seed);
+    let r = sys.run(&specs, AqpPolicy::Rotary);
+    (r.summary, r.metrics.to_json().unwrap())
+}
+
+#[test]
+fn chaos_runs_are_bit_identical_across_thread_counts() {
+    // Fault decisions are consulted only from the serial control-plane
+    // passes, so even a fault-riddled run must not depend on pool width.
+    // Comparing the full metrics JSON pins every span boundary and every
+    // recovery counter, not just the summary statistics.
+    let mut any_faults_fired = false;
+    for seed in [11u64, 47] {
+        let dlt_base = dlt_chaos_run(seed, 1);
+        any_faults_fired |= dlt_base.1.contains("recovery");
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                dlt_base,
+                dlt_chaos_run(seed, threads),
+                "DLT chaos run diverged at seed={seed} threads={threads}"
+            );
+        }
+        let aqp_base = aqp_chaos_run(seed, 1);
+        any_faults_fired |= aqp_base.1.contains("recovery");
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                aqp_base,
+                aqp_chaos_run(seed, threads),
+                "AQP chaos run diverged at seed={seed} threads={threads}"
+            );
+        }
+    }
+    // The sweep only proves something if the chaos profile actually fired.
+    assert!(any_faults_fired, "no fault fired in any swept run; the chaos profile is inert");
+}
+
+#[test]
+fn inert_plans_change_nothing_regardless_of_seed() {
+    // Pay-for-what-you-use: an all-zero plan must leave the run — summary,
+    // spans, snapshots, serialized trace — byte-identical to the fault-free
+    // default, even when its seed differs. No "recovery" key may appear.
+    let dlt_run = |plan: FaultPlan| {
+        let specs = DltWorkloadBuilder::paper().jobs(6).seed(9).build();
+        let mut sys = DltSystem::new(DltSystemConfig {
+            seed: 9,
+            threads: 1,
+            faults: plan,
+            ..Default::default()
+        });
+        sys.prepopulate_history(&specs, 5);
+        let r = sys.run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)));
+        assert!(r.metrics.recovery().is_empty());
+        (r.summary, r.metrics.to_json().unwrap())
+    };
+    let dlt_default = dlt_run(FaultPlan::none());
+    let dlt_seeded =
+        dlt_run(FaultPlan::new(FaultConfig { seed: 0xDEAD_BEEF, ..FaultConfig::none() }));
+    assert_eq!(dlt_default, dlt_seeded);
+    assert!(!dlt_default.1.contains("recovery"));
+
+    let aqp_run = |plan: FaultPlan| {
+        let specs = WorkloadBuilder::paper().jobs(4).seed(9).build();
+        let mut sys = AqpSystem::new(
+            data(),
+            AqpSystemConfig { seed: 9, threads: 1, faults: plan, ..Default::default() },
+        );
+        sys.prepopulate_history(9);
+        let r = sys.run(&specs, AqpPolicy::Rotary);
+        assert!(r.metrics.recovery().is_empty());
+        (r.summary, r.metrics.to_json().unwrap())
+    };
+    let aqp_default = aqp_run(FaultPlan::none());
+    let aqp_seeded =
+        aqp_run(FaultPlan::new(FaultConfig { seed: 0xDEAD_BEEF, ..FaultConfig::none() }));
+    assert_eq!(aqp_default, aqp_seeded);
+    assert!(!aqp_default.1.contains("recovery"));
+}
+
+#[test]
+fn recovery_survives_every_policy() {
+    // Baseline policies share the arbitration loop, so fault handling must
+    // hold for all of them, not just Rotary's.
+    let specs = DltWorkloadBuilder::paper().jobs(4).seed(21).build();
+    for policy in DltPolicy::all() {
+        let mut sys = DltSystem::new(DltSystemConfig {
+            seed: 21,
+            threads: 1,
+            faults: FaultPlan::chaos(21),
+            ..Default::default()
+        });
+        let r = sys.run(&specs, policy);
+        assert_all_terminal(&r.summary, specs.len());
+    }
+}
