@@ -9,6 +9,8 @@
 #                           against the checked-in BENCH_engine.json
 #                           baseline (±25%), failing on regression
 #   ./ci.sh --bench-update  ... then refresh the baseline in place
+#   ./ci.sh --lint-update   refresh LINT_baseline.json (the P001 ratchet)
+#                           in place instead of gating on it
 set -eu
 
 export CARGO_NET_OFFLINE=true
@@ -20,6 +22,17 @@ cargo fmt --check
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Determinism & robustness invariants (DESIGN.md §11): fails on any
+# D/U/A-rule violation and on P001 ratchet drift in either direction — a
+# count above LINT_baseline.json is a regression, below it a stale
+# baseline that --lint-update locks in.
+echo "== rotary-lint =="
+if [ "$MODE" = "--lint-update" ]; then
+    cargo run -q -p rotary-lint -- --update-baseline
+else
+    cargo run -q -p rotary-lint
+fi
 
 echo "== cargo build --release =="
 cargo build --release
@@ -42,9 +55,10 @@ case "$MODE" in
     echo "== bench baseline refresh =="
     ./target/release/bench_engine --write BENCH_engine.json
     ;;
+--lint-update) ;;
 "") ;;
 *)
-    echo "unknown option: $MODE (use --bench or --bench-update)" >&2
+    echo "unknown option: $MODE (use --bench, --bench-update, or --lint-update)" >&2
     exit 2
     ;;
 esac

@@ -17,7 +17,11 @@ fn main() {
     );
     for &size in &[10usize, 20, 30, 40] {
         let specs = DltWorkloadBuilder::paper().jobs(size).seed(7).build();
-        let mut sys = DltSystem::new(DltSystemConfig { seed: 7, ..Default::default() });
+        let mut sys = DltSystem::new(DltSystemConfig {
+            seed: 7,
+            overhead_probe: Some(rotary_bench::timing::monotonic_probe),
+            ..Default::default()
+        });
         sys.prepopulate_history(&specs, 3);
         let r = sys.run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)));
         let o = &r.overheads;

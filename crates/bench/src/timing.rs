@@ -17,6 +17,19 @@
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+/// The workspace's one blessed monotonic wall-clock probe: elapsed time
+/// since the first call, from a process-wide [`Instant`] anchor.
+///
+/// Everything outside `rotary-bench` is forbidden from reading the wall
+/// clock (lint rule D002); components that need real-time accounting — the
+/// DLT `OverheadMeter` behind Table III — accept a `fn() -> Duration` probe
+/// and the measuring harness injects this one.
+pub fn monotonic_probe() -> Duration {
+    use std::sync::OnceLock;
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed()
+}
+
 /// Samples collected per benchmark (median over these is reported).
 pub const SAMPLES: usize = 20;
 

@@ -24,6 +24,14 @@ pub enum RotaryError {
         /// How many it needs.
         need: usize,
     },
+    /// A query plan failed to bind against a dataset (unknown table or
+    /// column, alias misuse, unsupported join shape, ungroupable column).
+    PlanBind {
+        /// Label of the plan that failed to bind.
+        plan: String,
+        /// Human-readable description of the binding failure.
+        message: String,
+    },
     /// A job referenced by id does not exist in the system.
     UnknownJob(u64),
     /// A job cannot fit on any available resource.
@@ -74,6 +82,9 @@ impl fmt::Display for RotaryError {
                 f,
                 "estimator {estimator} needs at least {need} observation(s), has {have}"
             ),
+            RotaryError::PlanBind { plan, message } => {
+                write!(f, "failed to bind plan {plan}: {message}")
+            }
             RotaryError::UnknownJob(id) => write!(f, "unknown job id {id}"),
             RotaryError::ResourceExhausted { requested_mb, available_mb } => write!(
                 f,
@@ -115,6 +126,10 @@ mod tests {
 
         let e = RotaryError::ResourceExhausted { requested_mb: 9000, available_mb: 8192 };
         assert!(e.to_string().contains("9000"));
+
+        let e = RotaryError::PlanBind { plan: "q6".into(), message: "unknown alias o".into() };
+        let s = e.to_string();
+        assert!(s.contains("q6") && s.contains("unknown alias o"), "{s}");
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //!   job and device, discarding the CUDA-warm-up-affected first step.
 //!
 //! Each component runs inside an [`OverheadMeter`] so the Table III
-//! overhead measurements are real wall-clock costs of this code.
+//! overhead measurements are real wall-clock costs of this code. The meter
+//! itself never reads the wall clock: a [`ProbeClock`] is injected by the
+//! measuring harness (`rotary_bench::timing::monotonic_probe`), and the
+//! default meter is inert — the arbitration data plane stays free of
+//! wall-clock reads (lint rule D002).
 
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rotary_core::estimate::similarity::scalar_similarity;
 use rotary_core::estimate::wlr::{LinearFit, WeightedPoint};
@@ -231,9 +235,17 @@ impl Ttr {
     }
 }
 
-/// Wall-clock overhead accounting for Table III: every TEE/TME/TTR call in
-/// the system runs under `measure`, accumulating *real* execution time of
-/// the estimator code.
+/// A monotonic probe: returns the elapsed time since some fixed anchor.
+/// The only implementation backed by the wall clock lives in
+/// `rotary_bench::timing::monotonic_probe`; everything inside the
+/// arbitration loop runs with no probe installed and therefore performs no
+/// wall-clock reads at all.
+pub type ProbeClock = fn() -> Duration;
+
+/// Overhead accounting for Table III: every TEE/TME/TTR call in the system
+/// runs under `measure`, accumulating *real* execution time of the
+/// estimator code **when a probe clock is installed**. The default meter
+/// has no clock and is a deterministic no-op wrapper.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OverheadMeter {
     /// Accumulated TTR time.
@@ -242,6 +254,7 @@ pub struct OverheadMeter {
     pub tee: Duration,
     /// Accumulated TME time.
     pub tme: Duration,
+    clock: Option<ProbeClock>,
 }
 
 /// Which component a measured call belongs to.
@@ -256,11 +269,20 @@ pub enum Component {
 }
 
 impl OverheadMeter {
-    /// Runs `f`, charging its wall-clock cost to `component`.
+    /// A meter that charges real time through `clock` (Table III harness).
+    pub fn with_clock(clock: ProbeClock) -> OverheadMeter {
+        OverheadMeter { clock: Some(clock), ..OverheadMeter::default() }
+    }
+
+    /// Runs `f`, charging its cost to `component` when a probe clock is
+    /// installed; without one, `f` runs untimed.
     pub fn measure<T>(&mut self, component: Component, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
+        let Some(clock) = self.clock else {
+            return f();
+        };
+        let start = clock();
         let out = f();
-        let elapsed = start.elapsed();
+        let elapsed = clock().saturating_sub(start);
         match component {
             Component::Ttr => self.ttr += elapsed,
             Component::Tee => self.tee += elapsed,
@@ -384,21 +406,33 @@ mod tests {
         assert_eq!(ttr.len(), 3);
     }
 
+    /// Deterministic probe for tests: ticks one millisecond per call.
+    fn ticking_probe() -> Duration {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TICKS: AtomicU64 = AtomicU64::new(0);
+        Duration::from_millis(TICKS.fetch_add(1, Ordering::Relaxed))
+    }
+
     #[test]
-    fn overhead_meter_accumulates_real_time() {
-        let mut meter = OverheadMeter::default();
-        let x = meter.measure(Component::Tee, || {
-            let mut s = 0u64;
-            for i in 0..200_000u64 {
-                s = s.wrapping_add(i * i);
-            }
-            s
-        });
-        assert!(x > 0);
-        assert!(meter.tee > Duration::ZERO);
+    fn overhead_meter_charges_through_the_probe() {
+        let mut meter = OverheadMeter::with_clock(ticking_probe);
+        let x = meter.measure(Component::Tee, || 41 + 1);
+        assert_eq!(x, 42);
+        // The probe ticked once between the start and end reads.
+        assert_eq!(meter.tee, Duration::from_millis(1));
         assert_eq!(meter.ttr, Duration::ZERO);
         meter.measure(Component::Ttr, || {});
         meter.measure(Component::Tme, || {});
-        assert!(meter.tme >= Duration::ZERO);
+        assert_eq!(meter.ttr, Duration::from_millis(1));
+        assert_eq!(meter.tme, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn overhead_meter_without_probe_is_inert() {
+        let mut meter = OverheadMeter::default();
+        let x = meter.measure(Component::Tee, || 7u64);
+        assert_eq!(x, 7);
+        assert_eq!(meter.tee, Duration::ZERO);
+        assert_eq!(meter.ttr + meter.tme, Duration::ZERO);
     }
 }

@@ -31,9 +31,12 @@
 //!   differently from the sequential fold, so it is reserved for paths
 //!   without legacy calibrations.
 
+// rotary-lint: allow(D001) -- join indexes are probed per row and never
+// iterated, so hash-map iteration order cannot reach any result.
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use rotary_core::RotaryError;
 use rotary_par::ThreadPool;
 use rotary_tpch::date::year_of;
 use rotary_tpch::{Column, Table, TpchData};
@@ -43,8 +46,10 @@ use crate::expr::{CmpOp, ColRef, Expr, Pred};
 use crate::plan::{GroupKey, QueryPlan};
 
 /// A shared single-column primary-key index.
+// rotary-lint: allow(D001) -- point lookups only; never iterated.
 type SingleIndex = Arc<HashMap<i64, u32>>;
 /// A shared composite (two-column) primary-key index.
+// rotary-lint: allow(D001) -- point lookups only; never iterated.
 type CompositeIndex = Arc<HashMap<(i64, i64), u32>>;
 
 /// Shared primary-key indexes, keyed by `(table, key-columns)`.
@@ -53,7 +58,10 @@ type CompositeIndex = Arc<HashMap<(i64, i64), u32>>;
 /// from; the AQP system owns one cache per dataset.
 #[derive(Debug, Default)]
 pub struct IndexCache {
+    // rotary-lint: allow(D001) -- cache entries are fetched by exact key;
+    // `total_entries` folds lengths, which is iteration-order-independent.
     single: HashMap<(String, String), SingleIndex>,
+    // rotary-lint: allow(D001) -- same point-lookup-only argument as above.
     composite: HashMap<(String, String, String), CompositeIndex>,
 }
 
@@ -76,6 +84,7 @@ impl IndexCache {
             .or_insert_with(|| {
                 let a = table.column_required(key_a);
                 let b = table.column_required(key_b);
+                // rotary-lint: allow(D001) -- built once, probed by key.
                 let mut map = HashMap::with_capacity(table.rows());
                 for row in 0..table.rows() {
                     let prior = map.insert((a.int(row), b.int(row)), row as u32);
@@ -209,7 +218,13 @@ impl BoundGroup<'_> {
                 Column::Int(v) => v[ctx[*slot] as usize],
                 Column::Date(v) => v[ctx[*slot] as usize] as i64,
                 Column::Cat { codes, .. } => codes[ctx[*slot] as usize] as i64,
-                Column::Float(_) => panic!("cannot group by a float column"),
+                Column::Float(_) => {
+                    // Unreachable in practice: `Executor::bind` rejects
+                    // float group columns with a typed error before any
+                    // BoundGroup is constructed.
+                    debug_assert!(false, "bind rejects float group columns");
+                    0
+                }
             },
             BoundGroup::Year { slot, col } => year_of(col.date_at(ctx[*slot] as usize)) as i64,
         }
@@ -373,7 +388,20 @@ impl<'a> Binder<'a> {
 
 impl<'a> Executor<'a> {
     /// Binds a plan to a dataset, building/reusing hash indexes via `cache`.
+    ///
+    /// Binding failures (unknown tables or columns, alias misuse,
+    /// unsupported join shapes, float group columns) come back as
+    /// [`RotaryError::PlanBind`] carrying the plan label.
     pub fn bind(
+        plan: &QueryPlan,
+        data: &'a TpchData,
+        cache: &mut IndexCache,
+    ) -> rotary_core::Result<Executor<'a>> {
+        Executor::bind_inner(plan, data, cache)
+            .map_err(|message| RotaryError::PlanBind { plan: plan.label.clone(), message })
+    }
+
+    fn bind_inner(
         plan: &QueryPlan,
         data: &'a TpchData,
         cache: &mut IndexCache,
@@ -402,7 +430,8 @@ impl<'a> Executor<'a> {
                 [k1, k2] => BoundIndex::Composite(cache.composite_index(target, k1, k2)),
                 _ => return Err(format!("join {}: unsupported key arity", edge.alias)),
             };
-            edges.push(BoundEdge { src_slot: src_slot.unwrap(), fk: fk_cols, index });
+            let src_slot = src_slot.ok_or_else(|| format!("join {}: no FK columns", edge.alias))?;
+            edges.push(BoundEdge { src_slot, fk: fk_cols, index });
             binder.slots.push(target);
             binder.aliases.push(edge.alias.clone());
         }
@@ -413,6 +442,9 @@ impl<'a> Executor<'a> {
             .iter()
             .map(|g| {
                 let (slot, col) = binder.column(g.col())?;
+                if matches!((g, col), (GroupKey::Raw(_), Column::Float(_))) {
+                    return Err(format!("cannot group by float column {}", g.col()));
+                }
                 Ok(match g {
                     GroupKey::Raw(_) => BoundGroup::Raw { slot, col },
                     GroupKey::Year(_) => BoundGroup::Year { slot, col },
@@ -847,20 +879,30 @@ mod tests {
     #[test]
     fn bind_errors_are_descriptive() {
         let d = data();
-        let mut cache = IndexCache::new();
+        let bind_err = |plan: &QueryPlan| {
+            let err = Executor::bind(plan, &d, &mut IndexCache::new()).unwrap_err();
+            assert!(
+                matches!(&err, rotary_core::RotaryError::PlanBind { plan: p, .. } if *p == plan.label),
+                "expected PlanBind carrying the label, got {err:?}"
+            );
+            err.to_string()
+        };
+
         let mut plan = q6ish();
         plan.fact = "widgets".into();
-        assert!(Executor::bind(&plan, &d, &mut cache).unwrap_err().contains("unknown fact table"));
+        assert!(bind_err(&plan).contains("unknown fact table"));
 
         let mut plan = q6ish();
         plan.filter = Pred::IntRange { col: ColRef::fact("nonexistent"), lo: 0, hi: 1 };
-        assert!(Executor::bind(&plan, &d, &mut cache).unwrap_err().contains("no column"));
+        assert!(bind_err(&plan).contains("no column"));
 
         let mut plan = q6ish();
         plan.filter = Pred::CatEq { col: ColRef::fact("l_quantity"), value: "X".into() };
-        assert!(Executor::bind(&plan, &d, &mut cache)
-            .unwrap_err()
-            .contains("not a category column"));
+        assert!(bind_err(&plan).contains("not a category column"));
+
+        let mut plan = q6ish();
+        plan.group_by = vec![GroupKey::Raw(ColRef::fact("l_extendedprice"))];
+        assert!(bind_err(&plan).contains("cannot group by float column"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! value, so each column contributes `min(|α_c|, |α_f|) / max(|α_c|, |α_f|)`
 //! and mixed-sign estimates contribute 0.
 
+use rotary_core::RotaryError;
 use rotary_par::ThreadPool;
 use rotary_tpch::{BatchSource, TpchData};
 
@@ -30,7 +31,7 @@ pub fn compute_ground_truth(
     plan: &QueryPlan,
     data: &TpchData,
     cache: &mut IndexCache,
-) -> Result<GroundTruth, String> {
+) -> rotary_core::Result<GroundTruth> {
     let mut exec = Executor::bind(plan, data, cache)?;
     exec.process_all();
     Ok(exec.state().combined_all())
@@ -44,7 +45,7 @@ pub fn compute_ground_truth_with(
     data: &TpchData,
     cache: &mut IndexCache,
     pool: &ThreadPool,
-) -> Result<GroundTruth, String> {
+) -> rotary_core::Result<GroundTruth> {
     let mut exec = Executor::bind(plan, data, cache)?;
     exec.process_all_with(pool);
     Ok(exec.state().combined_all())
@@ -88,15 +89,17 @@ impl<'a> OnlineAggregation<'a> {
         ground_truth: GroundTruth,
         seed: u64,
         batch_rows: usize,
-    ) -> Result<OnlineAggregation<'a>, String> {
+    ) -> rotary_core::Result<OnlineAggregation<'a>> {
         let executor = Executor::bind(plan, data, cache)?;
         if ground_truth.len() != plan.aggregates.len() {
-            return Err(format!(
-                "{}: ground truth has {} columns, plan has {}",
-                plan.label,
-                ground_truth.len(),
-                plan.aggregates.len()
-            ));
+            return Err(RotaryError::PlanBind {
+                plan: plan.label.clone(),
+                message: format!(
+                    "ground truth has {} columns, plan has {}",
+                    ground_truth.len(),
+                    plan.aggregates.len()
+                ),
+            });
         }
         let source = BatchSource::new(seed, executor.fact_rows(), batch_rows);
         let weights = vec![1.0; ground_truth.len()];
@@ -324,7 +327,7 @@ mod tests {
         let plan = query(QueryId(6));
         let err = OnlineAggregation::new(&plan, &data, &mut cache, vec![Some(1.0); 5], 1, 100)
             .unwrap_err();
-        assert!(err.contains("ground truth"));
+        assert!(err.to_string().contains("ground truth"));
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! A from-scratch Rust source scanner.
+//!
+//! The rule engine does not need a real parse tree — every invariant it
+//! enforces is a statement about *tokens in non-test code*. What it does
+//! need, and what generic text search cannot give, is to know which bytes
+//! are code and which are string contents, comments, or `#[cfg(test)]`
+//! regions. This module produces exactly that: per line, a **masked code
+//! string** (string/char-literal contents and comments blanked to spaces,
+//! delimiters kept), the **comment text** on the line, and an **in-test
+//! flag** computed by brace-tracking the item under `#[cfg(test)]` /
+//! `#[test]` attributes. No `syn`, no proc-macro machinery — the workspace
+//! is dependency-free by policy (DESIGN.md §3).
+
+/// One source line, classified.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line with comments and literal contents blanked to spaces.
+    /// String/char delimiters survive so token boundaries stay intact;
+    /// raw-string prefixes (`r#"`) are blanked along with the contents.
+    pub code: String,
+    /// Text of every comment (or comment fragment, for multi-line block
+    /// comments) present on this line, comment markers stripped.
+    pub comments: Vec<String>,
+    /// True when the masked code contains any non-whitespace character.
+    pub has_code: bool,
+    /// True when the line sits inside a `#[cfg(test)]` / `#[test]` item
+    /// (or the file carries an inner `#![cfg(test)]` attribute).
+    pub in_test: bool,
+}
+
+/// Lexer state: what the current byte belongs to.
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scans `src` into classified lines. Lines are 0-indexed in the returned
+/// vector; diagnostics add 1 when printing.
+pub fn analyze(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut line = Line::default();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // Flushes the pending comment fragment into the current line.
+    fn flush_comment(line: &mut Line, comment: &mut String) {
+        if !comment.is_empty() {
+            line.comments.push(std::mem::take(comment));
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A newline ends the physical line in every state; block
+            // comments and multi-line strings continue on the next one.
+            flush_comment(&mut line, &mut comment);
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    line.code.push('"');
+                    i += 1;
+                } else if let Some(skip) = raw_string_prefix(&chars, i) {
+                    // `r"`, `r#…#"`, `br#…#"`, or `b"`: blank the prefix,
+                    // keep one opening quote. Raw variants (any `r`) take
+                    // the no-escape state; plain `b"…"` escapes like `"…"`.
+                    let n_hashes = chars[i..i + skip].iter().filter(|&&p| p == '#').count() as u32;
+                    let is_raw = chars[i..i + skip].contains(&'r');
+                    for _ in 0..skip.saturating_sub(1) {
+                        line.code.push(' ');
+                    }
+                    line.code.push('"');
+                    state = if is_raw { State::RawStr(n_hashes) } else { State::Str };
+                    i += skip;
+                } else if c == '\'' {
+                    if is_char_literal(&chars, i) {
+                        state = State::Char;
+                        line.code.push('\'');
+                    } else {
+                        // A lifetime: keep the tick as code.
+                        line.code.push('\'');
+                    }
+                    i += 1;
+                } else if c == 'b' && next == Some('\'') {
+                    line.code.push(' ');
+                    line.code.push('\'');
+                    state = State::Char;
+                    i += 2;
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                line.code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        flush_comment(&mut line, &mut comment);
+                        state = State::Code;
+                    } else {
+                        comment.push_str("*/");
+                        state = State::BlockComment(depth - 1);
+                    }
+                    line.code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(n_hashes) => {
+                if c == '"' && closes_raw(&chars, i, n_hashes) {
+                    line.code.push('"');
+                    for _ in 0..n_hashes {
+                        line.code.push(' ');
+                    }
+                    state = State::Code;
+                    i += 1 + n_hashes as usize;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_comment(&mut line, &mut comment);
+    if !line.code.is_empty() || !line.comments.is_empty() {
+        lines.push(line);
+    }
+    for l in &mut lines {
+        l.has_code = l.code.chars().any(|c| !c.is_whitespace());
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Length of a raw/byte string-literal prefix starting at `i` (up to and
+/// including the opening quote), or `None` when `chars[i]` does not start
+/// one. Raw *identifiers* (`r#type`) and plain identifiers containing `r`
+/// or `b` are rejected via the preceding-character check and the
+/// must-end-in-quote requirement.
+fn raw_string_prefix(chars: &[char], i: usize) -> Option<usize> {
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let has_r = chars.get(j) == Some(&'r');
+    if has_r {
+        j += 1;
+    }
+    if j == i {
+        return None;
+    }
+    while chars.get(j) == Some(&'#') {
+        if !has_r {
+            return None;
+        }
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(j + 1 - i)
+    } else {
+        None
+    }
+}
+
+/// True when the `"` at `i` is followed by `n` hashes, closing a raw
+/// string opened with `n` hashes.
+fn closes_raw(chars: &[char], i: usize, n: u32) -> bool {
+    (1..=n as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal from a lifetime at the `'` in `chars[i]`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks lines covered by `#[cfg(test)]` / `#[test]` items: from the
+/// attribute to the matching close brace of the item body (or the
+/// terminating semicolon for brace-less items). An inner `#![cfg(test)]`
+/// marks the whole file.
+fn mark_test_regions(lines: &mut [Line]) {
+    // Work over the masked code joined with newlines; offsets map back to
+    // (line, column) through `line_of`.
+    let joined: String = {
+        let mut s = String::new();
+        for l in lines.iter() {
+            s.push_str(&l.code);
+            s.push('\n');
+        }
+        s
+    };
+    let chars: Vec<char> = joined.chars().collect();
+    let line_starts: Vec<usize> = {
+        let mut starts = vec![0usize];
+        for (idx, &c) in chars.iter().enumerate() {
+            if c == '\n' {
+                starts.push(idx + 1);
+            }
+        }
+        starts
+    };
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        }
+    };
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] != '#' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        let inner = chars.get(j) == Some(&'!');
+        if inner {
+            j += 1;
+        }
+        while matches!(chars.get(j), Some(c) if c.is_whitespace()) {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'[') {
+            i += 1;
+            continue;
+        }
+        let Some((attr_text, after_attr)) = read_balanced(&chars, j, '[', ']') else {
+            i += 1;
+            continue;
+        };
+        if !attr_marks_test(&attr_text) {
+            i = after_attr;
+            continue;
+        }
+        if inner {
+            for l in lines.iter_mut() {
+                l.in_test = true;
+            }
+            return;
+        }
+        let end = item_end(&chars, after_attr);
+        let (from, to) = (line_of(attr_start), line_of(end.min(chars.len() - 1)));
+        for l in lines.iter_mut().take(to + 1).skip(from) {
+            l.in_test = true;
+        }
+        i = after_attr;
+    }
+}
+
+/// Reads a balanced `open…close` group starting at `chars[at] == open`;
+/// returns the interior text and the offset one past the closing char.
+fn read_balanced(chars: &[char], at: usize, open: char, close: char) -> Option<(String, usize)> {
+    let mut depth = 0usize;
+    let mut text = String::new();
+    let mut i = at;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == open {
+            depth += 1;
+            if depth > 1 {
+                text.push(c);
+            }
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some((text, i + 1));
+            }
+            text.push(c);
+        } else if depth > 0 {
+            text.push(c);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// True when an attribute body (text between `[` and `]`) scopes its item
+/// to tests: `test`, `cfg(test)`, or any `cfg(…)` mentioning `test` as a
+/// standalone word (`cfg(all(test, …))`).
+fn attr_marks_test(attr: &str) -> bool {
+    let compact: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+    if compact == "test" {
+        return true;
+    }
+    compact.starts_with("cfg(") && contains_word(&compact, "test")
+}
+
+/// Word-boundary containment check (boundaries are non-identifier chars).
+pub fn contains_word(haystack: &str, word: &str) -> bool {
+    !find_word(haystack, word).is_empty()
+}
+
+/// Byte offsets of every word-boundary occurrence of `word` in `haystack`.
+pub fn find_word(haystack: &str, word: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let bytes = haystack.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+        from = at + word.len().max(1);
+    }
+    hits
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds where the item following an attribute ends: at the close of the
+/// first top-level `{…}` body, or at a `;` seen before any body opens.
+/// Further attributes on the same item are skipped.
+fn item_end(chars: &[char], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '#' => {
+                // Another attribute on the same item — skip it wholesale so
+                // its brackets don't confuse the brace tracking.
+                let mut j = i + 1;
+                while matches!(chars.get(j), Some(c) if c.is_whitespace()) {
+                    j += 1;
+                }
+                if depth == 0 && chars.get(j) == Some(&'[') {
+                    if let Some((_, after)) = read_balanced(chars, j, '[', ']') {
+                        i = after;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            '{' => {
+                depth += 1;
+                i += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+                i += 1;
+            }
+            ';' if depth == 0 => return i,
+            _ => i += 1,
+        }
+    }
+    chars.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let src =
+            "let x = \"HashMap inside\"; // HashMap in comment\nuse std::collections::HashMap;\n";
+        let lines = analyze(src);
+        assert!(!contains_word(&lines[0].code, "HashMap"));
+        assert!(lines[0].comments[0].contains("HashMap"));
+        assert!(contains_word(&lines[1].code, "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_masked() {
+        let src = "let s = r#\"panic!() unsafe\"#;\nlet c = 'u'; let lt: &'static str = \"x\";\nlet b = b\"SystemTime\";\n";
+        let lines = analyze(src);
+        assert!(!contains_word(&lines[0].code, "panic"));
+        assert!(!contains_word(&lines[0].code, "unsafe"));
+        assert!(contains_word(&lines[1].code, "static"), "lifetimes stay code: {}", lines[1].code);
+        assert!(!contains_word(&lines[2].code, "SystemTime"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still comment */ let live = 1;\n";
+        let lines = analyze(src);
+        assert!(contains_word(&lines[0].code, "live"));
+        assert!(!contains_word(&lines[0].code, "inner"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_brace_tracked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn also_live() {}\n";
+        let lines = analyze(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let lines = analyze(src);
+        assert!(lines[0].in_test && lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn stacked_attributes_stay_in_the_region() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    body();\n}\nfn live() {}\n";
+        let lines = analyze(src);
+        assert!(lines[0].in_test && lines[1].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test() {
+        let src = "#[cfg(all(test, unix))]\nfn t() {}\nfn live() {}\n";
+        let lines = analyze(src);
+        assert!(lines[0].in_test && lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() {}\n";
+        let lines = analyze(src);
+        assert!(lines.iter().all(|l| l.in_test));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_word("let m: HashMap<u32, u32>;", "HashMap"));
+        assert!(!contains_word("let m = MyHashMapLike::new();", "HashMap"));
+        assert!(
+            !contains_word("expect_err(", "expect")
+                || find_word("expect_err(", "expect").is_empty()
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! `rotary-lint` — an in-tree static-analysis pass enforcing the
+//! determinism and robustness invariants the reproduction rests on.
+//!
+//! The whole experimental claim of this repository is that arbitration is
+//! a pure function of `(seed, job, epoch)` — every table regenerates
+//! bit-identically. That property is one `HashMap` iteration or one
+//! `Instant::now()` away from silently eroding (PR 3 fixed exactly such a
+//! bug), so this crate machine-checks it on every CI run:
+//!
+//! - **D001** — no `HashMap`/`HashSet` in the deterministic crates
+//!   (core, engine, sim, aqp, dlt, faults); iteration order varies run to
+//!   run.
+//! - **D002** — no wall-clock reads (`Instant`, `SystemTime`) outside
+//!   `rotary-bench`; data-plane components accept an injected probe.
+//! - **D003** — no ambient randomness; all entropy flows from
+//!   `rotary_sim::rng` named fork streams.
+//! - **P001** — no `unwrap()`/`expect()`/`panic!` in non-test
+//!   control-plane code, ratcheted: per-file counts live in
+//!   `LINT_baseline.json` and may only go down.
+//! - **U001** — every `unsafe` needs a `SAFETY:` comment.
+//!
+//! The scanner ([`lexer`]) is written from scratch (no `syn`) because the
+//! workspace is dependency-free by policy; it masks strings, comments, and
+//! `#[cfg(test)]` regions so the rules ([`rules`]) only ever see live
+//! non-test code.
+
+pub mod lexer;
+pub mod rules;
+
+use rotary_core::json::{self, Json};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+pub use rules::{FileScan, Violation};
+
+/// The ratchet baseline file, at the workspace root.
+pub const BASELINE_FILE: &str = "LINT_baseline.json";
+
+/// Everything learned from one pass over the workspace sources.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Hard violations, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Every `P001` site, sorted; gated against the baseline by [`gate`].
+    pub p001_sites: Vec<Violation>,
+    /// Per-file `P001` counts (files with at least one site).
+    pub p001_counts: BTreeMap<String, u64>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// The checked-in ratchet state: per-file `P001` counts that may only
+/// decrease.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Path → allowed `P001` site count.
+    pub p001: BTreeMap<String, u64>,
+}
+
+impl Baseline {
+    /// Parses the baseline file contents.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| format!("{BASELINE_FILE}: {e}"))?;
+        let obj = doc
+            .get("P001")
+            .ok_or_else(|| format!("{BASELINE_FILE}: missing top-level \"P001\" object"))?;
+        let Json::Obj(pairs) = obj else {
+            return Err(format!("{BASELINE_FILE}: \"P001\" is not an object"));
+        };
+        let mut p001 = BTreeMap::new();
+        for (path, count) in pairs {
+            let n = count
+                .as_u64()
+                .ok_or_else(|| format!("{BASELINE_FILE}: count for '{path}' is not a count"))?;
+            p001.insert(path.clone(), n);
+        }
+        Ok(Baseline { p001 })
+    }
+
+    /// Serialises to pretty JSON with sorted keys (ends with a newline).
+    pub fn to_json(&self) -> String {
+        let pairs =
+            self.p001.iter().map(|(path, n)| (path.clone(), Json::Num(*n as f64))).collect();
+        let mut text = Json::obj(vec![("P001", Json::Obj(pairs))]).to_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Builds a baseline that exactly matches an analysis (what
+    /// `--update-baseline` writes).
+    pub fn from_analysis(analysis: &Analysis) -> Baseline {
+        Baseline { p001: analysis.p001_counts.clone() }
+    }
+}
+
+/// What the ratchet gate concluded.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// All reportable violations: the hard ones plus `P001` sites in files
+    /// whose count exceeds the baseline. Sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Files whose `P001` count fell below (or vanished from) the
+    /// baseline — the tool demands a `--update-baseline` run so the
+    /// ratchet can only tighten.
+    pub stale: Vec<String>,
+}
+
+/// Scans every `.rs` file under `root` (skipping `target/`, hidden
+/// directories, and anything outside the tree).
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    walk(root, "", &mut files)?;
+    files.sort();
+    let mut analysis = Analysis { files_scanned: files.len(), ..Analysis::default() };
+    for rel in &files {
+        let src =
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let scan = rules::scan_file(rel, &src);
+        if !scan.p001_sites.is_empty() {
+            analysis.p001_counts.insert(rel.clone(), scan.p001_sites.len() as u64);
+        }
+        analysis.violations.extend(scan.violations);
+        analysis.p001_sites.extend(scan.p001_sites);
+    }
+    analysis.violations.sort();
+    analysis.p001_sites.sort();
+    Ok(analysis)
+}
+
+/// Deterministic recursive walk: entries sorted by name, directories named
+/// `target` or starting with `.` skipped.
+fn walk(root: &Path, rel: &str, out: &mut Vec<String>) -> Result<(), String> {
+    let dir = if rel.is_empty() { root.to_path_buf() } else { root.join(rel) };
+    let entries = fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut names: Vec<(String, bool)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry
+            .file_type()
+            .map_err(|e| format!("cannot stat {}/{name}: {e}", dir.display()))?
+            .is_dir();
+        names.push((name, is_dir));
+    }
+    names.sort();
+    for (name, is_dir) in names {
+        if name.starts_with('.') || (is_dir && name == "target") {
+            continue;
+        }
+        let sub = if rel.is_empty() { name.clone() } else { format!("{rel}/{name}") };
+        if is_dir {
+            walk(root, &sub, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(sub);
+        }
+    }
+    Ok(())
+}
+
+/// Applies the ratchet: hard violations always report; `P001` sites report
+/// only for files over their baseline count; files under their count are
+/// flagged stale so the improvement gets locked in.
+pub fn gate(analysis: &Analysis, baseline: &Baseline) -> GateReport {
+    let mut report = GateReport { violations: analysis.violations.clone(), ..Default::default() };
+    let files: BTreeSet<&String> =
+        analysis.p001_counts.keys().chain(baseline.p001.keys()).collect();
+    for file in files {
+        let current = analysis.p001_counts.get(file).copied().unwrap_or(0);
+        let allowed = baseline.p001.get(file).copied().unwrap_or(0);
+        if current > allowed {
+            for site in analysis.p001_sites.iter().filter(|s| s.path == **file) {
+                let mut v = site.clone();
+                v.message = format!("{} ({current} sites, baseline allows {allowed})", v.message);
+                report.violations.push(v);
+            }
+        } else if current < allowed {
+            report.stale.push(format!(
+                "{file}: {current} P001 sites, baseline says {allowed} — run \
+                 `cargo run -p rotary-lint -- --update-baseline` to lock the improvement in"
+            ));
+        }
+    }
+    report.violations.sort();
+    report
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` — the lint root.
+pub fn find_root(start: &Path) -> Result<std::path::PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)
+                .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace Cargo.toml found above {}; pass --root",
+                start.display()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut p001 = BTreeMap::new();
+        p001.insert("crates/a/src/lib.rs".to_string(), 3u64);
+        p001.insert("src/main.rs".to_string(), 1u64);
+        let b = Baseline { p001 };
+        assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_documents() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"P001\": 3}").is_err());
+        assert!(Baseline::parse("{\"P001\": {\"f.rs\": -1}}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+
+    fn analysis_with(path: &str, sites: usize) -> Analysis {
+        let mut a = Analysis::default();
+        if sites > 0 {
+            a.p001_counts.insert(path.to_string(), sites as u64);
+            for i in 0..sites {
+                a.p001_sites.push(Violation {
+                    path: path.to_string(),
+                    line: i + 1,
+                    rule: "P001",
+                    message: "unwrap() may panic in control-plane code".into(),
+                });
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn ratchet_reports_over_baseline_sites() {
+        let analysis = analysis_with("src/x.rs", 2);
+        let mut baseline = Baseline::default();
+        baseline.p001.insert("src/x.rs".to_string(), 1);
+        let report = gate(&analysis, &baseline);
+        assert_eq!(report.violations.len(), 2);
+        assert!(report.violations[0].message.contains("baseline allows 1"));
+        assert!(report.stale.is_empty());
+    }
+
+    #[test]
+    fn ratchet_is_silent_at_exactly_the_baseline() {
+        let analysis = analysis_with("src/x.rs", 2);
+        let mut baseline = Baseline::default();
+        baseline.p001.insert("src/x.rs".to_string(), 2);
+        let report = gate(&analysis, &baseline);
+        assert!(report.violations.is_empty());
+        assert!(report.stale.is_empty());
+    }
+
+    #[test]
+    fn ratchet_flags_improvement_as_stale() {
+        let analysis = analysis_with("src/x.rs", 1);
+        let mut baseline = Baseline::default();
+        baseline.p001.insert("src/x.rs".to_string(), 3);
+        baseline.p001.insert("src/gone.rs".to_string(), 2);
+        let report = gate(&analysis, &baseline);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.stale.len(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! The `rotary-lint` binary: scans the workspace, applies the ratchet
+//! baseline, prints violations sorted by (path, line, rule), and exits
+//! nonzero so `ci.sh` can gate on it.
+//!
+//! Exit codes: `0` clean, `1` violations, `2` operational errors or a
+//! stale baseline (counts fell — rerun with `--update-baseline`).
+
+use rotary_lint::{analyze_workspace, find_root, gate, Baseline, BASELINE_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: rotary-lint [--root PATH] [--update-baseline]
+
+  --root PATH          lint the workspace rooted at PATH (default: walk up
+                       from the current directory to the [workspace] manifest)
+  --update-baseline    rewrite LINT_baseline.json with current P001 counts;
+                       hard violations still fail the run
+
+rules:";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("rotary-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut update = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--update-baseline" => update = true,
+            "--root" => {
+                root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                for (id, summary) in rotary_lint::rules::RULES {
+                    println!("  {id}  {summary}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_root(&cwd)?
+        }
+    };
+
+    let analysis = analyze_workspace(&root)?;
+    let baseline_path = root.join(BASELINE_FILE);
+
+    let baseline = if update {
+        let fresh = Baseline::from_analysis(&analysis);
+        std::fs::write(&baseline_path, fresh.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "rotary-lint: baseline updated — {} P001 sites across {} files",
+            fresh.p001.values().sum::<u64>(),
+            fresh.p001.len(),
+        );
+        fresh
+    } else {
+        let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+            format!(
+                "cannot read {}: {e}; run `cargo run -p rotary-lint -- --update-baseline`",
+                baseline_path.display()
+            )
+        })?;
+        Baseline::parse(&text)?
+    };
+
+    let report = gate(&analysis, &baseline);
+    for v in &report.violations {
+        println!("{}:{}: {} {}", v.path, v.line, v.rule, v.message);
+    }
+    for s in &report.stale {
+        eprintln!("rotary-lint: stale baseline: {s}");
+    }
+    if !report.violations.is_empty() {
+        eprintln!(
+            "rotary-lint: {} violation(s) across {} file(s) scanned",
+            report.violations.len(),
+            analysis.files_scanned
+        );
+        Ok(ExitCode::from(1))
+    } else if !report.stale.is_empty() {
+        Ok(ExitCode::from(2))
+    } else {
+        println!("rotary-lint: {} files clean", analysis.files_scanned);
+        Ok(ExitCode::SUCCESS)
+    }
+}

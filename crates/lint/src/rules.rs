@@ -1,0 +1,308 @@
+//! The rule engine: per-file checks over [`crate::lexer`] output.
+//!
+//! Every rule is a statement about tokens in non-test code, so each check
+//! walks the masked per-line code from the lexer and never sees string
+//! contents or comments. Violations carry (path, 1-based line, rule id,
+//! message) and are sorted by the caller for deterministic output.
+//!
+//! Suppressions: a comment of the form `allow(RULE[, RULE]) <reason>`
+//! prefixed by the marker in [`ALLOW_MARKER`] disables the named rules on
+//! the same line (when the comment shares a line with code) or on the next
+//! code line (when the comment stands alone). The reason text after the
+//! closing parenthesis is mandatory; malformed or unknown annotations are
+//! themselves violations (rule A001) so a typo cannot silently disable
+//! enforcement.
+
+use crate::lexer::{self, Line};
+
+/// The annotation marker looked up inside comments.
+pub const ALLOW_MARKER: &str = "rotary-lint:";
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`D001` … `U001`, or `A001` for bad annotations).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The suppressible rules, with one-line summaries (used by `--help`).
+pub const RULES: &[(&str, &str)] = &[
+    ("D001", "no HashMap/HashSet in deterministic crates (iteration order)"),
+    ("D002", "no wall-clock reads outside rotary-bench"),
+    ("D003", "no ambient randomness; fork named streams from rotary_sim::rng"),
+    ("P001", "no unwrap()/expect()/panic! in control-plane code (ratcheted)"),
+    ("U001", "every unsafe block needs a SAFETY: comment"),
+];
+
+fn rule_id(name: &str) -> Option<&'static str> {
+    RULES.iter().map(|(id, _)| *id).find(|id| *id == name)
+}
+
+/// Result of scanning one file. `P001` occurrences are kept separate from
+/// hard violations because they are gated by the ratchet baseline, not
+/// reported site-by-site.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Hard violations (D001/D002/D003/U001/A001).
+    pub violations: Vec<Violation>,
+    /// Individual `P001` sites; the caller compares per-file counts against
+    /// the checked-in baseline.
+    pub p001_sites: Vec<Violation>,
+}
+
+/// Crates whose `src/` trees must stay free of arbitrary-order collections.
+/// `rotary-par` schedules OS threads (inherently ordered by the join
+/// barrier), and `rotary-bench`/`rotary-check`/`rotary-tpch` sit outside
+/// the deterministic replay boundary.
+const D001_SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/engine/src/",
+    "crates/sim/src/",
+    "crates/aqp/src/",
+    "crates/dlt/src/",
+    "crates/faults/src/",
+];
+
+/// Identifiers whose presence means the line reads the wall clock.
+const D002_TOKENS: &[&str] = &["Instant", "SystemTime"];
+
+/// Identifiers that smuggle ambient (non-replayable) randomness in.
+const D003_TOKENS: &[&str] =
+    &["thread_rng", "OsRng", "StdRng", "SmallRng", "from_entropy", "getrandom", "RandomState"];
+
+fn is_test_path(path: &str) -> bool {
+    path.split('/').any(|component| component == "tests")
+}
+
+fn d001_applies(path: &str) -> bool {
+    D001_SCOPES.iter().any(|scope| path.starts_with(scope))
+}
+
+fn d002_applies(path: &str) -> bool {
+    // rotary-bench owns the only blessed wall-clock probe.
+    !path.starts_with("crates/bench/")
+}
+
+fn d003_applies(path: &str) -> bool {
+    // The deterministic RNG implementation itself may name these symbols.
+    path != "crates/sim/src/rng.rs"
+}
+
+/// Scans one file. `path` must be workspace-relative with `/` separators —
+/// rule scoping keys off it.
+pub fn scan_file(path: &str, src: &str) -> FileScan {
+    let lines = lexer::analyze(src);
+    let (allows, annotation_violations) = collect_allows(path, &lines);
+    let mut scan = FileScan { violations: annotation_violations, ..FileScan::default() };
+    let test_path = is_test_path(path);
+
+    for (idx, line) in lines.iter().enumerate() {
+        if !line.has_code {
+            continue;
+        }
+        let lineno = idx + 1;
+        let allowed = |rule: &str| allows[idx].contains(&rule);
+        let in_test = test_path || line.in_test;
+
+        if d001_applies(path) && !in_test && !allowed("D001") {
+            for token in ["HashMap", "HashSet"] {
+                for _ in lexer::find_word(&line.code, token) {
+                    scan.violations.push(Violation {
+                        path: path.to_string(),
+                        line: lineno,
+                        rule: "D001",
+                        message: format!(
+                            "{token} iterates in arbitrary order and breaks bit-identical \
+                             replay; use the BTree equivalent or add a justified allow"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if d002_applies(path) && !in_test && !allowed("D002") {
+            for token in D002_TOKENS {
+                for _ in lexer::find_word(&line.code, token) {
+                    scan.violations.push(Violation {
+                        path: path.to_string(),
+                        line: lineno,
+                        rule: "D002",
+                        message: format!(
+                            "{token} reads the wall clock outside rotary-bench; use sim \
+                             time or accept an injected ProbeClock"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if d003_applies(path) && !allowed("D003") {
+            for token in D003_TOKENS {
+                for _ in lexer::find_word(&line.code, token) {
+                    scan.violations.push(Violation {
+                        path: path.to_string(),
+                        line: lineno,
+                        rule: "D003",
+                        message: format!(
+                            "{token} is ambient randomness; draw from a named fork \
+                             stream of rotary_sim::rng instead"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if !in_test && !allowed("P001") {
+            for token in p001_hits(&line.code) {
+                scan.p001_sites.push(Violation {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule: "P001",
+                    message: format!("{token} may panic in control-plane code"),
+                });
+            }
+        }
+
+        if !allowed("U001")
+            && !lexer::find_word(&line.code, "unsafe").is_empty()
+            && !has_safety_comment(&lines, idx)
+        {
+            scan.violations.push(Violation {
+                path: path.to_string(),
+                line: lineno,
+                rule: "U001",
+                message: "unsafe without a SAFETY: comment on or directly above the line"
+                    .to_string(),
+            });
+        }
+    }
+    scan
+}
+
+/// Finds panic-capable call tokens in one masked code line: the word
+/// `unwrap` followed by `()`, `expect` followed by `(`, or `panic`
+/// followed by `!`. Word boundaries exclude `unwrap_or`, `expect_err`,
+/// and friends.
+fn p001_hits(code: &str) -> Vec<&'static str> {
+    let bytes = code.as_bytes();
+    let next_non_ws = |from: usize| {
+        bytes[from..].iter().position(|b| !b.is_ascii_whitespace()).map(|p| bytes[from + p])
+    };
+    let mut hits = Vec::new();
+    for at in lexer::find_word(code, "unwrap") {
+        if next_non_ws(at + "unwrap".len()) == Some(b'(') {
+            hits.push("unwrap()");
+        }
+    }
+    for at in lexer::find_word(code, "expect") {
+        if next_non_ws(at + "expect".len()) == Some(b'(') {
+            hits.push("expect()");
+        }
+    }
+    for at in lexer::find_word(code, "panic") {
+        if next_non_ws(at + "panic".len()) == Some(b'!') {
+            hits.push("panic!");
+        }
+    }
+    hits
+}
+
+/// True when the line at `idx`, or the contiguous run of comment-only
+/// lines directly above it, carries a `SAFETY:` comment. A blank line
+/// (no code, no comment) breaks the run.
+fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
+    let mentions = |l: &Line| l.comments.iter().any(|c| c.contains("SAFETY:"));
+    if mentions(&lines[idx]) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &lines[i];
+        if line.has_code || line.comments.is_empty() {
+            return false;
+        }
+        if mentions(line) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Collects allow annotations per line. A same-line annotation applies to
+/// its own line; an annotation on a comment-only line applies to the next
+/// line that has code (stacked annotation lines accumulate).
+fn collect_allows(path: &str, lines: &[Line]) -> (Vec<Vec<&'static str>>, Vec<Violation>) {
+    let mut allows: Vec<Vec<&'static str>> = vec![Vec::new(); lines.len()];
+    let mut violations = Vec::new();
+    let mut pending: Vec<&'static str> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let mut here = Vec::new();
+        for comment in &line.comments {
+            parse_annotations(path, idx + 1, comment, &mut here, &mut violations);
+        }
+        if line.has_code {
+            allows[idx].append(&mut pending);
+            allows[idx].append(&mut here);
+        } else {
+            pending.append(&mut here);
+        }
+    }
+    (allows, violations)
+}
+
+fn a001(path: &str, line: usize, message: String) -> Violation {
+    Violation { path: path.to_string(), line, rule: "A001", message }
+}
+
+fn parse_annotations(
+    path: &str,
+    lineno: usize,
+    comment: &str,
+    out: &mut Vec<&'static str>,
+    violations: &mut Vec<Violation>,
+) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find(ALLOW_MARKER) {
+        let after = &rest[pos + ALLOW_MARKER.len()..];
+        let Some(body) = after.trim_start().strip_prefix("allow(") else {
+            violations.push(a001(
+                path,
+                lineno,
+                format!("expected 'allow(RULE[, RULE]) <reason>' after '{ALLOW_MARKER}'"),
+            ));
+            rest = after;
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            violations.push(a001(path, lineno, "unclosed rule list in allow annotation".into()));
+            rest = after;
+            continue;
+        };
+        for name in body[..close].split(',') {
+            let name = name.trim();
+            match rule_id(name) {
+                Some(rule) => out.push(rule),
+                None => violations.push(a001(
+                    path,
+                    lineno,
+                    format!("allow names unknown rule '{name}'"),
+                )),
+            }
+        }
+        if body[close + 1..].trim().is_empty() {
+            violations.push(a001(
+                path,
+                lineno,
+                "allow annotation needs a reason after the rule list".into(),
+            ));
+        }
+        rest = &body[close + 1..];
+    }
+}

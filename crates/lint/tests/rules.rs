@@ -1,0 +1,185 @@
+//! Per-rule fixtures: each rule fires on its violating fixture, stays
+//! silent on the clean twin, and respects both allow annotations and
+//! `#[cfg(test)]` scoping — plus a workspace-level test asserting the tree
+//! this crate ships in is lint-clean under the checked-in baseline.
+
+use rotary_lint::rules::{scan_file, Violation};
+use rotary_lint::{analyze_workspace, gate, Baseline, BASELINE_FILE};
+
+/// Scans a fixture and returns the rule ids that fired (hard violations
+/// only; P001 sites are returned separately by `scan_file`).
+fn fired(path: &str, src: &str) -> Vec<&'static str> {
+    scan_file(path, src).violations.iter().map(|v| v.rule).collect()
+}
+
+fn p001_count(path: &str, src: &str) -> usize {
+    scan_file(path, src).p001_sites.len()
+}
+
+// ---------------------------------------------------------------- D001 --
+
+const ENGINE_PATH: &str = "crates/engine/src/fixture.rs";
+
+#[test]
+fn d001_fires_on_hash_collections_in_deterministic_crates() {
+    let src = "use std::collections::HashMap;\nfn f() -> HashSet<u32> { todo!() }\n";
+    let rules = fired(ENGINE_PATH, src);
+    assert_eq!(rules, vec!["D001", "D001"], "one per token occurrence");
+    let v: Vec<Violation> = scan_file(ENGINE_PATH, src).violations;
+    assert_eq!((v[0].line, v[1].line), (1, 2));
+}
+
+#[test]
+fn d001_is_silent_on_btree_twin_and_outside_scope() {
+    let clean = "use std::collections::BTreeMap;\nfn f() -> BTreeSet<u32> { todo!() }\n";
+    assert!(fired(ENGINE_PATH, clean).is_empty());
+    let hash = "use std::collections::HashMap;\n";
+    assert!(fired("crates/bench/src/fixture.rs", hash).is_empty(), "bench is out of scope");
+    assert!(fired("crates/tpch/src/fixture.rs", hash).is_empty(), "tpch is out of scope");
+}
+
+#[test]
+fn d001_respects_allow_and_cfg_test() {
+    let allowed = "use std::collections::HashMap; // rotary-lint: allow(D001) point lookups only\n";
+    assert!(fired(ENGINE_PATH, allowed).is_empty());
+    let above = "// rotary-lint: allow(D001) point lookups only\nuse std::collections::HashMap;\n";
+    assert!(fired(ENGINE_PATH, above).is_empty(), "stand-alone comment allows the next line");
+    let in_test = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    assert!(fired(ENGINE_PATH, in_test).is_empty());
+}
+
+#[test]
+fn d001_ignores_strings_and_comments() {
+    let src = "// HashMap would break replay\nconst DOC: &str = \"uses HashMap\";\n";
+    assert!(fired(ENGINE_PATH, src).is_empty());
+}
+
+// ---------------------------------------------------------------- D002 --
+
+#[test]
+fn d002_fires_on_wall_clock_outside_bench() {
+    let src = "use std::time::Instant;\nlet t = std::time::SystemTime::now();\n";
+    assert_eq!(fired("crates/dlt/src/fixture.rs", src), vec!["D002", "D002"]);
+    assert_eq!(fired("src/fixture.rs", src), vec!["D002", "D002"], "root package is in scope");
+}
+
+#[test]
+fn d002_is_silent_in_bench_and_tests() {
+    let src = "use std::time::Instant;\n";
+    assert!(fired("crates/bench/src/timing.rs", src).is_empty());
+    assert!(fired("crates/dlt/tests/fixture.rs", src).is_empty(), "tests dir is exempt");
+    let in_test = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n}\n";
+    assert!(fired("crates/dlt/src/fixture.rs", in_test).is_empty());
+}
+
+// ---------------------------------------------------------------- D003 --
+
+#[test]
+fn d003_fires_everywhere_including_tests() {
+    let src = "let mut rng = thread_rng();\n";
+    assert_eq!(fired("crates/engine/src/fixture.rs", src), vec!["D003"]);
+    assert_eq!(fired("crates/engine/tests/fixture.rs", src), vec!["D003"]);
+    let in_test = "#[cfg(test)]\nmod tests {\n    use rand::rngs::OsRng;\n}\n";
+    assert_eq!(fired("crates/engine/src/fixture.rs", in_test), vec!["D003"]);
+}
+
+#[test]
+fn d003_exempts_the_rng_implementation_itself() {
+    let src =
+        "// mirrors SmallRng's layout\nconst REF: &str = \"thread_rng\";\nfn from_entropy() {}\n";
+    assert!(fired("crates/sim/src/rng.rs", src).is_empty());
+    assert_eq!(fired("crates/sim/src/pool.rs", src), vec!["D003"], "only rng.rs is exempt");
+}
+
+// ---------------------------------------------------------------- P001 --
+
+#[test]
+fn p001_counts_panic_capable_calls() {
+    let src = "let a = x.unwrap();\nlet b = y.expect(\"msg\");\npanic!(\"boom\");\n";
+    assert_eq!(p001_count(ENGINE_PATH, src), 3);
+    assert!(fired(ENGINE_PATH, src).is_empty(), "P001 sites are ratcheted, not hard errors");
+}
+
+#[test]
+fn p001_ignores_non_panicking_lookalikes() {
+    let src = "let a = x.unwrap_or(0);\nlet b = y.unwrap_or_else(init);\nlet c = z.expect_err(\"e\");\nlet d = w.unwrap_or_default();\n";
+    assert_eq!(p001_count(ENGINE_PATH, src), 0);
+}
+
+#[test]
+fn p001_exempts_tests_and_respects_allow() {
+    let in_test = "#[test]\nfn t() {\n    x.unwrap();\n}\n";
+    assert_eq!(p001_count(ENGINE_PATH, in_test), 0);
+    assert_eq!(p001_count("crates/engine/tests/fixture.rs", "x.unwrap();\n"), 0);
+    let allowed = "x.unwrap(); // rotary-lint: allow(P001) invariant: checked above\n";
+    assert_eq!(p001_count(ENGINE_PATH, allowed), 0);
+}
+
+// ---------------------------------------------------------------- U001 --
+
+#[test]
+fn u001_fires_on_undocumented_unsafe() {
+    let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    assert_eq!(fired(ENGINE_PATH, src), vec!["U001"]);
+}
+
+#[test]
+fn u001_accepts_safety_comment_on_or_above_the_line() {
+    let same = "let v = unsafe { *p }; // SAFETY: p is checked non-null above\n";
+    assert!(fired(ENGINE_PATH, same).is_empty());
+    let above = "// SAFETY: p outlives the call — caller holds the arena\nlet v = unsafe { *p };\n";
+    assert!(fired(ENGINE_PATH, above).is_empty());
+    let two_up = "// SAFETY: index bounded by the loop condition\n// (the extra line still counts)\nlet v = unsafe { *p };\n";
+    assert!(fired(ENGINE_PATH, two_up).is_empty());
+}
+
+#[test]
+fn u001_blank_line_breaks_the_comment_run() {
+    let src = "// SAFETY: stale justification\n\nlet v = unsafe { *p };\n";
+    assert_eq!(fired(ENGINE_PATH, src), vec!["U001"]);
+}
+
+// ---------------------------------------------------------------- A001 --
+
+#[test]
+fn a001_rejects_unknown_rules_missing_reasons_and_malformed_markers() {
+    let unknown = "x(); // rotary-lint: allow(D999) because\n";
+    assert_eq!(fired(ENGINE_PATH, unknown), vec!["A001"]);
+    let no_reason = "x(); // rotary-lint: allow(D001)\n";
+    assert_eq!(fired(ENGINE_PATH, no_reason), vec!["A001"]);
+    let malformed = "x(); // rotary-lint: disable everything\n";
+    assert_eq!(fired(ENGINE_PATH, malformed), vec!["A001"]);
+}
+
+#[test]
+fn a001_multi_rule_allow_with_reason_is_accepted() {
+    let src = "use std::collections::HashMap; // rotary-lint: allow(D001, P001) scratch index, infallible here\n";
+    let scan = scan_file(ENGINE_PATH, src);
+    assert!(scan.violations.is_empty());
+    assert!(scan.p001_sites.is_empty());
+}
+
+// ------------------------------------------------------------ workspace --
+
+/// The tree this crate ships in must be lint-clean under the checked-in
+/// baseline: no hard violations, no ratchet overshoot, no staleness.
+#[test]
+fn workspace_is_lint_clean_under_the_checked_in_baseline() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let analysis = analyze_workspace(&root).expect("workspace scan");
+    let text = std::fs::read_to_string(root.join(BASELINE_FILE)).expect("baseline present");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let report = gate(&analysis, &baseline);
+    assert!(
+        report.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("{}:{}: {} {}", v.path, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.stale.is_empty(), "stale baseline:\n{}", report.stale.join("\n"));
+    assert!(analysis.files_scanned > 50, "walk found {} files", analysis.files_scanned);
+}

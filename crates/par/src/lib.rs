@@ -66,6 +66,9 @@ struct RawTask(*const (dyn Fn(usize) + Sync + 'static));
 // whole point) and the pointer itself is only a borrow; see `RawTask` docs
 // for the lifetime argument.
 unsafe impl Send for RawTask {}
+// SAFETY: sharing `&RawTask` across threads only ever exposes the `*const`
+// pointer to a `Sync` pointee; all dereferences go through `JobCore::drive`,
+// which upholds the claim/completion protocol described on `RawTask`.
 unsafe impl Sync for RawTask {}
 
 /// One in-flight indexed job: `total` indices, claimed through `cursor`,
@@ -255,11 +258,16 @@ impl ThreadPool {
         // cursor hands every index out once), so the `&mut` derived below
         // are disjoint.
         unsafe impl<T: Send> Send for SendPtr<T> {}
+        // SAFETY: `&SendPtr` only exposes `at`, which computes an address
+        // without dereferencing; exclusive, disjoint access per index is
+        // guaranteed by the once-only cursor claim above.
         unsafe impl<T: Send> Sync for SendPtr<T> {}
         impl<T> SendPtr<T> {
             fn at(&self, i: usize) -> *mut T {
                 // Keep the raw-pointer arithmetic behind a method so the
                 // closure below captures the `Sync` wrapper, not the field.
+                // SAFETY: `i < items.len()` (run_indexed never exceeds
+                // `total`), so the offset stays inside the slice allocation.
                 unsafe { self.0.add(i) }
             }
         }
