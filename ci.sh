@@ -46,6 +46,14 @@ cargo test --workspace -q
 echo "== chaos property suite (256 fault plans) =="
 ROTARY_CHECK_CASES=256 cargo test -q --test chaos
 
+# Durable-recovery gate (DESIGN.md §12): the store's corrupted-fixture
+# suite must keep turning damaged generation files (torn writes, bit
+# flips, truncated headers) into typed errors with newest-valid fallback —
+# rerun by name so a fixture regression is called out here rather than
+# buried in the workspace test run.
+echo "== rotary-store corrupted-fixture suite =="
+cargo test -q -p rotary-store
+
 case "$MODE" in
 --bench)
     echo "== bench gate (BENCH_engine.json, ±25%) =="

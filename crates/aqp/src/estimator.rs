@@ -115,6 +115,16 @@ impl RandomEstimator {
     pub fn estimate(&mut self) -> f64 {
         self.rng.next_f64()
     }
+
+    /// The RNG position `(state, root)` — captured by durable snapshots.
+    pub fn snapshot_state(&self) -> ([u64; 4], u64) {
+        self.rng.snapshot_state()
+    }
+
+    /// Rebuilds an estimator mid-stream from a captured RNG position.
+    pub fn from_snapshot(state: [u64; 4], root: u64) -> RandomEstimator {
+        RandomEstimator { rng: Rng::from_snapshot(state, root) }
+    }
 }
 
 #[cfg(test)]

@@ -30,10 +30,13 @@ use rotary_sim::{
     CheckpointModel, CpuPool, EventQueue, MaterializationManager, MaterializationPolicy,
     PlacementSpan, WorkloadMetrics, WorkloadSummary,
 };
+use rotary_store::{DurableConfig, DurableOutcome, SnapshotStore};
 use rotary_tpch::TpchData;
 
 use crate::estimator::{build_estimator, QueryFeatures, RandomEstimator};
 use crate::workload::AqpJobSpec;
+
+mod snapshot;
 
 /// The arbitration policy driving the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -291,6 +294,22 @@ impl RunJob<'_> {
     }
 }
 
+/// Mid-run state of one workload execution: everything the event loop
+/// carries between steps, lifted out of [`AqpSystem::run`] so durable
+/// snapshotting can pause at an epoch boundary and resume later.
+struct AqpRunState<'a> {
+    jobs: Vec<RunJob<'a>>,
+    events: EventQueue<Event>,
+    pool: CpuPool,
+    metrics: WorkloadMetrics,
+    material: MaterializationManager,
+    random_est: RandomEstimator,
+    rr_cursor: usize,
+    makespan: SimTime,
+    /// Completed epochs across all jobs — the snapshot cadence counter.
+    epochs_done: u64,
+}
+
 /// The multi-tenant AQP system bound to one dataset.
 pub struct AqpSystem<'a> {
     data: &'a TpchData,
@@ -428,6 +447,94 @@ impl<'a> AqpSystem<'a> {
 
     /// Runs a workload under a policy.
     pub fn run(&mut self, specs: &[AqpJobSpec], policy: AqpPolicy) -> AqpRunResult {
+        let mut st = self.start_run(specs, policy);
+        while self.step(&mut st, policy) {}
+        self.finish_run(st, specs, policy)
+    }
+
+    /// Runs a workload with durable snapshotting: after every
+    /// `durable.every` completed epochs the full arbitrator state is
+    /// committed to the snapshot store (and, when the fault plan says so,
+    /// damaged on the way to disk). With `halt_after` set the run stops
+    /// right after committing that generation, simulating a process kill.
+    ///
+    /// With snapshotting disabled entirely (use [`AqpSystem::run`]) traces
+    /// are byte-identical to a build without the durability layer.
+    pub fn run_durable(
+        &mut self,
+        specs: &[AqpJobSpec],
+        policy: AqpPolicy,
+        durable: &DurableConfig,
+    ) -> rotary_core::Result<DurableOutcome<AqpRunResult>> {
+        durable.validate()?;
+        self.config.checkpoint.validate()?;
+        let store = SnapshotStore::open(&durable.dir)?;
+        let st = self.start_run(specs, policy);
+        self.drive(st, specs, policy, durable, &store, 0)
+    }
+
+    /// Resumes a killed [`AqpSystem::run_durable`] run from the newest
+    /// *valid* snapshot in `durable.dir` (corrupt newer generations are
+    /// skipped) and continues to completion — or to the next `halt_after`.
+    /// The resumed run's final trace is byte-identical to an uninterrupted
+    /// run of the same workload. With no usable snapshot the run starts
+    /// from scratch, which is trivially equivalent.
+    ///
+    /// The workload, policy, and system configuration must match the run
+    /// that wrote the snapshot; a fingerprint mismatch is rejected with
+    /// [`RotaryError::InvalidConfig`].
+    pub fn resume_durable(
+        &mut self,
+        specs: &[AqpJobSpec],
+        policy: AqpPolicy,
+        durable: &DurableConfig,
+    ) -> rotary_core::Result<DurableOutcome<AqpRunResult>> {
+        durable.validate()?;
+        self.config.checkpoint.validate()?;
+        let store = SnapshotStore::open(&durable.dir)?;
+        match store.latest_valid()? {
+            Some((generation, records)) => {
+                let st = snapshot::restore_run(self, specs, policy, &records)?;
+                self.drive(st, specs, policy, durable, &store, generation)
+            }
+            None => {
+                let st = self.start_run(specs, policy);
+                self.drive(st, specs, policy, durable, &store, 0)
+            }
+        }
+    }
+
+    /// The durable event loop: step until the queue drains, committing a
+    /// snapshot each time the completed-epoch count crosses the cadence.
+    fn drive(
+        &mut self,
+        mut st: AqpRunState<'a>,
+        specs: &[AqpJobSpec],
+        policy: AqpPolicy,
+        durable: &DurableConfig,
+        store: &SnapshotStore,
+        mut generation: u64,
+    ) -> rotary_core::Result<DurableOutcome<AqpRunResult>> {
+        loop {
+            if !self.step(&mut st, policy) {
+                return Ok(DurableOutcome::Completed(self.finish_run(st, specs, policy)));
+            }
+            if st.epochs_done >= (generation + 1).saturating_mul(durable.every) {
+                generation += 1;
+                let records = snapshot::snapshot_records(self, &st, specs, policy, generation)?;
+                let damage = self.config.faults.snapshot_fault(generation);
+                store.commit(generation, &records, damage.as_ref())?;
+                if durable.halt_after == Some(generation) {
+                    return Ok(DurableOutcome::Halted { generation });
+                }
+            }
+        }
+    }
+
+    /// Binds every spec to an executor and builds its initial run state —
+    /// shared by fresh starts and snapshot restores (which overwrite the
+    /// mutable per-job state afterwards).
+    fn build_jobs(&mut self, specs: &[AqpJobSpec], policy: AqpPolicy) -> Vec<RunJob<'a>> {
         let mut jobs: Vec<RunJob<'_>> = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
             let plan = &self.plans[&spec.query.0];
@@ -494,109 +601,144 @@ impl<'a> AqpSystem<'a> {
                 ckpt_writes: 0,
             });
         }
+        jobs
+    }
 
+    /// Builds the initial run state for a workload: bound jobs plus the
+    /// arrival and deadline events.
+    fn start_run(&mut self, specs: &[AqpJobSpec], policy: AqpPolicy) -> AqpRunState<'a> {
+        let jobs = self.build_jobs(specs, policy);
         let mut events: EventQueue<Event> = EventQueue::new();
         for (i, job) in jobs.iter().enumerate() {
             events.schedule(job.spec.arrival, Event::Arrival(i));
             events.schedule(job.deadline_at(), Event::DeadlineCheck(i));
         }
+        AqpRunState {
+            jobs,
+            events,
+            pool: CpuPool::new(self.config.pool),
+            metrics: WorkloadMetrics::new(),
+            material: MaterializationManager::new(
+                self.config.materialization,
+                self.config.checkpoint,
+            ),
+            random_est: RandomEstimator::new(self.config.seed ^ 0xabcd),
+            rr_cursor: 0,
+            makespan: SimTime::ZERO,
+            epochs_done: 0,
+        }
+    }
 
-        let mut pool = CpuPool::new(self.config.pool);
-        let mut metrics = WorkloadMetrics::new();
-        let mut material =
-            MaterializationManager::new(self.config.materialization, self.config.checkpoint);
-        let mut random_est = RandomEstimator::new(self.config.seed ^ 0xabcd);
-        let mut rr_cursor = 0usize;
-        let mut makespan = SimTime::ZERO;
-
-        while let Some((now, event)) = events.pop() {
-            match event {
-                Event::Arrival(i) => {
-                    if jobs[i].core.status == JobStatus::Pending {
-                        jobs[i].core.status = JobStatus::Active;
-                    }
+    /// Processes one event and re-arbitrates. Returns `false` when the
+    /// queue has drained — the run is over.
+    fn step(&mut self, st: &mut AqpRunState<'a>, policy: AqpPolicy) -> bool {
+        let Some((now, event)) = st.events.pop() else {
+            return false;
+        };
+        match event {
+            Event::Arrival(i) => {
+                if st.jobs[i].core.status == JobStatus::Pending {
+                    st.jobs[i].core.status = JobStatus::Active;
                 }
-                Event::EpochDone(i) => {
-                    self.complete_epoch(&mut jobs[i], now, &mut pool, &mut metrics);
-                    if jobs[i].core.status.is_terminal() {
-                        material.forget(jobs[i].core.id.0);
-                        makespan = makespan.max(now);
-                    }
+            }
+            Event::EpochDone(i) => {
+                self.complete_epoch(&mut st.jobs[i], now, &mut st.pool, &mut st.metrics);
+                st.epochs_done += 1;
+                if st.jobs[i].core.status.is_terminal() {
+                    st.material.forget(st.jobs[i].core.id.0);
+                    st.makespan = st.makespan.max(now);
                 }
-                Event::EpochFailed(i) => {
-                    self.fail_epoch(i, &mut jobs[i], now, &mut pool, &mut metrics, &mut events);
-                    if jobs[i].core.status.is_terminal() {
-                        material.forget(jobs[i].core.id.0);
-                        makespan = makespan.max(now);
-                    }
+            }
+            Event::EpochFailed(i) => {
+                self.fail_epoch(
+                    i,
+                    &mut st.jobs[i],
+                    now,
+                    &mut st.pool,
+                    &mut st.metrics,
+                    &mut st.events,
+                );
+                if st.jobs[i].core.status.is_terminal() {
+                    st.material.forget(st.jobs[i].core.id.0);
+                    st.makespan = st.makespan.max(now);
                 }
-                Event::RetryReady(i) => {
-                    let job = &mut jobs[i];
-                    if job.core.status == JobStatus::Recovering {
-                        if now >= job.deadline_at() {
-                            job.core.finish(JobStatus::DeadlineMissed, now);
-                            material.forget(job.core.id.0);
-                            self.archive(job);
-                            makespan = makespan.max(now);
-                        } else {
-                            // Back from backoff: re-enters arbitration from
-                            // its last checkpoint.
-                            job.core.status = JobStatus::Checkpointed;
-                        }
-                    }
-                }
-                Event::DeadlineCheck(i) => {
-                    // Catches jobs stuck waiting in the queue (or sitting
-                    // out a retry backoff) past their deadline; running jobs
-                    // are checked at epoch end.
-                    let job = &mut jobs[i];
-                    let waiting =
-                        job.core.status.is_arbitrable() || job.core.status == JobStatus::Recovering;
-                    if waiting && now >= job.deadline_at() {
+            }
+            Event::RetryReady(i) => {
+                let job = &mut st.jobs[i];
+                if job.core.status == JobStatus::Recovering {
+                    if now >= job.deadline_at() {
                         job.core.finish(JobStatus::DeadlineMissed, now);
-                        material.forget(job.core.id.0);
+                        st.material.forget(job.core.id.0);
                         self.archive(job);
-                        makespan = makespan.max(now);
+                        st.makespan = st.makespan.max(now);
+                    } else {
+                        // Back from backoff: re-enters arbitration from
+                        // its last checkpoint.
+                        job.core.status = JobStatus::Checkpointed;
                     }
                 }
             }
-
-            self.arbitrate(
-                &mut jobs,
-                now,
-                &mut pool,
-                &mut events,
-                policy,
-                &mut material,
-                &mut random_est,
-                &mut rr_cursor,
-                &mut metrics,
-            );
-            metrics.record_snapshot(
-                now,
-                jobs.iter()
-                    .map(|j| {
-                        let p = if j.core.status == JobStatus::Attained
-                            || j.core.status == JobStatus::FalselyAttained
-                        {
-                            1.0
-                        } else {
-                            j.progress()
-                        };
-                        (j.core.id, p)
-                    })
-                    .collect(),
-            );
+            Event::DeadlineCheck(i) => {
+                // Catches jobs stuck waiting in the queue (or sitting
+                // out a retry backoff) past their deadline; running jobs
+                // are checked at epoch end.
+                let job = &mut st.jobs[i];
+                let waiting =
+                    job.core.status.is_arbitrable() || job.core.status == JobStatus::Recovering;
+                if waiting && now >= job.deadline_at() {
+                    job.core.finish(JobStatus::DeadlineMissed, now);
+                    st.material.forget(job.core.id.0);
+                    self.archive(job);
+                    st.makespan = st.makespan.max(now);
+                }
+            }
         }
 
-        let states: Vec<JobState> = jobs.iter().map(|j| j.core.clone()).collect();
-        let summary = WorkloadSummary::from_jobs(&states, makespan);
+        self.arbitrate(
+            &mut st.jobs,
+            now,
+            &mut st.pool,
+            &mut st.events,
+            policy,
+            &mut st.material,
+            &mut st.random_est,
+            &mut st.rr_cursor,
+            &mut st.metrics,
+        );
+        st.metrics.record_snapshot(
+            now,
+            st.jobs
+                .iter()
+                .map(|j| {
+                    let p = if j.core.status == JobStatus::Attained
+                        || j.core.status == JobStatus::FalselyAttained
+                    {
+                        1.0
+                    } else {
+                        j.progress()
+                    };
+                    (j.core.id, p)
+                })
+                .collect(),
+        );
+        true
+    }
+
+    /// Condenses a drained run state into the run result.
+    fn finish_run(
+        &self,
+        st: AqpRunState<'_>,
+        specs: &[AqpJobSpec],
+        policy: AqpPolicy,
+    ) -> AqpRunResult {
+        let states: Vec<JobState> = st.jobs.iter().map(|j| j.core.clone()).collect();
+        let summary = WorkloadSummary::from_jobs(&states, st.makespan);
         AqpRunResult {
             policy,
             jobs: specs.iter().cloned().zip(states).collect(),
             summary,
-            metrics,
-            makespan,
+            metrics: st.metrics,
+            makespan: st.makespan,
         }
     }
 
@@ -1335,6 +1477,79 @@ mod tests {
             strict.epochs_run,
             plain.epochs_run
         );
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rotary-aqp-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_run_without_halt_matches_plain_run() {
+        let data = small_data();
+        let specs = WorkloadBuilder::paper().jobs(3).seed(31).build();
+        let mut plain = AqpSystem::new(&data, quick_config());
+        let baseline = plain.run(&specs, AqpPolicy::Rotary);
+
+        let dir = temp_store("plain");
+        let cfg = DurableConfig::new(&dir, 4);
+        let mut sys = AqpSystem::new(&data, quick_config());
+        let result = sys
+            .run_durable(&specs, AqpPolicy::Rotary, &cfg)
+            .unwrap()
+            .completed()
+            .expect("no halt requested");
+        assert_eq!(result.metrics.to_json().unwrap(), baseline.metrics.to_json().unwrap());
+        assert_eq!(result.makespan, baseline.makespan);
+        assert_eq!(result.summary, baseline.summary);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_halt_and_resume_matches_plain_run() {
+        let data = small_data();
+        let specs = WorkloadBuilder::paper().jobs(4).seed(21).build();
+        let mut plain = AqpSystem::new(&data, quick_config());
+        let baseline = plain.run(&specs, AqpPolicy::Rotary);
+        let expected = baseline.metrics.to_json().unwrap();
+
+        let dir = temp_store("halt-resume");
+        let mut cfg = DurableConfig::new(&dir, 2);
+        cfg.halt_after = Some(3);
+        let mut sys = AqpSystem::new(&data, quick_config());
+        let halted = sys.run_durable(&specs, AqpPolicy::Rotary, &cfg).unwrap();
+        assert!(matches!(halted, DurableOutcome::Halted { generation: 3 }));
+
+        cfg.halt_after = None;
+        let mut resumed_sys = AqpSystem::new(&data, quick_config());
+        let resumed = resumed_sys
+            .resume_durable(&specs, AqpPolicy::Rotary, &cfg)
+            .unwrap()
+            .completed()
+            .expect("resume must run to completion");
+        assert_eq!(resumed.metrics.to_json().unwrap(), expected);
+        assert_eq!(resumed.makespan, baseline.makespan);
+        assert_eq!(resumed.summary, baseline.summary);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_workload() {
+        let data = small_data();
+        let specs = WorkloadBuilder::paper().jobs(3).seed(9).build();
+        let dir = temp_store("mismatch");
+        let mut cfg = DurableConfig::new(&dir, 1);
+        cfg.halt_after = Some(1);
+        let mut sys = AqpSystem::new(&data, quick_config());
+        sys.run_durable(&specs, AqpPolicy::Rotary, &cfg).unwrap();
+
+        cfg.halt_after = None;
+        let other = WorkloadBuilder::paper().jobs(3).seed(10).build();
+        let mut resumed_sys = AqpSystem::new(&data, quick_config());
+        let err = resumed_sys.resume_durable(&other, AqpPolicy::Rotary, &cfg);
+        assert!(matches!(err, Err(RotaryError::InvalidConfig(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -143,6 +143,34 @@ fn bench_recovery(metrics: &mut BTreeMap<String, f64>) {
     report(metrics, "recovery/dlt_retries".into(), chaos.summary.retries as f64);
 }
 
+/// Advisory durable-snapshot metrics (`snapshot/*`, never gated): encode
+/// and commit cost plus on-disk size for a representative record set (eight
+/// 16 KB records, the order of a mid-run AQP/DLT snapshot). Host-time
+/// measurements — tracked, not gated.
+fn bench_snapshot(metrics: &mut BTreeMap<String, f64>) {
+    use rotary_store::{encode, SnapshotStore};
+    let records: Vec<(String, Vec<u8>)> =
+        (0..8).map(|i| (format!("record-{i}"), vec![b'x'; 16 * 1024])).collect();
+    let stats = measure(|| {
+        black_box(encode(black_box(&records)).ok());
+    });
+    report(metrics, "snapshot/encode128k_ns".into(), stats.min.as_nanos() as f64);
+    let bytes = encode(&records).map(|b| b.len()).unwrap_or(0);
+    report(metrics, "snapshot/encoded_bytes".into(), bytes as f64);
+
+    let dir = std::env::temp_dir().join(format!("rotary-bench-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let Ok(store) = SnapshotStore::open(&dir) else {
+        eprintln!("snapshot bench: cannot open a store under {}; skipping", dir.display());
+        return;
+    };
+    let stats = measure(|| {
+        black_box(store.commit(1, black_box(&records), None).is_ok());
+    });
+    report(metrics, "snapshot/commit128k_ns".into(), stats.min.as_nanos() as f64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn report(metrics: &mut BTreeMap<String, f64>, key: String, value: f64) {
     println!("{key:<34} {value:>14.1}");
     metrics.insert(key, value);
@@ -158,9 +186,10 @@ fn lower_is_better(key: &str) -> bool {
 /// [`bench_estimator_fits`]); their `_rel` ratios carry the gate. The
 /// `recovery/*` family is advisory too: it reports fault-recovery cost in
 /// virtual time, which shifts whenever the chaos profile or the recovery
-/// policy is retuned — tracked, not gated.
+/// policy is retuned — tracked, not gated. `snapshot/*` reports durable
+/// snapshot store costs, which move with disk speed — also advisory.
 fn info_only(key: &str) -> bool {
-    key.ends_with("_ns") || key.starts_with("recovery/")
+    key.ends_with("_ns") || key.starts_with("recovery/") || key.starts_with("snapshot/")
 }
 
 /// Pool widths beyond the host's parallelism oversubscribe the scheduler
@@ -218,6 +247,7 @@ fn main() {
     bench_throughput(&mut metrics);
     bench_estimator_fits(&mut metrics);
     bench_recovery(&mut metrics);
+    bench_snapshot(&mut metrics);
 
     match mode {
         "--write" => {
@@ -235,6 +265,7 @@ fn main() {
                 bench_throughput(&mut retry);
                 bench_estimator_fits(&mut retry);
                 bench_recovery(&mut retry);
+                bench_snapshot(&mut retry);
                 if let Err(e) = check(&retry, &path) {
                     eprintln!("bench gate FAILED (both passes):\n{e}");
                     std::process::exit(1);

@@ -1,5 +1,6 @@
 //! Error types shared across the Rotary framework.
 
+use crate::json::{u64_json, Json};
 use std::fmt;
 
 /// Convenience alias used throughout the framework crates.
@@ -70,6 +71,20 @@ pub enum RotaryError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// A durable snapshot failed structural or checksum validation (bad
+    /// magic, truncated record, CRC mismatch, trailing garbage).
+    SnapshotCorrupt {
+        /// Human-readable description of the first validation failure.
+        detail: String,
+    },
+    /// A durable snapshot was written by a format version this build does
+    /// not understand.
+    SnapshotVersion {
+        /// The version found in the snapshot header.
+        found: u16,
+        /// The newest version this build supports.
+        supported: u16,
+    },
 }
 
 impl fmt::Display for RotaryError {
@@ -103,11 +118,153 @@ impl fmt::Display for RotaryError {
                 f,
                 "job {job} exhausted {attempts} attempts at epoch {epoch}; giving up"
             ),
+            RotaryError::SnapshotCorrupt { detail } => {
+                write!(f, "snapshot failed validation: {detail}")
+            }
+            RotaryError::SnapshotVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than supported version {supported}"
+            ),
         }
     }
 }
 
 impl std::error::Error for RotaryError {}
+
+impl RotaryError {
+    /// Serialises the error for durable snapshots. Exact-width integers go
+    /// through decimal strings (see [`crate::json::u64_json`]).
+    pub fn to_json(&self) -> Json {
+        let kind = |k: &str, mut fields: Vec<(&str, Json)>| {
+            let mut pairs = vec![("kind", Json::Str(k.to_string()))];
+            pairs.append(&mut fields);
+            Json::obj(pairs)
+        };
+        match self {
+            RotaryError::Parse { input, message } => kind(
+                "parse",
+                vec![("input", Json::Str(input.clone())), ("message", Json::Str(message.clone()))],
+            ),
+            RotaryError::InsufficientData { estimator, have, need } => kind(
+                "insufficient-data",
+                vec![
+                    ("estimator", Json::Str(estimator.to_string())),
+                    ("have", Json::Num(*have as f64)),
+                    ("need", Json::Num(*need as f64)),
+                ],
+            ),
+            RotaryError::PlanBind { plan, message } => kind(
+                "plan-bind",
+                vec![("plan", Json::Str(plan.clone())), ("message", Json::Str(message.clone()))],
+            ),
+            RotaryError::UnknownJob(id) => kind("unknown-job", vec![("job", u64_json(*id))]),
+            RotaryError::ResourceExhausted { requested_mb, available_mb } => kind(
+                "resource-exhausted",
+                vec![
+                    ("requested_mb", u64_json(*requested_mb)),
+                    ("available_mb", u64_json(*available_mb)),
+                ],
+            ),
+            RotaryError::InvalidConfig(msg) => {
+                kind("invalid-config", vec![("message", Json::Str(msg.clone()))])
+            }
+            RotaryError::Persistence(msg) => {
+                kind("persistence", vec![("message", Json::Str(msg.clone()))])
+            }
+            RotaryError::CheckpointFailed { job, operation } => kind(
+                "checkpoint-failed",
+                vec![("job", u64_json(*job)), ("operation", Json::Str(operation.to_string()))],
+            ),
+            RotaryError::EpochFailed { job, epoch, attempts } => kind(
+                "epoch-failed",
+                vec![
+                    ("job", u64_json(*job)),
+                    ("epoch", u64_json(*epoch)),
+                    ("attempts", Json::Num(f64::from(*attempts))),
+                ],
+            ),
+            RotaryError::RetriesExhausted { job, epoch, attempts } => kind(
+                "retries-exhausted",
+                vec![
+                    ("job", u64_json(*job)),
+                    ("epoch", u64_json(*epoch)),
+                    ("attempts", Json::Num(f64::from(*attempts))),
+                ],
+            ),
+            RotaryError::SnapshotCorrupt { detail } => {
+                kind("snapshot-corrupt", vec![("detail", Json::Str(detail.clone()))])
+            }
+            RotaryError::SnapshotVersion { found, supported } => kind(
+                "snapshot-version",
+                vec![
+                    ("found", Json::Num(f64::from(*found))),
+                    ("supported", Json::Num(f64::from(*supported))),
+                ],
+            ),
+        }
+    }
+
+    /// Decodes an error written by [`RotaryError::to_json`]. Returns `None`
+    /// on any structural mismatch — callers translate that into a
+    /// [`RotaryError::SnapshotCorrupt`] of their own.
+    pub fn from_json(json: &Json) -> Option<RotaryError> {
+        let s = |key: &str| json.get(key).and_then(Json::as_str).map(str::to_string);
+        let u = |key: &str| json.get(key).and_then(Json::as_u64_str);
+        let n = |key: &str| json.get(key).and_then(Json::as_u64);
+        match json.get("kind")?.as_str()? {
+            "parse" => Some(RotaryError::Parse { input: s("input")?, message: s("message")? }),
+            "insufficient-data" => Some(RotaryError::InsufficientData {
+                estimator: intern_estimator(&s("estimator")?),
+                have: usize::try_from(n("have")?).ok()?,
+                need: usize::try_from(n("need")?).ok()?,
+            }),
+            "plan-bind" => Some(RotaryError::PlanBind { plan: s("plan")?, message: s("message")? }),
+            "unknown-job" => Some(RotaryError::UnknownJob(u("job")?)),
+            "resource-exhausted" => Some(RotaryError::ResourceExhausted {
+                requested_mb: u("requested_mb")?,
+                available_mb: u("available_mb")?,
+            }),
+            "invalid-config" => Some(RotaryError::InvalidConfig(s("message")?)),
+            "persistence" => Some(RotaryError::Persistence(s("message")?)),
+            "checkpoint-failed" => Some(RotaryError::CheckpointFailed {
+                job: u("job")?,
+                operation: match s("operation")?.as_str() {
+                    "write" => "write",
+                    "restore" => "restore",
+                    _ => return None,
+                },
+            }),
+            "epoch-failed" => Some(RotaryError::EpochFailed {
+                job: u("job")?,
+                epoch: u("epoch")?,
+                attempts: u32::try_from(n("attempts")?).ok()?,
+            }),
+            "retries-exhausted" => Some(RotaryError::RetriesExhausted {
+                job: u("job")?,
+                epoch: u("epoch")?,
+                attempts: u32::try_from(n("attempts")?).ok()?,
+            }),
+            "snapshot-corrupt" => Some(RotaryError::SnapshotCorrupt { detail: s("detail")? }),
+            "snapshot-version" => Some(RotaryError::SnapshotVersion {
+                found: u16::try_from(n("found")?).ok()?,
+                supported: u16::try_from(n("supported")?).ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Maps a decoded estimator name back onto the static names the estimators
+/// use; unknown names are leaked once to satisfy the `&'static str` field.
+fn intern_estimator(name: &str) -> &'static str {
+    const KNOWN: &[&str] = &["wlr", "log-shifted", "joint-curve", "tee", "tme"];
+    for k in KNOWN {
+        if *k == name {
+            return k;
+        }
+    }
+    Box::leak(name.to_string().into_boxed_str())
+}
 
 #[cfg(test)]
 mod tests {
@@ -151,5 +308,56 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(RotaryError::UnknownJob(3), RotaryError::UnknownJob(3));
         assert_ne!(RotaryError::UnknownJob(3), RotaryError::UnknownJob(4));
+    }
+
+    #[test]
+    fn snapshot_errors_display_their_context() {
+        let e = RotaryError::SnapshotCorrupt { detail: "record 2 CRC mismatch".into() };
+        assert!(e.to_string().contains("record 2 CRC mismatch"));
+
+        let e = RotaryError::SnapshotVersion { found: 9, supported: 1 };
+        let s = e.to_string();
+        assert!(s.contains("version 9") && s.contains("version 1"), "{s}");
+    }
+
+    #[test]
+    fn json_codec_round_trips_every_variant() {
+        let errors = [
+            RotaryError::Parse { input: "ACC".into(), message: "truncated".into() },
+            RotaryError::InsufficientData { estimator: "wlr", have: 1, need: 2 },
+            RotaryError::PlanBind { plan: "q6".into(), message: "unknown alias".into() },
+            RotaryError::UnknownJob(u64::MAX),
+            RotaryError::ResourceExhausted { requested_mb: 1 << 60, available_mb: 8192 },
+            RotaryError::InvalidConfig("bad bandwidth".into()),
+            RotaryError::Persistence("disk full".into()),
+            RotaryError::CheckpointFailed { job: 7, operation: "restore" },
+            RotaryError::EpochFailed { job: 2, epoch: 9, attempts: 1 },
+            RotaryError::RetriesExhausted { job: 3, epoch: 4, attempts: 3 },
+            RotaryError::SnapshotCorrupt { detail: "torn".into() },
+            RotaryError::SnapshotVersion { found: 2, supported: 1 },
+        ];
+        for e in errors {
+            let json = e.to_json();
+            let text = json.to_pretty();
+            let parsed = crate::json::parse(&text).unwrap();
+            assert_eq!(RotaryError::from_json(&parsed), Some(e.clone()), "{text}");
+        }
+    }
+
+    #[test]
+    fn json_codec_rejects_malformed_shapes() {
+        for bad in [
+            Json::Null,
+            Json::obj(vec![]),
+            Json::obj(vec![("kind", Json::Str("no-such-kind".into()))]),
+            Json::obj(vec![("kind", Json::Str("unknown-job".into()))]),
+            Json::obj(vec![
+                ("kind", Json::Str("checkpoint-failed".into())),
+                ("job", u64_json(1)),
+                ("operation", Json::Str("frobnicate".into())),
+            ]),
+        ] {
+            assert_eq!(RotaryError::from_json(&bad), None, "{}", bad.to_pretty());
+        }
     }
 }

@@ -113,6 +113,13 @@ impl EnvelopeDetector {
         self.window
     }
 
+    /// The observations currently in the window, oldest first. Captured by
+    /// durable snapshots; re-observing these into a fresh detector of the
+    /// same window reproduces the state exactly.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+
     /// Clears all observations (used when a checkpointed job resumes with a
     /// fresh sampling order).
     pub fn reset(&mut self) {

@@ -92,6 +92,23 @@ impl JointCurveEstimator {
         self.realtime.len()
     }
 
+    /// The basis the estimator fits in. Captured by durable snapshots.
+    pub fn basis(&self) -> CurveBasis {
+        self.basis
+    }
+
+    /// The historical points backing the estimator, post-filtering. Captured
+    /// by durable snapshots so a restored estimator fits identical curves.
+    pub fn historical_points(&self) -> &[(f64, f64)] {
+        &self.historical
+    }
+
+    /// The real-time observations recorded so far, in observation order.
+    /// Captured by durable snapshots.
+    pub fn realtime_points(&self) -> &[(f64, f64)] {
+        &self.realtime
+    }
+
     /// Number of historical points backing the estimator.
     pub fn historical_len(&self) -> usize {
         self.historical.len()

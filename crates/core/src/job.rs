@@ -3,8 +3,17 @@
 
 use crate::criteria::CompletionCriterion;
 use crate::error::RotaryError;
+use crate::json::{u64_json, Json};
 use crate::time::SimTime;
 use std::fmt;
+
+fn time_json(t: SimTime) -> Json {
+    u64_json(t.as_millis())
+}
+
+fn time_from_json(json: &Json) -> Option<SimTime> {
+    json.as_u64_str().map(SimTime::from_millis)
+}
 
 /// Unique identifier for a job within a workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -89,6 +98,80 @@ impl JobStatus {
     /// Statuses in which the job is eligible for resource arbitration.
     pub fn is_arbitrable(self) -> bool {
         matches!(self, JobStatus::Active | JobStatus::Checkpointed)
+    }
+}
+
+impl JobKind {
+    /// Stable serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Aqp => "aqp",
+            JobKind::Dlt => "dlt",
+        }
+    }
+
+    /// Inverse of [`JobKind::name`].
+    pub fn from_name(name: &str) -> Option<JobKind> {
+        match name {
+            "aqp" => Some(JobKind::Aqp),
+            "dlt" => Some(JobKind::Dlt),
+            _ => None,
+        }
+    }
+}
+
+impl JobStatus {
+    /// Stable serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Pending => "pending",
+            JobStatus::Active => "active",
+            JobStatus::Running => "running",
+            JobStatus::Checkpointed => "checkpointed",
+            JobStatus::Recovering => "recovering",
+            JobStatus::Attained => "attained",
+            JobStatus::FalselyAttained => "falsely-attained",
+            JobStatus::DeadlineMissed => "deadline-missed",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Inverse of [`JobStatus::name`].
+    pub fn from_name(name: &str) -> Option<JobStatus> {
+        match name {
+            "pending" => Some(JobStatus::Pending),
+            "active" => Some(JobStatus::Active),
+            "running" => Some(JobStatus::Running),
+            "checkpointed" => Some(JobStatus::Checkpointed),
+            "recovering" => Some(JobStatus::Recovering),
+            "attained" => Some(JobStatus::Attained),
+            "falsely-attained" => Some(JobStatus::FalselyAttained),
+            "deadline-missed" => Some(JobStatus::DeadlineMissed),
+            "failed" => Some(JobStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+impl IntermediateState {
+    /// Serialises one series element for durable snapshots.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("epoch", u64_json(self.epoch)),
+            ("at", time_json(self.at)),
+            ("metric_value", Json::Num(self.metric_value)),
+            ("progress", Json::Num(self.progress)),
+        ])
+    }
+
+    /// Decodes an element written by [`IntermediateState::to_json`].
+    pub fn from_json(json: &Json) -> Option<IntermediateState> {
+        Some(IntermediateState {
+            epoch: json.get("epoch")?.as_u64_str()?,
+            at: time_from_json(json.get("at")?)?,
+            metric_value: json.get("metric_value")?.as_f64()?,
+            progress: json.get("progress")?.as_f64()?,
+        })
     }
 }
 
@@ -205,6 +288,65 @@ impl JobState {
     /// cost with a full grant and no contention).
     pub fn add_isolated_service(&mut self, time: SimTime) {
         self.isolated_service = Some(self.isolated_service.unwrap_or(SimTime::ZERO) + time);
+    }
+
+    /// Serialises everything except the criterion, which lives in the
+    /// workload specification the restoring system already holds. Virtual
+    /// times go through decimal strings so they stay exact at full width.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", u64_json(self.id.0)),
+            ("kind", Json::Str(self.kind.name().to_string())),
+            ("arrival", time_json(self.arrival)),
+            ("status", Json::Str(self.status.name().to_string())),
+            ("epochs_run", u64_json(self.epochs_run)),
+            ("service_time", time_json(self.service_time)),
+            ("isolated_service", self.isolated_service.map_or(Json::Null, time_json)),
+            ("checkpoints", u64_json(self.checkpoints)),
+            ("epochs_lost", u64_json(self.epochs_lost)),
+            ("retries", u64_json(self.retries)),
+            ("failure", self.failure.as_ref().map_or(Json::Null, RotaryError::to_json)),
+            ("history", Json::Arr(self.history.iter().map(IntermediateState::to_json).collect())),
+            ("finished_at", self.finished_at.map_or(Json::Null, time_json)),
+        ])
+    }
+
+    /// Decodes a state written by [`JobState::to_json`], re-attaching the
+    /// criterion from the workload specification. Returns `None` on any
+    /// structural mismatch.
+    pub fn from_json(json: &Json, criterion: CompletionCriterion) -> Option<JobState> {
+        let opt_time = |key: &str| -> Option<Option<SimTime>> {
+            match json.get(key)? {
+                Json::Null => Some(None),
+                other => time_from_json(other).map(Some),
+            }
+        };
+        let failure = match json.get("failure")? {
+            Json::Null => None,
+            other => Some(RotaryError::from_json(other)?),
+        };
+        let history = json
+            .get("history")?
+            .as_arr()?
+            .iter()
+            .map(IntermediateState::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(JobState {
+            id: JobId(json.get("id")?.as_u64_str()?),
+            kind: JobKind::from_name(json.get("kind")?.as_str()?)?,
+            criterion,
+            arrival: time_from_json(json.get("arrival")?)?,
+            status: JobStatus::from_name(json.get("status")?.as_str()?)?,
+            epochs_run: json.get("epochs_run")?.as_u64_str()?,
+            service_time: time_from_json(json.get("service_time")?)?,
+            isolated_service: opt_time("isolated_service")?,
+            checkpoints: json.get("checkpoints")?.as_u64_str()?,
+            epochs_lost: json.get("epochs_lost")?.as_u64_str()?,
+            retries: json.get("retries")?.as_u64_str()?,
+            failure,
+            history,
+            finished_at: opt_time("finished_at")?,
+        })
     }
 
     /// Waiting time as the paper defines it (Fig. 7b): "the difference
@@ -337,5 +479,90 @@ mod tests {
     #[test]
     fn job_id_displays_like_paper_figures() {
         assert_eq!(JobId(4).to_string(), "job4");
+    }
+
+    #[test]
+    fn status_names_round_trip() {
+        for status in [
+            JobStatus::Pending,
+            JobStatus::Active,
+            JobStatus::Running,
+            JobStatus::Checkpointed,
+            JobStatus::Recovering,
+            JobStatus::Attained,
+            JobStatus::FalselyAttained,
+            JobStatus::DeadlineMissed,
+            JobStatus::Failed,
+        ] {
+            assert_eq!(JobStatus::from_name(status.name()), Some(status));
+        }
+        assert_eq!(JobStatus::from_name("unknown"), None);
+        assert_eq!(JobKind::from_name(JobKind::Aqp.name()), Some(JobKind::Aqp));
+        assert_eq!(JobKind::from_name(JobKind::Dlt.name()), Some(JobKind::Dlt));
+        assert_eq!(JobKind::from_name("mlp"), None);
+    }
+
+    #[test]
+    fn job_state_json_round_trips_exactly() {
+        let mut j = mk_job();
+        j.status = JobStatus::Recovering;
+        j.record_lost_epoch(RotaryError::EpochFailed { job: 1, epoch: 1, attempts: 1 });
+        j.retries += 1;
+        j.record_epoch(
+            IntermediateState {
+                epoch: 1,
+                at: SimTime::from_millis(65_123),
+                metric_value: 0.512345678901234,
+                progress: 0.1 + 0.2,
+            },
+            SimTime::from_millis(60_001),
+        );
+        j.record_lost_epoch(RotaryError::EpochFailed { job: 1, epoch: 2, attempts: 1 });
+        j.checkpoints = 3;
+        j.add_isolated_service(SimTime::from_millis(41_999));
+        let criterion = j.criterion.clone();
+
+        let text = j.to_json().to_pretty();
+        let parsed = crate::json::parse(&text).unwrap();
+        let restored = JobState::from_json(&parsed, criterion).unwrap();
+
+        assert_eq!(restored.id, j.id);
+        assert_eq!(restored.kind, j.kind);
+        assert_eq!(restored.arrival, j.arrival);
+        assert_eq!(restored.status, j.status);
+        assert_eq!(restored.epochs_run, j.epochs_run);
+        assert_eq!(restored.service_time, j.service_time);
+        assert_eq!(restored.isolated_service, j.isolated_service);
+        assert_eq!(restored.checkpoints, j.checkpoints);
+        assert_eq!(restored.epochs_lost, j.epochs_lost);
+        assert_eq!(restored.retries, j.retries);
+        assert_eq!(restored.failure, j.failure);
+        assert_eq!(restored.history, j.history);
+        assert_eq!(restored.finished_at, j.finished_at);
+        // A second serialization is byte-identical — the snapshot oracle.
+        assert_eq!(restored.to_json().to_pretty(), text);
+    }
+
+    #[test]
+    fn job_state_json_rejects_malformed_shapes() {
+        let criterion = mk_job().criterion;
+        assert!(JobState::from_json(&Json::Null, criterion.clone()).is_none());
+        let mut j = mk_job();
+        j.finish(JobStatus::Attained, SimTime::from_secs(9));
+        let good = j.to_json();
+        // Damaging any field kills the decode rather than panicking.
+        if let Json::Obj(pairs) = &good {
+            for i in 0..pairs.len() {
+                let mut damaged = pairs.clone();
+                damaged[i].1 = Json::Str("not-a-valid-value".into());
+                assert!(
+                    JobState::from_json(&Json::Obj(damaged), criterion.clone()).is_none(),
+                    "field {} should fail closed",
+                    pairs[i].0
+                );
+            }
+        } else {
+            unreachable!("to_json returns an object");
+        }
     }
 }

@@ -362,6 +362,26 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Encodes a `u64` as a decimal string. `Json::Num` holds an `f64`, which
+/// loses precision above 2⁵³ — exact-width values (simulation timestamps,
+/// RNG words, sequence counters) go through strings instead.
+pub fn u64_json(v: u64) -> Json {
+    Json::Str(v.to_string())
+}
+
+impl Json {
+    /// Decodes a `u64` written by [`u64_json`]: a string holding only a
+    /// decimal integer. Rejects signs, whitespace, and non-string values.
+    pub fn as_u64_str(&self) -> Option<u64> {
+        match self {
+            Json::Str(s) if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) => {
+                s.parse::<u64>().ok()
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Convenience: a string-keyed `f64` map as a JSON object (sorted keys).
 pub fn num_map_to_json(map: &BTreeMap<String, f64>) -> Json {
     Json::Obj(map.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect())
@@ -460,6 +480,20 @@ mod tests {
         let json = num_map_to_json(&map);
         assert_eq!(num_map_from_json(&json).unwrap(), map);
         assert!(num_map_from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn u64_strings_are_exact_at_full_width() {
+        for v in [0u64, 1, (1 << 53) + 1, u64::MAX] {
+            let json = u64_json(v);
+            let text = json.to_pretty();
+            assert_eq!(parse(&text).unwrap().as_u64_str(), Some(v), "{text}");
+        }
+        assert_eq!(Json::Str("".into()).as_u64_str(), None);
+        assert_eq!(Json::Str("-3".into()).as_u64_str(), None);
+        assert_eq!(Json::Str(" 7".into()).as_u64_str(), None);
+        assert_eq!(Json::Str("18446744073709551616".into()).as_u64_str(), None);
+        assert_eq!(Json::Num(7.0).as_u64_str(), None);
     }
 
     #[test]

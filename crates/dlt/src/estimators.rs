@@ -224,6 +224,12 @@ impl Ttr {
         self.records.iter().filter(|((j, _), _)| *j == job).map(|(_, &t)| t).min()
     }
 
+    /// All records in deterministic `(job, device)` order, for durable
+    /// snapshots.
+    pub fn entries(&self) -> impl Iterator<Item = (JobId, usize, SimTime)> + '_ {
+        self.records.iter().map(|(&(job, device), &t)| (job, device, t))
+    }
+
     /// Number of records held.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -180,6 +180,24 @@ impl TrainingSim {
         self.epoch
     }
 
+    /// The evaluation-noise RNG position, for durable snapshots.
+    pub fn rng_state(&self) -> ([u64; 4], u64) {
+        self.rng.snapshot_state()
+    }
+
+    /// Rebuilds a mid-run simulation from snapshotted parts: the epoch
+    /// counter, the last observed accuracy, and the RNG position captured
+    /// by [`TrainingSim::rng_state`].
+    pub fn from_parts(
+        config: TrainingConfig,
+        epoch: u64,
+        last_eval: f64,
+        state: [u64; 4],
+        root: u64,
+    ) -> TrainingSim {
+        TrainingSim { config, epoch, last_eval, rng: Rng::from_snapshot(state, root) }
+    }
+
     /// Most recent observed validation accuracy.
     pub fn accuracy(&self) -> f64 {
         self.last_eval

@@ -26,12 +26,15 @@ use rotary_faults::{EpochFault, FaultPlan};
 use rotary_sim::{
     CheckpointModel, EventQueue, GpuPool, PlacementSpan, WorkloadMetrics, WorkloadSummary,
 };
+use rotary_store::{DurableConfig, DurableOutcome, SnapshotStore};
 
 use crate::estimators::{
     build_tee, estimate_epochs_to_accuracy, job_record, Component, OverheadMeter, Tme, Ttr,
 };
 use crate::simulator::{TrainingSim, CUDA_WARMUP};
 use crate::workload::DltJobSpec;
+
+mod snapshot;
 
 /// The arbitration policy for a DLT run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -229,6 +232,21 @@ struct RunJob {
     ckpt_writes: u64,
 }
 
+/// Mutable state of one in-flight workload run: everything `step` needs
+/// between events, and exactly what a durable snapshot captures.
+struct DltRunState {
+    jobs: Vec<RunJob>,
+    events: EventQueue<Event>,
+    pool: GpuPool,
+    metrics: WorkloadMetrics,
+    meter: OverheadMeter,
+    ttr: Ttr,
+    rr_cursor: usize,
+    makespan: SimTime,
+    /// Epochs completed so far — the durable-snapshot cadence counter.
+    epochs_done: u64,
+}
+
 /// The Rotary-DLT system.
 pub struct DltSystem {
     config: DltSystemConfig,
@@ -358,11 +376,87 @@ impl DltSystem {
 
     /// Runs a workload under a policy.
     pub fn run(&mut self, specs: &[DltJobSpec], policy: DltPolicy) -> DltRunResult {
-        let mut meter = match self.config.overhead_probe {
-            Some(probe) => OverheadMeter::with_clock(probe),
-            None => OverheadMeter::default(),
-        };
-        let mut ttr = Ttr::new();
+        let mut st = self.start_run(specs, policy);
+        while self.step(&mut st, policy) {}
+        self.finish_run(st, specs, policy)
+    }
+
+    /// Like [`DltSystem::run`], but writes a durable snapshot to
+    /// `durable.dir` every `durable.every` completed epochs, so a crashed
+    /// process can pick the run back up with
+    /// [`DltSystem::resume_durable`]. With `halt_after` set the run stops
+    /// right after that snapshot generation commits (the crash-injection
+    /// hook used by the kill-and-resume tests).
+    pub fn run_durable(
+        &mut self,
+        specs: &[DltJobSpec],
+        policy: DltPolicy,
+        durable: &DurableConfig,
+    ) -> rotary_core::error::Result<DurableOutcome<DltRunResult>> {
+        durable.validate()?;
+        self.config.checkpoint.validate()?;
+        let store = SnapshotStore::open(&durable.dir)?;
+        let st = self.start_run(specs, policy);
+        self.drive(st, specs, policy, durable, &store, 0)
+    }
+
+    /// Resumes a run from the newest valid snapshot in `durable.dir`
+    /// (corrupt generations are skipped), continuing to completion exactly
+    /// as the uninterrupted run would have: the resumed trace is
+    /// byte-identical. Starts fresh when the store holds no usable
+    /// snapshot. Fails with `InvalidConfig` when the snapshot belongs to a
+    /// different workload, policy, or config.
+    pub fn resume_durable(
+        &mut self,
+        specs: &[DltJobSpec],
+        policy: DltPolicy,
+        durable: &DurableConfig,
+    ) -> rotary_core::error::Result<DurableOutcome<DltRunResult>> {
+        durable.validate()?;
+        self.config.checkpoint.validate()?;
+        let store = SnapshotStore::open(&durable.dir)?;
+        match store.latest_valid()? {
+            Some((generation, records)) => {
+                let st = snapshot::restore_run(self, specs, policy, &records)?;
+                self.drive(st, specs, policy, durable, &store, generation)
+            }
+            None => {
+                let st = self.start_run(specs, policy);
+                self.drive(st, specs, policy, durable, &store, 0)
+            }
+        }
+    }
+
+    /// The durable event loop: steps the run, committing one snapshot
+    /// generation per `durable.every` completed epochs.
+    fn drive(
+        &mut self,
+        mut st: DltRunState,
+        specs: &[DltJobSpec],
+        policy: DltPolicy,
+        durable: &DurableConfig,
+        store: &SnapshotStore,
+        mut generation: u64,
+    ) -> rotary_core::error::Result<DurableOutcome<DltRunResult>> {
+        loop {
+            if !self.step(&mut st, policy) {
+                return Ok(DurableOutcome::Completed(self.finish_run(st, specs, policy)));
+            }
+            if st.epochs_done >= (generation + 1).saturating_mul(durable.every) {
+                generation += 1;
+                let records = snapshot::snapshot_records(self, &st, specs, policy, generation)?;
+                let damage = self.config.faults.snapshot_fault(generation);
+                store.commit(generation, &records, damage.as_ref())?;
+                if durable.halt_after == Some(generation) {
+                    return Ok(DurableOutcome::Halted { generation });
+                }
+            }
+        }
+    }
+
+    /// Builds the per-job run state (estimators seeded from history, fresh
+    /// training simulations) and rejects jobs no device could ever host.
+    fn build_jobs(&mut self, specs: &[DltJobSpec], meter: &mut OverheadMeter) -> Vec<RunJob> {
         let mut jobs: Vec<RunJob> = specs
             .iter()
             .enumerate()
@@ -412,11 +506,20 @@ impl DltSystem {
             }
         }
 
+        jobs
+    }
+
+    /// Builds the fresh run state and performs the t = 0 arbitration.
+    fn start_run(&mut self, specs: &[DltJobSpec], policy: DltPolicy) -> DltRunState {
+        let mut meter = match self.config.overhead_probe {
+            Some(probe) => OverheadMeter::with_clock(probe),
+            None => OverheadMeter::default(),
+        };
+        let mut jobs = self.build_jobs(specs, &mut meter);
         let mut pool = GpuPool::new(self.config.pool.clone());
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut metrics = WorkloadMetrics::new();
         let mut rr_cursor = 0usize;
-        let mut makespan = SimTime::ZERO;
 
         // Initial arbitration at t = 0.
         self.arbitrate(
@@ -429,71 +532,96 @@ impl DltSystem {
             &mut meter,
             &mut rr_cursor,
         );
-
-        while let Some((now, event)) = events.pop() {
-            match event {
-                Event::EpochDone(i) => {
-                    self.complete_epoch(
-                        &mut jobs[i],
-                        now,
-                        &mut pool,
-                        &mut metrics,
-                        &mut meter,
-                        &mut ttr,
-                    );
-                    if jobs[i].core.status.is_terminal() {
-                        makespan = makespan.max(now);
-                    }
-                }
-                Event::EpochFailed(i) => {
-                    self.fail_epoch(i, &mut jobs[i], now, &mut pool, &mut metrics, &mut events);
-                    if jobs[i].core.status.is_terminal() {
-                        makespan = makespan.max(now);
-                    }
-                }
-                Event::RetryReady(i) => {
-                    if jobs[i].core.status == JobStatus::Recovering {
-                        // Backoff served: the job rejoins the arbitration
-                        // queue from its last durable checkpoint.
-                        jobs[i].core.status = JobStatus::Checkpointed;
-                    }
-                }
-                Event::Wake => {}
-            }
-            self.arbitrate(
-                &mut jobs,
-                now,
-                &mut pool,
-                &mut events,
-                &mut metrics,
-                policy,
-                &mut meter,
-                &mut rr_cursor,
-            );
-            metrics.record_snapshot(
-                now,
-                jobs.iter()
-                    .map(|j| {
-                        let p = if j.core.status == JobStatus::Attained {
-                            1.0
-                        } else {
-                            j.core.progress()
-                        };
-                        (j.core.id, p)
-                    })
-                    .collect(),
-            );
+        DltRunState {
+            jobs,
+            events,
+            pool,
+            metrics,
+            meter,
+            ttr: Ttr::new(),
+            rr_cursor,
+            makespan: SimTime::ZERO,
+            epochs_done: 0,
         }
+    }
 
-        let states: Vec<JobState> = jobs.iter().map(|j| j.core.clone()).collect();
-        let summary = WorkloadSummary::from_jobs(&states, makespan);
+    /// Processes one event; returns `false` when the queue has drained.
+    fn step(&mut self, st: &mut DltRunState, policy: DltPolicy) -> bool {
+        let Some((now, event)) = st.events.pop() else {
+            return false;
+        };
+        match event {
+            Event::EpochDone(i) => {
+                self.complete_epoch(
+                    &mut st.jobs[i],
+                    now,
+                    &mut st.pool,
+                    &mut st.metrics,
+                    &mut st.meter,
+                    &mut st.ttr,
+                );
+                st.epochs_done += 1;
+                if st.jobs[i].core.status.is_terminal() {
+                    st.makespan = st.makespan.max(now);
+                }
+            }
+            Event::EpochFailed(i) => {
+                self.fail_epoch(
+                    i,
+                    &mut st.jobs[i],
+                    now,
+                    &mut st.pool,
+                    &mut st.metrics,
+                    &mut st.events,
+                );
+                if st.jobs[i].core.status.is_terminal() {
+                    st.makespan = st.makespan.max(now);
+                }
+            }
+            Event::RetryReady(i) => {
+                if st.jobs[i].core.status == JobStatus::Recovering {
+                    // Backoff served: the job rejoins the arbitration
+                    // queue from its last durable checkpoint.
+                    st.jobs[i].core.status = JobStatus::Checkpointed;
+                }
+            }
+            Event::Wake => {}
+        }
+        self.arbitrate(
+            &mut st.jobs,
+            now,
+            &mut st.pool,
+            &mut st.events,
+            &mut st.metrics,
+            policy,
+            &mut st.meter,
+            &mut st.rr_cursor,
+        );
+        st.metrics.record_snapshot(
+            now,
+            st.jobs
+                .iter()
+                .map(|j| {
+                    let p =
+                        if j.core.status == JobStatus::Attained { 1.0 } else { j.core.progress() };
+                    (j.core.id, p)
+                })
+                .collect(),
+        );
+        true
+    }
+
+    /// Assembles the run result once the event queue has drained.
+    fn finish_run(&self, st: DltRunState, specs: &[DltJobSpec], policy: DltPolicy) -> DltRunResult {
+        let states: Vec<JobState> = st.jobs.iter().map(|j| j.core.clone()).collect();
+        let summary = WorkloadSummary::from_jobs(&states, st.makespan);
         DltRunResult {
             policy: policy.name(),
             jobs: specs.iter().cloned().zip(states).collect(),
             summary,
-            metrics,
-            makespan,
-            overheads: meter,
+            metrics: st.metrics,
+            makespan: st.makespan,
+            overheads: st.meter,
         }
     }
 
@@ -1035,6 +1163,55 @@ mod tests {
         // The rest of the workload is unaffected.
         assert!(r.jobs[1..].iter().all(|(_, s)| s.status.is_terminal()));
         assert_eq!(r.summary.unfinished, 0);
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rotary-dlt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_halt_and_resume_matches_plain_run() {
+        let specs = DltWorkloadBuilder::paper().jobs(6).seed(17).build();
+        let mut plain = DltSystem::new(quick());
+        let baseline = plain.run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)));
+        let expected = baseline.metrics.to_json().unwrap();
+
+        let dir = temp_store("halt-resume");
+        let mut cfg = DurableConfig::new(&dir, 3);
+        cfg.halt_after = Some(2);
+        let mut sys = DltSystem::new(quick());
+        let halted = sys.run_durable(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)), &cfg);
+        assert!(matches!(halted, Ok(DurableOutcome::Halted { generation: 2 })));
+
+        cfg.halt_after = None;
+        let mut resumed_sys = DltSystem::new(quick());
+        let resumed = resumed_sys
+            .resume_durable(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)), &cfg)
+            .unwrap()
+            .completed()
+            .expect("resume must run to completion");
+        assert_eq!(resumed.metrics.to_json().unwrap(), expected);
+        assert_eq!(resumed.makespan, baseline.makespan);
+        assert_eq!(resumed.summary, baseline.summary);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_policy() {
+        let specs = DltWorkloadBuilder::paper().jobs(4).seed(3).build();
+        let dir = temp_store("mismatch");
+        let mut cfg = DurableConfig::new(&dir, 1);
+        cfg.halt_after = Some(1);
+        let mut sys = DltSystem::new(quick());
+        sys.run_durable(&specs, DltPolicy::Srf, &cfg).unwrap();
+
+        cfg.halt_after = None;
+        let mut resumed_sys = DltSystem::new(quick());
+        let err = resumed_sys.resume_durable(&specs, DltPolicy::Bcf, &cfg);
+        assert!(matches!(err, Err(RotaryError::InvalidConfig(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -190,6 +190,35 @@ impl<'a> OnlineAggregation<'a> {
         &self.executor
     }
 
+    /// Rows delivered by the batch source so far. Captured by durable
+    /// snapshots: the executor's aggregation state is a pure function of the
+    /// delivered row sequence, so this one number (plus the seed) is enough
+    /// to rebuild it.
+    pub fn rows_delivered(&self) -> usize {
+        self.source.delivered()
+    }
+
+    /// Total rows in the fact table — the upper bound a snapshot's delivered
+    /// count must respect before [`OnlineAggregation::replay_delivered`].
+    pub fn total_rows(&self) -> usize {
+        self.source.total_rows()
+    }
+
+    /// Replays the first `rows` of the batch permutation through the
+    /// executor — durable snapshot restore for a freshly bound query. Runs
+    /// sequentially: restore happens before the parallel data plane spins
+    /// up, and the replay fold is bit-identical at every pool size anyway.
+    ///
+    /// # Panics
+    /// Panics if rows were already processed (restore targets a fresh
+    /// binding) or if `rows` exceeds the table size (corrupt count — the
+    /// caller validates snapshot integrity first).
+    pub fn replay_delivered(&mut self, rows: usize) {
+        assert_eq!(self.source.delivered(), 0, "replay requires a fresh binding");
+        let replay: Vec<u32> = self.source.replay_prefix(rows).to_vec();
+        self.executor.process_rows(&replay);
+    }
+
     /// 95% confidence intervals for the mean of each aggregate column's
     /// input stream (paper §III-B's optional error bounds). Meaningful for
     /// AVG columns; `None` per column until two rows have arrived.
@@ -339,6 +368,28 @@ mod tests {
         assert!(oa.process_epoch(1000).is_some());
         assert!(oa.is_exhausted());
         assert!(oa.process_epoch(1).is_none());
+    }
+
+    #[test]
+    fn replay_delivered_rebuilds_identical_state() {
+        let (data, mut cache) = setup();
+        let plan = query(QueryId(6));
+        let truth = compute_ground_truth(&plan, &data, &mut cache).unwrap();
+        let mut oa =
+            OnlineAggregation::new(&plan, &data, &mut cache, truth.clone(), 7, 500).unwrap();
+        oa.process_epoch(2).unwrap();
+        oa.process_epoch(3).unwrap();
+        let delivered = oa.rows_delivered();
+
+        let mut resumed = OnlineAggregation::new(&plan, &data, &mut cache, truth, 7, 500).unwrap();
+        resumed.replay_delivered(delivered);
+        assert_eq!(resumed.rows_delivered(), delivered);
+        assert_eq!(resumed.current_accuracy().to_bits(), oa.current_accuracy().to_bits());
+        assert_eq!(resumed.executor().state().combined_all(), oa.executor().state().combined_all());
+        // And the next epoch is identical too.
+        let a = oa.process_epoch(1).unwrap();
+        let b = resumed.process_epoch(1).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

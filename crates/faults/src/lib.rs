@@ -101,6 +101,11 @@ pub struct FaultConfig {
     pub checkpoint_fail_prob: f64,
     /// Probability a checkpoint restore fails (and is retried once).
     pub restore_fail_prob: f64,
+    /// Probability a durable snapshot commit is torn mid-write (the file is
+    /// truncated at a seed-chosen offset before it lands on disk).
+    pub snap_torn_prob: f64,
+    /// Probability a durable snapshot suffers a single bit flip at rest.
+    pub snap_bitflip_prob: f64,
     /// Probability a given time slot carries a memory-pressure spike.
     pub mem_spike_prob: f64,
     /// Size of a spike, in MB withheld from the arbiter.
@@ -121,6 +126,8 @@ impl FaultConfig {
             straggler_slowdown: (1.0, 1.0),
             checkpoint_fail_prob: 0.0,
             restore_fail_prob: 0.0,
+            snap_torn_prob: 0.0,
+            snap_bitflip_prob: 0.0,
             mem_spike_prob: 0.0,
             mem_spike_mb: 0,
             mem_spike_slot: SimTime::from_mins(10),
@@ -138,6 +145,8 @@ impl FaultConfig {
             straggler_slowdown: (1.5, 4.0),
             checkpoint_fail_prob: 0.05,
             restore_fail_prob: 0.05,
+            snap_torn_prob: 0.05,
+            snap_bitflip_prob: 0.05,
             mem_spike_prob: 0.10,
             mem_spike_mb: 4096,
             mem_spike_slot: SimTime::from_mins(10),
@@ -277,6 +286,29 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// The damage (if any) inflicted on the durable snapshot committed as
+    /// generation `generation`: a torn write wins over a bit flip when both
+    /// fire. A pure function of `(seed, generation)` — resuming a run replays
+    /// exactly the same damage schedule. Snapshot corruption is deliberately
+    /// *not* part of [`FaultPlan::is_inert`]: the systems only consult this
+    /// when durable snapshotting is enabled.
+    pub fn snapshot_fault(&self, generation: u64) -> Option<rotary_store::Corruption> {
+        let c = &self.config;
+        if c.snap_torn_prob == 0.0 && c.snap_bitflip_prob == 0.0 {
+            return None;
+        }
+        let mut rng = self.stream(&format!("snap/{generation}"));
+        if c.snap_torn_prob > 0.0 && rng.gen_bool(c.snap_torn_prob) {
+            return Some(rotary_store::Corruption::Torn { keep_fraction: rng.gen_range(0.0..1.0) });
+        }
+        if c.snap_bitflip_prob > 0.0 && rng.gen_bool(c.snap_bitflip_prob) {
+            let offset_fraction = rng.gen_range(0.0..1.0);
+            let bit = (rng.gen_range(0.0..8.0) as u32).min(7) as u8;
+            return Some(rotary_store::Corruption::BitFlip { offset_fraction, bit });
+        }
+        None
+    }
+
     /// Transient memory pressure at virtual time `at`, in MB withheld from
     /// the arbiter. A pure function of the time slot containing `at`.
     pub fn memory_pressure_mb(&self, at: SimTime) -> u64 {
@@ -402,6 +434,31 @@ mod tests {
             .filter(|&i| plan.memory_pressure_mb(SimTime::from_millis(i * slot.as_millis())) > 0)
             .count();
         assert!(spikes > 0 && spikes < 200, "spikes {spikes}");
+    }
+
+    #[test]
+    fn snapshot_faults_are_pure_and_sometimes_fire() {
+        let plan = FaultPlan::chaos(23);
+        let first: Vec<_> = (0..400u64).map(|g| plan.snapshot_fault(g)).collect();
+        let again: Vec<_> = (0..400u64).map(|g| plan.snapshot_fault(g)).collect();
+        assert_eq!(first, again, "snapshot damage must be a pure function of (seed, generation)");
+        let hits = first.iter().flatten().count();
+        // ~5% torn + ~5% flip over 400 generations: loose bounds.
+        assert!((10..=90).contains(&hits), "snapshot faults fired {hits} times");
+        for fault in first.iter().flatten() {
+            match fault {
+                rotary_store::Corruption::Torn { keep_fraction } => {
+                    assert!((0.0..1.0).contains(keep_fraction));
+                }
+                rotary_store::Corruption::BitFlip { offset_fraction, bit } => {
+                    assert!((0.0..1.0).contains(offset_fraction));
+                    assert!(*bit < 8);
+                }
+            }
+        }
+        // The inert plan never damages a snapshot.
+        let none = FaultPlan::none();
+        assert!((0..400u64).all(|g| none.snapshot_fault(g).is_none()));
     }
 
     #[test]

@@ -67,6 +67,7 @@ const D001_SCOPES: &[&str] = &[
     "crates/aqp/src/",
     "crates/dlt/src/",
     "crates/faults/src/",
+    "crates/store/src/",
 ];
 
 /// Identifiers whose presence means the line reads the wall clock.

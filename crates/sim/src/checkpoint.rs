@@ -9,6 +9,7 @@
 //! The model is a classic disk transfer cost: `latency + size / bandwidth`,
 //! applied symmetrically to checkpoint (write) and restore (read).
 
+use rotary_core::error::{Result, RotaryError};
 use rotary_core::SimTime;
 
 /// Virtual-time cost model for persisting and restoring job state.
@@ -29,6 +30,22 @@ impl CheckpointModel {
     /// A free model (for experiments isolating arbitration from I/O cost).
     pub fn free() -> Self {
         CheckpointModel { latency: SimTime::ZERO, bandwidth_mb_per_s: f64::INFINITY }
+    }
+
+    /// Rejects a model whose bandwidth cannot price a transfer: zero,
+    /// negative, or NaN bandwidth would otherwise silently collapse every
+    /// cost to [`SimTime::ZERO`] through the non-finite clamp in
+    /// [`SimTime::from_secs_f64`]. `f64::INFINITY` stays valid — it is the
+    /// [`CheckpointModel::free`] fast path.
+    pub fn validate(&self) -> Result<()> {
+        if self.bandwidth_mb_per_s > 0.0 {
+            Ok(())
+        } else {
+            Err(RotaryError::InvalidConfig(format!(
+                "checkpoint bandwidth must be positive, got {} MB/s",
+                self.bandwidth_mb_per_s
+            )))
+        }
     }
 
     /// Cost to write `state_mb` of job state to disk.
@@ -144,6 +161,18 @@ impl MaterializationManager {
     pub fn forget(&mut self, job_id: u64) {
         self.resident.remove(&job_id);
     }
+
+    /// Resident paused jobs as `(job_id, state_mb)` in id order — for
+    /// durable snapshots.
+    pub fn resident(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.resident.iter().map(|(&job, &mb)| (job, mb))
+    }
+
+    /// Re-registers a resident entry verbatim during snapshot restore,
+    /// bypassing the budget check (the entry passed it when first paused).
+    pub fn restore_resident(&mut self, job_id: u64, state_mb: u64) {
+        self.resident.insert(job_id, state_mb);
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +199,52 @@ mod tests {
         let m = CheckpointModel::free();
         assert_eq!(m.checkpoint_cost(10_000), SimTime::ZERO);
         assert_eq!(m.restore_cost(10_000), SimTime::ZERO);
+    }
+
+    #[test]
+    fn validate_rejects_non_positive_bandwidth() {
+        for bad in [0.0, -500.0, f64::NAN, f64::NEG_INFINITY] {
+            let m = CheckpointModel { latency: SimTime::from_millis(2), bandwidth_mb_per_s: bad };
+            match m.validate() {
+                Err(RotaryError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("bandwidth"), "{msg}");
+                }
+                other => unreachable!("bandwidth {bad} must be rejected, got {other:?}"),
+            }
+        }
+        assert_eq!(CheckpointModel::ssd().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_accepts_the_infinite_fast_path() {
+        // INFINITY is the `free()` model: valid, and priced as pure latency.
+        let m =
+            CheckpointModel { latency: SimTime::from_millis(3), bandwidth_mb_per_s: f64::INFINITY };
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.checkpoint_cost(1_000_000), SimTime::from_millis(3));
+        assert_eq!(m.restore_cost(1_000_000), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn resident_round_trips_through_restore() {
+        let mut mgr = MaterializationManager::new(
+            MaterializationPolicy::MemoryFirst { budget_mb: 1000 },
+            CheckpointModel::ssd(),
+        );
+        mgr.pause(1, 400);
+        mgr.pause(2, 500);
+        let entries: Vec<(u64, u64)> = mgr.resident().collect();
+        assert_eq!(entries, vec![(1, 400), (2, 500)]);
+
+        let mut restored = MaterializationManager::new(
+            MaterializationPolicy::MemoryFirst { budget_mb: 1000 },
+            CheckpointModel::ssd(),
+        );
+        for (job, mb) in entries {
+            restored.restore_resident(job, mb);
+        }
+        assert_eq!(restored.resident_mb(), mgr.resident_mb());
+        assert_eq!(restored.resume(1, 400), SimTime::ZERO);
     }
 
     #[test]

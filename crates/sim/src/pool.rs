@@ -95,9 +95,10 @@ impl CpuPool {
         Ok(())
     }
 
-    /// Jobs currently holding grants, in id order.
-    pub fn holders(&self) -> impl Iterator<Item = JobId> + '_ {
-        self.grants.keys().copied()
+    /// Jobs currently holding grants, in id order. Each item is
+    /// `(job, threads, memory_mb)` — the full grant, for durable snapshots.
+    pub fn grants(&self) -> impl Iterator<Item = (JobId, u32, u64)> + '_ {
+        self.grants.iter().map(|(job, (threads, memory))| (*job, *threads, *memory))
     }
 }
 
@@ -165,6 +166,11 @@ impl GpuPool {
     /// The device a job occupies, if any.
     pub fn device_of(&self, job: JobId) -> Option<usize> {
         self.occupants.iter().position(|o| *o == Some(job))
+    }
+
+    /// Per-device occupancy, indexed by device — for durable snapshots.
+    pub fn occupants(&self) -> &[Option<JobId>] {
+        &self.occupants
     }
 
     /// Number of devices in the pool.

@@ -1,0 +1,154 @@
+//! Corrupted-fixture tests: checked-in damaged snapshot files must be
+//! rejected with the typed error — never a panic — and the generation
+//! fallback must step over them.
+//!
+//! The fixtures live in `tests/fixtures/` and are regenerated (only when
+//! the format changes) with:
+//!
+//! ```text
+//! ROTARY_STORE_WRITE_FIXTURES=1 cargo test -p rotary-store --test fixtures
+//! ```
+
+use rotary_core::error::RotaryError;
+use rotary_store::{decode, encode, Corruption, SnapshotStore, FORMAT_VERSION};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+/// The records every fixture derives from — fixed so the files are stable.
+fn fixture_records() -> Vec<(String, Vec<u8>)> {
+    vec![
+        ("meta".to_string(), br#"{"policy": "rotary", "generation": 4}"#.to_vec()),
+        ("jobs".to_string(), (0u16..64).flat_map(|v| v.to_le_bytes()).collect()),
+        ("events".to_string(), b"epoch-done:3 retry-ready:5".to_vec()),
+    ]
+}
+
+fn fixture_bytes(name: &str) -> Vec<u8> {
+    let valid = encode(&fixture_records()).expect("fixture records encode");
+    match name {
+        "valid" => valid,
+        "torn" => {
+            let mut bytes = valid;
+            Corruption::Torn { keep_fraction: 0.5 }.apply(&mut bytes);
+            bytes
+        }
+        "bitflip" => {
+            let mut bytes = valid;
+            Corruption::BitFlip { offset_fraction: 0.6, bit: 3 }.apply(&mut bytes);
+            bytes
+        }
+        "truncated" => valid[..7].to_vec(),
+        "badversion" => {
+            let mut bytes = valid;
+            // The version field sits at bytes 4..6 (after the magic).
+            bytes[4] = 99;
+            bytes[5] = 0;
+            bytes
+        }
+        other => unreachable!("unknown fixture '{other}'"),
+    }
+}
+
+const FIXTURES: &[&str] = &["valid", "torn", "bitflip", "truncated", "badversion"];
+
+/// Regenerates the checked-in fixtures. Gated behind an env var so normal
+/// test runs only ever *read* the repository.
+#[test]
+fn write_fixtures_when_asked() {
+    if std::env::var("ROTARY_STORE_WRITE_FIXTURES").is_err() {
+        return;
+    }
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    for name in FIXTURES {
+        let path = dir.join(format!("{name}.rsnp"));
+        std::fs::write(&path, fixture_bytes(name)).expect("write fixture");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn read_fixture(name: &str) -> Vec<u8> {
+    let path = fixture_dir().join(format!("{name}.rsnp"));
+    std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", path.display()))
+}
+
+#[test]
+fn fixtures_match_their_generators() {
+    // The checked-in bytes are exactly what the current format produces —
+    // guards against the fixtures silently going stale after a format change.
+    for name in FIXTURES {
+        assert_eq!(read_fixture(name), fixture_bytes(name), "fixture '{name}' is stale");
+    }
+}
+
+#[test]
+fn valid_fixture_decodes() {
+    assert_eq!(decode(&read_fixture("valid")).expect("valid fixture"), fixture_records());
+}
+
+#[test]
+fn torn_fixture_is_typed_corruption() {
+    match decode(&read_fixture("torn")) {
+        Err(RotaryError::SnapshotCorrupt { detail }) => {
+            assert!(detail.contains("truncated"), "{detail}");
+        }
+        other => unreachable!("torn fixture gave {other:?}"),
+    }
+}
+
+#[test]
+fn bitflip_fixture_is_typed_corruption() {
+    match decode(&read_fixture("bitflip")) {
+        Err(RotaryError::SnapshotCorrupt { detail }) => {
+            assert!(detail.contains("CRC mismatch"), "{detail}");
+        }
+        other => unreachable!("bitflip fixture gave {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_fixture_is_typed_corruption() {
+    match decode(&read_fixture("truncated")) {
+        Err(RotaryError::SnapshotCorrupt { detail }) => {
+            assert!(detail.contains("truncated"), "{detail}");
+        }
+        other => unreachable!("truncated fixture gave {other:?}"),
+    }
+}
+
+#[test]
+fn badversion_fixture_is_typed_version_error() {
+    match decode(&read_fixture("badversion")) {
+        Err(RotaryError::SnapshotVersion { found, supported }) => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => unreachable!("badversion fixture gave {other:?}"),
+    }
+}
+
+#[test]
+fn fallback_steps_over_the_damaged_fixtures() {
+    // A store whose newest generations are the damaged fixtures must fall
+    // back to the valid one.
+    let dir =
+        std::env::temp_dir().join(format!("rotary-store-fixture-fallback-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let copy = |gen: u64, name: &str| {
+        std::fs::write(dir.join(format!("snap-{gen}.rsnp")), read_fixture(name)).expect("copy");
+    };
+    copy(1, "valid");
+    copy(2, "torn");
+    copy(3, "bitflip");
+    copy(4, "truncated");
+    copy(5, "badversion");
+    let store = SnapshotStore::open(&dir).expect("open");
+    let (generation, records) = store.latest_valid().expect("scan").expect("one valid");
+    assert_eq!(generation, 1, "fallback lands on the newest valid generation");
+    assert_eq!(records, fixture_records());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -90,6 +90,20 @@ impl BatchSource {
     pub fn reset(&mut self) {
         self.cursor = 0;
     }
+
+    /// The first `rows` delivered row indices in delivery order, advancing
+    /// the cursor past them — used by durable snapshot restore to replay a
+    /// resumed job's delivered prefix through a fresh executor.
+    ///
+    /// # Panics
+    /// Panics if `rows` exceeds the table size; snapshots record a delivered
+    /// count that came from this very source, so a larger value is corrupt
+    /// input the caller must reject first.
+    pub fn replay_prefix(&mut self, rows: usize) -> &[u32] {
+        assert!(rows <= self.permutation.len(), "replay prefix exceeds table size");
+        self.cursor = rows;
+        &self.permutation[..rows]
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +175,19 @@ mod tests {
         src.reset();
         assert_eq!(src.fraction_delivered(), 0.0);
         assert_eq!(src.next_batch().unwrap(), first.as_slice());
+    }
+
+    #[test]
+    fn replay_prefix_matches_delivery_order() {
+        let mut src = BatchSource::new(4, 50, 10);
+        let mut delivered: Vec<u32> = Vec::new();
+        delivered.extend_from_slice(src.next_batch().unwrap());
+        delivered.extend_from_slice(src.next_batch().unwrap());
+        let mut resumed = BatchSource::new(4, 50, 10);
+        assert_eq!(resumed.replay_prefix(20), delivered.as_slice());
+        assert_eq!(resumed.delivered(), 20);
+        // Both sources continue identically after the replay.
+        assert_eq!(resumed.next_batch().unwrap(), src.next_batch().unwrap());
     }
 
     #[test]

@@ -10,7 +10,14 @@
 //! Statements use the paper's Fig. 3 criterion grammar; the AQP command
 //! prefix names a TPC-H query (`TPCH Q5`, `Q5`, or `q5`), the DLT prefix is
 //! the full `TRAIN …` grammar of `rotary_dlt::parse`.
+//!
+//! Durable runs: add `--snapshot-dir <dir>` to write a checksummed snapshot
+//! every `--snapshot-every <n>` completed epochs (default 4); re-run the
+//! same command with `--resume` to pick the run back up from the newest
+//! valid snapshot — the finished trace is identical to an uninterrupted
+//! run.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rotary::aqp::{AqpJobSpec, AqpPolicy, AqpSystem, AqpSystemConfig};
@@ -18,19 +25,27 @@ use rotary::core::parser::parse_statement;
 use rotary::core::progress::Objective;
 use rotary::dlt::{parse_train_statement, DltPolicy, DltSystem, DltSystemConfig};
 use rotary::engine::QueryId;
+use rotary::store::DurableConfig;
 use rotary::tpch::Generator;
 
 struct Options {
     statement: String,
     scale_factor: f64,
     seed: u64,
+    snapshot_dir: Option<PathBuf>,
+    snapshot_every: u64,
+    resume: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rotary-cli aqp \"<TPCH Qn> <criterion>\" [--sf 0.005] [--seed 7]\n  \
          rotary-cli dlt \"TRAIN <model> … <criterion>\" [--seed 7]\n  \
-         rotary-cli demo [--seed 7]\n\ncriteria (paper Fig. 3):\n  \
+         rotary-cli demo [--seed 7]\n\ndurability (aqp/dlt):\n  \
+         --snapshot-dir <dir>   write checksummed snapshots while running\n  \
+         --snapshot-every <n>   snapshot cadence in completed epochs (default 4)\n  \
+         --resume               continue from the newest valid snapshot\n\n\
+         criteria (paper Fig. 3):\n  \
          ACC MIN 95% WITHIN 3600 SECONDS | ACC DELTA 0.001 WITHIN 30 EPOCHS | FOR 2 HOURS"
     );
     ExitCode::FAILURE
@@ -40,9 +55,29 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut statement = None;
     let mut scale_factor = 0.005;
     let mut seed = 7u64;
+    let mut snapshot_dir = None;
+    let mut snapshot_every = 4u64;
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--snapshot-dir" => {
+                snapshot_dir =
+                    Some(PathBuf::from(args.get(i + 1).ok_or("--snapshot-dir needs a path")?));
+                i += 2;
+            }
+            "--snapshot-every" => {
+                snapshot_every = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v| *v > 0)
+                    .ok_or("--snapshot-every needs a positive integer")?;
+                i += 2;
+            }
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
             "--sf" => {
                 scale_factor = args
                     .get(i + 1)
@@ -65,7 +100,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok(Options { statement: statement.unwrap_or_default(), scale_factor, seed })
+    if resume && snapshot_dir.is_none() {
+        return Err("--resume needs --snapshot-dir to know where the snapshots live".into());
+    }
+    Ok(Options {
+        statement: statement.unwrap_or_default(),
+        scale_factor,
+        seed,
+        snapshot_dir,
+        snapshot_every,
+        resume,
+    })
 }
 
 /// `TPCH Q5` / `Q5` / `q17` → QueryId.
@@ -99,7 +144,21 @@ fn run_aqp(opts: &Options) -> Result<(), String> {
         AqpSystem::new(&data, AqpSystemConfig { seed: opts.seed, ..Default::default() });
     system.prepopulate_history(opts.seed ^ 0xf00d);
     let spec = AqpJobSpec::new(query, *threshold, deadline, rotary::core::SimTime::ZERO);
-    let result = system.run(&[spec], AqpPolicy::Rotary);
+    let result = match &opts.snapshot_dir {
+        Some(dir) => {
+            let durable = DurableConfig::new(dir, opts.snapshot_every);
+            let outcome = if opts.resume {
+                system.resume_durable(&[spec], AqpPolicy::Rotary, &durable)
+            } else {
+                system.run_durable(&[spec], AqpPolicy::Rotary, &durable)
+            };
+            outcome
+                .map_err(|e| e.to_string())?
+                .completed()
+                .ok_or("the durable run halted before completion")?
+        }
+        None => system.run(&[spec], AqpPolicy::Rotary),
+    };
     let (_, state) = &result.jobs[0];
     println!("query     : {query} ({})", query.class());
     println!("criterion : {criterion}");
@@ -115,8 +174,22 @@ fn run_aqp(opts: &Options) -> Result<(), String> {
 fn run_dlt(opts: &Options) -> Result<(), String> {
     let spec = parse_train_statement(&opts.statement).map_err(|e| e.to_string())?;
     let mut system = DltSystem::new(DltSystemConfig { seed: opts.seed, ..Default::default() });
-    let result =
-        system.run(std::slice::from_ref(&spec), DltPolicy::Rotary(Objective::Threshold(0.5)));
+    let policy = DltPolicy::Rotary(Objective::Threshold(0.5));
+    let result = match &opts.snapshot_dir {
+        Some(dir) => {
+            let durable = DurableConfig::new(dir, opts.snapshot_every);
+            let outcome = if opts.resume {
+                system.resume_durable(std::slice::from_ref(&spec), policy, &durable)
+            } else {
+                system.run_durable(std::slice::from_ref(&spec), policy, &durable)
+            };
+            outcome
+                .map_err(|e| e.to_string())?
+                .completed()
+                .ok_or("the durable run halted before completion")?
+        }
+        None => system.run(std::slice::from_ref(&spec), policy),
+    };
     let (submitted, state) = &result.jobs[0];
     println!(
         "job       : {} batch {} {} lr {}{}",

@@ -22,6 +22,9 @@
 //! * [`faults`] — deterministic seed-driven fault injection (crashes,
 //!   stragglers, checkpoint failures, memory-pressure spikes) and the
 //!   retry/backoff recovery policy (`ROTARY_FAULT_SEED`).
+//! * [`store`] — the durable snapshot store behind crash-restart recovery:
+//!   checksummed generation files, atomic commits, and the
+//!   `run_durable`/`resume_durable` entry points on both systems.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
@@ -36,4 +39,5 @@ pub use rotary_engine as engine;
 pub use rotary_faults as faults;
 pub use rotary_par as par;
 pub use rotary_sim as sim;
+pub use rotary_store as store;
 pub use rotary_tpch as tpch;

@@ -11,8 +11,10 @@ use rotary::core::SimTime;
 use rotary::dlt::{DltPolicy, DltSystem, DltSystemConfig, DltWorkloadBuilder};
 use rotary::faults::{FaultConfig, FaultPlan, RetryPolicy};
 use rotary::sim::metrics::WorkloadSummary;
+use rotary::store::{DurableConfig, DurableOutcome, SnapshotStore};
 use rotary::tpch::{Generator, TpchData};
 use rotary_check::{check, Source};
+use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
 fn data() -> &'static TpchData {
@@ -33,6 +35,8 @@ fn random_config(src: &mut Source) -> FaultConfig {
         straggler_slowdown: (slowdown_lo, slowdown_lo + src.f64_in(0.0, 2.5)),
         checkpoint_fail_prob: src.f64_in(0.0, 0.5),
         restore_fail_prob: src.f64_in(0.0, 0.5),
+        snap_torn_prob: src.f64_in(0.0, 0.3),
+        snap_bitflip_prob: src.f64_in(0.0, 0.3),
         mem_spike_prob: src.f64_in(0.0, 0.5),
         mem_spike_mb: src.u64_in(0, 6144),
         mem_spike_slot: SimTime::from_secs(src.u64_in(30, 1800)),
@@ -190,6 +194,171 @@ fn inert_plans_change_nothing_regardless_of_seed() {
         aqp_run(FaultPlan::new(FaultConfig { seed: 0xDEAD_BEEF, ..FaultConfig::none() }));
     assert_eq!(aqp_default, aqp_seeded);
     assert!(!aqp_default.1.contains("recovery"));
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rotary-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn aqp_durable_system(threads: usize, faults: FaultPlan) -> AqpSystem<'static> {
+    AqpSystem::new(data(), AqpSystemConfig { seed: 33, threads, faults, ..Default::default() })
+}
+
+fn dlt_durable_system(threads: usize, faults: FaultPlan) -> DltSystem {
+    DltSystem::new(DltSystemConfig { seed: 33, threads, faults, ..Default::default() })
+}
+
+/// Drives an AQP workload to completion while killing the "process" at
+/// every snapshot generation: halt right after generation 1, build a
+/// brand-new system, resume and halt after generation 2, and so on until
+/// the run completes. Nothing survives in memory between steps, so every
+/// byte of run state must round-trip through the store. Returns the final
+/// trace and the number of kill/restore cycles performed.
+fn aqp_kill_chain(threads: usize, faults: impl Fn() -> FaultPlan, dir: &Path) -> (String, u64) {
+    let specs = WorkloadBuilder::paper().jobs(2).seed(33).build();
+    let mut halt = 1u64;
+    loop {
+        let mut durable = DurableConfig::new(dir, 1);
+        durable.halt_after = Some(halt);
+        let mut sys = aqp_durable_system(threads, faults());
+        let outcome = if halt == 1 {
+            sys.run_durable(&specs, AqpPolicy::Rotary, &durable)
+        } else {
+            sys.resume_durable(&specs, AqpPolicy::Rotary, &durable)
+        };
+        match outcome.unwrap() {
+            DurableOutcome::Completed(r) => {
+                return (r.metrics.to_json().unwrap(), halt - 1);
+            }
+            DurableOutcome::Halted { .. } => halt += 1,
+        }
+    }
+}
+
+/// DLT counterpart of [`aqp_kill_chain`].
+fn dlt_kill_chain(threads: usize, faults: impl Fn() -> FaultPlan, dir: &Path) -> (String, u64) {
+    let specs = DltWorkloadBuilder::paper().jobs(4).seed(33).build();
+    let policy = DltPolicy::Rotary(Objective::Threshold(0.5));
+    let mut halt = 1u64;
+    loop {
+        let mut durable = DurableConfig::new(dir, 1);
+        durable.halt_after = Some(halt);
+        let mut sys = dlt_durable_system(threads, faults());
+        let outcome = if halt == 1 {
+            sys.run_durable(&specs, policy, &durable)
+        } else {
+            sys.resume_durable(&specs, policy, &durable)
+        };
+        match outcome.unwrap() {
+            DurableOutcome::Completed(r) => {
+                return (r.metrics.to_json().unwrap(), halt - 1);
+            }
+            DurableOutcome::Halted { .. } => halt += 1,
+        }
+    }
+}
+
+#[test]
+fn aqp_kill_and_resume_at_every_generation_is_byte_identical() {
+    // A run that is killed and restored from disk after *every* snapshot
+    // generation must produce the same trace — span for span — as an
+    // uninterrupted run, at every supported thread count.
+    for threads in [1usize, 2, 4, 8] {
+        let specs = WorkloadBuilder::paper().jobs(2).seed(33).build();
+        let expected = aqp_durable_system(threads, FaultPlan::none())
+            .run(&specs, AqpPolicy::Rotary)
+            .metrics
+            .to_json()
+            .unwrap();
+        let dir = temp_store(&format!("aqp-kill-{threads}"));
+        let (resumed, kills) = aqp_kill_chain(threads, FaultPlan::none, &dir);
+        assert_eq!(resumed, expected, "AQP kill chain diverged at threads={threads}");
+        assert!(kills >= 2, "workload too short to exercise resume (kills={kills})");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn dlt_kill_and_resume_at_every_generation_is_byte_identical() {
+    for threads in [1usize, 2, 4, 8] {
+        let specs = DltWorkloadBuilder::paper().jobs(4).seed(33).build();
+        let expected = dlt_durable_system(threads, FaultPlan::none())
+            .run(&specs, DltPolicy::Rotary(Objective::Threshold(0.5)))
+            .metrics
+            .to_json()
+            .unwrap();
+        let dir = temp_store(&format!("dlt-kill-{threads}"));
+        let (resumed, kills) = dlt_kill_chain(threads, FaultPlan::none, &dir);
+        assert_eq!(resumed, expected, "DLT kill chain diverged at threads={threads}");
+        assert!(kills >= 2, "workload too short to exercise resume (kills={kills})");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn kill_and_resume_under_chaos_faults_is_byte_identical() {
+    // Crash/straggler/checkpoint faults and durable snapshots compose: the
+    // fault plan is a pure function of (seed, stream), and every fault
+    // counter lives in the snapshot, so a kill chain under the full chaos
+    // profile (which also corrupts ~10% of snapshots on the way to disk)
+    // still reproduces the uninterrupted run exactly.
+    let aqp_expected = aqp_durable_system(1, FaultPlan::chaos(33))
+        .run(&WorkloadBuilder::paper().jobs(2).seed(33).build(), AqpPolicy::Rotary)
+        .metrics
+        .to_json()
+        .unwrap();
+    let dir = temp_store("aqp-chaos-kill");
+    let (aqp_resumed, _) = aqp_kill_chain(1, || FaultPlan::chaos(33), &dir);
+    assert_eq!(aqp_resumed, aqp_expected, "AQP chaos kill chain diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let dlt_expected = dlt_durable_system(1, FaultPlan::chaos(33))
+        .run(
+            &DltWorkloadBuilder::paper().jobs(4).seed(33).build(),
+            DltPolicy::Rotary(Objective::Threshold(0.5)),
+        )
+        .metrics
+        .to_json()
+        .unwrap();
+    let dir = temp_store("dlt-chaos-kill");
+    let (dlt_resumed, _) = dlt_kill_chain(1, || FaultPlan::chaos(33), &dir);
+    assert_eq!(dlt_resumed, dlt_expected, "DLT chaos kill chain diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_falls_back_past_corrupt_generations() {
+    // Aggressive snapshot corruption (torn writes and bit flips on most
+    // generations) must never panic or poison the run: each resume skips
+    // corrupt generations, restarts from the newest valid one, and the
+    // finished trace still matches an uninterrupted fault-free run —
+    // snapshot faults are invisible to the simulation itself.
+    let snap_faults = || {
+        FaultPlan::new(FaultConfig {
+            seed: 0x00C0_FFEE,
+            snap_torn_prob: 0.45,
+            snap_bitflip_prob: 0.35,
+            ..FaultConfig::none()
+        })
+    };
+    let specs = WorkloadBuilder::paper().jobs(2).seed(33).build();
+    let expected = aqp_durable_system(1, FaultPlan::none())
+        .run(&specs, AqpPolicy::Rotary)
+        .metrics
+        .to_json()
+        .unwrap();
+    let dir = temp_store("aqp-corrupt");
+    let (resumed, kills) = aqp_kill_chain(1, snap_faults, &dir);
+    assert_eq!(resumed, expected, "corruption fallback changed the trace");
+    assert!(kills >= 2, "workload too short to exercise resume (kills={kills})");
+    // The sweep only proves fallback if corruption actually landed on disk.
+    let store = SnapshotStore::open(&dir).unwrap();
+    let corrupt =
+        store.generations().unwrap().into_iter().filter(|g| store.load(*g).is_err()).count();
+    assert!(corrupt > 0, "no snapshot generation was corrupted; pick a hotter seed");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,146 @@
+//! Property suite for the in-tree JSON codec (`rotary_core::json`).
+//!
+//! The snapshot store and every persisted artifact (history repository,
+//! simulation traces, bench results) lean on this codec, so its round-trip
+//! guarantees are load-bearing for durable recovery: a value written with
+//! `to_pretty` must parse back to the identical tree, `f64` numbers must
+//! survive bit-exactly, `u64` identifiers must not lose precision to the
+//! `f64` number model, and truncated or garbage-suffixed documents must be
+//! rejected with an error — never a panic.
+
+use rotary::core::json::{self, u64_json, Json};
+use rotary_check::{check, Source};
+use std::collections::BTreeMap;
+
+/// Characters chosen to stress the writer's escape table and the parser's
+/// UTF-8 handling: quotes, backslashes, control characters (escaped as
+/// `\u00xx`), and multi-byte code points up to the astral plane.
+fn arbitrary_string(src: &mut Source) -> String {
+    const ALPHABET: [char; 16] = [
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', '/', 'µ', 'é', '嗨',
+        '𝄞',
+    ];
+    src.vec_of(0, 12, |s| *s.pick(&ALPHABET)).into_iter().collect()
+}
+
+/// A finite `f64` drawn from regimes the writer treats differently: small
+/// integers (written without a fraction), huge integers (scientific
+/// notation), fractional values, and arbitrary finite bit patterns.
+fn arbitrary_finite(src: &mut Source) -> f64 {
+    match src.u64_in(0, 3) {
+        0 => src.u64_in(0, 1 << 20) as f64,
+        1 => -((src.u64_in(0, 1 << 45)) as f64),
+        2 => src.f64_in(-1.0e9, 1.0e9),
+        _ => {
+            let v = src.any_f64();
+            if v.is_finite() {
+                v
+            } else {
+                0.5
+            }
+        }
+    }
+}
+
+/// An arbitrary JSON tree of bounded depth. Object keys may collide —
+/// the codec preserves insertion order, so duplicates must round-trip too.
+fn arbitrary_json(src: &mut Source, depth: usize) -> Json {
+    let top = if depth == 0 { 3 } else { 5 };
+    match src.u64_in(0, top) {
+        0 => Json::Null,
+        1 => Json::Bool(src.bool(0.5)),
+        2 => Json::Num(arbitrary_finite(src)),
+        3 => Json::Str(arbitrary_string(src)),
+        4 => Json::Arr(src.vec_of(0, 4, |s| arbitrary_json(s, depth - 1))),
+        _ => Json::Obj(src.vec_of(0, 4, |s| (arbitrary_string(s), arbitrary_json(s, depth - 1)))),
+    }
+}
+
+#[test]
+fn json_trees_roundtrip_exactly() {
+    check("json_tree_roundtrip", |src| {
+        let value = arbitrary_json(src, 3);
+        let text = value.to_pretty();
+        let parsed = json::parse(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(parsed, value, "round-trip changed the tree:\n{text}");
+    });
+}
+
+#[test]
+fn any_f64_writes_to_valid_json() {
+    // For *any* bit pattern — including NaN, ±∞, and subnormals — the
+    // writer must emit valid JSON, and finite values must parse back
+    // bit-exactly (non-finite values are persisted as null, like
+    // serde_json).
+    check("json_any_f64", |src| {
+        let x = src.any_f64();
+        let text = Json::Num(x).to_pretty();
+        let parsed = json::parse(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        if x.is_finite() {
+            let back = parsed.as_f64().expect("finite number parsed as non-number");
+            // -0.0 is written as "0"; both compare equal and behave
+            // identically in every consumer, so plain == is the contract.
+            assert_eq!(back, x, "f64 changed across the codec: {x:?} -> {back:?}");
+        } else {
+            assert_eq!(parsed, Json::Null, "non-finite {x:?} must persist as null");
+        }
+    });
+}
+
+#[test]
+fn u64_identifiers_roundtrip_exactly() {
+    // Raw u64 identifiers (seeds, RNG state words, row counts) exceed the
+    // f64-exact range, so they travel as decimal strings. Every value —
+    // including u64::MAX — must survive the full write/parse cycle.
+    check("json_u64_exact", |src| {
+        let v = if src.bool(0.2) { u64::MAX - src.u64_in(0, 3) } else { src.raw() };
+        let text = u64_json(v).to_pretty();
+        let parsed = json::parse(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(parsed.as_u64_str(), Some(v), "u64 lost precision: {v}\n{text}");
+    });
+}
+
+#[test]
+fn truncated_documents_error_without_panicking() {
+    // A torn snapshot write can hand the parser any prefix of a valid
+    // document. The parser must return an error (or, for a prefix that is
+    // itself complete, a value) — it must never panic or loop.
+    check("json_truncation", |src| {
+        let text = arbitrary_json(src, 3).to_pretty();
+        let mut cut = src.usize_in(0, text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = json::parse(&text[..cut]);
+    });
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    check("json_trailing_garbage", |src| {
+        let text = arbitrary_json(src, 2).to_pretty();
+        let suffix = *src.pick(&["x", "]", "}", "1", "\"", "null"]);
+        assert!(
+            json::parse(&format!("{text} {suffix}")).is_err(),
+            "trailing {suffix:?} accepted after a complete document"
+        );
+    });
+}
+
+#[test]
+fn num_maps_roundtrip_through_objects() {
+    // The history repository persists BTreeMap<String, f64> via
+    // num_map_to_json / num_map_from_json; the pair must be lossless for
+    // finite values and arbitrary keys.
+    check("json_num_map", |src| {
+        let mut map = BTreeMap::new();
+        for _ in 0..src.usize_in(0, 6) {
+            map.insert(arbitrary_string(src), arbitrary_finite(src));
+        }
+        let text = json::num_map_to_json(&map).to_pretty();
+        let parsed = json::parse(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        let back = json::num_map_from_json(&parsed)
+            .unwrap_or_else(|e| panic!("num_map_from_json failed: {e}\n{text}"));
+        assert_eq!(back, map, "num map changed across the codec:\n{text}");
+    });
+}
