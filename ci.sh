@@ -46,6 +46,13 @@ cargo test --workspace -q
 echo "== chaos property suite (256 fault plans) =="
 ROTARY_CHECK_CASES=256 cargo test -q --test chaos
 
+# Kernel-equivalence gate (DESIGN.md §5): every vectorized kernel in the
+# columnar data plane must stay bit-identical to its row-at-a-time oracle,
+# including NaN/inf payloads and empty/full selections. Pinned at 256 cases
+# per property for the same reason as the chaos suite above.
+echo "== kernel-equivalence property suite (256 cases per kernel) =="
+ROTARY_CHECK_CASES=256 cargo test -q -p rotary-engine --test kernel_equivalence
+
 # Durable-recovery gate (DESIGN.md §12): the store's corrupted-fixture
 # suite must keep turning damaged generation files (torn writes, bit
 # flips, truncated headers) into typed errors with newest-valid fallback —
@@ -57,10 +64,16 @@ cargo test -q -p rotary-store
 case "$MODE" in
 --bench)
     echo "== bench gate (BENCH_engine.json, ±25%) =="
+    cargo build --release -q -p rotary-bench
     ./target/release/bench_engine --check BENCH_engine.json
     ;;
 --bench-update)
+    # Refreshing re-measures every throughput key from scratch, so the
+    # columnar speedups act as a ratchet: a refresh that drops q6
+    # seq/rowwise back toward pre-columnar numbers is a real regression
+    # and should be investigated, not committed.
     echo "== bench baseline refresh =="
+    cargo build --release -q -p rotary-bench
     ./target/release/bench_engine --write BENCH_engine.json
     ;;
 --lint-update) ;;

@@ -1,11 +1,13 @@
 //! Engine-throughput benchmark + regression gate.
 //!
-//! Measures batch-execution throughput (rows/sec) for one query per class —
-//! sequentially and on `rotary-par` pools of 1/2/4/8 threads (the replay
-//! fold, plus the state-merge fold at the widest pool) — together with the
-//! estimator-fit timings that bound arbitration overhead and the advisory
-//! `recovery/*` fault-recovery cost metrics. Results go to
-//! `BENCH_engine.json`.
+//! Measures batch-execution throughput (rows/sec) for one query per class:
+//! the retired row-at-a-time oracle (`rowwise`, kept to quantify the
+//! columnar speedup), the sequential columnar engine (`seq`), the columnar
+//! replay fold on `rotary-par` pools of 1/2/4/8 threads
+//! (`columnar_threads{t}`), and the columnar state-merge fold at the widest
+//! pool (`columnar_merge8`) — together with the estimator-fit timings that
+//! bound arbitration overhead and the advisory `recovery/*` fault-recovery
+//! cost metrics. Results go to `BENCH_engine.json`.
 //!
 //! Modes:
 //!
@@ -55,6 +57,15 @@ fn bench_throughput(metrics: &mut BTreeMap<String, f64>) {
         };
         let per_sec = |secs: f64| rows.len() as f64 / secs.max(1e-12);
 
+        // The row-at-a-time oracle: the pre-columnar engine, kept so the
+        // columnar speedup stays measurable as seq/rowwise.
+        let mut exec = Executor::bind(&plan, &data, &mut cache).unwrap();
+        let stats = measure(|| {
+            black_box(exec.process_rows_rowwise(black_box(&rows)));
+        });
+        report(metrics, format!("q{qid}/rows_per_sec/rowwise"), per_sec(stats.min.as_secs_f64()));
+
+        // The sequential columnar engine (the `process_rows` default path).
         let mut exec = Executor::bind(&plan, &data, &mut cache).unwrap();
         let stats = measure(|| {
             black_box(exec.process_rows(black_box(&rows)));
@@ -69,7 +80,7 @@ fn bench_throughput(metrics: &mut BTreeMap<String, f64>) {
             });
             report(
                 metrics,
-                format!("q{qid}/rows_per_sec/threads{threads}"),
+                format!("q{qid}/rows_per_sec/columnar_threads{threads}"),
                 per_sec(stats.min.as_secs_f64()),
             );
         }
@@ -82,7 +93,7 @@ fn bench_throughput(metrics: &mut BTreeMap<String, f64>) {
         });
         report(
             metrics,
-            format!("q{qid}/rows_per_sec/merge{widest}"),
+            format!("q{qid}/rows_per_sec/columnar_merge{widest}"),
             per_sec(stats.min.as_secs_f64()),
         );
     }
@@ -202,7 +213,12 @@ fn oversubscribed(key: &str) -> bool {
             .and_then(|leaf| leaf.strip_prefix(prefix))
             .and_then(|n| n.parse::<usize>().ok())
     };
-    width("threads").or_else(|| width("merge")).map(|w| w > avail).unwrap_or(false)
+    width("columnar_threads")
+        .or_else(|| width("columnar_merge"))
+        .or_else(|| width("threads"))
+        .or_else(|| width("merge"))
+        .map(|w| w > avail)
+        .unwrap_or(false)
 }
 
 fn check(current: &BTreeMap<String, f64>, baseline_path: &str) -> Result<(), String> {

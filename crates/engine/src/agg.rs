@@ -105,6 +105,27 @@ impl Accumulator {
         }
     }
 
+    /// Feeds a slice of row values in index order — the columnar
+    /// counterpart of calling [`Accumulator::update`] once per element.
+    ///
+    /// Each running statistic is advanced by a dedicated in-order kernel
+    /// ([`crate::kernels`]); because the statistics are independent of each
+    /// other, splitting the per-row update into per-statistic loops performs
+    /// the same floating-point operations on the same operands in the same
+    /// order, so the result is bit-identical to the per-row path.
+    pub fn update_slice(&mut self, values: &[f64]) {
+        self.sum = crate::kernels::sum_seq(self.sum, values);
+        self.min = crate::kernels::min_seq(self.min, values);
+        self.max = crate::kernels::max_seq(self.max, values);
+        let (count, mean, m2) = crate::kernels::welford_seq(self.count, self.mean, self.m2, values);
+        self.count = count;
+        self.mean = mean;
+        self.m2 = m2;
+        if let Some(set) = &mut self.distinct {
+            set.extend(values.iter().map(|v| v.to_bits()));
+        }
+    }
+
     /// The aggregate's current value; `None` before any row arrived (SQL
     /// aggregates over empty input are NULL, except COUNT).
     pub fn value(&self) -> Option<f64> {
@@ -224,6 +245,21 @@ impl AggState {
             for (a, b) in mine.iter_mut().zip(theirs) {
                 a.merge(b);
             }
+        }
+    }
+
+    /// Merges one group's accumulators (e.g. a chunk-local group from the
+    /// parallel state-merge fold) into this state. Equivalent to
+    /// [`AggState::merge`] restricted to a single key, without building a
+    /// whole intermediate state.
+    pub fn merge_group(&mut self, key: &[i64], accs: &[Accumulator]) {
+        debug_assert_eq!(accs.len(), self.funcs.len());
+        let mine = self
+            .groups
+            .entry(key.to_vec())
+            .or_insert_with(|| self.funcs.iter().map(|&f| Accumulator::new(f)).collect());
+        for (a, b) in mine.iter_mut().zip(accs) {
+            a.merge(b);
         }
     }
 
@@ -470,6 +506,48 @@ mod tests {
         // Merging an empty state is a no-op.
         a.merge(&AggState::new(vec![AggFunc::Sum]));
         assert_eq!(a.group_count(), 2);
+    }
+
+    #[test]
+    fn update_slice_is_bit_identical_to_per_row_updates() {
+        let values: Vec<f64> = (0..97).map(|i| ((i as f64) * 0.61).tan() * 7.0).collect();
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Count,
+            AggFunc::CountDistinct,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            let mut sliced = Accumulator::new(f);
+            sliced.update_slice(&values[..40]);
+            sliced.update_slice(&values[40..]);
+            let mut per_row = Accumulator::new(f);
+            for &v in &values {
+                per_row.update(v);
+            }
+            // Derived PartialEq compares every running statistic, so this
+            // pins sum/min/max/mean/m2 exactly, not just the final value.
+            assert_eq!(sliced, per_row, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn merge_group_matches_whole_state_merge() {
+        let mut base = AggState::new(vec![AggFunc::Sum, AggFunc::Count]);
+        base.update(&[1], &[10.0, 1.0]);
+        let mut other = AggState::new(vec![AggFunc::Sum, AggFunc::Count]);
+        other.update(&[1], &[20.0, 1.0]);
+        other.update(&[2], &[5.0, 1.0]);
+
+        let mut via_merge = base.clone();
+        via_merge.merge(&other);
+        let mut via_groups = base;
+        for (k, accs) in &other.groups {
+            via_groups.merge_group(k, accs);
+        }
+        assert_eq!(via_merge.grouped_results(), via_groups.grouped_results());
+        assert_eq!(via_merge.group_count(), via_groups.group_count());
     }
 
     #[test]

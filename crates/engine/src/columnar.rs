@@ -1,0 +1,371 @@
+//! Columnar chunk evaluation: the vectorized data plane.
+//!
+//! [`eval_chunk`] evaluates one fixed-size row chunk of a bound plan as a
+//! sequence of whole-column kernel calls (see [`crate::kernels`]) instead of
+//! the row-at-a-time interpreter:
+//!
+//! 1. **Join phase** — for each edge, a batch probe kernel resolves the
+//!    foreign keys of every *surviving* position into a per-slot row-id
+//!    vector, dropping missed positions in order (inner-join semantics).
+//!    Probes are counted per surviving position, exactly like the row loop's
+//!    early exit.
+//! 2. **Filter phase** — the predicate tree is evaluated bottom-up into
+//!    selection [`Bitmap`]s over chunk positions (one compare kernel per
+//!    leaf, word-wise `AND`/`OR`/`NOT` for the combinators) and the
+//!    surviving positions are compacted through the final bitmap.
+//! 3. **Projection phase** — group keys and aggregate expressions are
+//!    gathered/evaluated column-at-a-time over the selected positions only,
+//!    then laid out row-major in the returned [`ChunkOutput`].
+//!
+//! **Bit-identity argument.** Expression and predicate evaluation is
+//! element-wise and side-effect-free, so evaluating a column at a time
+//! produces, per surviving row, exactly the floats the row interpreter
+//! produces; positions are kept in ascending order at every step, so the
+//! surviving `(keys, vals)` sequence equals the row loop's. The replay fold
+//! then applies `AggState::update` in that original row order — hence the
+//! sequential row engine, the sequential columnar engine, and the columnar
+//! engine at any pool width produce byte-identical traces. Predicate
+//! bitmaps equal short-circuit evaluation because every predicate is total:
+//! positions already dropped by a join probe evaluate leaves against row 0
+//! of the joined table (never out of bounds while any position survived)
+//! and are masked out of the final selection before anything observable.
+
+use rotary_tpch::Column;
+
+use crate::agg::{Accumulator, AggFunc};
+use crate::exec::{BatchStats, BoundExpr, BoundGroup, BoundIndex, BoundPred, Executor};
+use crate::kernels::{self, Bitmap};
+
+/// What one chunk's data-plane evaluation produces: work counters plus the
+/// surviving rows' group keys and expression values, flattened row-major in
+/// original row order. The control plane replays these through
+/// `AggState::update` in fixed chunk order, reproducing the sequential fold
+/// bit-for-bit.
+pub(crate) struct ChunkOutput {
+    pub(crate) stats: BatchStats,
+    pub(crate) keys: Vec<i64>,
+    pub(crate) vals: Vec<f64>,
+}
+
+/// Reusable per-chunk working set: per-slot resolved row ids, the surviving
+/// position list, and bitmap/float scratch pools. One lives in the
+/// [`Executor`] for the sequential path; parallel workers build their own
+/// per chunk (the cost amortizes over `PAR_CHUNK_ROWS` rows).
+#[derive(Debug, Default)]
+pub(crate) struct ChunkScratch {
+    slot_rows: Vec<Vec<u32>>,
+    positions: Vec<u32>,
+    bitmaps: Vec<Bitmap>,
+    floats: Vec<Vec<f64>>,
+}
+
+fn int_slice(col: &Column) -> &[i64] {
+    match col {
+        Column::Int(v) => v,
+        other => panic!("expected Int column, found {:?}", other.column_type()),
+    }
+}
+
+fn float_slice(col: &Column) -> &[f64] {
+    match col {
+        Column::Float(v) => v,
+        other => panic!("expected Float column, found {:?}", other.column_type()),
+    }
+}
+
+fn date_slice(col: &Column) -> &[rotary_tpch::Date] {
+    match col {
+        Column::Date(v) => v,
+        other => panic!("expected Date column, found {:?}", other.column_type()),
+    }
+}
+
+fn code_slice(col: &Column) -> &[u32] {
+    match col {
+        Column::Cat { codes, .. } => codes,
+        other => panic!("expected Cat column, found {:?}", other.column_type()),
+    }
+}
+
+/// Evaluates `pred` into a selection bitmap over all `n` chunk positions.
+/// Leaves run one gather+compare kernel each; combinators are word-wise.
+fn eval_pred(
+    pred: &BoundPred<'_>,
+    slot_rows: &[Vec<u32>],
+    n: usize,
+    bitmaps: &mut Vec<Bitmap>,
+    floats: &mut Vec<Vec<f64>>,
+) -> Bitmap {
+    let mut bm = bitmaps.pop().unwrap_or_default();
+    match pred {
+        BoundPred::True => bm.set_all(n),
+        BoundPred::IntRange { slot, col, lo, hi } => {
+            kernels::int_range_bitmap(int_slice(col), &slot_rows[*slot], *lo, *hi, &mut bm)
+        }
+        BoundPred::IntIn { slot, col, values } => {
+            kernels::int_in_bitmap(int_slice(col), &slot_rows[*slot], values, &mut bm)
+        }
+        BoundPred::FloatRange { slot, col, lo, hi } => {
+            kernels::float_range_bitmap(float_slice(col), &slot_rows[*slot], *lo, *hi, &mut bm)
+        }
+        BoundPred::DateRange { slot, col, lo, hi } => {
+            kernels::date_range_bitmap(date_slice(col), &slot_rows[*slot], *lo, *hi, &mut bm)
+        }
+        BoundPred::CatMask { slot, col, mask } => {
+            kernels::cat_mask_bitmap(code_slice(col), &slot_rows[*slot], mask, &mut bm)
+        }
+        BoundPred::RefCmp { a_slot, a, op, b_slot, b } => {
+            let mut xa = floats.pop().unwrap_or_default();
+            let mut xb = floats.pop().unwrap_or_default();
+            kernels::gather_numeric(a, &slot_rows[*a_slot], &mut xa);
+            kernels::gather_numeric(b, &slot_rows[*b_slot], &mut xb);
+            kernels::cmp_bitmap(&xa, &xb, *op, &mut bm);
+            floats.push(xb);
+            floats.push(xa);
+        }
+        BoundPred::And(ps) => {
+            bm.set_all(n);
+            for p in ps {
+                let child = eval_pred(p, slot_rows, n, bitmaps, floats);
+                bm.and(&child);
+                bitmaps.push(child);
+            }
+        }
+        BoundPred::Or(ps) => {
+            bm.reset(n);
+            for p in ps {
+                let child = eval_pred(p, slot_rows, n, bitmaps, floats);
+                bm.or(&child);
+                bitmaps.push(child);
+            }
+        }
+        BoundPred::Not(p) => {
+            bitmaps.push(bm);
+            bm = eval_pred(p, slot_rows, n, bitmaps, floats);
+            bm.negate();
+        }
+    }
+    bm
+}
+
+/// Evaluates `e` column-at-a-time over the selected positions into `out`.
+/// Per surviving row this performs the same operations on the same operands
+/// as the row interpreter, so every element is bit-identical.
+fn eval_expr(
+    e: &BoundExpr<'_>,
+    slot_rows: &[Vec<u32>],
+    positions: &[u32],
+    n: usize,
+    bitmaps: &mut Vec<Bitmap>,
+    floats: &mut Vec<Vec<f64>>,
+    out: &mut Vec<f64>,
+) {
+    match e {
+        BoundExpr::Col { slot, col } => {
+            kernels::gather_numeric_at(col, &slot_rows[*slot], positions, out)
+        }
+        BoundExpr::Lit(v) => {
+            out.clear();
+            out.resize(positions.len(), *v);
+        }
+        BoundExpr::Add(a, b) => {
+            binary(a, b, slot_rows, positions, n, bitmaps, floats, out, kernels::add_assign)
+        }
+        BoundExpr::Sub(a, b) => {
+            binary(a, b, slot_rows, positions, n, bitmaps, floats, out, kernels::sub_assign)
+        }
+        BoundExpr::Mul(a, b) => {
+            binary(a, b, slot_rows, positions, n, bitmaps, floats, out, kernels::mul_assign)
+        }
+        BoundExpr::Div(a, b) => {
+            binary(a, b, slot_rows, positions, n, bitmaps, floats, out, kernels::div_assign_guarded)
+        }
+        BoundExpr::PredVal(p) => {
+            let bm = eval_pred(p, slot_rows, n, bitmaps, floats);
+            out.clear();
+            out.extend(positions.iter().map(|&p| if bm.get(p as usize) { 1.0 } else { 0.0 }));
+            bitmaps.push(bm);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn binary(
+    a: &BoundExpr<'_>,
+    b: &BoundExpr<'_>,
+    slot_rows: &[Vec<u32>],
+    positions: &[u32],
+    n: usize,
+    bitmaps: &mut Vec<Bitmap>,
+    floats: &mut Vec<Vec<f64>>,
+    out: &mut Vec<f64>,
+    op: fn(&mut [f64], &[f64]),
+) {
+    eval_expr(a, slot_rows, positions, n, bitmaps, floats, out);
+    let mut rhs = floats.pop().unwrap_or_default();
+    eval_expr(b, slot_rows, positions, n, bitmaps, floats, &mut rhs);
+    op(out, &rhs);
+    floats.push(rhs);
+}
+
+fn eval_group(g: &BoundGroup<'_>, slot_rows: &[Vec<u32>], positions: &[u32], out: &mut Vec<i64>) {
+    match g {
+        BoundGroup::Raw { slot, col } => {
+            kernels::gather_group_keys(col, &slot_rows[*slot], positions, out)
+        }
+        BoundGroup::Year { slot, col } => {
+            kernels::gather_years(date_slice(col), &slot_rows[*slot], positions, out)
+        }
+    }
+}
+
+/// Columnar data-plane evaluation of one chunk — joins, filter, and
+/// projection with **no** aggregate-state access. See the module docs for
+/// the phase structure and the bit-identity argument.
+pub(crate) fn eval_chunk(
+    ex: &Executor<'_>,
+    rows: &[u32],
+    scratch: &mut ChunkScratch,
+) -> ChunkOutput {
+    let n = rows.len();
+    let mut stats = BatchStats { rows_scanned: n as u64, ..Default::default() };
+    let ChunkScratch { slot_rows, positions, bitmaps, floats } = scratch;
+    let slots = ex.edges.len() + 1;
+    slot_rows.resize_with(slots, Vec::new);
+    slot_rows[0].clear();
+    slot_rows[0].extend_from_slice(rows);
+    positions.clear();
+    positions.extend(0..n as u32);
+
+    // Join phase: probe each edge over the positions that survived the
+    // previous edges — the probe count equals the row loop's, where a row
+    // stops probing at its first miss.
+    for (i, edge) in ex.edges.iter().enumerate() {
+        stats.probes += positions.len() as u64;
+        let (resolved, rest) = slot_rows.split_at_mut(i + 1);
+        let src = &resolved[edge.src_slot];
+        let dst = &mut rest[0];
+        dst.clear();
+        dst.resize(n, 0);
+        match &edge.index {
+            BoundIndex::Single(index) => {
+                kernels::probe_single(index, int_slice(edge.fk[0]), src, positions, dst);
+            }
+            BoundIndex::Composite(index) => {
+                kernels::probe_composite(
+                    index,
+                    int_slice(edge.fk[0]),
+                    int_slice(edge.fk[1]),
+                    src,
+                    positions,
+                    dst,
+                );
+            }
+        }
+    }
+
+    // Filter phase: the bitmap is evaluated over all chunk positions (total
+    // predicates make join-dropped positions harmless) and applied to the
+    // ordered survivor list.
+    if !positions.is_empty() && !matches!(ex.filter, BoundPred::True) {
+        let bm = eval_pred(&ex.filter, slot_rows, n, bitmaps, floats);
+        positions.retain(|&p| bm.get(p as usize));
+        bitmaps.push(bm);
+    }
+    stats.rows_aggregated = positions.len() as u64;
+
+    // Projection phase: one gather/eval per group key and aggregate
+    // expression, scattered into the row-major replay layout.
+    let m = positions.len();
+    let ka = ex.groups.len();
+    let va = ex.agg_exprs.len();
+    let mut keys = vec![0i64; m * ka];
+    let mut vals = vec![0.0f64; m * va];
+    if m > 0 {
+        let mut key_col: Vec<i64> = Vec::with_capacity(m);
+        for (gi, g) in ex.groups.iter().enumerate() {
+            eval_group(g, slot_rows, positions, &mut key_col);
+            for (r, &k) in key_col.iter().enumerate() {
+                keys[r * ka + gi] = k;
+            }
+        }
+        let mut val_col = floats.pop().unwrap_or_default();
+        for (ei, e) in ex.agg_exprs.iter().enumerate() {
+            eval_expr(e, slot_rows, positions, n, bitmaps, floats, &mut val_col);
+            for (r, &v) in val_col.iter().enumerate() {
+                vals[r * va + ei] = v;
+            }
+        }
+        floats.push(val_col);
+    }
+    ChunkOutput { stats, keys, vals }
+}
+
+/// Chunk-local aggregation for the state-merge fold: folds a chunk's
+/// surviving rows into per-group [`Accumulator`]s held in a flat first-seen
+/// table (no per-row map allocation), preserving within-group row order so
+/// each group's Welford recurrence is bit-identical to per-row updates.
+/// Scalar (ungrouped) chunks take a column-at-a-time fast path through
+/// [`Accumulator::update_slice`].
+pub(crate) fn fold_chunk_groups(
+    funcs: &[AggFunc],
+    out: &ChunkOutput,
+    ka: usize,
+    va: usize,
+) -> Vec<(Vec<i64>, Vec<Accumulator>)> {
+    let m = out.stats.rows_aggregated as usize;
+    let fresh = |funcs: &[AggFunc]| funcs.iter().map(|&f| Accumulator::new(f)).collect::<Vec<_>>();
+    let mut table: Vec<(Vec<i64>, Vec<Accumulator>)> = Vec::new();
+    if m == 0 {
+        return table;
+    }
+    if ka == 0 {
+        // Scalar fast path: each aggregate column is contiguous after a
+        // strided gather; the per-statistic loops in `update_slice` are
+        // bit-identical to interleaved per-row updates because each
+        // accumulator only observes its own column, in row order.
+        let mut accs = fresh(funcs);
+        let mut col = Vec::with_capacity(m);
+        for (j, acc) in accs.iter_mut().enumerate() {
+            col.clear();
+            col.extend((0..m).map(|r| out.vals[r * va + j]));
+            acc.update_slice(&col);
+        }
+        table.push((Vec::new(), accs));
+        return table;
+    }
+    for r in 0..m {
+        let key = &out.keys[r * ka..(r + 1) * ka];
+        let idx = match table.iter().position(|(k, _)| k == key) {
+            Some(i) => i,
+            None => {
+                table.push((key.to_vec(), fresh(funcs)));
+                table.len() - 1
+            }
+        };
+        for (j, acc) in table[idx].1.iter_mut().enumerate() {
+            acc.update(out.vals[r * va + j]);
+        }
+    }
+    table
+}
+
+/// Deterministic operation counts comparing the serial critical path of the
+/// two parallel folds on a concrete batch. All counts are pure functions of
+/// `(plan, data, batch)` — no wall clock — which is what lets a test pin
+/// "the merge fold's serial work never exceeds the replay fold's" without
+/// timing anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldCost {
+    /// Chunks in the fixed grid.
+    pub chunks: usize,
+    /// Data-plane row operations (scan + probe + aggregate), identical for
+    /// both folds — this part scales with the pool.
+    pub parallel_row_ops: u64,
+    /// Serial fold operations of the **replay** fold: one `AggState::update`
+    /// per surviving row.
+    pub replay_serial_ops: u64,
+    /// Serial fold operations of the **state-merge** fold: one group merge
+    /// per distinct group per chunk.
+    pub merge_serial_ops: u64,
+}

@@ -11,8 +11,14 @@
 //! * [`plan`] — query plans: a streamed *fact* table, a chain of hash-join
 //!   edges to dimension tables, a filter, optional grouping, and aggregates;
 //! * [`exec`] — the executor: binds a plan to a dataset (building reusable
-//!   primary-key hash indexes), then evaluates row batches with genuine
-//!   per-row join probes, predicate evaluation, and aggregate updates;
+//!   primary-key hash indexes), then evaluates row batches chunk-at-a-time
+//!   through the columnar data plane, with genuine join probes, predicate
+//!   evaluation, and aggregate updates;
+//! * [`kernels`] — the vectorized columnar kernels: selection bitmaps,
+//!   gathers, element-wise arithmetic, deterministic open-addressed
+//!   primary-key indexes, and sequential-order aggregate reductions;
+//! * [`columnar`] — chunk evaluation on top of the kernels (join → filter →
+//!   projection), proven bit-identical to the row-at-a-time oracle;
 //! * [`agg`] — running aggregate state (SUM / AVG / COUNT / MIN / MAX,
 //!   grouped or scalar);
 //! * [`online`] — progressive execution: feeds shuffled batches through the
@@ -27,8 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod columnar;
 pub mod exec;
 pub mod expr;
+pub mod kernels;
 pub mod memory;
 pub mod online;
 pub mod plan;

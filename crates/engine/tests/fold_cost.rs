@@ -1,0 +1,84 @@
+//! Regression guard for the q7 merge-fold slowdown, pinned without wall
+//! clock: `Executor::fold_cost` counts, deterministically, the serial
+//! critical-path operations of the two parallel folds. The pre-columnar
+//! merge fold built a full per-chunk `AggState` (a `BTreeMap` insert per
+//! surviving row), which made `merge8` *slower* than sequential on q7;
+//! the columnar fold merges one accumulator set per distinct group per
+//! chunk, so its serial work must now be bounded by the replay fold's —
+//! the structural fact behind `merge8 >= seq` throughput.
+
+use rotary_engine::{query, Executor, IndexCache, QueryId, PAR_CHUNK_ROWS};
+use rotary_tpch::{BatchSource, Generator};
+
+#[test]
+fn merge_fold_serial_work_never_exceeds_replay_fold() {
+    let data = Generator::new(1, 0.005).generate();
+    let mut cache = IndexCache::new();
+    let n = data.lineitem.rows();
+    for qid in [3u8, 6, 7] {
+        let exec = Executor::bind(&query(QueryId(qid)), &data, &mut cache).unwrap();
+        // The bench harness's exact batch: one full shuffled scan.
+        let mut src = BatchSource::new(3, n, n);
+        let rows = src.next_batch().unwrap().to_vec();
+        let cost = exec.fold_cost(&rows);
+
+        assert_eq!(cost.chunks, n.div_ceil(PAR_CHUNK_ROWS), "q{qid}");
+        assert!(cost.parallel_row_ops >= rows.len() as u64, "q{qid}");
+        // The regression pin: per chunk the merge fold hands the control
+        // plane one entry per *distinct group*, never one per surviving
+        // row, so its serial ops are structurally <= the replay fold's.
+        assert!(
+            cost.merge_serial_ops <= cost.replay_serial_ops,
+            "q{qid}: merge fold serial work {} exceeds replay fold {}",
+            cost.merge_serial_ops,
+            cost.replay_serial_ops,
+        );
+        // And the counts are a pure function of (plan, data, batch).
+        assert_eq!(cost, exec.fold_cost(&rows), "q{qid}: fold_cost not deterministic");
+    }
+}
+
+#[test]
+fn q7_merge_fold_critical_path_beats_sequential_at_eight_lanes() {
+    // Model the two schedules at 8 lanes: sequential executes all data-plane
+    // row ops plus the replay fold serially; the merge fold runs the data
+    // plane 8-wide and only the group merges serially. The pre-columnar
+    // engine failed this (merge8 was 3.9M rows/s vs 6.7M sequential on q7).
+    let data = Generator::new(1, 0.005).generate();
+    let mut cache = IndexCache::new();
+    let exec = Executor::bind(&query(QueryId(7)), &data, &mut cache).unwrap();
+    let n = data.lineitem.rows();
+    let mut src = BatchSource::new(3, n, n);
+    let rows = src.next_batch().unwrap().to_vec();
+    let cost = exec.fold_cost(&rows);
+
+    let seq_ops = cost.parallel_row_ops + cost.replay_serial_ops;
+    let merge8_ops = cost.parallel_row_ops / 8 + cost.merge_serial_ops;
+    assert!(
+        merge8_ops < seq_ops,
+        "q7 merge fold critical path ({merge8_ops} ops) must undercut sequential ({seq_ops} ops)"
+    );
+}
+
+#[test]
+fn grouped_full_scan_merge_ops_are_far_below_replay_ops() {
+    // q1 aggregates nearly every row into a handful of
+    // (returnflag, linestatus) groups — the shape where the old per-row
+    // chunk states hurt most. The merge fold must hand the control plane
+    // orders of magnitude fewer serial ops than one per surviving row.
+    let data = Generator::new(1, 0.005).generate();
+    let mut cache = IndexCache::new();
+    let exec = Executor::bind(&query(QueryId(1)), &data, &mut cache).unwrap();
+    let n = data.lineitem.rows();
+    let mut src = BatchSource::new(3, n, n);
+    let rows = src.next_batch().unwrap().to_vec();
+    let cost = exec.fold_cost(&rows);
+
+    assert!(cost.replay_serial_ops > n as u64 / 2, "q1 should keep most rows");
+    assert!(
+        cost.merge_serial_ops < cost.replay_serial_ops / 50,
+        "q1 merge serial ops {} not far below replay {}",
+        cost.merge_serial_ops,
+        cost.replay_serial_ops,
+    );
+}

@@ -49,6 +49,22 @@ fn d001_respects_allow_and_cfg_test() {
 }
 
 #[test]
+fn d001_and_d003_cover_the_columnar_data_plane_modules() {
+    // The columnar rewrite's modules live under crates/engine/src/ and must
+    // sit inside the determinism scope: a hash map in a kernel or an
+    // ambient RNG in chunk evaluation would break the bit-identity
+    // contract, so the lint has to catch both.
+    for path in ["crates/engine/src/columnar.rs", "crates/engine/src/kernels.rs"] {
+        let hash = "use std::collections::HashMap;\n";
+        assert_eq!(fired(path, hash), vec!["D001"], "{path} must be in D001 scope");
+        let rng = "let r = thread_rng();\n";
+        assert_eq!(fired(path, rng), vec!["D003"], "{path} must be in D003 scope");
+        let random_state = "let s = RandomState::new();\n";
+        assert_eq!(fired(path, random_state), vec!["D003"], "{path}: RandomState is ambient");
+    }
+}
+
+#[test]
 fn d001_ignores_strings_and_comments() {
     let src = "// HashMap would break replay\nconst DOC: &str = \"uses HashMap\";\n";
     assert!(fired(ENGINE_PATH, src).is_empty());

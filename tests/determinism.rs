@@ -7,8 +7,11 @@
 use rotary::aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
 use rotary::core::progress::Objective;
 use rotary::dlt::{DltPolicy, DltSystem, DltSystemConfig, DltWorkloadBuilder};
+use rotary::engine::{query, Executor, IndexCache, QueryId};
+use rotary::faults::FaultPlan;
+use rotary::par::ThreadPool;
 use rotary::sim::metrics::WorkloadSummary;
-use rotary::tpch::{Generator, TpchData};
+use rotary::tpch::{BatchSource, Generator, TpchData};
 use std::sync::OnceLock;
 
 fn data() -> &'static TpchData {
@@ -82,6 +85,72 @@ fn rotary_threads_env_is_picked_up_by_default_config() {
     // of 1 keeps single-threaded runs reproducing historical numbers.
     assert_eq!(AqpSystemConfig::default().threads, rotary::par::configured_threads());
     assert_eq!(DltSystemConfig::default().threads, rotary::par::configured_threads());
+}
+
+/// Grouped results with each aggregate as raw `f64` bits.
+type GroupBits = Vec<(Vec<i64>, Vec<Option<u64>>)>;
+
+/// Bit-level engine trace for one query: work counters plus every grouped
+/// value's raw bits — `0` rows processed by the row-at-a-time oracle,
+/// otherwise the columnar engine on a pool of that width.
+fn engine_trace(qid: u8, threads: usize) -> (u64, u64, u64, GroupBits) {
+    let d = data();
+    let mut cache = IndexCache::new();
+    let mut exec = Executor::bind(&query(QueryId(qid)), d, &mut cache).unwrap();
+    let n = d.lineitem.rows();
+    let mut src = BatchSource::new(5, n, n);
+    let rows = src.next_batch().unwrap().to_vec();
+    let stats = match threads {
+        0 => exec.process_rows_rowwise(&rows),
+        1 => exec.process_rows(&rows),
+        t => exec.process_rows_with(&ThreadPool::new(t), &rows),
+    };
+    let groups = exec
+        .state()
+        .grouped_results()
+        .into_iter()
+        .map(|(k, vs)| (k, vs.into_iter().map(|v| v.map(f64::to_bits)).collect()))
+        .collect();
+    (stats.rows_scanned, stats.probes, stats.rows_aggregated, groups)
+}
+
+#[test]
+fn row_and_columnar_engines_are_bit_identical_across_thread_counts() {
+    // The cross-engine contract of the columnar rewrite: the retired
+    // row-at-a-time interpreter (kept as `process_rows_rowwise`), the
+    // sequential columnar engine, and the columnar replay fold at pools
+    // 2/4/8 all produce the same bits — counters and every aggregate.
+    for qid in [3u8, 6, 7] {
+        let oracle = engine_trace(qid, 0);
+        for threads in [1usize, 2, 4, 8] {
+            let columnar = engine_trace(qid, threads);
+            assert_eq!(oracle, columnar, "q{qid} diverged from oracle at threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn aqp_chaos_fault_profile_is_bit_identical_across_thread_counts() {
+    // Same contract under deterministic fault injection: epoch faults
+    // perturb scheduling and retries, but with the chaos plan seeded the
+    // whole run — including every columnar batch result — must still be
+    // independent of the pool width.
+    let run = |threads: usize| {
+        let specs = WorkloadBuilder::paper().jobs(6).seed(17).build();
+        let config = AqpSystemConfig {
+            seed: 17,
+            threads,
+            faults: FaultPlan::chaos(17),
+            ..Default::default()
+        };
+        let mut sys = AqpSystem::new(data(), config);
+        sys.prepopulate_history(17);
+        sys.run(&specs, AqpPolicy::Rotary).summary
+    };
+    let baseline = run(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(baseline, run(threads), "chaos AQP run diverged at threads={threads}");
+    }
 }
 
 #[test]

@@ -1,0 +1,88 @@
+//! Golden-trace pin for the engine's result bits.
+//!
+//! A fixed-seed q3/q6/q7 run is serialized — work counters plus every
+//! grouped aggregate value as raw `f64` bit patterns — and compared
+//! byte-for-byte against the checked-in fixture in `tests/fixtures/`. Any
+//! engine refactor that shifts a single ULP anywhere in these results (and
+//! would therefore silently move every AQP accuracy number downstream)
+//! fails this test with a diff instead of slipping through.
+//!
+//! The same trace must come out of the sequential columnar path and the
+//! parallel replay fold at pools 2/4/8 — the bit-identity contract.
+//!
+//! To regenerate after an *intentional* semantics change:
+//! `ROTARY_UPDATE_FIXTURES=1 cargo test --test golden_trace`.
+
+use rotary::engine::{query, Executor, IndexCache, QueryId};
+use rotary::par::ThreadPool;
+use rotary::tpch::{BatchSource, Generator, TpchData};
+use std::fmt::Write as _;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/engine_trace_q367.txt");
+
+fn fixture_data() -> TpchData {
+    Generator::new(9, 0.002).generate()
+}
+
+/// One query's trace lines: stats, then groups in key order with values as
+/// hex bit patterns (`null` for SQL NULL).
+fn trace_query(data: &TpchData, cache: &mut IndexCache, qid: u8, threads: usize) -> String {
+    let mut exec = Executor::bind(&query(QueryId(qid)), data, cache).unwrap();
+    let n = data.lineitem.rows();
+    let mut src = BatchSource::new(3, n, n);
+    let rows = src.next_batch().unwrap().to_vec();
+    let stats = if threads <= 1 {
+        exec.process_rows(&rows)
+    } else {
+        exec.process_rows_with(&ThreadPool::new(threads), &rows)
+    };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "q{qid} stats rows_scanned={} probes={} rows_aggregated={}",
+        stats.rows_scanned, stats.probes, stats.rows_aggregated
+    )
+    .unwrap();
+    for (key, vals) in exec.state().grouped_results() {
+        let key_str: Vec<String> = key.iter().map(|k| k.to_string()).collect();
+        let val_str: Vec<String> = vals
+            .iter()
+            .map(|v| match v {
+                Some(x) => format!("{:016x}", x.to_bits()),
+                None => "null".to_string(),
+            })
+            .collect();
+        writeln!(out, "q{qid} group [{}] [{}]", key_str.join(","), val_str.join(",")).unwrap();
+    }
+    out
+}
+
+fn full_trace(threads: usize) -> String {
+    let data = fixture_data();
+    let mut cache = IndexCache::new();
+    let mut out = String::from("# engine golden trace v1: gen seed 9 sf 0.002, batch seed 3\n");
+    for qid in [3u8, 6, 7] {
+        out.push_str(&trace_query(&data, &mut cache, qid, threads));
+    }
+    out
+}
+
+#[test]
+fn columnar_engine_reproduces_golden_trace_byte_for_byte() {
+    let trace = full_trace(1);
+    if std::env::var_os("ROTARY_UPDATE_FIXTURES").is_some() {
+        std::fs::write(FIXTURE, &trace).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE)
+        .expect("missing fixture — run with ROTARY_UPDATE_FIXTURES=1 to create it");
+    assert_eq!(golden, trace, "engine trace diverged from {FIXTURE}");
+}
+
+#[test]
+fn parallel_replay_fold_reproduces_the_same_trace() {
+    let seq = full_trace(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(seq, full_trace(threads), "trace diverged at threads={threads}");
+    }
+}
