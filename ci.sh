@@ -5,10 +5,13 @@
 #
 # Usage:
 #   ./ci.sh                 format + lint + build + test
-#   ./ci.sh --bench         ... then run the engine bench and compare
-#                           against the checked-in BENCH_engine.json
-#                           baseline (±25%), failing on regression
-#   ./ci.sh --bench-update  ... then refresh the baseline in place
+#   ./ci.sh --bench         ... then run the engine and arbitration
+#                           benches and compare against the checked-in
+#                           BENCH_engine.json (±25%) and
+#                           BENCH_arbitration.json (+35%, plus the
+#                           sub-linear scaling assertion) baselines,
+#                           failing on regression
+#   ./ci.sh --bench-update  ... then refresh both baselines in place
 #   ./ci.sh --lint-update   refresh LINT_baseline.json (the P001 ratchet)
 #                           in place instead of gating on it
 set -eu
@@ -46,6 +49,13 @@ cargo test --workspace -q
 echo "== chaos property suite (256 fault plans) =="
 ROTARY_CHECK_CASES=256 cargo test -q --test chaos
 
+# Control-plane equivalence gate (DESIGN.md §13): the indexed arbitration
+# path (priority indexes, incremental refits, decision memoization) must
+# stay byte-identical to the retired dense re-sort oracle, including under
+# chaos fault plans. Pinned for the same reason as the chaos suite.
+echo "== control-plane equivalence suite (256 cases) =="
+ROTARY_CHECK_CASES=256 cargo test -q --test control_plane
+
 # Kernel-equivalence gate (DESIGN.md §5): every vectorized kernel in the
 # columnar data plane must stay bit-identical to its row-at-a-time oracle,
 # including NaN/inf payloads and empty/full selections. Pinned at 256 cases
@@ -66,15 +76,23 @@ case "$MODE" in
     echo "== bench gate (BENCH_engine.json, ±25%) =="
     cargo build --release -q -p rotary-bench
     ./target/release/bench_engine --check BENCH_engine.json
+    # Control-plane strong scaling (DESIGN.md §13): per-event arbitration
+    # cost at 100/1k/10k/100k concurrent jobs, gated per scale and on the
+    # fitted 1k→100k scaling exponent staying sub-linear.
+    echo "== arbitration gate (BENCH_arbitration.json, +35% / sub-linear) =="
+    ./target/release/bench_arbitration --check BENCH_arbitration.json
     ;;
 --bench-update)
     # Refreshing re-measures every throughput key from scratch, so the
     # columnar speedups act as a ratchet: a refresh that drops q6
     # seq/rowwise back toward pre-columnar numbers is a real regression
-    # and should be investigated, not committed.
+    # and should be investigated, not committed. The arbitration refresh
+    # keeps its own ratchet: the sub-linearity assertion runs in --write
+    # mode too, so a super-linear control plane cannot be baselined in.
     echo "== bench baseline refresh =="
     cargo build --release -q -p rotary-bench
     ./target/release/bench_engine --write BENCH_engine.json
+    ./target/release/bench_arbitration --write BENCH_arbitration.json
     ;;
 --lint-update) ;;
 "") ;;

@@ -205,6 +205,9 @@ pub(super) fn restore_run<'a>(
         rr_cursor,
         makespan,
         epochs_done,
+        // Control-plane caches are derived state: rebuilt lazily from job
+        // state at the first post-resume arbitration, never persisted.
+        arb: super::AqpArbCaches::default(),
     })
 }
 

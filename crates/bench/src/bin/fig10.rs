@@ -54,8 +54,10 @@ fn main() {
     for (name, min_p, done) in &at_120 {
         println!("  {:<20} {:>14.2} {:>10.1}", name, min_p, done);
     }
-    let best_min = at_120.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
-    let best_done = at_120.iter().max_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
+    let best_min =
+        at_120.iter().max_by_key(|r| rotary_core::arb::OrdF64::new(r.1)).expect("non-empty sweep");
+    let best_done =
+        at_120.iter().max_by_key(|r| rotary_core::arb::OrdF64::new(r.2)).expect("non-empty sweep");
     println!(
         "\nmeasured: highest min-progress at 120 min: {} ({:.2}); most attained: {} ({:.1}).\n\
          expected shape: a fairness-flavoured Rotary variant leads min-progress,\n\

@@ -36,7 +36,7 @@ where
         })
         .collect();
     // Stable by construction: sort by (score desc, original index asc).
-    scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by_key(|&(i, _, s)| (std::cmp::Reverse(crate::arb::OrdF64::new(s)), i));
     scored.into_iter().take(k).map(|(_, item, s)| (item, s)).collect()
 }
 

@@ -109,6 +109,157 @@ impl LinearFit {
     }
 }
 
+/// Sufficient statistics for a weighted linear regression, updatable in
+/// O(1) per observation (a rank-1 update of the normal equations).
+///
+/// [`LinearFit::fit`] re-reads every point on every call — fine for a
+/// one-shot solve, linear-per-event once an arbitration loop refits a
+/// running job's curve at every epoch. `WlrStats` instead accumulates the
+/// weighted raw moments `Σw`, `Σwx`, `Σwy`, `Σwx²`, `Σwxy`; adding an
+/// observation touches five floats, and [`WlrStats::fit`] solves the line
+/// from the moments alone in O(1).
+///
+/// The raw-moment solve is algebraically identical to the two-pass centered
+/// solve but rounds differently, so fits differ from [`LinearFit::fit`] at
+/// ULP level on well-conditioned data (the property suite bounds the
+/// difference and keeps the dense path as the oracle). Degeneracy detection
+/// compensates for the cancellation in `Σwx² − (Σwx)²/Σw` with a
+/// magnitude-aware threshold: identical-x inputs whose cancellation noise
+/// survives the subtraction still classify as slope-free.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WlrStats {
+    n_effective: usize,
+    w_sum: f64,
+    wx: f64,
+    wy: f64,
+    wxx: f64,
+    wxy: f64,
+}
+
+impl WlrStats {
+    /// Empty statistics (no observations).
+    pub fn new() -> Self {
+        WlrStats::default()
+    }
+
+    /// Folds one weighted observation into the moments. Mirrors
+    /// [`LinearFit::fit`]'s input rules: non-finite coordinates or weights
+    /// are rejected with [`RotaryError::InvalidConfig`], zero-weight points
+    /// are ignored.
+    pub fn add(&mut self, x: f64, y: f64, weight: f64) -> Result<()> {
+        if !(x.is_finite() && y.is_finite() && weight.is_finite()) || weight < 0.0 {
+            return Err(RotaryError::InvalidConfig(format!(
+                "non-finite or negative-weight observation ({x}, {y}, w={weight})"
+            )));
+        }
+        if weight == 0.0 {
+            return Ok(());
+        }
+        self.n_effective += 1;
+        self.w_sum += weight;
+        self.wx += weight * x;
+        self.wy += weight * y;
+        self.wxx += weight * x * x;
+        self.wxy += weight * x * y;
+        Ok(())
+    }
+
+    /// Number of positive-weight observations folded in so far.
+    pub fn n_effective(&self) -> usize {
+        self.n_effective
+    }
+
+    /// Solves the weighted least-squares line from the accumulated moments.
+    /// Same error contract as [`LinearFit::fit`]: fewer than two points, or
+    /// no x spread, is [`RotaryError::InsufficientData`].
+    pub fn fit(&self) -> Result<LinearFit> {
+        if self.n_effective < 2 {
+            return Err(RotaryError::InsufficientData {
+                estimator: "weighted-linear-regression",
+                have: self.n_effective,
+                need: 2,
+            });
+        }
+        let x_bar = self.wx / self.w_sum;
+        let y_bar = self.wy / self.w_sum;
+        let sxx = self.wxx - x_bar * self.wx;
+        let sxy = self.wxy - x_bar * self.wy;
+        // `wxx` bounds the cancellation noise of the raw-moment subtraction;
+        // without it, identical x's of large magnitude would leave a tiny
+        // garbage `sxx` that passes a purely weight-scaled threshold.
+        if sxx <= f64::EPSILON * 32.0 * (self.w_sum.max(1.0) + self.wxx) {
+            return Err(RotaryError::InsufficientData {
+                estimator: "weighted-linear-regression",
+                have: 1,
+                need: 2,
+            });
+        }
+        let slope = sxy / sxx;
+        Ok(LinearFit { intercept: y_bar - slope * x_bar, slope })
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn stats_recover_exact_line() {
+        let mut stats = WlrStats::new();
+        for &(x, y) in &[(0.0, 2.0), (1.0, 5.0), (2.0, 8.0), (5.0, 17.0)] {
+            stats.add(x, y, 1.0).unwrap();
+        }
+        let fit = stats.fit().unwrap();
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_match_dense_fit_closely() {
+        let pts: Vec<WeightedPoint> = (0..40)
+            .map(|i| {
+                let x = i as f64 * 0.25;
+                let noise = if i % 2 == 0 { 0.03 } else { -0.03 };
+                WeightedPoint::new(x, 1.0 + 0.5 * x + noise, if i % 3 == 0 { 2.0 } else { 1.0 })
+            })
+            .collect();
+        let dense = LinearFit::fit(&pts).unwrap();
+        let mut stats = WlrStats::new();
+        for p in &pts {
+            stats.add(p.x, p.y, p.weight).unwrap();
+        }
+        let inc = stats.fit().unwrap();
+        assert!((inc.slope - dense.slope).abs() < 1e-10);
+        assert!((inc.intercept - dense.intercept).abs() < 1e-10);
+    }
+
+    #[test]
+    fn stats_degeneracy_matches_dense() {
+        // Identical large-magnitude x's: the raw-moment cancellation leaves
+        // noise, which the magnitude-aware threshold must still classify as
+        // "no slope information".
+        let mut stats = WlrStats::new();
+        stats.add(1.0e3 / 3.0, 1.0, 1.0).unwrap();
+        stats.add(1.0e3 / 3.0, 5.0, 1.0).unwrap();
+        stats.add(1.0e3 / 3.0, -2.0, 0.5).unwrap();
+        assert!(matches!(stats.fit(), Err(RotaryError::InsufficientData { .. })));
+        // And the trivial under-determined cases.
+        assert!(matches!(WlrStats::new().fit(), Err(RotaryError::InsufficientData { .. })));
+        let mut one = WlrStats::new();
+        one.add(1.0, 1.0, 1.0).unwrap();
+        assert!(matches!(one.fit(), Err(RotaryError::InsufficientData { .. })));
+    }
+
+    #[test]
+    fn stats_reject_bad_inputs_and_skip_zero_weight() {
+        let mut stats = WlrStats::new();
+        assert!(stats.add(f64::NAN, 1.0, 1.0).is_err());
+        assert!(stats.add(1.0, 1.0, -1.0).is_err());
+        stats.add(50.0, -999.0, 0.0).unwrap();
+        assert_eq!(stats.n_effective(), 0, "zero-weight points are ignored");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

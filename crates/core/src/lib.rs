@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arb;
 pub mod cost;
 pub mod criteria;
 pub mod error;

@@ -120,7 +120,7 @@ impl SuccessiveHalving {
                     epochs: state.epochs_run,
                 })
                 .collect();
-            results.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).unwrap());
+            results.sort_by_key(|r| std::cmp::Reverse(rotary_core::arb::OrdF64::new(r.accuracy)));
 
             let survivors = if alive.len() == 1 { 1 } else { alive.len().div_ceil(self.eta) };
             rungs.push(RungSummary {

@@ -13,12 +13,14 @@
 //! The baselines (SRF, BCF, LAF) prioritise one criterion family and
 //! round-robin the rest, exactly as §V-B2 describes.
 
+use std::collections::BTreeSet;
+
+use rotary_core::arb::{DecisionCache, OrdF64, PriorityIndex};
 use rotary_core::criteria::{CompletionCriterion, CriterionCheck};
 use rotary_core::error::RotaryError;
 use rotary_core::estimate::JointCurveEstimator;
 use rotary_core::history::HistoryRepository;
 use rotary_core::job::{IntermediateState, JobId, JobKind, JobState, JobStatus};
-use rotary_core::policy::{JobSnapshot, Prioritizer, ThresholdPrioritizer};
 use rotary_core::progress::Objective;
 use rotary_core::resources::GpuPoolSpec;
 use rotary_core::SimTime;
@@ -102,6 +104,11 @@ pub struct DltSystemConfig {
     /// default) keeps the arbitration loop free of wall-clock reads; the
     /// Table III harness installs `rotary_bench::timing::monotonic_probe`.
     pub overhead_probe: Option<crate::estimators::ProbeClock>,
+    /// Forces the retired dense (full re-sort per event) control plane for
+    /// the Rotary policy instead of the incrementally maintained priority
+    /// index. The two paths are proven byte-equivalent by the property
+    /// suite; this switch keeps whole-run equivalence testable.
+    pub dense_control_plane: bool,
 }
 
 impl Default for DltSystemConfig {
@@ -114,6 +121,7 @@ impl Default for DltSystemConfig {
             faults: FaultPlan::from_env(),
             threads: rotary_par::configured_threads(),
             overhead_probe: None,
+            dense_control_plane: false,
         }
     }
 }
@@ -245,7 +253,74 @@ struct DltRunState {
     makespan: SimTime,
     /// Epochs completed so far — the durable-snapshot cadence counter.
     epochs_done: u64,
+    /// Incremental control-plane state; derived, rebuilt lazily after a
+    /// durable restore, never snapshotted.
+    arb: DltArbCaches,
 }
+
+/// The non-job inputs a DLT arbitration pass reads. Matching the state the
+/// previous pass left behind (with no job dirtied since) proves re-running
+/// the pass would place nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct DltFingerprint {
+    free_devices: Vec<usize>,
+    spike: u64,
+}
+
+/// Incrementally maintained control-plane caches for the Rotary-DLT
+/// threshold policy: the trial FIFO, standing fairness- and
+/// efficiency-phase orders (both maintained at once — the phase flip just
+/// selects which to read), a counter-based phase predicate, and decision
+/// memoization. Baselines (SRF/BCF/LAF) mutate rank-time state (the
+/// round-robin cursor) and keep the dense path.
+#[derive(Debug, Default)]
+struct DltArbCaches {
+    /// True once the lazy first build ran (decides `enabled`).
+    built: bool,
+    /// Indexed path active (Rotary policy and not forced dense).
+    enabled: bool,
+    /// Arbitrable never-run jobs, served FIFO (ascending id) first so
+    /// estimates get real-time grounding.
+    trial: BTreeSet<u32>,
+    /// Fairness-phase order over arbitrable warm jobs:
+    /// (progress, arrival) ascending.
+    fair: PriorityIndex<(OrdF64, SimTime)>,
+    /// Efficiency-phase order over arbitrable warm jobs whose φ̂ is
+    /// clock-free: (−φ̂, arrival) ascending.
+    eff: PriorityIndex<(OrdF64, SimTime)>,
+    /// Arbitrable warm jobs whose φ̂ depends on the clock (time-budget
+    /// runtime criteria); re-keyed fresh and merged into the efficiency
+    /// order at each pass.
+    eff_dynamic: BTreeSet<u32>,
+    /// Per-job phase predicate (progress ≥ T, considered converged, or
+    /// terminal) as last folded into `n_satisfied`.
+    satisfied: Vec<bool>,
+    /// Jobs currently satisfying the predicate; the efficiency phase holds
+    /// iff this equals the job count (Algorithm 3's phase switch).
+    n_satisfied: usize,
+    /// Jobs whose state changed since the last pass (re-key these).
+    dirty: Vec<u32>,
+    /// Jobs whose progress may have changed since the last metrics row.
+    touched: Vec<u32>,
+    /// Decision memoization over the non-job inputs.
+    memo: DecisionCache<DltFingerprint>,
+}
+
+impl DltArbCaches {
+    /// Marks a job dirty and touched; no-op until the first build decides
+    /// the indexed path is active (the build re-keys everything anyway).
+    fn mark(&mut self, i: usize) {
+        if self.enabled {
+            self.dirty.push(i as u32);
+            self.touched.push(i as u32);
+        }
+    }
+}
+
+/// Benchmark-only opaque handle over a mid-run state (see
+/// [`DltSystem::bench_start`]).
+#[doc(hidden)]
+pub struct DltBenchRun(DltRunState);
 
 /// The Rotary-DLT system.
 pub struct DltSystem {
@@ -520,6 +595,7 @@ impl DltSystem {
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut metrics = WorkloadMetrics::new();
         let mut rr_cursor = 0usize;
+        let mut arb = DltArbCaches::default();
 
         // Initial arbitration at t = 0.
         self.arbitrate(
@@ -531,6 +607,8 @@ impl DltSystem {
             policy,
             &mut meter,
             &mut rr_cursor,
+            &mut arb,
+            None,
         );
         DltRunState {
             jobs,
@@ -542,13 +620,37 @@ impl DltSystem {
             rr_cursor,
             makespan: SimTime::ZERO,
             epochs_done: 0,
+            arb,
         }
+    }
+
+    /// Benchmark hook: builds a run state without driving it, so the
+    /// `bench_arbitration` harness can time individual control-plane steps.
+    /// Not part of the public API contract.
+    #[doc(hidden)]
+    pub fn bench_start(&mut self, specs: &[DltJobSpec], policy: DltPolicy) -> DltBenchRun {
+        DltBenchRun(self.start_run(specs, policy))
+    }
+
+    /// Benchmark hook: processes one event of a [`DltSystem::bench_start`]
+    /// run; returns `false` once the event queue has drained.
+    #[doc(hidden)]
+    pub fn bench_step(&mut self, run: &mut DltBenchRun, policy: DltPolicy) -> bool {
+        self.step(&mut run.0, policy)
     }
 
     /// Processes one event; returns `false` when the queue has drained.
     fn step(&mut self, st: &mut DltRunState, policy: DltPolicy) -> bool {
         let Some((now, event)) = st.events.pop() else {
             return false;
+        };
+        // Only an epoch completion can leave a job Active and in memory, so
+        // the trailing checkpoint pass has at most this one candidate to
+        // examine (validated against the dense full scan by the property
+        // suite).
+        let ckpt_candidate = match &event {
+            Event::EpochDone(i) => Some(*i),
+            _ => None,
         };
         match event {
             Event::EpochDone(i) => {
@@ -561,6 +663,7 @@ impl DltSystem {
                     &mut st.ttr,
                 );
                 st.epochs_done += 1;
+                st.arb.mark(i);
                 if st.jobs[i].core.status.is_terminal() {
                     st.makespan = st.makespan.max(now);
                 }
@@ -574,6 +677,7 @@ impl DltSystem {
                     &mut st.metrics,
                     &mut st.events,
                 );
+                st.arb.mark(i);
                 if st.jobs[i].core.status.is_terminal() {
                     st.makespan = st.makespan.max(now);
                 }
@@ -583,6 +687,7 @@ impl DltSystem {
                     // Backoff served: the job rejoins the arbitration
                     // queue from its last durable checkpoint.
                     st.jobs[i].core.status = JobStatus::Checkpointed;
+                    st.arb.mark(i);
                 }
             }
             Event::Wake => {}
@@ -596,19 +701,38 @@ impl DltSystem {
             policy,
             &mut st.meter,
             &mut st.rr_cursor,
+            &mut st.arb,
+            ckpt_candidate,
         );
-        st.metrics.record_snapshot(
-            now,
-            st.jobs
+        if st.arb.enabled && st.metrics.snapshot_count() > 0 {
+            // Delta row: only jobs an event or a placement touched can have
+            // moved; the recorder bit-compares and drops the unchanged.
+            let touched = std::mem::take(&mut st.arb.touched);
+            let candidates: Vec<(JobId, f64)> = touched
                 .iter()
-                .map(|j| {
-                    let p =
-                        if j.core.status == JobStatus::Attained { 1.0 } else { j.core.progress() };
-                    (j.core.id, p)
+                .map(|&id| {
+                    let j = &st.jobs[id as usize];
+                    (j.core.id, Self::snapshot_progress(j))
                 })
-                .collect(),
-        );
+                .collect();
+            st.metrics.record_snapshot_sparse(now, &candidates);
+        } else {
+            st.arb.touched.clear();
+            st.metrics.record_snapshot(
+                now,
+                st.jobs.iter().map(|j| (j.core.id, Self::snapshot_progress(j))).collect(),
+            );
+        }
         true
+    }
+
+    /// The per-job value reported in progress snapshots.
+    fn snapshot_progress(j: &RunJob) -> f64 {
+        if j.core.status == JobStatus::Attained {
+            1.0
+        } else {
+            j.core.progress()
+        }
     }
 
     /// Assembles the run result once the event queue has drained.
@@ -757,49 +881,41 @@ impl DltSystem {
     ) -> Vec<usize> {
         match policy {
             DltPolicy::Rotary(objective) => {
-                // Algorithm 3 via the framework's threshold prioritizer:
-                // the phase is decided over the WHOLE workload (efficiency
-                // once every job reaches T progress or is considered
-                // converged), then arbitrable jobs sort under that phase —
-                // lowest current progress first in the fairness phase,
-                // highest estimated next-epoch progress first in the
-                // efficiency phase.
-                let snapshot = |j: &RunJob, phi_hat: f64| JobSnapshot {
-                    id: j.core.id,
-                    status: j.core.status,
-                    progress: j.core.progress(),
-                    estimated_progress: phi_hat,
-                    estimated_memory_mb: j.memory_estimate_mb,
-                    deadline: j.spec.criterion.deadline(),
-                    arrival: j.core.arrival,
-                    epochs_run: j.core.epochs_run,
-                    metric_value: j.sim.accuracy(),
-                    considered_converged: j.converged_flag,
-                };
-                let mut prioritizer = ThresholdPrioritizer::new(objective);
-                let all: Vec<JobSnapshot> =
-                    jobs.iter().map(|j| snapshot(j, j.core.progress())).collect();
-                prioritizer.update_phase(&all);
+                // Algorithm 3 on explicit total-order keys: the phase is
+                // decided over the WHOLE workload (efficiency once every job
+                // reaches T progress or is considered converged), then
+                // arbitrable jobs sort under that phase — lowest current
+                // progress first in the fairness phase, highest estimated
+                // next-epoch progress first in the efficiency phase, FIFO
+                // (arrival, then id) breaking ties.
+                let threshold = objective.threshold();
+                let efficiency = jobs.iter().all(|j| Self::phase_satisfied(j, threshold));
 
                 // Trial phase: never-run jobs go first (FIFO) so estimates
                 // get real-time grounding.
                 let (trial, rest): (Vec<usize>, Vec<usize>) =
                     indices.into_iter().partition(|&i| jobs[i].core.epochs_run == 0);
-                let mut keyed: Vec<(usize, JobSnapshot)> = rest
+                let mut keyed: Vec<((OrdF64, SimTime), usize)> = rest
                     .into_iter()
                     .map(|i| {
-                        let phi_hat = Self::progress_at(
-                            &jobs[i],
-                            jobs[i].core.epochs_run + 1,
-                            None,
-                            now,
-                            meter,
-                        );
-                        (i, snapshot(&jobs[i], phi_hat))
+                        let key = if efficiency {
+                            let phi_hat = Self::progress_at(
+                                &jobs[i],
+                                jobs[i].core.epochs_run + 1,
+                                None,
+                                now,
+                                meter,
+                            );
+                            // Negated: highest estimated progress first.
+                            OrdF64::new(-phi_hat)
+                        } else {
+                            OrdF64::new(jobs[i].core.progress())
+                        };
+                        ((key, jobs[i].core.arrival), i)
                     })
                     .collect();
-                keyed.sort_by(|a, b| prioritizer.compare(&a.1, &b.1, now));
-                trial.into_iter().chain(keyed.into_iter().map(|(i, _)| i)).collect()
+                keyed.sort_unstable();
+                trial.into_iter().chain(keyed.into_iter().map(|(_, i)| i)).collect()
             }
             DltPolicy::Srf | DltPolicy::Bcf | DltPolicy::Laf => {
                 // Priority group by criterion family, round-robin the rest.
@@ -832,7 +948,7 @@ impl DltSystem {
                         None => rest.push(i),
                     }
                 }
-                priority.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+                priority.sort_by_key(|&(i, k)| (OrdF64::new(k), i));
                 rest.sort_unstable();
                 if !rest.is_empty() {
                     let n = rest.len();
@@ -844,35 +960,153 @@ impl DltSystem {
         }
     }
 
+    /// Algorithm 3's per-job phase predicate: the job no longer holds the
+    /// workload in the fairness phase.
+    fn phase_satisfied(j: &RunJob, threshold: f64) -> bool {
+        j.core.progress() >= threshold || j.converged_flag || j.core.status.is_terminal()
+    }
+
+    /// Whether the job's estimated next-epoch progress φ̂ depends on the
+    /// clock (time-budget runtime criteria) rather than on job state alone.
+    /// Such keys cannot stand in an index between events; they are re-keyed
+    /// fresh at every efficiency-phase pass.
+    fn phi_hat_is_dynamic(j: &RunJob) -> bool {
+        matches!(
+            &j.spec.criterion,
+            CompletionCriterion::Runtime { runtime: rotary_core::criteria::Deadline::Time(_) }
+        )
+    }
+
+    /// First-touch build of the control-plane caches: decides whether the
+    /// indexed path is active and, if so, keys every job.
+    fn build_dlt_caches(
+        &self,
+        arb: &mut DltArbCaches,
+        jobs: &[RunJob],
+        policy: DltPolicy,
+        now: SimTime,
+        meter: &mut OverheadMeter,
+    ) {
+        arb.built = true;
+        arb.enabled = !self.config.dense_control_plane && matches!(policy, DltPolicy::Rotary(_));
+        if !arb.enabled {
+            return;
+        }
+        let DltPolicy::Rotary(objective) = policy else { unreachable!("enabled implies Rotary") };
+        arb.trial.clear();
+        arb.fair.clear();
+        arb.eff.clear();
+        arb.eff_dynamic.clear();
+        arb.satisfied = vec![false; jobs.len()];
+        arb.n_satisfied = 0;
+        arb.dirty.clear();
+        arb.memo.invalidate();
+        let threshold = objective.threshold();
+        for i in 0..jobs.len() {
+            Self::dlt_refresh_job(arb, jobs, i, threshold, now, meter);
+        }
+        // A build absorbs marks that were dropped while the caches were
+        // down (the event preceding a lazy rebuild after a durable restore
+        // fires before `enabled` is known): every job is a metrics
+        // candidate for the next row; the recorder's bit-compare drops the
+        // unchanged ones.
+        arb.touched = (0..jobs.len() as u32).collect();
+    }
+
+    /// Re-derives one job's control-plane entries from its current state:
+    /// the phase-predicate counter, trial membership, and the standing
+    /// fairness/efficiency keys. Idempotent; O(log n).
+    fn dlt_refresh_job(
+        arb: &mut DltArbCaches,
+        jobs: &[RunJob],
+        i: usize,
+        threshold: f64,
+        now: SimTime,
+        meter: &mut OverheadMeter,
+    ) {
+        let id = i as u32;
+        let j = &jobs[i];
+        let sat = Self::phase_satisfied(j, threshold);
+        if sat != arb.satisfied[i] {
+            arb.satisfied[i] = sat;
+            if sat {
+                arb.n_satisfied += 1;
+            } else {
+                arb.n_satisfied -= 1;
+            }
+        }
+        if !j.core.status.is_arbitrable() {
+            arb.trial.remove(&id);
+            arb.fair.remove(id);
+            arb.eff.remove(id);
+            arb.eff_dynamic.remove(&id);
+            return;
+        }
+        if j.core.epochs_run == 0 {
+            // Trial phase: FIFO by id, no keys needed.
+            arb.trial.insert(id);
+            arb.fair.remove(id);
+            arb.eff.remove(id);
+            arb.eff_dynamic.remove(&id);
+            return;
+        }
+        arb.trial.remove(&id);
+        arb.fair.upsert(id, (OrdF64::new(j.core.progress()), j.core.arrival));
+        if Self::phi_hat_is_dynamic(j) {
+            arb.eff.remove(id);
+            arb.eff_dynamic.insert(id);
+        } else {
+            let phi_hat = Self::progress_at(j, j.core.epochs_run + 1, None, now, meter);
+            // Negated: highest estimated progress first.
+            arb.eff.upsert(id, (OrdF64::new(-phi_hat), j.core.arrival));
+            arb.eff_dynamic.remove(&id);
+        }
+    }
+
+    /// Merges two ascending `((key, arrival), id)` streams into one
+    /// ascending id stream — the standing efficiency order and the
+    /// freshly-keyed clock-dependent jobs.
+    fn merge_orders<'a>(
+        a: impl Iterator<Item = ((OrdF64, SimTime), u32)> + 'a,
+        b: impl Iterator<Item = ((OrdF64, SimTime), u32)> + 'a,
+    ) -> impl Iterator<Item = usize> + 'a {
+        let mut a = a.peekable();
+        let mut b = b.peekable();
+        std::iter::from_fn(move || {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => x <= y,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            let (_, id) = if take_a { a.next()? } else { b.next()? };
+            Some(id as usize)
+        })
+    }
+
+    /// Walks the priority order, placing every job that fits a free device
+    /// (Algorithm 3's m̂ ≤ M_d test, last-device affinity first). Returns
+    /// the placed job indices and the jobs whose launch OOM-failed (their
+    /// memory estimate was corrected in place). Breaks out as soon as the
+    /// pool has no free device: every remaining iteration would no-op, and
+    /// placement is the only way free devices shrink.
     #[allow(clippy::too_many_arguments)]
-    fn arbitrate(
-        &mut self,
+    fn place_jobs(
+        &self,
         jobs: &mut [RunJob],
+        order: impl Iterator<Item = usize>,
         now: SimTime,
         pool: &mut GpuPool,
         events: &mut EventQueue<Event>,
         metrics: &mut WorkloadMetrics,
-        policy: DltPolicy,
-        meter: &mut OverheadMeter,
-        rr_cursor: &mut usize,
-    ) {
-        let arbitrable: Vec<usize> = jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, j)| j.core.status.is_arbitrable())
-            .map(|(i, _)| i)
-            .collect();
-        if arbitrable.is_empty() {
-            return;
-        }
-        let ranked = self.rank(jobs, arbitrable, now, policy, meter, rr_cursor);
-
-        // Transient co-located pressure shrinks what a device can host this
-        // slot; zero under an inert plan.
-        let spike = self.config.faults.memory_pressure_mb(now);
-
+        spike: u64,
+    ) -> (Vec<usize>, Vec<usize>) {
         let mut placed: Vec<usize> = Vec::new();
-        for &i in &ranked {
+        let mut oom: Vec<usize> = Vec::new();
+        for i in order {
+            if pool.free_devices().is_empty() {
+                break;
+            }
             let estimate = jobs[i].memory_estimate_mb.saturating_add(spike);
             // Prefer the device the job last ran on (its state may still be
             // resident); otherwise first fit (Algorithm 3's m̂ ≤ M_d test).
@@ -899,6 +1133,7 @@ impl DltSystem {
                 job.core.checkpoints += 1;
                 pool.vacate(job.core.id).expect("OOM job was placed just above");
                 placed.pop();
+                oom.push(i);
                 continue;
             }
 
@@ -943,26 +1178,36 @@ impl DltSystem {
                 }
             }
         }
+        (placed, oom)
+    }
 
-        // Jobs that just finished an epoch but were not re-placed are
-        // checkpointed to disk.
-        for job in jobs.iter_mut() {
-            if job.core.status == JobStatus::Active && job.in_memory {
-                job.in_memory = false;
-                job.core.checkpoints += 1;
-                job.ckpt_writes += 1;
-                if self.config.faults.checkpoint_write(job.core.id.0, job.ckpt_writes).is_err() {
-                    // The write is retried against the replica off the
-                    // critical path; only the failure is recorded.
-                    metrics.recovery_of(job.core.id).checkpoint_failures += 1;
-                }
-                job.core.status = JobStatus::Checkpointed;
+    /// A job that just finished an epoch but was not re-placed is
+    /// checkpointed to disk.
+    fn pause_if_idle(&self, job: &mut RunJob, metrics: &mut WorkloadMetrics) {
+        if job.core.status == JobStatus::Active && job.in_memory {
+            job.in_memory = false;
+            job.core.checkpoints += 1;
+            job.ckpt_writes += 1;
+            if self.config.faults.checkpoint_write(job.core.id.0, job.ckpt_writes).is_err() {
+                // The write is retried against the replica off the
+                // critical path; only the failure is recorded.
+                metrics.recovery_of(job.core.id).checkpoint_failures += 1;
             }
+            job.core.status = JobStatus::Checkpointed;
         }
+    }
 
-        // If transient pressure (and nothing else) is what kept a queued job
-        // off an otherwise-fitting device, make sure the system re-arbitrates
-        // when the pressure slot ends — the event queue may otherwise drain.
+    /// If transient pressure (and nothing else) is what kept a queued job
+    /// off an otherwise-fitting device, make sure the system re-arbitrates
+    /// when the pressure slot ends — the event queue may otherwise drain.
+    fn schedule_wake_if_blocked(
+        &self,
+        jobs: &[RunJob],
+        now: SimTime,
+        pool: &GpuPool,
+        events: &mut EventQueue<Event>,
+        spike: u64,
+    ) {
         if spike > 0 {
             let blocked = jobs.iter().any(|j| {
                 j.core.status.is_arbitrable() && pool.first_fit(j.memory_estimate_mb).is_some()
@@ -973,6 +1218,146 @@ impl DltSystem {
                 events.schedule(boundary, Event::Wake);
             }
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn arbitrate(
+        &mut self,
+        jobs: &mut [RunJob],
+        now: SimTime,
+        pool: &mut GpuPool,
+        events: &mut EventQueue<Event>,
+        metrics: &mut WorkloadMetrics,
+        policy: DltPolicy,
+        meter: &mut OverheadMeter,
+        rr_cursor: &mut usize,
+        arb: &mut DltArbCaches,
+        ckpt_candidate: Option<usize>,
+    ) {
+        // Transient co-located pressure shrinks what a device can host this
+        // slot; zero under an inert plan.
+        let spike = self.config.faults.memory_pressure_mb(now);
+        if !arb.built {
+            self.build_dlt_caches(arb, jobs, policy, now, meter);
+        }
+        if arb.enabled {
+            self.arbitrate_indexed(
+                jobs,
+                now,
+                pool,
+                events,
+                metrics,
+                policy,
+                meter,
+                arb,
+                ckpt_candidate,
+                spike,
+            );
+            return;
+        }
+
+        // Dense control plane: full re-rank per event (the baselines'
+        // round-robin cursor requires it; the Rotary policy keeps it
+        // reachable as the oracle behind `dense_control_plane`).
+        let arbitrable: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.core.status.is_arbitrable())
+            .map(|(i, _)| i)
+            .collect();
+        if arbitrable.is_empty() {
+            return;
+        }
+        let ranked = self.rank(jobs, arbitrable, now, policy, meter, rr_cursor);
+        let _ = self.place_jobs(jobs, ranked.into_iter(), now, pool, events, metrics, spike);
+
+        // Jobs that just finished an epoch but were not re-placed are
+        // checkpointed to disk.
+        for job in jobs.iter_mut() {
+            self.pause_if_idle(job, metrics);
+        }
+        self.schedule_wake_if_blocked(jobs, now, pool, events, spike);
+    }
+
+    /// The indexed control plane: re-keys only dirtied jobs, reads the
+    /// standing order for the current phase, and memoizes the decision when
+    /// nothing changed.
+    #[allow(clippy::too_many_arguments)]
+    fn arbitrate_indexed(
+        &self,
+        jobs: &mut [RunJob],
+        now: SimTime,
+        pool: &mut GpuPool,
+        events: &mut EventQueue<Event>,
+        metrics: &mut WorkloadMetrics,
+        policy: DltPolicy,
+        meter: &mut OverheadMeter,
+        arb: &mut DltArbCaches,
+        ckpt_candidate: Option<usize>,
+        spike: u64,
+    ) {
+        let DltPolicy::Rotary(objective) = policy else { return };
+        let threshold = objective.threshold();
+        let dirty = std::mem::take(&mut arb.dirty);
+        for &id in &dirty {
+            Self::dlt_refresh_job(arb, jobs, id as usize, threshold, now, meter);
+        }
+        // `fair` and `eff ∪ eff_dynamic` hold exactly the warm arbitrable
+        // jobs, `trial` the cold ones — together, the dense path's
+        // arbitrable filter.
+        if arb.trial.is_empty() && arb.fair.is_empty() {
+            return;
+        }
+        // Decision memo. Only consulted at zero pressure: a hit while a
+        // spike is active would skip re-scheduling the wake at the next
+        // pressure-slot boundary and the queue could drain with jobs still
+        // blocked. At spike == 0 the previous identical pass proved every
+        // queued job unplaceable, and the wake tail is a no-op anyway.
+        if dirty.is_empty() && spike == 0 {
+            let fingerprint = DltFingerprint { free_devices: pool.free_devices(), spike };
+            if arb.memo.hit(&fingerprint) {
+                return;
+            }
+        }
+        let efficiency = arb.n_satisfied == jobs.len();
+        let (placed, oom) = if efficiency {
+            // Clock-dependent φ̂ keys cannot stand in the index; key them
+            // fresh and merge with the standing order.
+            let mut dyn_keyed: Vec<((OrdF64, SimTime), u32)> = arb
+                .eff_dynamic
+                .iter()
+                .map(|&id| {
+                    let j = &jobs[id as usize];
+                    let phi_hat = Self::progress_at(j, j.core.epochs_run + 1, None, now, meter);
+                    ((OrdF64::new(-phi_hat), j.core.arrival), id)
+                })
+                .collect();
+            dyn_keyed.sort_unstable();
+            let order = arb
+                .trial
+                .iter()
+                .map(|&id| id as usize)
+                .chain(Self::merge_orders(arb.eff.iter(), dyn_keyed.into_iter()));
+            self.place_jobs(jobs, order, now, pool, events, metrics, spike)
+        } else {
+            let order = arb
+                .trial
+                .iter()
+                .map(|&id| id as usize)
+                .chain(arb.fair.iter().map(|(_, id)| id as usize));
+            self.place_jobs(jobs, order, now, pool, events, metrics, spike)
+        };
+        // Placed jobs left the arbitrable set (Running) and OOM launches
+        // corrected their memory estimate: both must be re-examined before
+        // the next pass can trust the standing state.
+        for &i in placed.iter().chain(oom.iter()) {
+            arb.mark(i);
+        }
+        if let Some(i) = ckpt_candidate {
+            self.pause_if_idle(&mut jobs[i], metrics);
+        }
+        arb.memo.store(DltFingerprint { free_devices: pool.free_devices(), spike });
+        self.schedule_wake_if_blocked(jobs, now, pool, events, spike);
     }
 }
 
@@ -1212,6 +1597,29 @@ mod tests {
         let err = resumed_sys.resume_durable(&specs, DltPolicy::Bcf, &cfg);
         assert!(matches!(err, Err(RotaryError::InvalidConfig(_))));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dense_and_indexed_control_planes_match() {
+        let specs = DltWorkloadBuilder::paper().jobs(10).seed(21).build();
+        for objective in [Objective::Threshold(0.5), Objective::Fairness, Objective::Efficiency] {
+            let policy = DltPolicy::Rotary(objective);
+            let mut dense_sys =
+                DltSystem::new(DltSystemConfig { dense_control_plane: true, ..quick() });
+            dense_sys.prepopulate_history(&specs, 77);
+            let dense = dense_sys.run(&specs, policy);
+            let mut indexed_sys = DltSystem::new(quick());
+            indexed_sys.prepopulate_history(&specs, 77);
+            let indexed = indexed_sys.run(&specs, policy);
+            assert_eq!(dense.makespan, indexed.makespan, "{}", policy.name());
+            assert_eq!(dense.summary, indexed.summary, "{}", policy.name());
+            assert_eq!(
+                dense.metrics.to_json().expect("metrics json"),
+                indexed.metrics.to_json().expect("metrics json"),
+                "{} traces must be byte-identical",
+                policy.name()
+            );
+        }
     }
 
     #[test]

@@ -184,7 +184,20 @@ pub(super) fn restore_run(
         .map(SimTime::from_millis)
         .ok_or_else(|| corrupt("malformed loop.makespan"))?;
 
-    Ok(DltRunState { jobs, events, pool, metrics, meter, ttr, rr_cursor, makespan, epochs_done })
+    // Control-plane caches are derived state: rebuilt lazily from the
+    // restored jobs on the first arbitration after resume.
+    Ok(DltRunState {
+        jobs,
+        events,
+        pool,
+        metrics,
+        meter,
+        ttr,
+        rr_cursor,
+        makespan,
+        epochs_done,
+        arb: super::DltArbCaches::default(),
+    })
 }
 
 fn duration_nanos(d: Duration) -> u64 {

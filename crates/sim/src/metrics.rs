@@ -163,11 +163,27 @@ impl ProgressSnapshot {
     }
 }
 
+/// Internal storage for one progress row: either a fully materialized
+/// snapshot or the set of `(job, φ)` pairs that changed since the previous
+/// row. A workload of `n` jobs stepping through `e` events stores O(n + e·k)
+/// pairs (k = jobs changed per event, usually 0 or 1) instead of O(n·e) —
+/// the difference between megabytes and tens of gigabytes at 100k jobs.
+/// Rows materialize back to [`ProgressSnapshot`]s on read, byte-identical to
+/// the dense recording.
+#[derive(Debug, Clone, PartialEq)]
+enum ProgressRow {
+    Full(ProgressSnapshot),
+    Delta { at: SimTime, changed: Vec<(JobId, f64)> },
+}
+
 /// Trace collector for one simulated run.
 #[derive(Debug, Clone, Default)]
 pub struct WorkloadMetrics {
     spans: Vec<PlacementSpan>,
-    snapshots: Vec<ProgressSnapshot>,
+    rows: Vec<ProgressRow>,
+    /// Each job's φ as of the latest row, compared bit-for-bit when
+    /// delta-encoding.
+    last: BTreeMap<JobId, f64>,
     recovery: BTreeMap<JobId, RecoveryCounters>,
 }
 
@@ -183,9 +199,34 @@ impl WorkloadMetrics {
         self.spans.push(span);
     }
 
-    /// Records a progress snapshot of the whole workload.
+    /// Records a progress snapshot of the whole workload. `progress` must
+    /// list every job (ascending id) — the row is stored fully materialized.
     pub fn record_snapshot(&mut self, at: SimTime, progress: Vec<(JobId, f64)>) {
-        self.snapshots.push(ProgressSnapshot { at, progress });
+        for &(job, p) in &progress {
+            self.last.insert(job, p);
+        }
+        self.rows.push(ProgressRow::Full(ProgressSnapshot { at, progress }));
+    }
+
+    /// Records a progress row from `candidates` — a superset of the jobs
+    /// whose φ may have changed since the previous row. Unchanged candidates
+    /// (bit-identical φ) are dropped, so the row stores only real movement;
+    /// a first row (empty trace) must therefore pass the full workload.
+    /// Materializes identically to [`record_snapshot`](Self::record_snapshot)
+    /// with the full job list.
+    pub fn record_snapshot_sparse(&mut self, at: SimTime, candidates: &[(JobId, f64)]) {
+        if self.rows.is_empty() {
+            self.record_snapshot(at, candidates.to_vec());
+            return;
+        }
+        let mut changed = Vec::new();
+        for &(job, p) in candidates {
+            if self.last.get(&job).map(|prev| prev.to_bits()) != Some(p.to_bits()) {
+                self.last.insert(job, p);
+                changed.push((job, p));
+            }
+        }
+        self.rows.push(ProgressRow::Delta { at, changed });
     }
 
     /// All placement spans, in recording order.
@@ -193,9 +234,35 @@ impl WorkloadMetrics {
         &self.spans
     }
 
-    /// All progress snapshots, in recording order.
-    pub fn snapshots(&self) -> &[ProgressSnapshot] {
-        &self.snapshots
+    /// All progress snapshots, in recording order, materialized from the
+    /// delta-encoded rows (each row reports every job, ascending id).
+    pub fn snapshots(&self) -> Vec<ProgressSnapshot> {
+        let mut state: BTreeMap<JobId, f64> = BTreeMap::new();
+        let mut out = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            match row {
+                ProgressRow::Full(snap) => {
+                    state = snap.progress.iter().copied().collect();
+                    out.push(snap.clone());
+                }
+                ProgressRow::Delta { at, changed } => {
+                    for &(job, p) in changed {
+                        state.insert(job, p);
+                    }
+                    out.push(ProgressSnapshot {
+                        at: *at,
+                        progress: state.iter().map(|(&job, &p)| (job, p)).collect(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of progress rows recorded (cheaper than materializing
+    /// [`snapshots`](Self::snapshots) just to count them).
+    pub fn snapshot_count(&self) -> usize {
+        self.rows.len()
     }
 
     /// Mutable recovery counters for a job, created on first touch. Only
@@ -251,7 +318,7 @@ impl WorkloadMetrics {
             ("spans", Json::Arr(self.spans.iter().map(PlacementSpan::to_json_value).collect())),
             (
                 "snapshots",
-                Json::Arr(self.snapshots.iter().map(ProgressSnapshot::to_json_value).collect()),
+                Json::Arr(self.snapshots().iter().map(ProgressSnapshot::to_json_value).collect()),
             ),
         ];
         // Emitted only when some fault fired: a fault-free trace stays
@@ -293,7 +360,12 @@ impl WorkloadMetrics {
                 .map_err(RotaryError::Persistence)?,
             None => BTreeMap::new(),
         };
-        Ok(WorkloadMetrics { spans, snapshots, recovery })
+        let mut last = BTreeMap::new();
+        if let Some(final_row) = snapshots.last() {
+            last = final_row.progress.iter().copied().collect();
+        }
+        let rows = snapshots.into_iter().map(ProgressRow::Full).collect();
+        Ok(WorkloadMetrics { spans, rows, last, recovery })
     }
 }
 
@@ -321,7 +393,7 @@ impl Distribution {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let q = |p: f64| -> f64 {
             // Linear interpolation between closest ranks.
             let idx = p * (sorted.len() - 1) as f64;
@@ -562,6 +634,30 @@ mod tests {
         assert_eq!(restored.recovery()[&JobId(3)].crashes, 2);
         assert!(restored.recovery()[&JobId(5)].crashes == 0);
         assert!(!restored.recovery()[&JobId(5)].is_zero());
+    }
+
+    #[test]
+    fn sparse_rows_materialize_like_dense_recording() {
+        // Dense: every row lists every job.
+        let mut dense = WorkloadMetrics::new();
+        dense.record_snapshot(SimTime::from_secs(1), vec![(JobId(0), 0.1), (JobId(1), 0.2)]);
+        dense.record_snapshot(SimTime::from_secs(2), vec![(JobId(0), 0.1), (JobId(1), 0.5)]);
+        dense.record_snapshot(SimTime::from_secs(3), vec![(JobId(0), 0.1), (JobId(1), 0.5)]);
+        dense.record_snapshot(SimTime::from_secs(4), vec![(JobId(0), 0.7), (JobId(1), 0.5)]);
+
+        // Sparse: first row full, later rows pass only candidate supersets.
+        let mut sparse = WorkloadMetrics::new();
+        sparse.record_snapshot_sparse(SimTime::from_secs(1), &[(JobId(0), 0.1), (JobId(1), 0.2)]);
+        sparse.record_snapshot_sparse(SimTime::from_secs(2), &[(JobId(1), 0.5)]);
+        sparse.record_snapshot_sparse(SimTime::from_secs(3), &[]);
+        // Unchanged candidates are deduplicated away automatically.
+        sparse.record_snapshot_sparse(SimTime::from_secs(4), &[(JobId(0), 0.7), (JobId(1), 0.5)]);
+
+        assert_eq!(sparse.snapshots(), dense.snapshots());
+        assert_eq!(sparse.snapshot_count(), 4);
+        assert_eq!(sparse.to_json().unwrap(), dense.to_json().unwrap());
+        let round = WorkloadMetrics::from_json(&sparse.to_json().unwrap()).unwrap();
+        assert_eq!(round.snapshots(), dense.snapshots());
     }
 
     #[test]
