@@ -5,13 +5,15 @@
 #
 # Usage:
 #   ./ci.sh                 format + lint + build + test
-#   ./ci.sh --bench         ... then run the engine and arbitration
-#                           benches and compare against the checked-in
-#                           BENCH_engine.json (±25%) and
+#   ./ci.sh --bench         ... then run the engine, arbitration, and
+#                           serve benches and compare against the
+#                           checked-in BENCH_engine.json (±25%),
 #                           BENCH_arbitration.json (+35%, plus the
-#                           sub-linear scaling assertion) baselines,
-#                           failing on regression
-#   ./ci.sh --bench-update  ... then refresh both baselines in place
+#                           sub-linear scaling assertion), and
+#                           BENCH_serve.json (+35% on p99 wait and
+#                           ns/submission) baselines, failing on
+#                           regression
+#   ./ci.sh --bench-update  ... then refresh all three baselines in place
 #   ./ci.sh --lint-update   refresh LINT_baseline.json (the P001 ratchet)
 #                           in place instead of gating on it
 set -eu
@@ -71,6 +73,15 @@ ROTARY_CHECK_CASES=256 cargo test -q -p rotary-engine --test kernel_equivalence
 echo "== rotary-store corrupted-fixture suite =="
 cargo test -q -p rotary-store
 
+# Service-layer gate (DESIGN.md §14): admission edge cases (quota refill
+# boundaries, drain-time queue pressure, shed/complete races, resume with
+# a queued backlog) as 256-case property suites, plus the AQP-backed kill
+# chains and the overload determinism assertions. Pinned for the same
+# reason as the chaos suite.
+echo "== rotary-serve admission suite (256 cases) =="
+ROTARY_CHECK_CASES=256 cargo test -q --test serve
+cargo test -q -p rotary-serve
+
 case "$MODE" in
 --bench)
     echo "== bench gate (BENCH_engine.json, ±25%) =="
@@ -81,6 +92,11 @@ case "$MODE" in
     # fitted 1k→100k scaling exponent staying sub-linear.
     echo "== arbitration gate (BENCH_arbitration.json, +35% / sub-linear) =="
     ./target/release/bench_arbitration --check BENCH_arbitration.json
+    # Service-layer load (DESIGN.md §14): one million closed-loop users
+    # against the simulated backend; gates per-submission wall cost and
+    # the (deterministic) p99 admission wait.
+    echo "== serve gate (BENCH_serve.json, +35%) =="
+    ./target/release/bench_serve --check BENCH_serve.json
     ;;
 --bench-update)
     # Refreshing re-measures every throughput key from scratch, so the
@@ -93,6 +109,7 @@ case "$MODE" in
     cargo build --release -q -p rotary-bench
     ./target/release/bench_engine --write BENCH_engine.json
     ./target/release/bench_arbitration --write BENCH_arbitration.json
+    ./target/release/bench_serve --write BENCH_serve.json
     ;;
 --lint-update) ;;
 "") ;;

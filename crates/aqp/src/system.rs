@@ -405,6 +405,27 @@ impl AqpArbCaches {
 #[doc(hidden)]
 pub struct AqpBenchRun<'a>(AqpRunState<'a>);
 
+/// Streaming-service handle: an open-ended run that admits jobs one at a
+/// time instead of taking the whole workload up front (the seam the
+/// `rotary-serve` daemon drives). The handle accumulates the admitted
+/// specs so a durable snapshot of the stream is exactly a snapshot of the
+/// equivalent batch run over those specs.
+pub struct AqpServeRun<'a> {
+    st: AqpRunState<'a>,
+    policy: AqpPolicy,
+    specs: Vec<AqpJobSpec>,
+    /// Per-job flag: terminal outcome already handed out by
+    /// [`AqpSystem::serve_drain_finished`].
+    reported: Vec<bool>,
+}
+
+impl AqpServeRun<'_> {
+    /// The specs admitted so far, in admission order.
+    pub fn specs(&self) -> &[AqpJobSpec] {
+        &self.specs
+    }
+}
+
 /// The multi-tenant AQP system bound to one dataset.
 pub struct AqpSystem<'a> {
     data: &'a TpchData,
@@ -483,7 +504,12 @@ impl<'a> AqpSystem<'a> {
     /// Populates the repository by running every TPC-H query once,
     /// uncontended — the "historical jobs" Rotary's estimators draw on.
     /// Returns the number of records inserted.
-    pub fn prepopulate_history(&mut self, seed: u64) -> usize {
+    ///
+    /// # Errors
+    /// [`RotaryError::PlanBind`](rotary_core::RotaryError::PlanBind) when a
+    /// built-in plan fails to bind against the dataset — the dataset is
+    /// unusable and nothing was inserted.
+    pub fn prepopulate_history(&mut self, seed: u64) -> rotary_core::Result<usize> {
         // Control plane: bind every query serially (the index cache is a
         // shared mutable resource), carrying the per-query features along.
         let ids: Vec<QueryId> = QueryId::all().collect();
@@ -499,8 +525,7 @@ impl<'a> AqpSystem<'a> {
                 truth,
                 seed ^ (i as u64 + 1),
                 batch_rows,
-            )
-            .expect("prepopulation bind");
+            )?;
             runs.push((QueryFeatures::of(&plan, self.memory[&id.0]), online));
         }
 
@@ -537,14 +562,22 @@ impl<'a> AqpSystem<'a> {
                 epochs: 0,
             });
         }
-        self.history.len()
+        Ok(self.history.len())
     }
 
     /// Runs a workload under a policy.
-    pub fn run(&mut self, specs: &[AqpJobSpec], policy: AqpPolicy) -> AqpRunResult {
-        let mut st = self.start_run(specs, policy);
+    ///
+    /// # Errors
+    /// [`RotaryError::PlanBind`](rotary_core::RotaryError::PlanBind) when a
+    /// spec fails to bind against the dataset; no partial run happens.
+    pub fn run(
+        &mut self,
+        specs: &[AqpJobSpec],
+        policy: AqpPolicy,
+    ) -> rotary_core::Result<AqpRunResult> {
+        let mut st = self.start_run(specs, policy)?;
         while self.step(&mut st, policy) {}
-        self.finish_run(st, specs, policy)
+        Ok(self.finish_run(st, specs, policy))
     }
 
     /// Runs a workload with durable snapshotting: after every
@@ -564,7 +597,7 @@ impl<'a> AqpSystem<'a> {
         durable.validate()?;
         self.config.checkpoint.validate()?;
         let store = SnapshotStore::open(&durable.dir)?;
-        let st = self.start_run(specs, policy);
+        let st = self.start_run(specs, policy)?;
         self.drive(st, specs, policy, durable, &store, 0)
     }
 
@@ -593,7 +626,7 @@ impl<'a> AqpSystem<'a> {
                 self.drive(st, specs, policy, durable, &store, generation)
             }
             None => {
-                let st = self.start_run(specs, policy);
+                let st = self.start_run(specs, policy)?;
                 self.drive(st, specs, policy, durable, &store, 0)
             }
         }
@@ -629,86 +662,103 @@ impl<'a> AqpSystem<'a> {
     /// Binds every spec to an executor and builds its initial run state —
     /// shared by fresh starts and snapshot restores (which overwrite the
     /// mutable per-job state afterwards).
-    fn build_jobs(&mut self, specs: &[AqpJobSpec], policy: AqpPolicy) -> Vec<RunJob<'a>> {
+    fn build_jobs(
+        &mut self,
+        specs: &[AqpJobSpec],
+        policy: AqpPolicy,
+    ) -> rotary_core::Result<Vec<RunJob<'a>>> {
         let mut jobs: Vec<RunJob<'_>> = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
-            let plan = &self.plans[&spec.query.0];
-            let batch_rows = Self::batch_rows_for(plan, self.data, self.config.batch_fraction);
-            let fact_rows = self.data.table(&plan.fact).map(|t| t.rows()).unwrap_or(1);
-            let online = OnlineAggregation::new(
-                plan,
-                self.data,
-                &mut self.cache,
-                self.truths[&spec.query.0].clone(),
-                self.config.seed ^ ((i as u64 + 1) * 0x9e37),
-                batch_rows,
-            )
-            .expect("job bind");
-            let envelopes = (0..plan.aggregates.len())
-                .map(|_| EnvelopeDetector::new(self.config.envelope_window, 0.01))
-                .collect();
-            let memory_mb = self.memory[&spec.query.0];
-            let features = QueryFeatures::of(plan, memory_mb);
-            let estimator = match policy {
-                AqpPolicy::Rotary | AqpPolicy::RotaryRandomEstimator => {
-                    build_estimator(&features, &self.history, self.config.top_k)
-                }
-                // ReLAQS and the others estimate from real-time data only.
-                _ => JointCurveEstimator::new(CurveBasis::LogShifted, Vec::new()),
-            };
-            let epoch_batches = match policy {
-                AqpPolicy::Rotary | AqpPolicy::RotaryRandomEstimator
-                    if self.config.adaptive_epochs =>
-                {
-                    // Adaptive running epochs: "the AQP jobs that consume
-                    // larger memory … deserve a longer running epoch"
-                    // (§IV-A). The base length is the floor — lighter jobs
-                    // keep the baseline epoch; heavier jobs get epochs
-                    // proportional to their memory footprint.
-                    let scaled = self.config.base_epoch_batches as f64 * memory_mb as f64
-                        / self.reference_memory.max(1.0);
-                    (scaled.round() as usize)
-                        .clamp(self.config.base_epoch_batches, self.config.max_epoch_batches)
-                }
-                _ => self.config.base_epoch_batches,
-            };
-            let mut core =
-                JobState::new(JobId(i as u64), JobKind::Aqp, spec.criterion(), spec.arrival);
-            core.status = JobStatus::Pending;
-            jobs.push(RunJob {
-                spec: spec.clone(),
-                core,
-                online,
-                envelopes,
-                estimator,
-                features,
-                memory_mb,
-                epoch_batches,
-                fraction_per_epoch: batch_rows as f64 / fact_rows as f64,
-                declaration_margin: self.config.declaration_margin,
-                in_memory: false,
-                epoch_start: SimTime::ZERO,
-                threads: 0,
-                last_threads: 1,
-                pending_persist: SimTime::ZERO,
-                fault_attempts: 0,
-                restores: 0,
-                ckpt_writes: 0,
-            });
+            jobs.push(self.build_job(i, spec, policy)?);
         }
-        jobs
+        Ok(jobs)
+    }
+
+    /// Binds one spec at global job index `i`. The index seeds the job's
+    /// batch permutation, so a job admitted mid-run through the streaming
+    /// seam binds identically to the same spec at the same position in a
+    /// batch run — the property the serve-restore path relies on.
+    fn build_job(
+        &mut self,
+        i: usize,
+        spec: &AqpJobSpec,
+        policy: AqpPolicy,
+    ) -> rotary_core::Result<RunJob<'a>> {
+        let plan = &self.plans[&spec.query.0];
+        let batch_rows = Self::batch_rows_for(plan, self.data, self.config.batch_fraction);
+        let fact_rows = self.data.table(&plan.fact).map(|t| t.rows()).unwrap_or(1);
+        let online = OnlineAggregation::new(
+            plan,
+            self.data,
+            &mut self.cache,
+            self.truths[&spec.query.0].clone(),
+            self.config.seed ^ ((i as u64 + 1) * 0x9e37),
+            batch_rows,
+        )?;
+        let envelopes = (0..plan.aggregates.len())
+            .map(|_| EnvelopeDetector::new(self.config.envelope_window, 0.01))
+            .collect();
+        let memory_mb = self.memory[&spec.query.0];
+        let features = QueryFeatures::of(plan, memory_mb);
+        let estimator = match policy {
+            AqpPolicy::Rotary | AqpPolicy::RotaryRandomEstimator => {
+                build_estimator(&features, &self.history, self.config.top_k)
+            }
+            // ReLAQS and the others estimate from real-time data only.
+            _ => JointCurveEstimator::new(CurveBasis::LogShifted, Vec::new()),
+        };
+        let epoch_batches = match policy {
+            AqpPolicy::Rotary | AqpPolicy::RotaryRandomEstimator if self.config.adaptive_epochs => {
+                // Adaptive running epochs: "the AQP jobs that consume
+                // larger memory … deserve a longer running epoch"
+                // (§IV-A). The base length is the floor — lighter jobs
+                // keep the baseline epoch; heavier jobs get epochs
+                // proportional to their memory footprint.
+                let scaled = self.config.base_epoch_batches as f64 * memory_mb as f64
+                    / self.reference_memory.max(1.0);
+                (scaled.round() as usize)
+                    .clamp(self.config.base_epoch_batches, self.config.max_epoch_batches)
+            }
+            _ => self.config.base_epoch_batches,
+        };
+        let mut core = JobState::new(JobId(i as u64), JobKind::Aqp, spec.criterion(), spec.arrival);
+        core.status = JobStatus::Pending;
+        Ok(RunJob {
+            spec: spec.clone(),
+            core,
+            online,
+            envelopes,
+            estimator,
+            features,
+            memory_mb,
+            epoch_batches,
+            fraction_per_epoch: batch_rows as f64 / fact_rows as f64,
+            declaration_margin: self.config.declaration_margin,
+            in_memory: false,
+            epoch_start: SimTime::ZERO,
+            threads: 0,
+            last_threads: 1,
+            pending_persist: SimTime::ZERO,
+            fault_attempts: 0,
+            restores: 0,
+            ckpt_writes: 0,
+        })
     }
 
     /// Builds the initial run state for a workload: bound jobs plus the
     /// arrival and deadline events.
-    fn start_run(&mut self, specs: &[AqpJobSpec], policy: AqpPolicy) -> AqpRunState<'a> {
-        let jobs = self.build_jobs(specs, policy);
+    fn start_run(
+        &mut self,
+        specs: &[AqpJobSpec],
+        policy: AqpPolicy,
+    ) -> rotary_core::Result<AqpRunState<'a>> {
+        let jobs = self.build_jobs(specs, policy)?;
         let mut events: EventQueue<Event> = EventQueue::new();
         for (i, job) in jobs.iter().enumerate() {
             events.schedule(job.spec.arrival, Event::Arrival(i));
             events.schedule(job.deadline_at(), Event::DeadlineCheck(i));
         }
-        AqpRunState {
+        Ok(AqpRunState {
             jobs,
             events,
             pool: CpuPool::new(self.config.pool),
@@ -722,15 +772,19 @@ impl<'a> AqpSystem<'a> {
             makespan: SimTime::ZERO,
             epochs_done: 0,
             arb: AqpArbCaches::default(),
-        }
+        })
     }
 
     /// Benchmark hook: builds a run state without driving it, so the
     /// `bench_arbitration` harness can time individual control-plane steps.
     /// Not part of the public API contract.
     #[doc(hidden)]
-    pub fn bench_start(&mut self, specs: &[AqpJobSpec], policy: AqpPolicy) -> AqpBenchRun<'a> {
-        AqpBenchRun(self.start_run(specs, policy))
+    pub fn bench_start(
+        &mut self,
+        specs: &[AqpJobSpec],
+        policy: AqpPolicy,
+    ) -> rotary_core::Result<AqpBenchRun<'a>> {
+        Ok(AqpBenchRun(self.start_run(specs, policy)?))
     }
 
     /// Benchmark hook: processes one event of a [`AqpSystem::bench_start`]
@@ -738,6 +792,122 @@ impl<'a> AqpSystem<'a> {
     #[doc(hidden)]
     pub fn bench_step(&mut self, run: &mut AqpBenchRun<'a>, policy: AqpPolicy) -> bool {
         self.step(&mut run.0, policy)
+    }
+
+    /// Opens an empty streaming run for the serve daemon: no jobs, no
+    /// pending events — work arrives later through
+    /// [`AqpSystem::serve_admit`].
+    pub fn serve_start(&mut self, policy: AqpPolicy) -> rotary_core::Result<AqpServeRun<'a>> {
+        Ok(AqpServeRun {
+            st: self.start_run(&[], policy)?,
+            policy,
+            specs: Vec::new(),
+            reported: Vec::new(),
+        })
+    }
+
+    /// Admits one job into a streaming run, returning its job index. The
+    /// spec's `arrival` must not precede the run's clock (the daemon
+    /// guarantees this: it only admits at its own monotone virtual time).
+    ///
+    /// The job binds exactly as it would at the same index in a batch run
+    /// — same seed, same adaptive epoch length — and the control-plane
+    /// caches grow in place: the indexed arbitration path keeps its
+    /// standing order and re-keys only the newcomer.
+    ///
+    /// # Errors
+    /// [`RotaryError::PlanBind`](rotary_core::RotaryError::PlanBind) when
+    /// the spec fails to bind; the run is untouched and the daemon reports
+    /// the submission as failed without disturbing admitted work.
+    pub fn serve_admit(
+        &mut self,
+        run: &mut AqpServeRun<'a>,
+        spec: AqpJobSpec,
+    ) -> rotary_core::Result<usize> {
+        let i = run.st.jobs.len();
+        let job = self.build_job(i, &spec, run.policy)?;
+        run.st.events.schedule(spec.arrival, Event::Arrival(i));
+        run.st.events.schedule(job.deadline_at(), Event::DeadlineCheck(i));
+        run.st.jobs.push(job);
+        if run.st.arb.built && run.st.arb.enabled {
+            // The first cache build sized `contrib` to the job count it
+            // saw; grow it before marking so the re-key can fold the
+            // newcomer into the fleet sums.
+            run.st.arb.contrib.push((0, 0));
+            run.st.arb.mark(i);
+        }
+        run.specs.push(spec);
+        run.reported.push(false);
+        Ok(i)
+    }
+
+    /// The virtual time of the run's next internal event, if any.
+    pub fn serve_peek(&self, run: &AqpServeRun<'a>) -> Option<SimTime> {
+        run.st.events.peek_time()
+    }
+
+    /// Processes one event of a streaming run; returns `false` when the
+    /// event queue has drained (more admissions may refill it).
+    pub fn serve_step(&mut self, run: &mut AqpServeRun<'a>) -> bool {
+        let policy = run.policy;
+        self.step(&mut run.st, policy)
+    }
+
+    /// Drains the jobs that reached a terminal status since the last call:
+    /// `(job index, terminal status, finish time)`. Each job is reported
+    /// exactly once across the run's lifetime, including across a
+    /// snapshot/restore boundary (restored terminals count as already
+    /// reported — their outcomes live in the daemon's own ledger).
+    pub fn serve_drain_finished(
+        &mut self,
+        run: &mut AqpServeRun<'a>,
+    ) -> Vec<(usize, JobStatus, SimTime)> {
+        let mut out = Vec::new();
+        for (i, job) in run.st.jobs.iter().enumerate() {
+            if !run.reported[i] && job.core.status.is_terminal() {
+                run.reported[i] = true;
+                out.push((i, job.core.status, job.core.finished_at.unwrap_or(run.st.makespan)));
+            }
+        }
+        out
+    }
+
+    /// Jobs admitted but not yet terminal.
+    pub fn serve_inflight(&self, run: &AqpServeRun<'a>) -> usize {
+        run.st.jobs.iter().filter(|j| !j.core.status.is_terminal()).count()
+    }
+
+    /// Serialises the streaming run as named snapshot records — the same
+    /// layout a batch [`AqpSystem::run_durable`] writes for the admitted
+    /// specs.
+    ///
+    /// # Errors
+    /// Serialization failures pass through as typed errors.
+    pub fn serve_snapshot(
+        &self,
+        run: &AqpServeRun<'a>,
+        generation: u64,
+    ) -> rotary_core::Result<Vec<(String, Vec<u8>)>> {
+        snapshot::snapshot_records(self, &run.st, &run.specs, run.policy, generation)
+    }
+
+    /// Rebuilds a streaming run from records written by
+    /// [`AqpSystem::serve_snapshot`]. `specs` must be the admitted specs in
+    /// admission order (the serve layer snapshots them alongside).
+    ///
+    /// # Errors
+    /// [`RotaryError::SnapshotCorrupt`](rotary_core::RotaryError::SnapshotCorrupt)
+    /// on structural damage; `InvalidConfig` when the snapshot belongs to a
+    /// different workload, policy, or config.
+    pub fn serve_restore(
+        &mut self,
+        specs: Vec<AqpJobSpec>,
+        policy: AqpPolicy,
+        records: &[(String, Vec<u8>)],
+    ) -> rotary_core::Result<AqpServeRun<'a>> {
+        let st = snapshot::restore_run(self, &specs, policy, records)?;
+        let reported = st.jobs.iter().map(|j| j.core.status.is_terminal()).collect();
+        Ok(AqpServeRun { st, policy, specs, reported })
     }
 
     /// Processes one event and re-arbitrates. Returns `false` when the
@@ -1814,7 +1984,7 @@ mod tests {
         let data = small_data();
         let mut sys = AqpSystem::new(&data, quick_config());
         let specs = vec![AqpJobSpec::new(QueryId(6), 0.55, SimTime::from_secs(900), SimTime::ZERO)];
-        let result = sys.run(&specs, AqpPolicy::Rotary);
+        let result = sys.run(&specs, AqpPolicy::Rotary).unwrap();
         let (_, state) = &result.jobs[0];
         assert!(
             matches!(state.status, JobStatus::Attained | JobStatus::FalselyAttained),
@@ -1831,7 +2001,7 @@ mod tests {
         let mut sys = AqpSystem::new(&data, quick_config());
         let specs = WorkloadBuilder::paper().jobs(8).seed(5).build();
         for policy in AqpPolicy::all() {
-            let result = sys.run(&specs, policy);
+            let result = sys.run(&specs, policy).unwrap();
             for (spec, state) in &result.jobs {
                 assert!(
                     state.status.is_terminal(),
@@ -1856,9 +2026,9 @@ mod tests {
         let data = small_data();
         let specs = WorkloadBuilder::paper().jobs(6).seed(8).build();
         let mut sys1 = AqpSystem::new(&data, quick_config());
-        let r1 = sys1.run(&specs, AqpPolicy::Rotary);
+        let r1 = sys1.run(&specs, AqpPolicy::Rotary).unwrap();
         let mut sys2 = AqpSystem::new(&data, quick_config());
-        let r2 = sys2.run(&specs, AqpPolicy::Rotary);
+        let r2 = sys2.run(&specs, AqpPolicy::Rotary).unwrap();
         assert_eq!(r1.makespan, r2.makespan);
         assert_eq!(r1.summary, r2.summary);
         for (a, b) in r1.jobs.iter().zip(&r2.jobs) {
@@ -1880,9 +2050,9 @@ mod tests {
                 &data,
                 AqpSystemConfig { dense_control_plane: true, ..quick_config() },
             );
-            let dense = dense_sys.run(&specs, policy);
+            let dense = dense_sys.run(&specs, policy).unwrap();
             let mut indexed_sys = AqpSystem::new(&data, quick_config());
-            let indexed = indexed_sys.run(&specs, policy);
+            let indexed = indexed_sys.run(&specs, policy).unwrap();
             assert_eq!(dense.makespan, indexed.makespan, "{}", policy.name());
             assert_eq!(dense.summary, indexed.summary, "{}", policy.name());
             assert_eq!(
@@ -1892,6 +2062,101 @@ mod tests {
                 policy.name()
             );
         }
+    }
+
+    /// Drives a streaming run: each spec is admitted just before the run's
+    /// clock reaches its arrival, then the queue drains. Returns every
+    /// job's terminal outcome in index order.
+    fn stream_run(
+        sys: &mut AqpSystem<'_>,
+        specs: &[AqpJobSpec],
+        policy: AqpPolicy,
+    ) -> Vec<(usize, JobStatus, SimTime)> {
+        let mut run = sys.serve_start(policy).unwrap();
+        let mut done = Vec::new();
+        for spec in specs {
+            while sys.serve_peek(&run).is_some_and(|t| t < spec.arrival) {
+                sys.serve_step(&mut run);
+                done.extend(sys.serve_drain_finished(&mut run));
+            }
+            sys.serve_admit(&mut run, spec.clone()).unwrap();
+        }
+        while sys.serve_step(&mut run) {
+            done.extend(sys.serve_drain_finished(&mut run));
+        }
+        done.extend(sys.serve_drain_finished(&mut run));
+        done.sort_by_key(|&(i, _, _)| i);
+        done
+    }
+
+    #[test]
+    fn streaming_admission_matches_batch_run() {
+        // A job admitted mid-run through the serve seam must bind and
+        // complete exactly as the same spec at the same index in a batch
+        // run — and the indexed control plane must agree with the dense
+        // one while its caches grow in place.
+        let data = small_data();
+        let specs = vec![
+            AqpJobSpec::new(QueryId(6), 0.6, SimTime::from_secs(900), SimTime::ZERO),
+            AqpJobSpec::new(QueryId(1), 0.6, SimTime::from_secs(900), SimTime::from_secs(30)),
+            AqpJobSpec::new(QueryId(14), 0.6, SimTime::from_secs(1200), SimTime::from_secs(70)),
+        ];
+        let batch = AqpSystem::new(&data, quick_config()).run(&specs, AqpPolicy::Rotary).unwrap();
+        let streamed =
+            stream_run(&mut AqpSystem::new(&data, quick_config()), &specs, AqpPolicy::Rotary);
+        let dense_cfg = AqpSystemConfig { dense_control_plane: true, ..quick_config() };
+        let streamed_dense =
+            stream_run(&mut AqpSystem::new(&data, dense_cfg), &specs, AqpPolicy::Rotary);
+        assert_eq!(streamed, streamed_dense, "indexed cache growth diverged from dense");
+        assert_eq!(streamed.len(), specs.len());
+        for (i, status, at) in streamed {
+            let (_, state) = &batch.jobs[i];
+            assert_eq!(status, state.status, "job {i}");
+            assert_eq!(Some(at), state.finished_at, "job {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_snapshot_restores_to_identical_outcomes() {
+        let data = small_data();
+        let specs = vec![
+            AqpJobSpec::new(QueryId(6), 0.6, SimTime::from_secs(600), SimTime::ZERO),
+            AqpJobSpec::new(QueryId(14), 0.6, SimTime::from_secs(900), SimTime::from_secs(5)),
+        ];
+        let mut sys = AqpSystem::new(&data, quick_config());
+        let mut run = sys.serve_start(AqpPolicy::Rotary).unwrap();
+        for spec in &specs {
+            sys.serve_admit(&mut run, spec.clone()).unwrap();
+        }
+        for _ in 0..40 {
+            assert!(sys.serve_step(&mut run), "run ended before the snapshot point");
+        }
+        let drained_before = sys.serve_drain_finished(&mut run);
+        let records = sys.serve_snapshot(&run, 1).expect("snapshot");
+        let kept_specs = run.specs().to_vec();
+
+        fn finish<'a>(
+            sys: &mut AqpSystem<'a>,
+            run: &mut AqpServeRun<'a>,
+        ) -> Vec<(usize, JobStatus, SimTime)> {
+            let mut done = Vec::new();
+            while sys.serve_step(run) {
+                done.extend(sys.serve_drain_finished(run));
+            }
+            done.extend(sys.serve_drain_finished(run));
+            done.sort_by_key(|&(i, _, _)| i);
+            done
+        }
+        let original_tail = finish(&mut sys, &mut run);
+
+        let mut sys2 = AqpSystem::new(&data, quick_config());
+        let mut resumed =
+            sys2.serve_restore(kept_specs, AqpPolicy::Rotary, &records).expect("restore");
+        // Terminals reported before the snapshot stay reported.
+        assert_eq!(sys2.serve_inflight(&resumed), specs.len() - drained_before.len());
+        let resumed_tail = finish(&mut sys2, &mut resumed);
+        assert_eq!(original_tail, resumed_tail, "resumed outcomes diverged");
+        assert_eq!(original_tail.len() + drained_before.len(), specs.len());
     }
 
     #[test]
@@ -1906,7 +2171,7 @@ mod tests {
             AqpJobSpec::new(QueryId(7), 0.95, SimTime::from_secs(3000), SimTime::ZERO),
             AqpJobSpec::new(QueryId(6), 0.95, SimTime::from_secs(900), SimTime::ZERO),
         ];
-        let result = sys.run(&specs, AqpPolicy::Rotary);
+        let result = sys.run(&specs, AqpPolicy::Rotary).unwrap();
         // Heavy job covers more data per epoch → fewer epochs per fraction.
         let heavy_epochs = result.jobs[0].1.epochs_run;
         let light_epochs = result.jobs[1].1.epochs_run;
@@ -1918,10 +2183,10 @@ mod tests {
         let data = small_data();
         let mut sys = AqpSystem::new(&data, quick_config());
         assert!(sys.history().is_empty());
-        let n = sys.prepopulate_history(3);
+        let n = sys.prepopulate_history(3).unwrap();
         assert_eq!(n, 22);
         let specs = WorkloadBuilder::paper().jobs(3).seed(2).build();
-        sys.run(&specs, AqpPolicy::Rotary);
+        sys.run(&specs, AqpPolicy::Rotary).unwrap();
         assert_eq!(sys.history().len(), 22 + 3);
     }
 
@@ -1931,7 +2196,7 @@ mod tests {
         let mut sys = AqpSystem::new(&data, quick_config());
         // An impossible deadline.
         let specs = vec![AqpJobSpec::new(QueryId(7), 0.95, SimTime::from_secs(5), SimTime::ZERO)];
-        let result = sys.run(&specs, AqpPolicy::Rotary);
+        let result = sys.run(&specs, AqpPolicy::Rotary).unwrap();
         assert_eq!(result.jobs[0].1.status, JobStatus::DeadlineMissed);
     }
 
@@ -1944,7 +2209,7 @@ mod tests {
         cfg.pool = CpuPoolSpec { threads: 4, memory_mb: 64 * 1024 };
         let mut sys = AqpSystem::new(&data, cfg);
         let specs = WorkloadBuilder::paper().jobs(10).mix(ClassMix::PAPER).seed(13).build();
-        let result = sys.run(&specs, AqpPolicy::Rotary);
+        let result = sys.run(&specs, AqpPolicy::Rotary).unwrap();
         assert!(result.jobs.iter().all(|(_, s)| s.status.is_terminal()));
         // Contention at 4 threads must force checkpointing.
         assert!(result.summary.avg_checkpoints >= 0.0);
@@ -1958,7 +2223,7 @@ mod tests {
         let base = AqpJobSpec::new(QueryId(1), 0.55, SimTime::from_secs(4000), SimTime::ZERO);
         let run = |spec: AqpJobSpec| {
             let mut sys = AqpSystem::new(&data, quick_config());
-            let r = sys.run(&[spec], AqpPolicy::Rotary);
+            let r = sys.run(&[spec], AqpPolicy::Rotary).unwrap();
             r.jobs[0].1.clone()
         };
         let plain = run(base.clone());
@@ -1983,7 +2248,7 @@ mod tests {
         let data = small_data();
         let specs = WorkloadBuilder::paper().jobs(3).seed(31).build();
         let mut plain = AqpSystem::new(&data, quick_config());
-        let baseline = plain.run(&specs, AqpPolicy::Rotary);
+        let baseline = plain.run(&specs, AqpPolicy::Rotary).unwrap();
 
         let dir = temp_store("plain");
         let cfg = DurableConfig::new(&dir, 4);
@@ -2004,7 +2269,7 @@ mod tests {
         let data = small_data();
         let specs = WorkloadBuilder::paper().jobs(4).seed(21).build();
         let mut plain = AqpSystem::new(&data, quick_config());
-        let baseline = plain.run(&specs, AqpPolicy::Rotary);
+        let baseline = plain.run(&specs, AqpPolicy::Rotary).unwrap();
         let expected = baseline.metrics.to_json().unwrap();
 
         let dir = temp_store("halt-resume");
@@ -2050,7 +2315,7 @@ mod tests {
         let data = small_data();
         let mut sys = AqpSystem::new(&data, quick_config());
         let specs = WorkloadBuilder::paper().jobs(4).seed(11).build();
-        let result = sys.run(&specs, AqpPolicy::Rotary);
+        let result = sys.run(&specs, AqpPolicy::Rotary).unwrap();
         assert!(!result.metrics.spans().is_empty());
         assert!(!result.metrics.snapshots().is_empty());
         assert!(result.metrics.busy_time("cpu") > SimTime::ZERO);

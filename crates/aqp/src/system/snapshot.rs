@@ -162,7 +162,7 @@ pub(super) fn restore_run<'a>(
     sys.history = HistoryRepository::from_json(record_text(records, "history")?)?;
     let metrics = WorkloadMetrics::from_json(record_text(records, "metrics")?)?;
 
-    let mut jobs = sys.build_jobs(specs, policy);
+    let mut jobs = sys.build_jobs(specs, policy)?;
     let jobs_doc = record_json(records, "jobs")?;
     let jobs_arr = jobs_doc.as_arr().ok_or_else(|| corrupt("jobs record is not an array"))?;
     if jobs_arr.len() != jobs.len() {

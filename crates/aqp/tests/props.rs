@@ -42,7 +42,7 @@ fn runs_account_for_every_job() {
         let policy = *src.pick(&AqpPolicy::all());
         let specs = WorkloadBuilder::paper().jobs(5).seed(seed).build();
         let mut sys = AqpSystem::new(data(), AqpSystemConfig { seed, ..Default::default() });
-        let r = sys.run(&specs, policy);
+        let r = sys.run(&specs, policy).unwrap();
         let s = &r.summary;
         assert_eq!(s.attained + s.falsely_attained + s.deadline_missed, 5);
         assert_eq!(s.unfinished, 0);

@@ -3,6 +3,7 @@
 //! own throughput — how much virtual-time scheduling one real second buys.
 
 use rotary_aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
+use rotary_bench::must;
 use rotary_bench::timing::{bench, black_box};
 use rotary_core::progress::Objective;
 use rotary_dlt::{DltPolicy, DltSystem, DltSystemConfig, DltWorkloadBuilder};
@@ -14,7 +15,7 @@ fn bench_aqp_run() {
     for policy in [AqpPolicy::Rotary, AqpPolicy::Relaqs, AqpPolicy::RoundRobin] {
         bench(&format!("aqp_workload_run/{}", policy.name()), || {
             let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed: 5, ..Default::default() });
-            black_box(sys.run(&specs, policy));
+            black_box(must("aqp workload run", sys.run(&specs, policy)));
         });
     }
 }

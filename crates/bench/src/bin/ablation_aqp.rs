@@ -4,7 +4,7 @@
 //! sweeps one mechanism while the rest of the system stays at defaults.
 
 use rotary_aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
-use rotary_bench::{header, mean, SEEDS};
+use rotary_bench::{header, mean, must, SEEDS};
 use rotary_sim::MaterializationPolicy;
 use rotary_tpch::Generator;
 
@@ -76,9 +76,9 @@ fn main() {
             let specs = WorkloadBuilder::paper().seed(seed).build();
             let mut sys = AqpSystem::new(&data, (v.config)(seed));
             if v.warm {
-                sys.prepopulate_history(seed ^ 0xff);
+                must("prepopulate history", sys.prepopulate_history(seed ^ 0xff));
             }
-            let r = sys.run(&specs, AqpPolicy::Rotary);
+            let r = must("run workload", sys.run(&specs, AqpPolicy::Rotary));
             attained.push(r.summary.attained as f64);
             false_att.push(r.summary.falsely_attained as f64);
             missed.push(r.summary.deadline_missed as f64);

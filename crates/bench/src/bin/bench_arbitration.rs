@@ -36,6 +36,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use rotary_aqp::{AqpJobSpec, AqpPolicy, AqpSystem, AqpSystemConfig};
+use rotary_bench::must;
 use rotary_bench::timing::black_box;
 use rotary_core::criteria::{CompletionCriterion, Deadline};
 use rotary_core::json;
@@ -126,7 +127,7 @@ fn bench_aqp(metrics: &mut BTreeMap<String, f64>) {
                 AqpJobSpec::new(QueryId(6), 0.55 + 0.05 * (i % 8) as f64, deadline, SimTime::ZERO)
             })
             .collect();
-        let mut run = sys.bench_start(&specs, AqpPolicy::Rotary);
+        let mut run = must("bench_start", sys.bench_start(&specs, AqpPolicy::Rotary));
         // Drain every t = 0 arrival plus a settling margin: the steady
         // state under measurement is "full queue, busy pool".
         for _ in 0..jobs + WARMUP_EVENTS {

@@ -1,0 +1,196 @@
+//! Service-layer load benchmark + regression gate.
+//!
+//! Drives the serve daemon with a closed-loop population of one million
+//! simulated users (one submission each, exponential think-time spread)
+//! against the simulated backend, sized so aggregate demand runs ~1.5×
+//! ahead of backend capacity — the regime the admission machinery exists
+//! for. The run records wall-clock cost per submission and the service
+//! metrics: p50/p99 admission wait, deadline-miss rate, shed rate.
+//!
+//! Ledger recording and payload retention are off, as a production-shaped
+//! daemon would run: the measurement covers admission control, quota
+//! buckets, laxity shedding and outcome accounting, not trace building.
+//!
+//! Virtual-time metrics (waits, miss/shed rates) are pure functions of
+//! the seed; only `ns_per_submission` is a wall-clock timing. The gate
+//! (`ci.sh --bench`) compares `serve/ns_per_submission` and
+//! `serve/p99_wait_ms` against `BENCH_serve.json` with +35% slack.
+//!
+//! Modes (mirroring `bench_arbitration`):
+//!
+//! * (default)      — measure and print, no file I/O;
+//! * `--write [p]`  — measure and (over)write the baseline file;
+//! * `--check [p]`  — measure and compare against the baseline, exiting
+//!   non-zero on regression.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use rotary_core::json;
+use rotary_core::SimTime;
+use rotary_faults::{FaultPlan, RetryPolicy};
+use rotary_serve::{
+    ClosedLoop, Daemon, LoadGenConfig, LoadMode, ServeConfig, SimBackend, TokenBucketConfig,
+};
+
+/// Default baseline location (repo root, where `ci.sh` runs).
+const BASELINE: &str = "BENCH_serve.json";
+
+/// Relative slack on the gated keys. The wall-clock key needs it for
+/// scheduler noise; the (deterministic) p99 key shares it so a future
+/// intentional re-tuning of the shedding policy does not require a
+/// baseline dance in the same commit.
+const TOLERANCE: f64 = 0.35;
+
+/// Simulated users; each submits once.
+const USERS: u64 = 1_000_000;
+
+fn workload() -> LoadGenConfig {
+    LoadGenConfig {
+        seed: 4242,
+        users: USERS,
+        submissions_per_user: 1,
+        // ~16.7k arrivals/s against ~11.6k/s of backend capacity.
+        mode: LoadMode::Closed { think_mean: SimTime::from_secs(60) },
+        service_ms: (1, 10),
+        deadline_slack: (2.0, 30.0),
+        cost_milli: 10,
+        bytes: 64,
+        oversize_bytes: 1 << 20,
+        window: SimTime::from_secs(10),
+        max_resubmits: 1,
+        faults: FaultPlan::none(),
+    }
+}
+
+fn daemon_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 4096,
+        // Per-tenant quotas are irrelevant at one submission per user;
+        // sized so they never fire and the overload shows up at the queue.
+        bucket: TokenBucketConfig::per_second(1 << 20, 1 << 20),
+        max_tenants: USERS,
+        max_payload_bytes: 4096,
+        max_inflight: 64,
+        admission_timeout: SimTime::from_secs(30),
+        retry: RetryPolicy::default(),
+        pressure_watermark: 0.5,
+        shed_watermark: 0.875,
+        resume_watermark: 0.5,
+        record_outcomes: false,
+        retain_payloads: false,
+    }
+}
+
+fn report(metrics: &mut BTreeMap<String, f64>, key: &str, value: f64) {
+    println!("{key:<28} {value:>14.3}");
+    metrics.insert(key.to_string(), value);
+}
+
+fn fail(what: &str, e: impl std::fmt::Display) -> ! {
+    eprintln!("bench_serve: {what}: {e}");
+    std::process::exit(1);
+}
+
+fn measure() -> BTreeMap<String, f64> {
+    let mut daemon = match Daemon::new(daemon_config(), SimBackend::new()) {
+        Ok(d) => d,
+        Err(e) => fail("daemon config rejected", e),
+    };
+    let mut users = match ClosedLoop::new(workload()) {
+        Ok(u) => u,
+        Err(e) => fail("load config rejected", e),
+    };
+    let start = Instant::now();
+    let sent = match users.run(&mut daemon) {
+        Ok(n) => n,
+        Err(e) => fail("closed loop did not quiesce", e),
+    };
+    daemon.finish();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let m = daemon.metrics();
+    let c = m.counters;
+    assert_eq!(c.terminals(), c.submissions, "a submission leaked without a terminal outcome");
+    assert!(
+        c.shed() + c.rejected() > 0,
+        "the workload no longer overloads the daemon; the p99/shed metrics are vacuous"
+    );
+
+    let mut metrics = BTreeMap::new();
+    report(&mut metrics, "serve/ns_per_submission", elapsed * 1e9 / sent as f64);
+    report(&mut metrics, "serve/p50_wait_ms", m.p50_wait_ms as f64);
+    report(&mut metrics, "serve/p99_wait_ms", m.p99_wait_ms as f64);
+    report(&mut metrics, "serve/deadline_miss_rate", m.deadline_miss_rate);
+    report(&mut metrics, "serve/shed_rate", m.shed_rate);
+    report(&mut metrics, "serve/submissions", c.submissions as f64);
+    metrics
+}
+
+/// Only these keys gate; the rest are recorded for trend reading.
+fn gated(key: &str) -> bool {
+    key == "serve/ns_per_submission" || key == "serve/p99_wait_ms"
+}
+
+fn check(current: &BTreeMap<String, f64>, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = json::num_map_from_json(&json::parse(&text)?)?;
+    let mut failures = Vec::new();
+    for (key, &base) in &baseline {
+        if !gated(key) {
+            continue;
+        }
+        let Some(&now) = current.get(key) else {
+            failures.push(format!("{key}: present in baseline but not measured"));
+            continue;
+        };
+        // Both gated keys are lower-is-better.
+        if now > base * (1.0 + TOLERANCE) {
+            failures.push(format!(
+                "{key}: {now:.1} vs baseline {base:.1} (>{:.0}% regression)",
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("serve gate: gated metrics within +{:.0}%", TOLERANCE * 100.0);
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("");
+    let path = args.get(1).cloned().unwrap_or_else(|| BASELINE.to_string());
+
+    let metrics = measure();
+    match mode {
+        "--write" => {
+            let body = json::num_map_to_json(&metrics).to_pretty();
+            if let Err(e) = std::fs::write(&path, body + "\n") {
+                fail("cannot write baseline", e);
+            }
+            println!("wrote {} metrics to {path}", metrics.len());
+        }
+        "--check" => {
+            // One full re-measurement before failing: a transiently noisy
+            // host should not fail the gate, while a real regression fails
+            // both passes.
+            if let Err(first) = check(&metrics, &path) {
+                eprintln!("serve gate: first pass failed, re-measuring once:\n{first}");
+                if let Err(e) = check(&measure(), &path) {
+                    eprintln!("serve gate FAILED (both passes):\n{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "" => {}
+        other => {
+            eprintln!("unknown mode {other}; use --write [path] or --check [path]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! Poisson arrivals), averaged over three seeds.
 
 use rotary_aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
-use rotary_bench::{bar, header, mean, SEEDS};
+use rotary_bench::{bar, header, mean, must, SEEDS};
 use rotary_engine::QueryClass;
 use rotary_tpch::Generator;
 
@@ -38,9 +38,9 @@ fn main() {
             let specs = WorkloadBuilder::paper().seed(seed).build();
             let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
             if policy == AqpPolicy::Rotary {
-                sys.prepopulate_history(seed ^ 0xff);
+                must("prepopulate history", sys.prepopulate_history(seed ^ 0xff));
             }
-            let r = sys.run(&specs, policy);
+            let r = must("run workload", sys.run(&specs, policy));
             total.push(r.summary.attained as f64);
             for (class, (attained, n)) in r.attained_by_class() {
                 let e = per_class.entry(class).or_insert((Vec::new(), Vec::new()));

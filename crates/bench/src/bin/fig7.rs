@@ -2,7 +2,7 @@
 //! Rotary-AQP and the baselines on the Table I workload.
 
 use rotary_aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
-use rotary_bench::{header, mean, SEEDS};
+use rotary_bench::{header, mean, must, SEEDS};
 use rotary_tpch::Generator;
 
 fn main() {
@@ -28,9 +28,9 @@ fn main() {
             let specs = WorkloadBuilder::paper().seed(seed).build();
             let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
             if policy == AqpPolicy::Rotary {
-                sys.prepopulate_history(seed ^ 0xff);
+                must("prepopulate history", sys.prepopulate_history(seed ^ 0xff));
             }
-            let r = sys.run(&specs, policy);
+            let r = must("run workload", sys.run(&specs, policy));
             attained.push(r.summary.attained as f64);
             false_att.push(r.summary.falsely_attained as f64);
             waits.push(r.summary.avg_waiting_time.as_secs_f64());
@@ -52,8 +52,8 @@ fn main() {
                 &data,
                 AqpSystemConfig { seed, envelope_window: window, ..Default::default() },
             );
-            sys.prepopulate_history(seed ^ 0xff);
-            let r = sys.run(&specs, AqpPolicy::Rotary);
+            must("prepopulate history", sys.prepopulate_history(seed ^ 0xff));
+            let r = must("run workload", sys.run(&specs, AqpPolicy::Rotary));
             false_att.push(r.summary.falsely_attained as f64);
         }
         println!("  window {window} epochs → avg false attainment {:.1}", mean(&false_att));

@@ -2,7 +2,7 @@
 //! only medium, or only heavy queries.
 
 use rotary_aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, ClassMix, WorkloadBuilder};
-use rotary_bench::{header, mean, SEEDS};
+use rotary_bench::{header, mean, must, SEEDS};
 use rotary_tpch::Generator;
 
 fn main() {
@@ -38,9 +38,9 @@ fn main() {
                 let specs = WorkloadBuilder::paper().mix(*mix).seed(seed).build();
                 let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
                 if policy == AqpPolicy::Rotary {
-                    sys.prepopulate_history(seed ^ 0xff);
+                    must("prepopulate history", sys.prepopulate_history(seed ^ 0xff));
                 }
-                let r = sys.run(&specs, policy);
+                let r = must("run workload", sys.run(&specs, policy));
                 attained.push(r.summary.attained as f64);
             }
             let avg = mean(&attained);

@@ -2,7 +2,7 @@
 //! estimator vs the ablation whose estimator returns uniform(0, 1) noise.
 
 use rotary_aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
-use rotary_bench::{header, mean, SEEDS};
+use rotary_bench::{header, mean, must, SEEDS};
 use rotary_engine::QueryClass;
 use rotary_tpch::Generator;
 
@@ -30,9 +30,9 @@ fn main() {
             let specs = WorkloadBuilder::paper().seed(seed).build();
             let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
             if matches!(policy, AqpPolicy::Rotary | AqpPolicy::RotaryRandomEstimator) {
-                sys.prepopulate_history(seed ^ 0xff);
+                must("prepopulate history", sys.prepopulate_history(seed ^ 0xff));
             }
-            let r = sys.run(&specs, policy);
+            let r = must("run workload", sys.run(&specs, policy));
             total.push(r.summary.attained as f64);
             for (class, (attained, _)) in r.attained_by_class() {
                 per_class.entry(class).or_default().push(attained as f64);

@@ -32,6 +32,20 @@ pub fn violin(d: &Distribution) -> String {
     )
 }
 
+/// Unwraps a harness-setup result, exiting with a one-line message on
+/// failure. Experiment binaries drive fixed built-in workloads, so a
+/// failure here means the environment is broken — there is nothing to
+/// recover, but the exit should name the step rather than panic.
+pub fn must<T, E: std::fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Mean of a slice.
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {

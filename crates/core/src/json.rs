@@ -339,7 +339,7 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 code point.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest.chars().next().ok_or("unterminated string")?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -355,7 +355,8 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid UTF-8 in number at byte {start}"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("invalid number '{text}' at byte {start}"))

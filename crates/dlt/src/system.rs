@@ -322,6 +322,27 @@ impl DltArbCaches {
 #[doc(hidden)]
 pub struct DltBenchRun(DltRunState);
 
+/// Streaming-service handle: an open-ended run that admits training jobs
+/// one at a time instead of taking the whole workload up front (the seam
+/// the `rotary-serve` daemon drives). The handle accumulates the admitted
+/// specs so a durable snapshot of the stream is exactly a snapshot of the
+/// equivalent batch run over those specs.
+pub struct DltServeRun {
+    st: DltRunState,
+    policy: DltPolicy,
+    specs: Vec<DltJobSpec>,
+    /// Per-job flag: terminal outcome already handed out by
+    /// [`DltSystem::serve_drain_finished`].
+    reported: Vec<bool>,
+}
+
+impl DltServeRun {
+    /// The specs admitted so far, in admission order.
+    pub fn specs(&self) -> &[DltJobSpec] {
+        &self.specs
+    }
+}
+
 /// The Rotary-DLT system.
 pub struct DltSystem {
     config: DltSystemConfig,
@@ -532,56 +553,58 @@ impl DltSystem {
     /// Builds the per-job run state (estimators seeded from history, fresh
     /// training simulations) and rejects jobs no device could ever host.
     fn build_jobs(&mut self, specs: &[DltJobSpec], meter: &mut OverheadMeter) -> Vec<RunJob> {
-        let mut jobs: Vec<RunJob> = specs
+        specs
             .iter()
             .enumerate()
-            .map(|(i, spec)| {
-                let tee = meter.measure(Component::Tee, || {
-                    build_tee(&spec.config, &self.history, self.config.top_k)
-                });
-                let memory_estimate_mb = meter.measure(Component::Tme, || {
-                    self.tme
-                        .estimate_mb(&spec.config, &self.history)
-                        .unwrap_or_else(|| self.tme.cold_start_mb(&spec.config))
-                });
-                let mut core = JobState::new(
-                    JobId(i as u64),
-                    JobKind::Dlt,
-                    spec.criterion.clone(),
-                    SimTime::ZERO,
-                );
-                core.status = JobStatus::Active;
-                RunJob {
-                    sim: TrainingSim::new(spec.config, self.config.seed ^ ((i as u64 + 1) * 0x51)),
-                    tee,
-                    memory_estimate_mb,
-                    true_memory_mb: spec.config.memory_mb(),
-                    converged_flag: false,
-                    in_memory: false,
-                    last_device: None,
-                    epoch_start: SimTime::ZERO,
-                    fault_attempts: 0,
-                    restores: 0,
-                    ckpt_writes: 0,
-                    core,
-                    spec: spec.clone(),
-                }
-            })
-            .collect();
+            .map(|(i, spec)| self.build_job(i, spec, meter, SimTime::ZERO))
+            .collect()
+    }
 
-        // Reject jobs no device could ever host: "these resources can only
-        // process one job at a time and are not sub-dividable", so a job
-        // whose footprint exceeds every device's memory can never be placed
-        // and must not wait forever.
+    /// Binds one spec at global job index `i`, arriving at `arrival`. The
+    /// index seeds the training simulation, so a job admitted mid-run
+    /// through the streaming seam binds identically to the same spec at
+    /// the same position in a batch run. A job no device could ever host
+    /// finishes `DeadlineMissed` on the spot: "these resources can only
+    /// process one job at a time and are not sub-dividable", so it can
+    /// never be placed and must not wait forever.
+    fn build_job(
+        &mut self,
+        i: usize,
+        spec: &DltJobSpec,
+        meter: &mut OverheadMeter,
+        arrival: SimTime,
+    ) -> RunJob {
+        let tee = meter
+            .measure(Component::Tee, || build_tee(&spec.config, &self.history, self.config.top_k));
+        let memory_estimate_mb = meter.measure(Component::Tme, || {
+            self.tme
+                .estimate_mb(&spec.config, &self.history)
+                .unwrap_or_else(|| self.tme.cold_start_mb(&spec.config))
+        });
+        let mut core =
+            JobState::new(JobId(i as u64), JobKind::Dlt, spec.criterion.clone(), arrival);
+        core.status = JobStatus::Active;
+        let mut job = RunJob {
+            sim: TrainingSim::new(spec.config, self.config.seed ^ ((i as u64 + 1) * 0x51)),
+            tee,
+            memory_estimate_mb,
+            true_memory_mb: spec.config.memory_mb(),
+            converged_flag: false,
+            in_memory: false,
+            last_device: None,
+            epoch_start: SimTime::ZERO,
+            fault_attempts: 0,
+            restores: 0,
+            ckpt_writes: 0,
+            core,
+            spec: spec.clone(),
+        };
         let largest_device =
             self.config.pool.devices.iter().map(|d| d.memory_mb).max().unwrap_or(0);
-        for job in jobs.iter_mut() {
-            if job.true_memory_mb.max(job.memory_estimate_mb) > largest_device {
-                job.core.finish(JobStatus::DeadlineMissed, SimTime::ZERO);
-            }
+        if job.true_memory_mb.max(job.memory_estimate_mb) > largest_device {
+            job.core.finish(JobStatus::DeadlineMissed, arrival);
         }
-
-        jobs
+        job
     }
 
     /// Builds the fresh run state and performs the t = 0 arbitration.
@@ -637,6 +660,111 @@ impl DltSystem {
     #[doc(hidden)]
     pub fn bench_step(&mut self, run: &mut DltBenchRun, policy: DltPolicy) -> bool {
         self.step(&mut run.0, policy)
+    }
+
+    /// Opens an empty streaming run for the serve daemon: no jobs, no
+    /// pending events — work arrives later through
+    /// [`DltSystem::serve_admit`].
+    pub fn serve_start(&mut self, policy: DltPolicy) -> DltServeRun {
+        DltServeRun {
+            st: self.start_run(&[], policy),
+            policy,
+            specs: Vec::new(),
+            reported: Vec::new(),
+        }
+    }
+
+    /// Admits one training job into a streaming run at virtual time `now`
+    /// (which must not precede the run's clock — the daemon guarantees
+    /// this), returning its job index. Unlike the batch path, the job
+    /// arrives `Active` at `now`, and a [`Event::Wake`] is scheduled so
+    /// the next step re-arbitrates with the newcomer in the trial queue.
+    /// A job no device could host is finished `DeadlineMissed` on the
+    /// spot and surfaces through [`DltSystem::serve_drain_finished`].
+    pub fn serve_admit(&mut self, run: &mut DltServeRun, spec: DltJobSpec, now: SimTime) -> usize {
+        let i = run.st.jobs.len();
+        let job = self.build_job(i, &spec, &mut run.st.meter, now);
+        run.st.jobs.push(job);
+        if run.st.arb.built && run.st.arb.enabled {
+            // The first cache build sized `satisfied` to the job count it
+            // saw; grow it before marking so the re-key can fold the
+            // newcomer into the phase predicate.
+            run.st.arb.satisfied.push(false);
+            run.st.arb.mark(i);
+        }
+        run.st.events.schedule(now, Event::Wake);
+        run.specs.push(spec);
+        run.reported.push(false);
+        i
+    }
+
+    /// The virtual time of the run's next internal event, if any.
+    pub fn serve_peek(&self, run: &DltServeRun) -> Option<SimTime> {
+        run.st.events.peek_time()
+    }
+
+    /// Processes one event of a streaming run; returns `false` when the
+    /// event queue has drained (more admissions may refill it).
+    pub fn serve_step(&mut self, run: &mut DltServeRun) -> bool {
+        let policy = run.policy;
+        self.step(&mut run.st, policy)
+    }
+
+    /// Drains the jobs that reached a terminal status since the last call:
+    /// `(job index, terminal status, finish time)`. Each job is reported
+    /// exactly once across the run's lifetime, including across a
+    /// snapshot/restore boundary (restored terminals count as already
+    /// reported — their outcomes live in the daemon's own ledger).
+    pub fn serve_drain_finished(
+        &mut self,
+        run: &mut DltServeRun,
+    ) -> Vec<(usize, JobStatus, SimTime)> {
+        let mut out = Vec::new();
+        for (i, job) in run.st.jobs.iter().enumerate() {
+            if !run.reported[i] && job.core.status.is_terminal() {
+                run.reported[i] = true;
+                out.push((i, job.core.status, job.core.finished_at.unwrap_or(run.st.makespan)));
+            }
+        }
+        out
+    }
+
+    /// Jobs admitted but not yet terminal.
+    pub fn serve_inflight(&self, run: &DltServeRun) -> usize {
+        run.st.jobs.iter().filter(|j| !j.core.status.is_terminal()).count()
+    }
+
+    /// Serialises the streaming run as named snapshot records — the same
+    /// layout a batch [`DltSystem::run_durable`] writes for the admitted
+    /// specs.
+    ///
+    /// # Errors
+    /// Serialization failures pass through as typed errors.
+    pub fn serve_snapshot(
+        &self,
+        run: &DltServeRun,
+        generation: u64,
+    ) -> rotary_core::error::Result<Vec<(String, Vec<u8>)>> {
+        snapshot::snapshot_records(self, &run.st, &run.specs, run.policy, generation)
+    }
+
+    /// Rebuilds a streaming run from records written by
+    /// [`DltSystem::serve_snapshot`]. `specs` must be the admitted specs
+    /// in admission order (the serve layer snapshots them alongside).
+    ///
+    /// # Errors
+    /// [`RotaryError::SnapshotCorrupt`](rotary_core::error::RotaryError::SnapshotCorrupt)
+    /// on structural damage; `InvalidConfig` when the snapshot belongs to
+    /// a different workload, policy, or config.
+    pub fn serve_restore(
+        &mut self,
+        specs: Vec<DltJobSpec>,
+        policy: DltPolicy,
+        records: &[(String, Vec<u8>)],
+    ) -> rotary_core::error::Result<DltServeRun> {
+        let st = snapshot::restore_run(self, &specs, policy, records)?;
+        let reported = st.jobs.iter().map(|j| j.core.status.is_terminal()).collect();
+        Ok(DltServeRun { st, policy, specs, reported })
     }
 
     /// Processes one event; returns `false` when the queue has drained.
@@ -1388,6 +1516,108 @@ mod tests {
             }
             assert!(r.makespan > SimTime::ZERO);
         }
+    }
+
+    /// Drives a streaming run: each spec is admitted once the run's clock
+    /// is about to pass its arrival time, then the queue drains. Returns
+    /// every job's terminal outcome in index order.
+    fn stream_run(
+        sys: &mut DltSystem,
+        arrivals: &[(SimTime, DltJobSpec)],
+        policy: DltPolicy,
+    ) -> Vec<(usize, JobStatus, SimTime)> {
+        let mut run = sys.serve_start(policy);
+        let mut done = Vec::new();
+        for (at, spec) in arrivals {
+            while sys.serve_peek(&run).is_some_and(|t| t < *at) {
+                sys.serve_step(&mut run);
+                done.extend(sys.serve_drain_finished(&mut run));
+            }
+            sys.serve_admit(&mut run, spec.clone(), *at);
+        }
+        while sys.serve_step(&mut run) {
+            done.extend(sys.serve_drain_finished(&mut run));
+        }
+        done.extend(sys.serve_drain_finished(&mut run));
+        done.sort_by_key(|&(i, _, _)| i);
+        done
+    }
+
+    #[test]
+    fn streaming_admission_at_zero_matches_batch_run() {
+        // Admitting the whole workload at t = 0 through the serve seam
+        // must reproduce the batch run exactly: same statuses, same
+        // finish times (the Wake events it adds are no-ops).
+        let specs = DltWorkloadBuilder::paper().jobs(6).seed(3).build();
+        let policy = DltPolicy::Rotary(Objective::Threshold(0.5));
+        let batch = DltSystem::new(quick()).run(&specs, policy);
+        let arrivals: Vec<(SimTime, DltJobSpec)> =
+            specs.iter().map(|s| (SimTime::ZERO, s.clone())).collect();
+        let streamed = stream_run(&mut DltSystem::new(quick()), &arrivals, policy);
+        assert_eq!(streamed.len(), specs.len());
+        for (i, status, at) in streamed {
+            let (_, state) = &batch.jobs[i];
+            assert_eq!(status, state.status, "job {i}");
+            assert_eq!(Some(at), state.finished_at, "job {i}");
+        }
+    }
+
+    #[test]
+    fn mid_run_admission_grows_indexed_caches_consistently() {
+        // Jobs admitted mid-run must be arbitrated from their admission
+        // instant on, and the indexed control plane (whose `satisfied`
+        // vector and standing orders grow in place) must agree with the
+        // dense full-scan path outcome for outcome.
+        let specs = DltWorkloadBuilder::paper().jobs(5).seed(7).build();
+        let policy = DltPolicy::Rotary(Objective::Threshold(0.5));
+        let mut arrivals: Vec<(SimTime, DltJobSpec)> =
+            specs.iter().map(|s| (SimTime::ZERO, s.clone())).collect();
+        arrivals[3].0 = SimTime::from_secs(120);
+        arrivals[4].0 = SimTime::from_secs(600);
+        let streamed = stream_run(&mut DltSystem::new(quick()), &arrivals, policy);
+        let dense_cfg = DltSystemConfig { dense_control_plane: true, ..quick() };
+        let dense = stream_run(&mut DltSystem::new(dense_cfg), &arrivals, policy);
+        assert_eq!(streamed, dense, "indexed cache growth diverged from dense");
+        assert_eq!(streamed.len(), specs.len());
+        for (i, status, at) in &streamed {
+            assert!(status.is_terminal(), "job {i} ended {status:?}");
+            assert!(*at >= arrivals[*i].0, "job {i} finished before it arrived");
+        }
+    }
+
+    #[test]
+    fn streaming_snapshot_restores_to_identical_outcomes() {
+        let specs = DltWorkloadBuilder::paper().jobs(4).seed(13).build();
+        let policy = DltPolicy::Rotary(Objective::Threshold(0.5));
+        let mut sys = DltSystem::new(quick());
+        let mut run = sys.serve_start(policy);
+        for spec in &specs {
+            sys.serve_admit(&mut run, spec.clone(), SimTime::ZERO);
+        }
+        for _ in 0..30 {
+            assert!(sys.serve_step(&mut run), "run ended before the snapshot point");
+        }
+        let drained_before = sys.serve_drain_finished(&mut run);
+        let records = sys.serve_snapshot(&run, 1).expect("snapshot");
+        let kept_specs = run.specs().to_vec();
+
+        fn finish(sys: &mut DltSystem, run: &mut DltServeRun) -> Vec<(usize, JobStatus, SimTime)> {
+            let mut done = Vec::new();
+            while sys.serve_step(run) {
+                done.extend(sys.serve_drain_finished(run));
+            }
+            done.extend(sys.serve_drain_finished(run));
+            done.sort_by_key(|&(i, _, _)| i);
+            done
+        }
+        let original_tail = finish(&mut sys, &mut run);
+
+        let mut sys2 = DltSystem::new(quick());
+        let mut resumed = sys2.serve_restore(kept_specs, policy, &records).expect("restore");
+        assert_eq!(sys2.serve_inflight(&resumed), specs.len() - drained_before.len());
+        let resumed_tail = finish(&mut sys2, &mut resumed);
+        assert_eq!(original_tail, resumed_tail, "resumed outcomes diverged");
+        assert_eq!(original_tail.len() + drained_before.len(), specs.len());
     }
 
     #[test]

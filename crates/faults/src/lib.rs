@@ -86,6 +86,91 @@ impl RetryPolicy {
     }
 }
 
+/// Probabilities governing hostile submission streams at the service
+/// layer's front door (`rotary-serve`). Unlike epoch faults, these never
+/// touch a running job: they shape what arrives at admission — bursts,
+/// duplicates, garbage payloads, and tenants that flood the queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmissionFaultConfig {
+    /// Per-(tenant, window) probability the window carries a burst of
+    /// extra arrivals on top of the nominal schedule.
+    pub burst_prob: f64,
+    /// Extra arrivals injected by one burst (uniform inclusive range).
+    pub burst_extra: (u32, u32),
+    /// Per-submission probability the submission is a duplicate resend of
+    /// the tenant's previous one (same submission id).
+    pub duplicate_prob: f64,
+    /// Per-submission probability the payload is malformed (fails parse).
+    pub malformed_prob: f64,
+    /// Per-submission probability the payload is oversized (exceeds the
+    /// daemon's size cap).
+    pub oversized_prob: f64,
+    /// Per-(tenant, window) probability the tenant floods: its arrival
+    /// rate is multiplied by [`SubmissionFaultConfig::flood_factor`] for
+    /// the window.
+    pub flood_prob: f64,
+    /// Arrival-rate multiplier while a tenant floods, `≥ 1`.
+    pub flood_factor: u32,
+}
+
+impl SubmissionFaultConfig {
+    /// An inert configuration: every submission arrives clean, on time,
+    /// exactly once.
+    pub fn none() -> SubmissionFaultConfig {
+        SubmissionFaultConfig {
+            burst_prob: 0.0,
+            burst_extra: (0, 0),
+            duplicate_prob: 0.0,
+            malformed_prob: 0.0,
+            oversized_prob: 0.0,
+            flood_prob: 0.0,
+            flood_factor: 1,
+        }
+    }
+
+    /// The hostile-tenant profile folded into [`FaultConfig::chaos`].
+    pub fn chaos() -> SubmissionFaultConfig {
+        SubmissionFaultConfig {
+            burst_prob: 0.10,
+            burst_extra: (1, 8),
+            duplicate_prob: 0.05,
+            malformed_prob: 0.03,
+            oversized_prob: 0.02,
+            flood_prob: 0.05,
+            flood_factor: 4,
+        }
+    }
+
+    /// True when no submission-level fault can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.burst_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.malformed_prob == 0.0
+            && self.oversized_prob == 0.0
+            && (self.flood_prob == 0.0 || self.flood_factor <= 1)
+    }
+}
+
+impl Default for SubmissionFaultConfig {
+    fn default() -> Self {
+        SubmissionFaultConfig::none()
+    }
+}
+
+/// What the plan decreed for one tenant's `k`-th submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmissionFault {
+    /// The submission arrives clean.
+    None,
+    /// The submission is a resend of the tenant's previous one: it carries
+    /// the same submission id and must be rejected as a duplicate.
+    Duplicate,
+    /// The payload is garbage and fails to parse.
+    Malformed,
+    /// The payload exceeds the daemon's size cap.
+    Oversized,
+}
+
 /// Probabilities and magnitudes of the injected faults.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultConfig {
@@ -114,6 +199,8 @@ pub struct FaultConfig {
     pub mem_spike_slot: SimTime,
     /// Recovery policy for crashed epochs.
     pub retry: RetryPolicy,
+    /// Submission-stream faults consumed by the service layer.
+    pub submission: SubmissionFaultConfig,
 }
 
 impl FaultConfig {
@@ -132,6 +219,7 @@ impl FaultConfig {
             mem_spike_mb: 0,
             mem_spike_slot: SimTime::from_mins(10),
             retry: RetryPolicy::default(),
+            submission: SubmissionFaultConfig::none(),
         }
     }
 
@@ -151,6 +239,7 @@ impl FaultConfig {
             mem_spike_mb: 4096,
             mem_spike_slot: SimTime::from_mins(10),
             retry: RetryPolicy::default(),
+            submission: SubmissionFaultConfig::chaos(),
         }
     }
 }
@@ -309,6 +398,65 @@ impl FaultPlan {
         None
     }
 
+    /// The fate of tenant `tenant`'s `k`-th submission (0-based). Like
+    /// every plan decision, a pure function of `(seed, tenant, k)` — the
+    /// load generator and the daemon's tests agree on the fault schedule
+    /// without sharing state. Deliberately *not* part of
+    /// [`FaultPlan::is_inert`] (which covers epoch-level faults only):
+    /// submission faults are consumed upstream of the arbitration loop.
+    pub fn submission_fault(&self, tenant: u64, k: u64) -> SubmissionFault {
+        let s = &self.config.submission;
+        if s.is_inert() {
+            return SubmissionFault::None;
+        }
+        let mut rng = self.stream(&format!("submit/{tenant}/{k}"));
+        if s.duplicate_prob > 0.0 && rng.gen_bool(s.duplicate_prob) {
+            return SubmissionFault::Duplicate;
+        }
+        if s.malformed_prob > 0.0 && rng.gen_bool(s.malformed_prob) {
+            return SubmissionFault::Malformed;
+        }
+        if s.oversized_prob > 0.0 && rng.gen_bool(s.oversized_prob) {
+            return SubmissionFault::Oversized;
+        }
+        SubmissionFault::None
+    }
+
+    /// Extra arrivals injected into tenant `tenant`'s arrival window
+    /// `window` by a burst, 0 when the window draws no burst. Pure in
+    /// `(seed, tenant, window)`.
+    pub fn submission_burst(&self, tenant: u64, window: u64) -> u32 {
+        let s = &self.config.submission;
+        if s.burst_prob == 0.0 || s.burst_extra.1 == 0 {
+            return 0;
+        }
+        let mut rng = self.stream(&format!("burst/{tenant}/{window}"));
+        if !rng.gen_bool(s.burst_prob) {
+            return 0;
+        }
+        let (lo, hi) = s.burst_extra;
+        if hi > lo {
+            lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32
+        } else {
+            lo
+        }
+    }
+
+    /// The arrival-rate multiplier for tenant `tenant` during window
+    /// `window`: [`SubmissionFaultConfig::flood_factor`] while the tenant
+    /// floods, 1 otherwise. Pure in `(seed, tenant, window)`.
+    pub fn tenant_flood_factor(&self, tenant: u64, window: u64) -> u32 {
+        let s = &self.config.submission;
+        if s.flood_prob == 0.0 || s.flood_factor <= 1 {
+            return 1;
+        }
+        if self.stream(&format!("flood/{tenant}/{window}")).gen_bool(s.flood_prob) {
+            s.flood_factor
+        } else {
+            1
+        }
+    }
+
     /// Transient memory pressure at virtual time `at`, in MB withheld from
     /// the arbiter. A pure function of the time slot containing `at`.
     pub fn memory_pressure_mb(&self, at: SimTime) -> u64 {
@@ -459,6 +607,66 @@ mod tests {
         // The inert plan never damages a snapshot.
         let none = FaultPlan::none();
         assert!((0..400u64).all(|g| none.snapshot_fault(g).is_none()));
+    }
+
+    #[test]
+    fn submission_faults_inert_by_default() {
+        let plan = FaultPlan::none();
+        assert!(plan.config().submission.is_inert());
+        for t in 0..20u64 {
+            for k in 0..100u64 {
+                assert_eq!(plan.submission_fault(t, k), SubmissionFault::None);
+            }
+            for w in 0..50u64 {
+                assert_eq!(plan.submission_burst(t, w), 0);
+                assert_eq!(plan.tenant_flood_factor(t, w), 1);
+            }
+        }
+        // Epoch-level inertness is a separate axis: a plan with only
+        // submission faults enabled still reports epoch-inert.
+        let subs_only = FaultPlan::new(FaultConfig {
+            submission: SubmissionFaultConfig::chaos(),
+            ..FaultConfig::none()
+        });
+        assert!(subs_only.is_inert(), "submission faults must not flip epoch inertness");
+        assert!(!subs_only.config().submission.is_inert());
+    }
+
+    #[test]
+    fn submission_faults_are_pure_and_fire_under_chaos() {
+        let plan = FaultPlan::chaos(91);
+        let first: Vec<SubmissionFault> =
+            (0..4000u64).map(|k| plan.submission_fault(k % 16, k)).collect();
+        let again: Vec<SubmissionFault> =
+            (0..4000u64).map(|k| plan.submission_fault(k % 16, k)).collect();
+        assert_eq!(first, again, "submission fate must be pure in (seed, tenant, k)");
+        let dupes = first.iter().filter(|f| **f == SubmissionFault::Duplicate).count();
+        let malformed = first.iter().filter(|f| **f == SubmissionFault::Malformed).count();
+        let oversized = first.iter().filter(|f| **f == SubmissionFault::Oversized).count();
+        // 5% / ~2.85% / ~1.85% effective over 4000 draws: loose 3σ bounds.
+        assert!((120..=290).contains(&dupes), "duplicates {dupes}");
+        assert!((60..=200).contains(&malformed), "malformed {malformed}");
+        assert!((30..=140).contains(&oversized), "oversized {oversized}");
+
+        let bursts: Vec<u32> = (0..2000u64).map(|w| plan.submission_burst(w % 8, w)).collect();
+        assert_eq!(
+            bursts,
+            (0..2000u64).map(|w| plan.submission_burst(w % 8, w)).collect::<Vec<_>>()
+        );
+        let fired = bursts.iter().filter(|&&b| b > 0).count();
+        assert!((110..=300).contains(&fired), "bursts fired {fired}");
+        let (lo, hi) = plan.config().submission.burst_extra;
+        assert!(bursts.iter().all(|&b| b == 0 || (lo..=hi).contains(&b)));
+
+        let floods = (0..2000u64).filter(|&w| plan.tenant_flood_factor(w % 8, w) > 1).count();
+        assert!((40..=190).contains(&floods), "floods {floods}");
+        assert!(
+            (0..2000u64).all(|w| {
+                let f = plan.tenant_flood_factor(w % 8, w);
+                f == 1 || f == plan.config().submission.flood_factor
+            }),
+            "flood factor must be 1 or the configured multiplier"
+        );
     }
 
     #[test]

@@ -68,6 +68,7 @@ const D001_SCOPES: &[&str] = &[
     "crates/dlt/src/",
     "crates/faults/src/",
     "crates/store/src/",
+    "crates/serve/src/",
 ];
 
 /// Identifiers whose presence means the line reads the wall clock.

@@ -1,0 +1,269 @@
+//! Admission-control primitives: exact integer token buckets and the
+//! entries of the bounded admission queue.
+//!
+//! All quota arithmetic is **integer millitokens** with a
+//! millitoken-millisecond remainder carry, so refill is exact: advancing a
+//! bucket from `t0` to `t2` in one step leaves it in the same state as
+//! advancing `t0 → t1 → t2` — the property that makes quota decisions
+//! independent of event-processing granularity, and therefore resumable
+//! from a snapshot without drift.
+
+use rotary_core::json::{u64_json, Json};
+use rotary_core::SimTime;
+
+/// Sizing of one tenant's token bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucketConfig {
+    /// Bucket capacity in millitokens (1000 = one token).
+    pub capacity_milli: u64,
+    /// Refill rate in millitokens per second.
+    pub refill_milli_per_sec: u64,
+}
+
+impl TokenBucketConfig {
+    /// A bucket holding `capacity` whole tokens refilling at `per_sec`
+    /// whole tokens per second.
+    pub fn per_second(capacity: u64, per_sec: u64) -> TokenBucketConfig {
+        TokenBucketConfig { capacity_milli: capacity * 1000, refill_milli_per_sec: per_sec * 1000 }
+    }
+}
+
+/// One tenant's quota bucket. Starts full; spending is atomic with the
+/// refill advance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucket {
+    /// Current level in millitokens.
+    pub level_milli: u64,
+    /// Millitoken-millisecond remainder carried between refills.
+    pub carry: u64,
+    /// Virtual time of the last refill advance.
+    pub last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// A full bucket as of time zero.
+    pub fn full(config: &TokenBucketConfig) -> TokenBucket {
+        TokenBucket { level_milli: config.capacity_milli, carry: 0, last_refill: SimTime::ZERO }
+    }
+
+    /// Advances the refill clock to `now`. Exact: `rate · Δms` accumulates
+    /// in millitoken-milliseconds; whole millitokens move into the level,
+    /// the remainder carries. Once the level caps, the carry is zeroed —
+    /// that keeps the advance split-invariant (a capped bucket gains
+    /// nothing from further idle time either way).
+    pub fn advance(&mut self, now: SimTime, config: &TokenBucketConfig) {
+        if now <= self.last_refill {
+            return;
+        }
+        let dt_ms = now.as_millis() - self.last_refill.as_millis();
+        let gained = self.carry + config.refill_milli_per_sec.saturating_mul(dt_ms);
+        self.level_milli = self.level_milli.saturating_add(gained / 1000);
+        self.carry = gained % 1000;
+        if self.level_milli >= config.capacity_milli {
+            self.level_milli = config.capacity_milli;
+            self.carry = 0;
+        }
+        self.last_refill = now;
+    }
+
+    /// Tries to spend `cost_milli` at `now`. On success the cost is
+    /// deducted; on failure returns the exact earliest time the bucket
+    /// could cover the cost (or `None` when the cost exceeds capacity and
+    /// can never be covered).
+    pub fn try_take(
+        &mut self,
+        now: SimTime,
+        cost_milli: u64,
+        config: &TokenBucketConfig,
+    ) -> Result<(), Option<SimTime>> {
+        self.advance(now, config);
+        if cost_milli <= self.level_milli {
+            self.level_milli -= cost_milli;
+            return Ok(());
+        }
+        if cost_milli > config.capacity_milli || config.refill_milli_per_sec == 0 {
+            return Err(None);
+        }
+        // Need `deficit` more millitokens: deficit·1000 − carry
+        // millitoken-ms, rounded up to whole milliseconds of refill.
+        let deficit = cost_milli - self.level_milli;
+        let need = deficit.saturating_mul(1000).saturating_sub(self.carry);
+        let rate = config.refill_milli_per_sec;
+        let ms = need.div_ceil(rate);
+        Err(Some(now + SimTime::from_millis(ms)))
+    }
+
+    /// Serialises the bucket for durable snapshots.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("level", u64_json(self.level_milli)),
+            ("carry", u64_json(self.carry)),
+            ("refill", u64_json(self.last_refill.as_millis())),
+        ])
+    }
+
+    /// Decodes a bucket written by [`TokenBucket::to_json`].
+    pub fn from_json(json: &Json) -> Option<TokenBucket> {
+        Some(TokenBucket {
+            level_milli: json.get("level")?.as_u64_str()?,
+            carry: json.get("carry")?.as_u64_str()?,
+            last_refill: SimTime::from_millis(json.get("refill")?.as_u64_str()?),
+        })
+    }
+}
+
+/// One entry of the bounded admission queue: a validated, quota-charged
+/// submission waiting for backend capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pending {
+    /// The admission ticket issued at acceptance.
+    pub ticket: u64,
+    /// Submitting tenant.
+    pub tenant: u64,
+    /// Tenant-scoped submission sequence number.
+    pub seq: u64,
+    /// Client-declared resubmission attempt (drives retry hints).
+    pub attempt: u32,
+    /// Virtual time the submission was accepted into the queue.
+    pub submitted_at: SimTime,
+    /// Absolute deadline (`submitted_at + relative deadline`).
+    pub deadline_at: SimTime,
+    /// The backend's service estimate from payload validation.
+    pub service_estimate: SimTime,
+    /// Backend-specific job description.
+    pub payload: Json,
+}
+
+impl Pending {
+    /// Laxity in milliseconds at `now`: time to the deadline minus the
+    /// remaining service estimate. Negative laxity means the deadline is
+    /// unreachable even if the job started immediately — the first work to
+    /// shed under overload.
+    pub fn laxity_ms(&self, now: SimTime) -> i64 {
+        let to_deadline = self.deadline_at.as_millis() as i64 - now.as_millis() as i64;
+        to_deadline - self.service_estimate.as_millis() as i64
+    }
+
+    /// Serialises the entry for durable snapshots.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ticket", u64_json(self.ticket)),
+            ("tenant", u64_json(self.tenant)),
+            ("seq", u64_json(self.seq)),
+            ("attempt", Json::Num(f64::from(self.attempt))),
+            ("submitted", u64_json(self.submitted_at.as_millis())),
+            ("deadline", u64_json(self.deadline_at.as_millis())),
+            ("estimate", u64_json(self.service_estimate.as_millis())),
+            ("payload", self.payload.clone()),
+        ])
+    }
+
+    /// Decodes an entry written by [`Pending::to_json`].
+    pub fn from_json(json: &Json) -> Option<Pending> {
+        let u = |k: &str| json.get(k).and_then(Json::as_u64_str);
+        Some(Pending {
+            ticket: u("ticket")?,
+            tenant: u("tenant")?,
+            seq: u("seq")?,
+            attempt: u32::try_from(json.get("attempt")?.as_u64()?).ok()?,
+            submitted_at: SimTime::from_millis(u("submitted")?),
+            deadline_at: SimTime::from_millis(u("deadline")?),
+            service_estimate: SimTime::from_millis(u("estimate")?),
+            payload: json.get("payload")?.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: TokenBucketConfig =
+        TokenBucketConfig { capacity_milli: 10_000, refill_milli_per_sec: 1_000 };
+
+    #[test]
+    fn bucket_starts_full_and_spends_exactly() {
+        let mut b = TokenBucket::full(&CFG);
+        assert_eq!(b.level_milli, 10_000);
+        assert!(b.try_take(SimTime::ZERO, 4_000, &CFG).is_ok());
+        assert_eq!(b.level_milli, 6_000);
+        assert!(b.try_take(SimTime::ZERO, 6_000, &CFG).is_ok());
+        assert_eq!(b.level_milli, 0);
+    }
+
+    #[test]
+    fn refill_is_exact_with_carry() {
+        let mut b = TokenBucket::full(&CFG);
+        assert!(b.try_take(SimTime::ZERO, 10_000, &CFG).is_ok());
+        // 1 millitoken per millisecond at this rate: after 1 ms, exactly
+        // 1 millitoken (1000 mt-ms / 1000).
+        b.advance(SimTime::from_millis(1), &CFG);
+        assert_eq!((b.level_milli, b.carry), (1, 0));
+        // A rate with a fractional millitoken per ms carries a remainder.
+        let slow = TokenBucketConfig { capacity_milli: 10_000, refill_milli_per_sec: 3 };
+        let mut b = TokenBucket::full(&slow);
+        assert!(b.try_take(SimTime::ZERO, 10_000, &slow).is_ok());
+        b.advance(SimTime::from_millis(100), &slow); // 300 mt-ms
+        assert_eq!((b.level_milli, b.carry), (0, 300));
+        b.advance(SimTime::from_millis(400), &slow); // +900 = 1200 mt-ms
+        assert_eq!((b.level_milli, b.carry), (1, 200));
+    }
+
+    #[test]
+    fn advance_is_split_invariant() {
+        let cfg = TokenBucketConfig { capacity_milli: 5_000, refill_milli_per_sec: 37 };
+        for drain in [0u64, 1_000, 4_999, 5_000] {
+            let mut one = TokenBucket::full(&cfg);
+            let mut many = TokenBucket::full(&cfg);
+            let _ = one.try_take(SimTime::ZERO, drain, &cfg);
+            let _ = many.try_take(SimTime::ZERO, drain, &cfg);
+            one.advance(SimTime::from_millis(100_000), &cfg);
+            for step in 1..=1000u64 {
+                many.advance(SimTime::from_millis(step * 100), &cfg);
+            }
+            assert_eq!(one, many, "drain={drain}");
+        }
+    }
+
+    #[test]
+    fn quota_rejection_reports_exact_retry_time() {
+        let mut b = TokenBucket::full(&CFG);
+        assert!(b.try_take(SimTime::ZERO, 10_000, &CFG).is_ok());
+        // Need 2500 millitokens at 1 mt/ms: exactly 2500 ms.
+        let err = b.try_take(SimTime::ZERO, 2_500, &CFG).unwrap_err();
+        assert_eq!(err, Some(SimTime::from_millis(2_500)));
+        // And at that exact instant the take succeeds.
+        assert!(b.try_take(SimTime::from_millis(2_500), 2_500, &CFG).is_ok());
+        assert_eq!(b.level_milli, 0);
+        // A cost above capacity can never be covered.
+        let err = b.try_take(SimTime::from_millis(2_500), 20_000, &CFG).unwrap_err();
+        assert_eq!(err, None);
+    }
+
+    #[test]
+    fn bucket_json_round_trips() {
+        let mut b = TokenBucket::full(&CFG);
+        let _ = b.try_take(SimTime::from_millis(1234), 700, &CFG);
+        let parsed = rotary_core::json::parse(&b.to_json().to_pretty()).unwrap();
+        assert_eq!(TokenBucket::from_json(&parsed), Some(b));
+    }
+
+    #[test]
+    fn laxity_orders_by_slack() {
+        let p = |deadline_ms: u64, est_ms: u64| Pending {
+            ticket: 0,
+            tenant: 0,
+            seq: 1,
+            attempt: 0,
+            submitted_at: SimTime::ZERO,
+            deadline_at: SimTime::from_millis(deadline_ms),
+            service_estimate: SimTime::from_millis(est_ms),
+            payload: Json::Null,
+        };
+        let now = SimTime::from_millis(100);
+        assert_eq!(p(1_100, 500).laxity_ms(now), 500);
+        assert_eq!(p(400, 500).laxity_ms(now), -200, "past-hope work has negative laxity");
+        let parsed = rotary_core::json::parse(&p(400, 500).to_json().to_pretty()).unwrap();
+        assert_eq!(Pending::from_json(&parsed), Some(p(400, 500)));
+    }
+}

@@ -1,0 +1,432 @@
+//! # Rotary-serve: an overload-safe multi-tenant arbitrator front-end
+//!
+//! Everything below this crate runs one-shot `run()` calls over a
+//! pre-declared workload. This crate wraps the arbitrators in a
+//! long-running **service layer**: an event-driven daemon loop that accepts
+//! streaming job submissions from many tenants and stays *correct and
+//! live* when overloaded, crashed, or fed hostile traffic.
+//!
+//! ## Robustness contract
+//!
+//! * **Typed front door.** Every submission gets exactly one typed
+//!   response at the door ([`SubmitResponse`]) and — if admitted — exactly
+//!   one typed terminal outcome later ([`Outcome`]). Nothing is ever
+//!   silently dropped.
+//! * **Per-tenant token-bucket quotas.** Integer millitoken buckets with
+//!   remainder-carrying refill, so quota arithmetic is exact and
+//!   split-invariant (advancing in one step or many yields the same
+//!   state). Exceeding quota is a typed [`RejectReason::QuotaExceeded`]
+//!   with an exact earliest-retry time.
+//! * **Bounded elastic admission queue.** A hard capacity bound with
+//!   watermark-driven degradation (the [`OverloadState`] machine):
+//!   `Normal → Pressured → Shedding → Draining`. Under pressure responses
+//!   carry capped-exponential retry hints; past the shed watermark the
+//!   daemon sheds the *lowest-laxity* queued work first — the submissions
+//!   least likely to make their deadlines — each as a typed, logged
+//!   [`Outcome::Shed`].
+//! * **Deadline-aware timeouts.** Queued work that outlives its admission
+//!   timeout, or whose deadline can no longer be met even if started
+//!   immediately, is shed with a retry hint instead of rotting in queue.
+//! * **Crash-restart.** The daemon's own state — admission queue, tenant
+//!   quota state, outcome ledger, and the backend behind it — snapshots
+//!   through `rotary-store`. A daemon killed at any snapshot generation
+//!   and resumed produces a byte-identical outcome trace to an
+//!   uninterrupted run, including in-flight admissions.
+//!
+//! ## Structure
+//!
+//! [`admission`] holds the token bucket and queue entry types;
+//! [`backend`] defines the [`backend::Backend`] seam the daemon drives
+//! (the real AQP/DLT adapters live in the root crate; a fast analytic
+//! [`backend::SimBackend`] lives here for tests and the load benchmark);
+//! [`daemon`] is the event loop, overload state machine and snapshot
+//! codec; [`loadgen`] generates open- and closed-loop submission streams
+//! from `rotary_sim::rng` fork streams; [`metrics`] aggregates waiting
+//! times, deadline misses and shed rates.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod backend;
+pub mod daemon;
+pub mod loadgen;
+pub mod metrics;
+
+pub use admission::{Pending, TokenBucket, TokenBucketConfig};
+pub use backend::{Backend, BackendDone, SimBackend};
+pub use daemon::{
+    run_schedule, run_schedule_durable, Daemon, OverloadState, ServeConfig, ServeReport,
+};
+pub use loadgen::{open_schedule, ClosedLoop, LoadGenConfig, LoadMode};
+pub use metrics::ServeMetrics;
+
+use rotary_core::json::{u64_json, Json};
+use rotary_core::SimTime;
+
+/// One streaming job submission as it arrives at the daemon's front door.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// The submitting tenant. Tenant ids are dense small integers.
+    pub tenant: u64,
+    /// The tenant's submission sequence number, **strictly increasing**
+    /// starting at 1. A resend carries the same `seq` and is rejected as
+    /// [`RejectReason::Duplicate`] in O(1) — the daemon only remembers the
+    /// highest sequence seen per tenant.
+    pub seq: u64,
+    /// How many times the client has already submitted this piece of work
+    /// (0 on first try). Drives the capped-exponential retry hints in
+    /// reject and shed responses.
+    pub attempt: u32,
+    /// Relative deadline: the job is worthless `deadline` after submit.
+    pub deadline: SimTime,
+    /// Quota cost in millitokens, charged against the tenant's bucket on
+    /// acceptance into the admission queue.
+    pub cost_milli: u64,
+    /// Declared payload size in bytes (what a wire protocol knows from
+    /// framing); checked against the daemon's size cap.
+    pub bytes: u64,
+    /// Backend-specific job description; validated by the backend before
+    /// the submission can enter the queue.
+    pub payload: Json,
+}
+
+/// Why a submission was turned away at the front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The admission queue is at capacity.
+    QueueFull,
+    /// The tenant's token bucket cannot cover the submission's cost yet.
+    QuotaExceeded,
+    /// The daemon is draining and accepts no new work.
+    Draining,
+    /// The payload failed backend validation.
+    Malformed,
+    /// The declared payload size exceeds the daemon's cap.
+    Oversized,
+    /// The submission's sequence number was already seen from this tenant.
+    Duplicate,
+}
+
+impl RejectReason {
+    /// Stable lowercase label used in traces and snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::QuotaExceeded => "quota-exceeded",
+            RejectReason::Draining => "draining",
+            RejectReason::Malformed => "malformed",
+            RejectReason::Oversized => "oversized",
+            RejectReason::Duplicate => "duplicate",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<RejectReason> {
+        Some(match s {
+            "queue-full" => RejectReason::QueueFull,
+            "quota-exceeded" => RejectReason::QuotaExceeded,
+            "draining" => RejectReason::Draining,
+            "malformed" => RejectReason::Malformed,
+            "oversized" => RejectReason::Oversized,
+            "duplicate" => RejectReason::Duplicate,
+            _ => return None,
+        })
+    }
+}
+
+/// Why queued work was shed before reaching the backend. A shed is never
+/// silent: it produces a typed [`Outcome::Shed`] in the ledger and a
+/// [`Notice`] to the submitting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The queue crossed the shed watermark and this entry had the lowest
+    /// laxity (deadline minus remaining service estimate).
+    Overload,
+    /// The entry outlived its admission timeout, or its deadline can no
+    /// longer be met even if started immediately.
+    Timeout,
+    /// The daemon was shut down with work still queued.
+    Drain,
+}
+
+impl ShedReason {
+    /// Stable lowercase label used in traces and snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::Overload => "overload",
+            ShedReason::Timeout => "timeout",
+            ShedReason::Drain => "drain",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<ShedReason> {
+        Some(match s {
+            "overload" => ShedReason::Overload,
+            "timeout" => ShedReason::Timeout,
+            "drain" => ShedReason::Drain,
+            _ => return None,
+        })
+    }
+}
+
+/// How a job that reached the backend ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// The job met its completion criterion in time.
+    Attained,
+    /// The backend declared attainment that later proved premature.
+    FalselyAttained,
+    /// The job ran but missed its deadline.
+    DeadlineMissed,
+    /// The job failed permanently (bind error, retries exhausted).
+    Failed,
+}
+
+impl CompletionKind {
+    /// Stable lowercase label used in traces and snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompletionKind::Attained => "attained",
+            CompletionKind::FalselyAttained => "falsely-attained",
+            CompletionKind::DeadlineMissed => "deadline-missed",
+            CompletionKind::Failed => "failed",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<CompletionKind> {
+        Some(match s {
+            "attained" => CompletionKind::Attained,
+            "falsely-attained" => CompletionKind::FalselyAttained,
+            "deadline-missed" => CompletionKind::DeadlineMissed,
+            "failed" => CompletionKind::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// The synchronous answer to a [`Daemon::submit`](daemon::Daemon::submit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitResponse {
+    /// Accepted into the admission queue under this ticket. The ticket's
+    /// terminal outcome arrives later as a [`Notice`].
+    Admitted {
+        /// Dense per-daemon ticket number.
+        ticket: u64,
+    },
+    /// Turned away with a typed reason and an earliest-retry hint.
+    Rejected {
+        /// Why the submission was refused.
+        reason: RejectReason,
+        /// Capped-exponential backoff hint; for quota rejections this is
+        /// at least the exact bucket refill time.
+        retry_after: SimTime,
+    },
+}
+
+/// The single terminal outcome of one submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Refused at the front door (synchronous).
+    Rejected(RejectReason),
+    /// Shed from the admission queue before reaching the backend.
+    Shed {
+        /// Why it was shed.
+        reason: ShedReason,
+        /// Suggested resubmission backoff.
+        retry_after: SimTime,
+    },
+    /// Ran on the backend and terminated.
+    Completed {
+        /// How it ended.
+        kind: CompletionKind,
+        /// Queueing delay: submission to backend admission.
+        waited: SimTime,
+    },
+}
+
+/// One row of the daemon's outcome ledger: the typed terminal fate of one
+/// submission, stamped with virtual time. The rendered ledger is the
+/// byte-identity witness for crash-restart tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeRecord {
+    /// Admission ticket, when one was issued (rejections have none).
+    pub ticket: Option<u64>,
+    /// Submitting tenant.
+    pub tenant: u64,
+    /// Tenant-scoped submission sequence number.
+    pub seq: u64,
+    /// Virtual time the outcome was decided.
+    pub at: SimTime,
+    /// The typed terminal outcome.
+    pub outcome: Outcome,
+}
+
+impl OutcomeRecord {
+    /// One stable trace line; the byte-identity tests compare these.
+    pub fn trace_line(&self) -> String {
+        let head = match self.ticket {
+            Some(t) => format!(
+                "t={} tenant={} seq={} ticket={}",
+                self.at.as_millis(),
+                self.tenant,
+                self.seq,
+                t
+            ),
+            None => format!("t={} tenant={} seq={}", self.at.as_millis(), self.tenant, self.seq),
+        };
+        match &self.outcome {
+            Outcome::Rejected(r) => format!("{head} rejected={}", r.label()),
+            Outcome::Shed { reason, retry_after } => {
+                format!("{head} shed={} retry_ms={}", reason.label(), retry_after.as_millis())
+            }
+            Outcome::Completed { kind, waited } => {
+                format!("{head} completed={} waited_ms={}", kind.label(), waited.as_millis())
+            }
+        }
+    }
+
+    /// Serialises the record for durable snapshots.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("tenant", u64_json(self.tenant)),
+            ("seq", u64_json(self.seq)),
+            ("at", u64_json(self.at.as_millis())),
+        ];
+        if let Some(t) = self.ticket {
+            pairs.push(("ticket", u64_json(t)));
+        }
+        match &self.outcome {
+            Outcome::Rejected(r) => pairs.push(("rejected", Json::Str(r.label().into()))),
+            Outcome::Shed { reason, retry_after } => {
+                pairs.push(("shed", Json::Str(reason.label().into())));
+                pairs.push(("retry", u64_json(retry_after.as_millis())));
+            }
+            Outcome::Completed { kind, waited } => {
+                pairs.push(("completed", Json::Str(kind.label().into())));
+                pairs.push(("waited", u64_json(waited.as_millis())));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decodes a record written by [`OutcomeRecord::to_json`]. `None` on
+    /// any structural mismatch — callers surface that as
+    /// [`rotary_core::RotaryError::SnapshotCorrupt`].
+    pub fn from_json(json: &Json) -> Option<OutcomeRecord> {
+        let u = |k: &str| json.get(k).and_then(Json::as_u64_str);
+        let s = |k: &str| json.get(k).and_then(Json::as_str);
+        let outcome = if let Some(r) = s("rejected") {
+            Outcome::Rejected(RejectReason::from_label(r)?)
+        } else if let Some(r) = s("shed") {
+            Outcome::Shed {
+                reason: ShedReason::from_label(r)?,
+                retry_after: SimTime::from_millis(u("retry")?),
+            }
+        } else if let Some(k) = s("completed") {
+            Outcome::Completed {
+                kind: CompletionKind::from_label(k)?,
+                waited: SimTime::from_millis(u("waited")?),
+            }
+        } else {
+            return None;
+        };
+        let ticket = match json.get("ticket") {
+            Some(v) => Some(v.as_u64_str()?),
+            None => None,
+        };
+        Some(OutcomeRecord {
+            ticket,
+            tenant: u("tenant")?,
+            seq: u("seq")?,
+            at: SimTime::from_millis(u("at")?),
+            outcome,
+        })
+    }
+}
+
+/// An asynchronous terminal notice for an admitted ticket, delivered to
+/// the client side (the load generator) via
+/// [`Daemon::take_notices`](daemon::Daemon::take_notices). Rejections are
+/// synchronous and never appear here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Notice {
+    /// The admitted ticket this notice closes.
+    pub ticket: u64,
+    /// Virtual time the outcome was decided.
+    pub at: SimTime,
+    /// `Ok(kind)` for backend completions, `Err((reason, retry_after))`
+    /// for sheds.
+    pub fate: std::result::Result<CompletionKind, (ShedReason, SimTime)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_records_round_trip_through_json() {
+        let records = [
+            OutcomeRecord {
+                ticket: None,
+                tenant: 3,
+                seq: 9,
+                at: SimTime::from_millis(1234),
+                outcome: Outcome::Rejected(RejectReason::QuotaExceeded),
+            },
+            OutcomeRecord {
+                ticket: Some(41),
+                tenant: 0,
+                seq: 1,
+                at: SimTime::from_secs(9),
+                outcome: Outcome::Shed {
+                    reason: ShedReason::Overload,
+                    retry_after: SimTime::from_secs(5),
+                },
+            },
+            OutcomeRecord {
+                ticket: Some(7),
+                tenant: 12,
+                seq: 2,
+                at: SimTime::from_mins(3),
+                outcome: Outcome::Completed {
+                    kind: CompletionKind::Attained,
+                    waited: SimTime::from_millis(17),
+                },
+            },
+        ];
+        for r in records {
+            let json = r.to_json();
+            let text = json.to_pretty();
+            let parsed = rotary_core::json::parse(&text).expect("pretty output parses");
+            assert_eq!(OutcomeRecord::from_json(&parsed), Some(r.clone()), "{text}");
+            assert!(!r.trace_line().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for r in [
+            RejectReason::QueueFull,
+            RejectReason::QuotaExceeded,
+            RejectReason::Draining,
+            RejectReason::Malformed,
+            RejectReason::Oversized,
+            RejectReason::Duplicate,
+        ] {
+            assert_eq!(RejectReason::from_label(r.label()), Some(r));
+        }
+        for s in [ShedReason::Overload, ShedReason::Timeout, ShedReason::Drain] {
+            assert_eq!(ShedReason::from_label(s.label()), Some(s));
+        }
+        for k in [
+            CompletionKind::Attained,
+            CompletionKind::FalselyAttained,
+            CompletionKind::DeadlineMissed,
+            CompletionKind::Failed,
+        ] {
+            assert_eq!(CompletionKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(RejectReason::from_label("nope"), None);
+        assert_eq!(ShedReason::from_label("nope"), None);
+        assert_eq!(CompletionKind::from_label("nope"), None);
+    }
+}

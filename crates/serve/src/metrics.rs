@@ -1,0 +1,232 @@
+//! Service-level metrics: waiting-time percentiles, deadline-miss rate,
+//! shed rate, and the typed outcome counters the bench gate tracks.
+
+use rotary_core::json::{u64_json, Json};
+
+/// Typed outcome counters, one per terminal category. Kept by the daemon
+/// unconditionally (they are cheap); the full ledger is optional.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Total submissions seen (admitted + rejected).
+    pub submissions: u64,
+    /// Submissions accepted into the admission queue.
+    pub admitted: u64,
+    /// Rejections by reason.
+    pub rejected_queue_full: u64,
+    /// Rejections: tenant over quota.
+    pub rejected_quota: u64,
+    /// Rejections: daemon draining.
+    pub rejected_draining: u64,
+    /// Rejections: payload failed validation.
+    pub rejected_malformed: u64,
+    /// Rejections: declared size over cap.
+    pub rejected_oversized: u64,
+    /// Rejections: duplicate sequence number.
+    pub rejected_duplicate: u64,
+    /// Sheds: lowest-laxity eviction under overload.
+    pub shed_overload: u64,
+    /// Sheds: admission timeout or unreachable deadline.
+    pub shed_timeout: u64,
+    /// Sheds: daemon shutdown with work queued.
+    pub shed_drain: u64,
+    /// Completions: criterion attained in time.
+    pub completed_attained: u64,
+    /// Completions: attainment declared falsely.
+    pub completed_falsely: u64,
+    /// Completions: deadline missed on the backend.
+    pub completed_missed: u64,
+    /// Completions: permanent failure.
+    pub completed_failed: u64,
+}
+
+impl Counters {
+    /// All rejections.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full
+            + self.rejected_quota
+            + self.rejected_draining
+            + self.rejected_malformed
+            + self.rejected_oversized
+            + self.rejected_duplicate
+    }
+
+    /// All sheds.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_timeout + self.shed_drain
+    }
+
+    /// All backend completions.
+    pub fn completed(&self) -> u64 {
+        self.completed_attained
+            + self.completed_falsely
+            + self.completed_missed
+            + self.completed_failed
+    }
+
+    /// All terminal outcomes. The exactly-one-outcome invariant demands
+    /// this equals [`Counters::submissions`] once the daemon is idle.
+    pub fn terminals(&self) -> u64 {
+        self.rejected() + self.shed() + self.completed()
+    }
+
+    /// Serialises the counters for snapshots and the bench baseline.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("submissions", u64_json(self.submissions)),
+            ("admitted", u64_json(self.admitted)),
+            ("rej_queue_full", u64_json(self.rejected_queue_full)),
+            ("rej_quota", u64_json(self.rejected_quota)),
+            ("rej_draining", u64_json(self.rejected_draining)),
+            ("rej_malformed", u64_json(self.rejected_malformed)),
+            ("rej_oversized", u64_json(self.rejected_oversized)),
+            ("rej_duplicate", u64_json(self.rejected_duplicate)),
+            ("shed_overload", u64_json(self.shed_overload)),
+            ("shed_timeout", u64_json(self.shed_timeout)),
+            ("shed_drain", u64_json(self.shed_drain)),
+            ("done_attained", u64_json(self.completed_attained)),
+            ("done_falsely", u64_json(self.completed_falsely)),
+            ("done_missed", u64_json(self.completed_missed)),
+            ("done_failed", u64_json(self.completed_failed)),
+        ])
+    }
+
+    /// Decodes counters written by [`Counters::to_json`].
+    pub fn from_json(json: &Json) -> Option<Counters> {
+        let u = |k: &str| json.get(k).and_then(Json::as_u64_str);
+        Some(Counters {
+            submissions: u("submissions")?,
+            admitted: u("admitted")?,
+            rejected_queue_full: u("rej_queue_full")?,
+            rejected_quota: u("rej_quota")?,
+            rejected_draining: u("rej_draining")?,
+            rejected_malformed: u("rej_malformed")?,
+            rejected_oversized: u("rej_oversized")?,
+            rejected_duplicate: u("rej_duplicate")?,
+            shed_overload: u("shed_overload")?,
+            shed_timeout: u("shed_timeout")?,
+            shed_drain: u("shed_drain")?,
+            completed_attained: u("done_attained")?,
+            completed_falsely: u("done_falsely")?,
+            completed_missed: u("done_missed")?,
+            completed_failed: u("done_failed")?,
+        })
+    }
+}
+
+/// Aggregated service metrics for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetrics {
+    /// The raw typed counters.
+    pub counters: Counters,
+    /// Median queueing delay (submission → backend admission), ms.
+    pub p50_wait_ms: u64,
+    /// 99th-percentile queueing delay, ms.
+    pub p99_wait_ms: u64,
+    /// Deadline misses over backend completions, in `[0, 1]`.
+    pub deadline_miss_rate: f64,
+    /// Sheds over accepted admissions, in `[0, 1]`.
+    pub shed_rate: f64,
+}
+
+impl ServeMetrics {
+    /// Computes metrics from counters and the recorded queueing delays.
+    /// Percentiles use the nearest-rank method on a sorted copy.
+    pub fn compute(counters: Counters, waits_ms: &[u32]) -> ServeMetrics {
+        let mut sorted = waits_ms.to_vec();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            u64::from(sorted[rank - 1])
+        };
+        let completed = counters.completed();
+        let deadline_miss_rate =
+            if completed == 0 { 0.0 } else { counters.completed_missed as f64 / completed as f64 };
+        let shed_rate = if counters.admitted == 0 {
+            0.0
+        } else {
+            counters.shed() as f64 / counters.admitted as f64
+        };
+        ServeMetrics {
+            counters,
+            p50_wait_ms: pct(0.50),
+            p99_wait_ms: pct(0.99),
+            deadline_miss_rate,
+            shed_rate,
+        }
+    }
+
+    /// Serialises the metrics (bench baseline format).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("counters", self.counters.to_json()),
+            ("p50_wait_ms", u64_json(self.p50_wait_ms)),
+            ("p99_wait_ms", u64_json(self.p99_wait_ms)),
+            ("deadline_miss_rate", Json::Num(self.deadline_miss_rate)),
+            ("shed_rate", Json::Num(self.shed_rate)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_round_trip_and_sum() {
+        let c = Counters {
+            submissions: 100,
+            admitted: 80,
+            rejected_queue_full: 5,
+            rejected_quota: 6,
+            rejected_draining: 1,
+            rejected_malformed: 3,
+            rejected_oversized: 2,
+            rejected_duplicate: 3,
+            shed_overload: 4,
+            shed_timeout: 2,
+            shed_drain: 1,
+            completed_attained: 60,
+            completed_falsely: 2,
+            completed_missed: 9,
+            completed_failed: 2,
+        };
+        assert_eq!(c.rejected(), 20);
+        assert_eq!(c.shed(), 7);
+        assert_eq!(c.completed(), 73);
+        assert_eq!(c.terminals(), 100);
+        let parsed = rotary_core::json::parse(&c.to_json().to_pretty()).unwrap();
+        assert_eq!(Counters::from_json(&parsed), Some(c));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let waits: Vec<u32> = (1..=100).collect();
+        let m = ServeMetrics::compute(Counters::default(), &waits);
+        assert_eq!(m.p50_wait_ms, 50);
+        assert_eq!(m.p99_wait_ms, 99);
+        let m = ServeMetrics::compute(Counters::default(), &[]);
+        assert_eq!((m.p50_wait_ms, m.p99_wait_ms), (0, 0));
+        let m = ServeMetrics::compute(Counters::default(), &[7]);
+        assert_eq!((m.p50_wait_ms, m.p99_wait_ms), (7, 7));
+    }
+
+    #[test]
+    fn rates_guard_zero_denominators() {
+        let m = ServeMetrics::compute(Counters::default(), &[]);
+        assert_eq!(m.deadline_miss_rate, 0.0);
+        assert_eq!(m.shed_rate, 0.0);
+        let c = Counters {
+            admitted: 10,
+            shed_overload: 2,
+            completed_attained: 6,
+            completed_missed: 2,
+            ..Counters::default()
+        };
+        let m = ServeMetrics::compute(c, &[1, 2, 3]);
+        assert!((m.deadline_miss_rate - 0.25).abs() < 1e-12);
+        assert!((m.shed_rate - 0.2).abs() < 1e-12);
+    }
+}

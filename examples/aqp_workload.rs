@@ -9,7 +9,7 @@
 use rotary::aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
 use rotary::tpch::Generator;
 
-fn main() {
+fn main() -> rotary::core::error::Result<()> {
     let data = Generator::new(1, 0.005).generate();
     let specs = WorkloadBuilder::paper().seed(7).build();
 
@@ -38,9 +38,9 @@ fn main() {
         let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed: 3, ..Default::default() });
         if policy == AqpPolicy::Rotary {
             // Rotary's estimators draw on completed historical jobs.
-            sys.prepopulate_history(9);
+            sys.prepopulate_history(9)?;
         }
-        let r = sys.run(&specs, policy);
+        let r = sys.run(&specs, policy)?;
         println!(
             "{:<14} {:>9} {:>7} {:>8} {:>11} {:>12.1}",
             policy.name(),
@@ -51,4 +51,5 @@ fn main() {
             r.summary.avg_checkpoints,
         );
     }
+    Ok(())
 }

@@ -11,7 +11,7 @@ use rotary::core::{CompletionCriterion, SimTime};
 use rotary::engine::QueryId;
 use rotary::tpch::Generator;
 
-fn main() {
+fn main() -> rotary::core::error::Result<()> {
     // 1. Completion criteria are plain suffixes on the job's command —
     //    exactly the paper's Fig. 4 examples.
     let (command, criterion) =
@@ -41,7 +41,7 @@ fn main() {
         job(7, 0.80, 2800, 120), // heavy: France↔Germany volume shipping
     ];
 
-    let result = system.run(&workload, AqpPolicy::Rotary);
+    let result = system.run(&workload, AqpPolicy::Rotary)?;
     println!(
         "{:<6} {:<7} {:>7} {:>9} {:>11} {:>12}",
         "job", "query", "θ", "epochs", "finished", "status"
@@ -70,4 +70,5 @@ fn main() {
         parse_statement("TRAIN ResNet-50 ON CIFAR10 ACC DELTA 0.001 WITHIN 30 EPOCHS").unwrap();
     assert!(matches!(crit, CompletionCriterion::Convergence { .. }));
     println!("\nDLT statements parse with the same grammar: {cmd} ⇒ {crit}");
+    Ok(())
 }

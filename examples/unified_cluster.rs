@@ -12,20 +12,20 @@ use rotary::dlt::{DltPolicy, DltWorkloadBuilder};
 use rotary::tpch::Generator;
 use rotary::unified::{UnifiedCluster, UnifiedConfig};
 
-fn main() {
+fn main() -> rotary::core::error::Result<()> {
     let data = Generator::new(11, 0.002).generate();
     let mut cluster = UnifiedCluster::new(&data, UnifiedConfig::default());
 
     let queries = WorkloadBuilder::paper().jobs(12).seed(5).build();
     let trainings = DltWorkloadBuilder::paper().jobs(12).seed(5).build();
-    cluster.prepopulate_history(&trainings, 21);
+    cluster.prepopulate_history(&trainings, 21)?;
 
     let result = cluster.run(
         &queries,
         &trainings,
         AqpPolicy::Rotary,
         DltPolicy::Rotary(Objective::Threshold(0.5)),
-    );
+    )?;
 
     println!("mixed workload: {} AQP + {} DLT jobs", queries.len(), trainings.len());
     println!(
@@ -46,4 +46,5 @@ fn main() {
         result.combined_attainment_rate() * 100.0,
         result.makespan()
     );
+    Ok(())
 }

@@ -32,6 +32,7 @@ struct Options {
     statement: String,
     scale_factor: f64,
     seed: u64,
+    jobs: usize,
     snapshot_dir: Option<PathBuf>,
     snapshot_every: u64,
     resume: bool,
@@ -41,7 +42,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rotary-cli aqp \"<TPCH Qn> <criterion>\" [--sf 0.005] [--seed 7]\n  \
          rotary-cli dlt \"TRAIN <model> … <criterion>\" [--seed 7]\n  \
-         rotary-cli demo [--seed 7]\n\ndurability (aqp/dlt):\n  \
+         rotary-cli demo [--seed 7]\n  \
+         rotary-cli serve [--jobs 10] [--sf 0.005] [--seed 7]\n\ndurability (aqp/dlt):\n  \
          --snapshot-dir <dir>   write checksummed snapshots while running\n  \
          --snapshot-every <n>   snapshot cadence in completed epochs (default 4)\n  \
          --resume               continue from the newest valid snapshot\n\n\
@@ -55,6 +57,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut statement = None;
     let mut scale_factor = 0.005;
     let mut seed = 7u64;
+    let mut jobs = 10usize;
     let mut snapshot_dir = None;
     let mut snapshot_every = 4u64;
     let mut resume = false;
@@ -86,6 +89,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or("--sf needs a positive number")?;
                 i += 2;
             }
+            "--jobs" => {
+                jobs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v| *v > 0)
+                    .ok_or("--jobs needs a positive integer")?;
+                i += 2;
+            }
             "--seed" => {
                 seed = args
                     .get(i + 1)
@@ -107,6 +118,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         statement: statement.unwrap_or_default(),
         scale_factor,
         seed,
+        jobs,
         snapshot_dir,
         snapshot_every,
         resume,
@@ -142,7 +154,7 @@ fn run_aqp(opts: &Options) -> Result<(), String> {
     let data = Generator::new(opts.seed, opts.scale_factor).generate();
     let mut system =
         AqpSystem::new(&data, AqpSystemConfig { seed: opts.seed, ..Default::default() });
-    system.prepopulate_history(opts.seed ^ 0xf00d);
+    system.prepopulate_history(opts.seed ^ 0xf00d).map_err(|e| e.to_string())?;
     let spec = AqpJobSpec::new(query, *threshold, deadline, rotary::core::SimTime::ZERO);
     let result = match &opts.snapshot_dir {
         Some(dir) => {
@@ -157,7 +169,7 @@ fn run_aqp(opts: &Options) -> Result<(), String> {
                 .completed()
                 .ok_or("the durable run halted before completion")?
         }
-        None => system.run(&[spec], AqpPolicy::Rotary),
+        None => system.run(&[spec], AqpPolicy::Rotary).map_err(|e| e.to_string())?,
     };
     let (_, state) = &result.jobs[0];
     println!("query     : {query} ({})", query.class());
@@ -220,13 +232,10 @@ fn run_demo(opts: &Options) -> Result<(), String> {
     let mut cluster = UnifiedCluster::new(&data, UnifiedConfig::default());
     let queries = WorkloadBuilder::paper().jobs(10).seed(opts.seed).build();
     let trainings = DltWorkloadBuilder::paper().jobs(10).seed(opts.seed).build();
-    cluster.prepopulate_history(&trainings, opts.seed ^ 0xbeef);
-    let result = cluster.run(
-        &queries,
-        &trainings,
-        AqpPolicy::Rotary,
-        DltPolicy::Rotary(Objective::Threshold(0.5)),
-    );
+    cluster.prepopulate_history(&trainings, opts.seed ^ 0xbeef).map_err(|e| e.to_string())?;
+    let result = cluster
+        .run(&queries, &trainings, AqpPolicy::Rotary, DltPolicy::Rotary(Objective::Threshold(0.5)))
+        .map_err(|e| e.to_string())?;
     println!(
         "mixed demo: {} AQP + {} DLT jobs → ψ = {:.0}%, makespan {}",
         queries.len(),
@@ -242,6 +251,50 @@ fn run_demo(opts: &Options) -> Result<(), String> {
         result.dlt.summary.attained,
         result.dlt.summary.deadline_missed
     );
+    Ok(())
+}
+
+fn run_serve(opts: &Options) -> Result<(), String> {
+    use rotary::aqp::WorkloadBuilder;
+    use rotary::dlt::DltWorkloadBuilder;
+    use rotary::unified::{UnifiedCluster, UnifiedConfig};
+
+    eprintln!("generating TPC-H (SF {})…", opts.scale_factor);
+    let data = Generator::new(opts.seed, opts.scale_factor).generate();
+    let mut cluster = UnifiedCluster::new(&data, UnifiedConfig::default());
+    let queries = WorkloadBuilder::paper().jobs(opts.jobs).seed(opts.seed).build();
+    let trainings = DltWorkloadBuilder::paper().jobs(opts.jobs).seed(opts.seed).build();
+    cluster.prepopulate_history(&trainings, opts.seed ^ 0xbeef).map_err(|e| e.to_string())?;
+    let report = cluster
+        .serve(
+            &queries,
+            &trainings,
+            AqpPolicy::Rotary,
+            DltPolicy::Rotary(Objective::Threshold(0.5)),
+        )
+        .map_err(|e| e.to_string())?;
+    println!(
+        "served: {} AQP + {} DLT submissions → ψ = {:.0}%",
+        queries.len(),
+        trainings.len(),
+        report.combined_attainment_rate() * 100.0
+    );
+    for (pool, m) in [("AQP", &report.aqp.metrics), ("DLT", &report.dlt.metrics)] {
+        println!(
+            "{pool}: {} admitted / {} rejected / {} shed; \
+             {} attained, {} false, {} missed, {} failed; \
+             wait p50 {} ms p99 {} ms",
+            m.counters.admitted,
+            m.counters.rejected(),
+            m.counters.shed(),
+            m.counters.completed_attained,
+            m.counters.completed_falsely,
+            m.counters.completed_missed,
+            m.counters.completed_failed,
+            m.p50_wait_ms,
+            m.p99_wait_ms
+        );
+    }
     Ok(())
 }
 
@@ -261,6 +314,7 @@ fn main() -> ExitCode {
         "aqp" if !opts.statement.is_empty() => run_aqp(&opts),
         "dlt" if !opts.statement.is_empty() => run_dlt(&opts),
         "demo" => run_demo(&opts),
+        "serve" => run_serve(&opts),
         _ => return usage(),
     };
     match outcome {

@@ -25,11 +25,16 @@
 //! * [`store`] — the durable snapshot store behind crash-restart recovery:
 //!   checksummed generation files, atomic commits, and the
 //!   `run_durable`/`resume_durable` entry points on both systems.
+//! * [`serve`] — the service layer: an event-driven daemon with per-tenant
+//!   quotas, bounded admission queues, typed backpressure, deadline-aware
+//!   load shedding, and the [`serve::Backend`] adapters that put the AQP
+//!   and DLT arbitrators behind it.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
 #![warn(missing_docs)]
 
+pub mod serve;
 pub mod unified;
 
 pub use rotary_aqp as aqp;

@@ -17,7 +17,7 @@ fn every_policy_terminates_every_job_with_consistent_accounting() {
     let specs = WorkloadBuilder::paper().jobs(12).seed(21).build();
     for policy in AqpPolicy::all() {
         let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed: 21, ..Default::default() });
-        let r = sys.run(&specs, policy);
+        let r = sys.run(&specs, policy).unwrap();
         let s = &r.summary;
         assert_eq!(
             s.attained + s.falsely_attained + s.deadline_missed + s.unfinished,
@@ -43,7 +43,7 @@ fn placement_spans_never_overlap_beyond_thread_capacity() {
     cfg.pool = CpuPoolSpec { threads: 4, memory_mb: 120 * 1024 };
     let specs = WorkloadBuilder::paper().jobs(10).seed(4).build();
     let mut sys = AqpSystem::new(&data, cfg);
-    let r = sys.run(&specs, AqpPolicy::Rotary);
+    let r = sys.run(&specs, AqpPolicy::Rotary).unwrap();
     // Count concurrent spans at every span boundary: at most 4 jobs can
     // hold threads simultaneously (each holds ≥ 1 of 4 threads).
     let spans = r.metrics.spans();
@@ -66,10 +66,10 @@ fn history_improves_rotary_over_cold_start() {
     for seed in [5u64, 6, 7, 8] {
         let specs = WorkloadBuilder::paper().jobs(20).seed(seed).build();
         let mut cold = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
-        cold_total += cold.run(&specs, AqpPolicy::Rotary).summary.attained;
+        cold_total += cold.run(&specs, AqpPolicy::Rotary).unwrap().summary.attained;
         let mut warm = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
-        warm.prepopulate_history(seed ^ 0x11);
-        warm_total += warm.run(&specs, AqpPolicy::Rotary).summary.attained;
+        warm.prepopulate_history(seed ^ 0x11).unwrap();
+        warm_total += warm.run(&specs, AqpPolicy::Rotary).unwrap().summary.attained;
     }
     assert!(
         warm_total + 2 >= cold_total,
@@ -84,8 +84,8 @@ fn skewed_workloads_are_harder_with_heavier_classes() {
     for mix in [ClassMix::ALL_LIGHT, ClassMix::ALL_HEAVY] {
         let specs = WorkloadBuilder::paper().jobs(16).mix(mix).seed(9).build();
         let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed: 9, ..Default::default() });
-        sys.prepopulate_history(3);
-        attained.push(sys.run(&specs, AqpPolicy::Rotary).summary.attained);
+        sys.prepopulate_history(3).unwrap();
+        attained.push(sys.run(&specs, AqpPolicy::Rotary).unwrap().summary.attained);
     }
     assert!(
         attained[0] >= attained[1],
@@ -105,7 +105,7 @@ fn false_attainment_is_detected_against_ground_truth() {
     for seed in [1u64, 2, 3] {
         let specs = WorkloadBuilder::paper().jobs(15).seed(seed).build();
         let mut sys = AqpSystem::new(&data, AqpSystemConfig { seed, ..Default::default() });
-        let r = sys.run(&specs, AqpPolicy::RoundRobin);
+        let r = sys.run(&specs, AqpPolicy::RoundRobin).unwrap();
         for (spec, state) in &r.jobs {
             if state.status == JobStatus::FalselyAttained {
                 any_false = true;
@@ -132,8 +132,8 @@ fn tighter_pools_attain_fewer_jobs() {
                 ..Default::default()
             },
         );
-        sys.prepopulate_history(5);
-        sys.run(&specs, AqpPolicy::Rotary).summary.attained
+        sys.prepopulate_history(5).unwrap();
+        sys.run(&specs, AqpPolicy::Rotary).unwrap().summary.attained
     };
     let small = run(2);
     let large = run(24);

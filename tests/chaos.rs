@@ -45,6 +45,7 @@ fn random_config(src: &mut Source) -> FaultConfig {
             base_backoff: SimTime::from_secs(src.u64_in(1, 30)),
             max_backoff: SimTime::from_secs(src.u64_in(30, 300)),
         },
+        submission: rotary::faults::SubmissionFaultConfig::none(),
     }
 }
 
@@ -92,7 +93,7 @@ fn aqp_survives_arbitrary_fault_plans() {
                 ..Default::default()
             },
         );
-        let r = sys.run(&specs, AqpPolicy::Rotary);
+        let r = sys.run(&specs, AqpPolicy::Rotary).unwrap();
         assert_all_terminal(&r.summary, specs.len());
         let json = r.metrics.to_json().unwrap();
         assert!(!json.contains("NaN"), "non-finite value leaked into the trace");
@@ -118,8 +119,8 @@ fn aqp_chaos_run(seed: u64, threads: usize) -> (WorkloadSummary, String) {
         data(),
         AqpSystemConfig { seed, threads, faults: FaultPlan::chaos(seed), ..Default::default() },
     );
-    sys.prepopulate_history(seed);
-    let r = sys.run(&specs, AqpPolicy::Rotary);
+    sys.prepopulate_history(seed).unwrap();
+    let r = sys.run(&specs, AqpPolicy::Rotary).unwrap();
     (r.summary, r.metrics.to_json().unwrap())
 }
 
@@ -184,8 +185,8 @@ fn inert_plans_change_nothing_regardless_of_seed() {
             data(),
             AqpSystemConfig { seed: 9, threads: 1, faults: plan, ..Default::default() },
         );
-        sys.prepopulate_history(9);
-        let r = sys.run(&specs, AqpPolicy::Rotary);
+        sys.prepopulate_history(9).unwrap();
+        let r = sys.run(&specs, AqpPolicy::Rotary).unwrap();
         assert!(r.metrics.recovery().is_empty());
         (r.summary, r.metrics.to_json().unwrap())
     };
@@ -269,6 +270,7 @@ fn aqp_kill_and_resume_at_every_generation_is_byte_identical() {
         let specs = WorkloadBuilder::paper().jobs(2).seed(33).build();
         let expected = aqp_durable_system(threads, FaultPlan::none())
             .run(&specs, AqpPolicy::Rotary)
+            .unwrap()
             .metrics
             .to_json()
             .unwrap();
@@ -306,6 +308,7 @@ fn kill_and_resume_under_chaos_faults_is_byte_identical() {
     // still reproduces the uninterrupted run exactly.
     let aqp_expected = aqp_durable_system(1, FaultPlan::chaos(33))
         .run(&WorkloadBuilder::paper().jobs(2).seed(33).build(), AqpPolicy::Rotary)
+        .unwrap()
         .metrics
         .to_json()
         .unwrap();
@@ -346,6 +349,7 @@ fn resume_falls_back_past_corrupt_generations() {
     let specs = WorkloadBuilder::paper().jobs(2).seed(33).build();
     let expected = aqp_durable_system(1, FaultPlan::none())
         .run(&specs, AqpPolicy::Rotary)
+        .unwrap()
         .metrics
         .to_json()
         .unwrap();

@@ -164,6 +164,7 @@ fn random_config(src: &mut Source) -> FaultConfig {
             base_backoff: SimTime::from_secs(src.u64_in(1, 30)),
             max_backoff: SimTime::from_secs(src.u64_in(30, 300)),
         },
+        submission: rotary::faults::SubmissionFaultConfig::none(),
     }
 }
 
@@ -197,9 +198,9 @@ fn aqp_indexed_control_plane_is_byte_identical_to_dense() {
                 },
             );
             if warm {
-                sys.prepopulate_history(seed);
+                sys.prepopulate_history(seed).unwrap();
             }
-            let r = sys.run(&specs, policy);
+            let r = sys.run(&specs, policy).unwrap();
             (r.summary, r.metrics.to_json().unwrap())
         };
         assert_eq!(

@@ -20,7 +20,7 @@ fn parsed_criterion_drives_an_aqp_run() {
     let data = Generator::new(3, 0.002).generate();
     let mut sys = AqpSystem::new(&data, AqpSystemConfig::default());
     let spec = AqpJobSpec::new(QueryId(6), threshold, deadline.time().unwrap(), SimTime::ZERO);
-    let result = sys.run(&[spec], AqpPolicy::Rotary);
+    let result = sys.run(&[spec], AqpPolicy::Rotary).unwrap();
     let (_, state) = &result.jobs[0];
     assert!(state.status.is_terminal());
     assert!(state.epochs_run > 0, "the job actually processed data");
@@ -63,7 +63,7 @@ fn impossible_statement_jobs_miss_their_deadline() {
     let data = Generator::new(3, 0.002).generate();
     let mut sys = AqpSystem::new(&data, AqpSystemConfig::default());
     let spec = AqpJobSpec::new(QueryId(1), 0.95, SimTime::from_secs(1), SimTime::ZERO);
-    let result = sys.run(&[spec], AqpPolicy::Rotary);
+    let result = sys.run(&[spec], AqpPolicy::Rotary).unwrap();
     assert_eq!(result.jobs[0].1.status, JobStatus::DeadlineMissed);
     assert_eq!(result.summary.attained, 0);
 }

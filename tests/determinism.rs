@@ -22,8 +22,8 @@ fn data() -> &'static TpchData {
 fn aqp_summary_threads(seed: u64, threads: usize) -> WorkloadSummary {
     let specs = WorkloadBuilder::paper().jobs(8).seed(seed).build();
     let mut sys = AqpSystem::new(data(), AqpSystemConfig { seed, threads, ..Default::default() });
-    sys.prepopulate_history(seed);
-    sys.run(&specs, AqpPolicy::Rotary).summary
+    sys.prepopulate_history(seed).unwrap();
+    sys.run(&specs, AqpPolicy::Rotary).unwrap().summary
 }
 
 fn aqp_summary(seed: u64) -> WorkloadSummary {
@@ -144,8 +144,8 @@ fn aqp_chaos_fault_profile_is_bit_identical_across_thread_counts() {
             ..Default::default()
         };
         let mut sys = AqpSystem::new(data(), config);
-        sys.prepopulate_history(17);
-        sys.run(&specs, AqpPolicy::Rotary).summary
+        sys.prepopulate_history(17).unwrap();
+        sys.run(&specs, AqpPolicy::Rotary).unwrap().summary
     };
     let baseline = run(1);
     for threads in [2usize, 4, 8] {

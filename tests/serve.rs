@@ -1,0 +1,455 @@
+//! Serve-layer robustness suite: admission edge cases as seeded
+//! properties (256 cases by default, `ROTARY_CHECK_CASES` overrides),
+//! kill-chain byte-identity with the real AQP arbitrator behind the
+//! daemon, and determinism under sustained 2× overload.
+//!
+//! The properties pin the corners the unit tests cannot reach by
+//! construction: quota exhaustion exactly at refill boundaries, queue
+//! pressure during drain, the shed-vs-complete race on a job's final
+//! epoch, and resuming a daemon whose admission queue was non-empty at
+//! the snapshot.
+
+use rotary::aqp::{AqpPolicy, AqpSystem, AqpSystemConfig, WorkloadBuilder};
+use rotary::core::json::Json;
+use rotary::core::SimTime;
+use rotary::faults::{FaultConfig, FaultPlan, RetryPolicy, SubmissionFaultConfig};
+use rotary::serve::{
+    aqp_payload, open_schedule, run_schedule, run_schedule_durable, AqpServeBackend, Daemon,
+    LoadGenConfig, LoadMode, RejectReason, ServeConfig, ServeReport, SimBackend, Submission,
+    SubmitResponse, TokenBucketConfig,
+};
+use rotary::store::{DurableConfig, DurableOutcome};
+use rotary::tpch::{Generator, TpchData};
+use rotary_check::check;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+fn data() -> &'static TpchData {
+    static DATA: OnceLock<TpchData> = OnceLock::new();
+    DATA.get_or_init(|| Generator::new(7, 0.0005).generate())
+}
+
+/// A wide-open config the properties then tighten one knob at a time.
+fn base_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 1 << 16,
+        bucket: TokenBucketConfig::per_second(1 << 20, 1 << 20),
+        max_tenants: 1 << 10,
+        max_payload_bytes: 1 << 16,
+        max_inflight: 1 << 16,
+        admission_timeout: SimTime::from_mins(1 << 20),
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimTime::ZERO,
+            max_backoff: SimTime::ZERO,
+        },
+        pressure_watermark: 1.0,
+        shed_watermark: 1.0,
+        resume_watermark: 1.0,
+        record_outcomes: true,
+        retain_payloads: true,
+    }
+}
+
+fn sim_sub(tenant: u64, seq: u64, svc_ms: u64, deadline_ms: u64) -> Submission {
+    Submission {
+        tenant,
+        seq,
+        attempt: 0,
+        deadline: SimTime::from_millis(deadline_ms),
+        cost_milli: 1000,
+        bytes: 64,
+        payload: Json::obj(vec![("svc_ms", Json::Num(svc_ms as f64))]),
+    }
+}
+
+fn admitted(r: &SubmitResponse) -> bool {
+    matches!(r, SubmitResponse::Admitted { .. })
+}
+
+fn rejected_as(r: &SubmitResponse, want: RejectReason) -> bool {
+    matches!(r, SubmitResponse::Rejected { reason, .. } if *reason == want)
+}
+
+/// Exactly-one-outcome, stated over the counters: every submission is
+/// accounted for by precisely one terminal class, and every admitted
+/// ticket is closed.
+fn assert_conservation(daemon: &Daemon<SimBackend>) {
+    let c = daemon.counters();
+    assert_eq!(c.terminals(), c.submissions, "a submission leaked without a terminal outcome");
+    assert_eq!(c.admitted + c.rejected(), c.submissions);
+    assert_eq!(c.shed() + c.completed(), c.admitted);
+}
+
+// -------------------------------------------------------------------------
+// Property suites
+// -------------------------------------------------------------------------
+
+#[test]
+fn quota_exhaustion_at_refill_boundaries() {
+    // With a zeroed backoff hint, a quota rejection's retry_after is the
+    // bucket's *exact* earliest-cover time: resubmitting one millisecond
+    // earlier must fail again, resubmitting exactly then must succeed.
+    check("serve_quota_boundary", |src| {
+        let capacity = src.u64_in(1, 6);
+        let per_sec = src.u64_in(1, 2_000);
+        let mut cfg = base_config();
+        cfg.bucket =
+            TokenBucketConfig { capacity_milli: capacity * 1000, refill_milli_per_sec: per_sec };
+        let mut d = Daemon::new(cfg, SimBackend::new()).unwrap();
+        let t0 = SimTime::from_millis(src.u64_in(0, 10_000));
+        let mut seq = 0u64;
+        let mut next = |d: &mut Daemon<SimBackend>, at: SimTime| {
+            seq += 1;
+            d.submit(at, &sim_sub(0, seq, 1, 1 << 30))
+        };
+        for _ in 0..capacity {
+            assert!(admitted(&next(&mut d, t0)), "the bucket starts with {capacity} tokens");
+        }
+        let over = next(&mut d, t0);
+        let SubmitResponse::Rejected { reason, retry_after } = over else {
+            panic!("submission past capacity was admitted: {over:?}");
+        };
+        assert_eq!(reason, RejectReason::QuotaExceeded);
+        assert!(retry_after > SimTime::ZERO, "an empty bucket cannot refill instantly");
+        // One millisecond short of the hint the bucket still cannot cover
+        // the cost (the hint is exact, not conservative).
+        if retry_after > SimTime::from_millis(1) {
+            let early = next(&mut d, t0 + retry_after - SimTime::from_millis(1));
+            assert!(
+                rejected_as(&early, RejectReason::QuotaExceeded),
+                "refill boundary is not exact: {early:?}"
+            );
+        }
+        assert!(
+            admitted(&next(&mut d, t0 + retry_after)),
+            "the hinted instant must cover the cost"
+        );
+        d.finish();
+        assert_conservation(&d);
+    });
+}
+
+#[test]
+fn queue_pressure_during_drain() {
+    // Drain is a one-way door: everything submitted after it is rejected
+    // `Draining` (even what would otherwise hit QueueFull), everything
+    // admitted before it still resolves — run, shed on timeout, or shed as
+    // `Drain` by finish(), never silently dropped.
+    check("serve_drain_pressure", |src| {
+        let cap = src.usize_in(1, 8);
+        let backlog = src.usize_in(0, cap);
+        let late = src.usize_in(1, 6);
+        let mut cfg = base_config();
+        cfg.queue_capacity = cap;
+        cfg.max_inflight = 1;
+        let mut d = Daemon::new(cfg, SimBackend::new()).unwrap();
+        let mut seq = 0u64;
+        // One job occupies the backend so the rest stays queued.
+        seq += 1;
+        assert!(admitted(&d.submit(SimTime::ZERO, &sim_sub(0, seq, 5_000, 1 << 30))));
+        for _ in 0..backlog {
+            seq += 1;
+            assert!(admitted(&d.submit(SimTime::ZERO, &sim_sub(0, seq, 10, 1 << 30))));
+        }
+        let queued = d.queue_len();
+        d.drain();
+        for _ in 0..late {
+            seq += 1;
+            let r = d.submit(SimTime::ZERO, &sim_sub(0, seq, 10, 1 << 30));
+            assert!(rejected_as(&r, RejectReason::Draining), "drain must outrank admission: {r:?}");
+        }
+        d.finish();
+        let c = *d.counters();
+        assert_eq!(c.rejected_draining, late as u64);
+        assert_eq!(c.admitted, 1 + backlog as u64);
+        assert_conservation(&d);
+        assert!(
+            c.completed() + c.shed() >= queued as u64,
+            "work queued before the drain went unresolved"
+        );
+    });
+}
+
+#[test]
+fn shed_vs_complete_race_on_final_epoch() {
+    // Deadlines that land exactly on a job's completion instant — and
+    // queue entries whose laxity crosses zero exactly when backend
+    // capacity frees up — must resolve to exactly one terminal outcome
+    // per ticket, whichever side wins.
+    check("serve_shed_complete_race", |src| {
+        let mut cfg = base_config();
+        cfg.max_inflight = 1;
+        cfg.queue_capacity = src.usize_in(1, 8);
+        let mut d = Daemon::new(cfg, SimBackend::new()).unwrap();
+        let n = src.u64_in(2, 10);
+        let mut at = SimTime::ZERO;
+        for seq in 1..=n {
+            let svc = src.u64_in(1, 2_000);
+            // Deadline within a hair of the service time: equal, one off,
+            // or exactly double (completion == deadline of the successor).
+            let deadline = match src.u64_in(0, 3) {
+                0 => svc,
+                1 => svc + 1,
+                2 => svc.saturating_sub(1).max(1),
+                _ => svc * 2,
+            };
+            let _ = d.submit(at, &sim_sub(0, seq, svc, deadline));
+            at += SimTime::from_millis(src.u64_in(0, svc));
+        }
+        d.finish();
+        assert_conservation(&d);
+        // The ledger agrees with the counters ticket by ticket: each
+        // admitted ticket appears exactly once with a terminal outcome.
+        let c = *d.counters();
+        let mut closed = vec![0u32; c.admitted as usize];
+        for r in d.ledger() {
+            if let Some(t) = r.ticket {
+                closed[t as usize] += 1;
+            }
+        }
+        assert!(closed.iter().all(|&n| n == 1), "ticket closed != once: {closed:?}");
+    });
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rotary-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn resume_with_nonempty_admission_queue() {
+    // Kill the daemon while work is still queued (not just in flight): a
+    // snapshot cut at that moment must restore queue order, quota levels,
+    // and ticket state exactly — the resumed run's trace is byte-identical
+    // to an uninterrupted one.
+    check("serve_resume_queued", |src| {
+        let mut cfg = base_config();
+        cfg.max_inflight = 1;
+        cfg.queue_capacity = 16;
+        let n = src.u64_in(4, 10);
+        let schedule: Vec<(SimTime, Submission)> = (1..=n)
+            .map(|seq| {
+                let svc = src.u64_in(100, 3_000);
+                (
+                    SimTime::from_millis(src.u64_in(0, 50) * seq),
+                    sim_sub(seq % 3, (seq / 3) + 1, svc, 1 << 30),
+                )
+            })
+            .collect();
+        let uninterrupted = run_schedule(cfg.clone(), SimBackend::new(), &schedule).unwrap();
+        let dir = temp_store(&format!("queued-{}", src.raw()));
+        let mut durable = DurableConfig::new(&dir, 1);
+        durable.halt_after = Some(1);
+        // First leg: snapshot after the first terminal outcome — with a
+        // single-slot backend and a burst schedule, later submissions are
+        // still waiting in the admission queue at that point.
+        let outcome = run_schedule_durable(
+            cfg.clone(),
+            SimBackend::new(),
+            &schedule,
+            &durable,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        let resumed = match outcome {
+            DurableOutcome::Halted { .. } => {
+                let durable = DurableConfig::new(&dir, u64::MAX);
+                match run_schedule_durable(
+                    cfg,
+                    SimBackend::new(),
+                    &schedule,
+                    &durable,
+                    &FaultPlan::none(),
+                )
+                .unwrap()
+                {
+                    DurableOutcome::Completed(r) => r,
+                    DurableOutcome::Halted { .. } => unreachable!("no halt requested on resume"),
+                }
+            }
+            // The whole run fit before the first snapshot boundary.
+            DurableOutcome::Completed(r) => r,
+        };
+        assert_eq!(resumed.trace, uninterrupted.trace, "resume changed the outcome trace");
+        assert_eq!(resumed.metrics, uninterrupted.metrics);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+// -------------------------------------------------------------------------
+// AQP-backed kill chains
+// -------------------------------------------------------------------------
+
+fn aqp_backend(threads: usize, faults: FaultPlan) -> AqpServeBackend<'static> {
+    let mut sys =
+        AqpSystem::new(data(), AqpSystemConfig { seed: 33, threads, faults, ..Default::default() });
+    sys.prepopulate_history(33).unwrap();
+    AqpServeBackend::new(sys, AqpPolicy::Rotary).unwrap()
+}
+
+fn aqp_schedule() -> Vec<(SimTime, Submission)> {
+    WorkloadBuilder::paper()
+        .jobs(3)
+        .seed(33)
+        .build()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut sub = Submission {
+                tenant: 0,
+                seq: i as u64 + 1,
+                attempt: 0,
+                deadline: spec.deadline,
+                cost_milli: 1000,
+                bytes: 64,
+                payload: aqp_payload(spec),
+            };
+            sub.bytes = sub.payload.to_pretty().len() as u64;
+            (spec.arrival, sub)
+        })
+        .collect()
+}
+
+fn aqp_serve_config() -> ServeConfig {
+    let mut cfg = base_config();
+    cfg.max_inflight = 2;
+    cfg
+}
+
+/// Drives the schedule to completion while killing the daemon after every
+/// snapshot generation, rebuilding daemon *and* arbitrator from disk each
+/// time. Returns the final report and the number of kill cycles.
+fn aqp_kill_chain(
+    threads: usize,
+    faults: impl Fn() -> FaultPlan,
+    dir: &Path,
+) -> (ServeReport, u64) {
+    let schedule = aqp_schedule();
+    let mut halt = 1u64;
+    loop {
+        let mut durable = DurableConfig::new(dir, 1);
+        durable.halt_after = Some(halt);
+        let outcome = run_schedule_durable(
+            aqp_serve_config(),
+            aqp_backend(threads, faults()),
+            &schedule,
+            &durable,
+            &faults(),
+        )
+        .unwrap();
+        match outcome {
+            DurableOutcome::Completed(r) => return (r, halt - 1),
+            DurableOutcome::Halted { .. } => halt += 1,
+        }
+    }
+}
+
+#[test]
+fn aqp_kill_chain_is_byte_identical_across_thread_counts() {
+    // The real arbitrator behind the daemon, killed and restored from disk
+    // after every snapshot generation: the trace must match an
+    // uninterrupted run byte for byte, at every supported thread count.
+    for threads in [1usize, 2, 4, 8] {
+        let expected = run_schedule(
+            aqp_serve_config(),
+            aqp_backend(threads, FaultPlan::none()),
+            &aqp_schedule(),
+        )
+        .unwrap();
+        assert!(
+            expected.trace.contains("completed="),
+            "workload produced no backend completions; the chain proves nothing"
+        );
+        let dir = temp_store(&format!("aqp-kill-{threads}"));
+        let (resumed, kills) = aqp_kill_chain(threads, FaultPlan::none, &dir);
+        assert_eq!(resumed.trace, expected.trace, "kill chain diverged at threads={threads}");
+        assert_eq!(resumed.metrics, expected.metrics);
+        assert!(kills >= 2, "workload too short to exercise resume (kills={kills})");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn aqp_kill_chain_under_chaos_and_submission_faults_is_byte_identical() {
+    // Epoch-level chaos (crashes, stragglers, checkpoint failures) plus
+    // submission-fault shaping and ~10% snapshot corruption, all at once:
+    // every fault decision is a pure function of (seed, stream), so the
+    // kill chain still reproduces the uninterrupted run exactly.
+    let faults = || {
+        FaultPlan::new(FaultConfig {
+            submission: SubmissionFaultConfig::chaos(),
+            ..FaultPlan::chaos(33).config().clone()
+        })
+    };
+    let expected =
+        run_schedule(aqp_serve_config(), aqp_backend(1, faults()), &aqp_schedule()).unwrap();
+    let dir = temp_store("aqp-chaos-kill");
+    let (resumed, _) = aqp_kill_chain(1, faults, &dir);
+    assert_eq!(resumed.trace, expected.trace, "chaos kill chain diverged");
+    assert_eq!(resumed.metrics, expected.metrics);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -------------------------------------------------------------------------
+// Overload
+// -------------------------------------------------------------------------
+
+/// An open-loop schedule arriving at ~2× the backend's service capacity.
+fn overload_config(seed: u64) -> LoadGenConfig {
+    LoadGenConfig {
+        seed,
+        users: 24,
+        submissions_per_user: 12,
+        // Mean service 1100 ms on one slot ≈ 0.9 jobs/s capacity.
+        mode: LoadMode::Open { arrivals_per_sec: 1.8 },
+        service_ms: (200, 2_000),
+        deadline_slack: (1.5, 6.0),
+        cost_milli: 1000,
+        bytes: 64,
+        oversize_bytes: 1 << 20,
+        window: SimTime::from_secs(10),
+        max_resubmits: 0,
+        faults: FaultPlan::none(),
+    }
+}
+
+fn overload_run(seed: u64) -> ServeReport {
+    let mut cfg = base_config();
+    cfg.max_inflight = 1;
+    cfg.queue_capacity = 12;
+    cfg.shed_watermark = 0.75;
+    cfg.resume_watermark = 0.5;
+    cfg.admission_timeout = SimTime::from_secs(30);
+    let schedule = open_schedule(&overload_config(seed)).unwrap();
+    run_schedule(cfg, SimBackend::new(), &schedule).unwrap()
+}
+
+#[test]
+fn sustained_overload_is_deterministic_and_bounded() {
+    // 2× overload: the same seed twice gives the same trace byte for
+    // byte; distinct seeds exercise distinct schedules. Degradation is
+    // never silent — the shed/reject counters hold the whole overflow —
+    // and p99 admission wait stays bounded by the shedding horizon
+    // (admission timeout), because the queue cannot hold older work.
+    let a = overload_run(1009);
+    let b = overload_run(1009);
+    assert_eq!(a.trace, b.trace, "overload run is not deterministic");
+    assert_eq!(a.metrics, b.metrics);
+    assert_ne!(a.trace, overload_run(2027).trace, "seed does not reach the schedule");
+
+    let c = a.metrics.counters;
+    assert_eq!(c.terminals(), c.submissions, "overload leaked a submission");
+    assert!(
+        c.shed() + c.rejected() > 0,
+        "2x overload shed nothing; the load generator is not overloading"
+    );
+    assert!(c.completed() > 0, "everything was shed; the overload is mis-calibrated");
+    assert!(
+        a.metrics.p99_wait_ms <= 30_000,
+        "p99 admission wait {} ms exceeds the 30 s shedding horizon",
+        a.metrics.p99_wait_ms
+    );
+    assert!(a.metrics.shed_rate > 0.0 && a.metrics.shed_rate < 1.0);
+}
