@@ -14,8 +14,9 @@
 #                           ns/submission) baselines, failing on
 #                           regression
 #   ./ci.sh --bench-update  ... then refresh all three baselines in place
-#   ./ci.sh --lint-update   refresh LINT_baseline.json (the P001 ratchet)
-#                           in place instead of gating on it
+#   ./ci.sh --lint-update   refresh LINT_baseline.json (the ratchet for
+#                           P001/F001/F002/F003) in place instead of
+#                           gating on it
 set -eu
 
 export CARGO_NET_OFFLINE=true
@@ -29,14 +30,16 @@ echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Determinism & robustness invariants (DESIGN.md §11): fails on any
-# D/U/A-rule violation and on P001 ratchet drift in either direction — a
-# count above LINT_baseline.json is a regression, below it a stale
-# baseline that --lint-update locks in.
+# D/U/A/R/L-rule violation and on ratchet drift (P001/F001/F002/F003) in
+# either direction — a count above LINT_baseline.json is a regression,
+# below it a stale baseline that --lint-update locks in. The machine-
+# readable report (spans, ratchet counts, the R003 lock-order graph) lands
+# in target/lint-report.json; CI uploads it as a workflow artifact.
 echo "== rotary-lint =="
 if [ "$MODE" = "--lint-update" ]; then
     cargo run -q -p rotary-lint -- --update-baseline
 else
-    cargo run -q -p rotary-lint
+    cargo run -q -p rotary-lint -- --json target/lint-report.json
 fi
 
 echo "== cargo build --release =="

@@ -210,7 +210,10 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+    // Named `expect` is fine now: rotary-lint matches P001 on tokens and
+    // exempts `.expect(<byte/char literal>)` calls, so this parser-style
+    // method no longer needs the `expect_byte` workaround name (PR 4).
+    fn expect(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -242,7 +245,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect_byte(b'{')?;
+        self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -253,7 +256,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect_byte(b':')?;
+            self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));
@@ -270,7 +273,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect_byte(b'[')?;
+        self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -293,7 +296,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect_byte(b'"')?;
+        self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {

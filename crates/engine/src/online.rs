@@ -123,6 +123,8 @@ impl<'a> OnlineAggregation<'a> {
     pub fn set_column_weights(&mut self, weights: Vec<f64>) {
         assert_eq!(weights.len(), self.weights.len(), "weight arity mismatch");
         assert!(
+            // rotary-lint: allow(F003) validation-only sum over the caller's
+            // Vec in slice order; the result never reaches query output.
             weights.iter().all(|w| *w >= 0.0) && weights.iter().sum::<f64>() > 0.0,
             "weights must be non-negative and not all zero"
         );

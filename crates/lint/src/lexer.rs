@@ -1,510 +1,890 @@
-//! A from-scratch Rust source scanner.
+//! A from-scratch Rust token lexer.
 //!
 //! The rule engine does not need a real parse tree — every invariant it
-//! enforces is a statement about *tokens in non-test code*. What it does
-//! need, and what generic text search cannot give, is to know which bytes
-//! are code and which are string contents, comments, or `#[cfg(test)]`
-//! regions. This module produces exactly that: per line, a **masked code
-//! string** (string/char-literal contents and comments blanked to spaces,
-//! delimiters kept), the **comment text** on the line, and an **in-test
-//! flag** computed by brace-tracking the item under `#[cfg(test)]` /
-//! `#[test]` attributes. No `syn`, no proc-macro machinery — the workspace
-//! is dependency-free by policy (DESIGN.md §3).
+//! enforces is a statement about *token sequences in non-test code*. What
+//! it does need, and what generic text search cannot give, is a faithful
+//! token stream: identifiers (so `expect_byte` is never mistaken for
+//! `expect`), punctuation (so `.unwrap()` is distinguishable from a
+//! definition `fn unwrap`), literals (so string/char contents never leak
+//! into matching), lifetimes (so `'a` is not half a char literal), and
+//! comments (so `SAFETY:` runs and allow annotations stay inspectable). Every token carries a byte **span** that slices the
+//! original source losslessly — the property the `lexer_props` suite pins
+//! with 256 random token-soup round-trips — plus an **in-test flag**
+//! computed by brace-tracking the item under `#[cfg(test)]` / `#[test]`
+//! attributes. No `syn`, no proc-macro machinery — the workspace is
+//! dependency-free by policy (DESIGN.md §3).
+//!
+//! Fidelity notes (deliberate, harmless for linting): numeric tokens fold
+//! their suffix in (`1u64` is one `Int`), tuple-field chains like `x.0.1`
+//! lex the `0.1` as one `Float`, and punctuation is emitted one byte at a
+//! time (`::` is two `Punct` tokens). Spans still reconstruct the source
+//! byte-for-byte in all three cases.
 
-/// One source line, classified.
-#[derive(Debug, Clone, Default)]
-pub struct Line {
-    /// The line with comments and literal contents blanked to spaces.
-    /// String/char delimiters survive so token boundaries stay intact;
-    /// raw-string prefixes (`r#"`) are blanked along with the contents.
-    pub code: String,
-    /// Text of every comment (or comment fragment, for multi-line block
-    /// comments) present on this line, comment markers stripped.
-    pub comments: Vec<String>,
-    /// True when the masked code contains any non-whitespace character.
-    pub has_code: bool,
-    /// True when the line sits inside a `#[cfg(test)]` / `#[test]` item
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'_` (tick included).
+    Lifetime,
+    /// One byte of punctuation (`.`, `:`, `&`, `*`, `#`, …).
+    Punct,
+    /// Integer literal, suffix included (`42`, `0xff_u8`, `1_000`).
+    Int,
+    /// Float literal, suffix and exponent included (`1.`, `2.5e-3f32`).
+    Float,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// `/* … */` comment, possibly nested, possibly multi-line.
+    BlockComment,
+}
+
+impl TokenKind {
+    /// Comments are trivia to the rules (but carry SAFETY/allow text).
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Where a token sits in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte (`&src[start..end]` is the lexeme).
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based byte column of the first byte on its line.
+    pub col: usize,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Source location; slicing the source by it yields the exact lexeme.
+    pub span: Span,
+    /// True when the token sits inside a `#[cfg(test)]` / `#[test]` item
     /// (or the file carries an inner `#![cfg(test)]` attribute).
     pub in_test: bool,
 }
 
-/// Lexer state: what the current byte belongs to.
-enum State {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    Char,
+/// Byte-cursor over the source, tracking line starts for span columns.
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: usize,
+    line_start: usize,
 }
 
-/// Scans `src` into classified lines. Lines are 0-indexed in the returned
-/// vector; diagnostics add 1 when printing.
-pub fn analyze(src: &str) -> Vec<Line> {
-    let chars: Vec<char> = src.chars().collect();
-    let mut lines: Vec<Line> = Vec::new();
-    let mut line = Line::default();
-    let mut comment = String::new();
-    let mut state = State::Code;
-    let mut i = 0usize;
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
 
-    // Flushes the pending comment fragment into the current line.
-    fn flush_comment(line: &mut Line, comment: &mut String) {
-        if !comment.is_empty() {
-            line.comments.push(std::mem::take(comment));
+    /// Advances one byte, keeping line accounting straight. Saturates at
+    /// EOF so malformed literals (`'\` at end of input) can never produce
+    /// a span that points past the source.
+    fn bump(&mut self) {
+        if self.b.get(self.i) == Some(&b'\n') {
+            self.line += 1;
+            self.line_start = self.i + 1;
+        }
+        self.i = (self.i + 1).min(self.b.len());
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
         }
     }
 
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            // A newline ends the physical line in every state; block
-            // comments and multi-line strings continue on the next one.
-            flush_comment(&mut line, &mut comment);
-            lines.push(std::mem::take(&mut line));
-            i += 1;
-            if matches!(state, State::LineComment) {
-                state = State::Code;
-            }
+    fn at_end(&self) -> bool {
+        self.i >= self.b.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a complete token stream (comments included) with
+/// test-region flags resolved. Total on any input: unterminated strings
+/// and comments end at EOF rather than failing.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { b: src.as_bytes(), i: 0, line: 1, line_start: 0 };
+    let mut tokens = Vec::new();
+    while !cur.at_end() {
+        let c = cur.peek(0).unwrap_or(0);
+        if c.is_ascii_whitespace() {
+            cur.bump();
             continue;
         }
-        match state {
-            State::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    state = State::LineComment;
-                    line.code.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(1);
-                    line.code.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    state = State::Str;
-                    line.code.push('"');
-                    i += 1;
-                } else if let Some(skip) = raw_string_prefix(&chars, i) {
-                    // `r"`, `r#…#"`, `br#…#"`, or `b"`: blank the prefix,
-                    // keep one opening quote. Raw variants (any `r`) take
-                    // the no-escape state; plain `b"…"` escapes like `"…"`.
-                    let n_hashes = chars[i..i + skip].iter().filter(|&&p| p == '#').count() as u32;
-                    let is_raw = chars[i..i + skip].contains(&'r');
-                    for _ in 0..skip.saturating_sub(1) {
-                        line.code.push(' ');
-                    }
-                    line.code.push('"');
-                    state = if is_raw { State::RawStr(n_hashes) } else { State::Str };
-                    i += skip;
-                } else if c == '\'' {
-                    if is_char_literal(&chars, i) {
-                        state = State::Char;
-                        line.code.push('\'');
-                    } else {
-                        // A lifetime: keep the tick as code.
-                        line.code.push('\'');
-                    }
-                    i += 1;
-                } else if c == 'b' && next == Some('\'') {
-                    line.code.push(' ');
-                    line.code.push('\'');
-                    state = State::Char;
-                    i += 2;
-                } else {
-                    line.code.push(c);
-                    i += 1;
-                }
-            }
-            State::LineComment => {
-                comment.push(c);
-                line.code.push(' ');
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    comment.push_str("/*");
-                    line.code.push_str("  ");
-                    i += 2;
-                } else if c == '*' && next == Some('/') {
-                    if depth == 1 {
-                        flush_comment(&mut line, &mut comment);
-                        state = State::Code;
-                    } else {
-                        comment.push_str("*/");
-                        state = State::BlockComment(depth - 1);
-                    }
-                    line.code.push_str("  ");
-                    i += 2;
-                } else {
-                    comment.push(c);
-                    line.code.push(' ');
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    line.code.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    line.code.push('"');
-                    state = State::Code;
-                    i += 1;
-                } else {
-                    line.code.push(' ');
-                    i += 1;
-                }
-            }
-            State::RawStr(n_hashes) => {
-                if c == '"' && closes_raw(&chars, i, n_hashes) {
-                    line.code.push('"');
-                    for _ in 0..n_hashes {
-                        line.code.push(' ');
-                    }
-                    state = State::Code;
-                    i += 1 + n_hashes as usize;
-                } else {
-                    line.code.push(' ');
-                    i += 1;
-                }
-            }
-            State::Char => {
-                if c == '\\' {
-                    line.code.push_str("  ");
-                    i += 2;
-                } else if c == '\'' {
-                    line.code.push('\'');
-                    state = State::Code;
-                    i += 1;
-                } else {
-                    line.code.push(' ');
-                    i += 1;
-                }
-            }
-        }
+        let start = cur.i;
+        let (line, col) = (cur.line, cur.i - cur.line_start + 1);
+        let kind = scan_token(&mut cur, c);
+        debug_assert!(cur.i > start, "lexer must always make progress");
+        tokens.push(Token { kind, span: Span { start, end: cur.i, line, col }, in_test: false });
     }
-    flush_comment(&mut line, &mut comment);
-    if !line.code.is_empty() || !line.comments.is_empty() {
-        lines.push(line);
-    }
-    for l in &mut lines {
-        l.has_code = l.code.chars().any(|c| !c.is_whitespace());
-    }
-    mark_test_regions(&mut lines);
-    lines
+    mark_test_regions(&mut tokens, src);
+    tokens
 }
 
-/// Length of a raw/byte string-literal prefix starting at `i` (up to and
-/// including the opening quote), or `None` when `chars[i]` does not start
-/// one. Raw *identifiers* (`r#type`) and plain identifiers containing `r`
-/// or `b` are rejected via the preceding-character check and the
-/// must-end-in-quote requirement.
-fn raw_string_prefix(chars: &[char], i: usize) -> Option<usize> {
-    if i > 0 && is_ident_char(chars[i - 1]) {
-        return None;
+/// Scans one token starting at `cur` (first byte `c`), leaving the cursor
+/// one past its end.
+fn scan_token(cur: &mut Cursor, c: u8) -> TokenKind {
+    match c {
+        b'/' if cur.peek(1) == Some(b'/') => {
+            while !cur.at_end() && cur.peek(0) != Some(b'\n') {
+                cur.bump();
+            }
+            TokenKind::LineComment
+        }
+        b'/' if cur.peek(1) == Some(b'*') => {
+            cur.bump_n(2);
+            let mut depth = 1u32;
+            while !cur.at_end() && depth > 0 {
+                if cur.peek(0) == Some(b'/') && cur.peek(1) == Some(b'*') {
+                    depth += 1;
+                    cur.bump_n(2);
+                } else if cur.peek(0) == Some(b'*') && cur.peek(1) == Some(b'/') {
+                    depth -= 1;
+                    cur.bump_n(2);
+                } else {
+                    cur.bump();
+                }
+            }
+            TokenKind::BlockComment
+        }
+        b'"' => {
+            cur.bump();
+            scan_escaped_string(cur);
+            TokenKind::Str
+        }
+        b'r' | b'b' => {
+            if let Some((prefix_len, n_hashes, raw)) = raw_string_prefix(cur) {
+                cur.bump_n(prefix_len);
+                if raw {
+                    scan_raw_string(cur, n_hashes);
+                } else {
+                    scan_escaped_string(cur);
+                }
+                TokenKind::Str
+            } else if c == b'b' && cur.peek(1) == Some(b'\'') {
+                cur.bump_n(2);
+                scan_char_tail(cur);
+                TokenKind::Char
+            } else if c == b'r'
+                && cur.peek(1) == Some(b'#')
+                && cur.peek(2).is_some_and(is_ident_start)
+            {
+                // Raw identifier `r#type`.
+                cur.bump_n(2);
+                scan_ident_tail(cur);
+                TokenKind::Ident
+            } else {
+                scan_ident_tail(cur);
+                TokenKind::Ident
+            }
+        }
+        b'\'' => scan_char_or_lifetime(cur),
+        b'0'..=b'9' => scan_number(cur),
+        _ if is_ident_start(c) => {
+            scan_ident_tail(cur);
+            TokenKind::Ident
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
     }
-    let mut j = i;
-    if chars.get(j) == Some(&'b') {
+}
+
+fn scan_ident_tail(cur: &mut Cursor) {
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+}
+
+/// Body of a `"…"` / `b"…"` string, cursor just past the opening quote.
+fn scan_escaped_string(cur: &mut Cursor) {
+    while !cur.at_end() {
+        match cur.peek(0) {
+            Some(b'\\') => cur.bump_n(2),
+            Some(b'"') => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Body of a raw string opened with `n_hashes` hashes, cursor just past
+/// the opening quote.
+fn scan_raw_string(cur: &mut Cursor, n_hashes: usize) {
+    while !cur.at_end() {
+        if cur.peek(0) == Some(b'"') && (1..=n_hashes).all(|k| cur.peek(k) == Some(b'#')) {
+            cur.bump_n(1 + n_hashes);
+            return;
+        }
+        cur.bump();
+    }
+}
+
+/// Detects a raw/byte string-literal prefix at the cursor: `r"`, `r#…#"`,
+/// `b"`, `br#…#"`. Returns (prefix length incl. quote, hash count, raw?).
+fn raw_string_prefix(cur: &Cursor) -> Option<(usize, usize, bool)> {
+    let mut j = 0usize;
+    if cur.peek(j) == Some(b'b') {
         j += 1;
     }
-    let has_r = chars.get(j) == Some(&'r');
-    if has_r {
+    let raw = cur.peek(j) == Some(b'r');
+    if raw {
         j += 1;
     }
-    if j == i {
+    if j == 0 {
         return None;
     }
-    while chars.get(j) == Some(&'#') {
-        if !has_r {
+    let mut hashes = 0usize;
+    while cur.peek(j) == Some(b'#') {
+        if !raw {
             return None;
         }
         j += 1;
+        hashes += 1;
     }
-    if chars.get(j) == Some(&'"') {
-        Some(j + 1 - i)
+    if cur.peek(j) == Some(b'"') {
+        Some((j + 1, hashes, raw))
     } else {
         None
     }
 }
 
-/// True when the `"` at `i` is followed by `n` hashes, closing a raw
-/// string opened with `n` hashes.
-fn closes_raw(chars: &[char], i: usize, n: u32) -> bool {
-    (1..=n as usize).all(|k| chars.get(i + k) == Some(&'#'))
-}
-
-/// Distinguishes a char literal from a lifetime at the `'` in `chars[i]`.
-fn is_char_literal(chars: &[char], i: usize) -> bool {
-    match chars.get(i + 1) {
-        Some('\\') => true,
-        Some(_) => chars.get(i + 2) == Some(&'\''),
-        None => false,
+/// Tail of a char/byte literal, cursor just past the opening quote:
+/// consumes the (possibly escaped, possibly multi-byte) content and the
+/// closing quote. Malformed literals end at the next quote, newline, or
+/// EOF so the lexer stays total.
+fn scan_char_tail(cur: &mut Cursor) {
+    if cur.peek(0) == Some(b'\\') {
+        if cur.peek(1) == Some(b'u') && cur.peek(2) == Some(b'{') {
+            cur.bump_n(3);
+            while !cur.at_end() && cur.peek(0) != Some(b'}') {
+                cur.bump();
+            }
+            cur.bump(); // the `}`
+        } else {
+            cur.bump_n(2);
+        }
+    } else if !cur.at_end() {
+        let w = utf8_width(cur.peek(0).unwrap_or(0));
+        cur.bump_n(w);
+    }
+    // Closing quote (tolerate malformed input).
+    while !cur.at_end() && cur.peek(0) != Some(b'\'') && cur.peek(0) != Some(b'\n') {
+        cur.bump();
+    }
+    if cur.peek(0) == Some(b'\'') {
+        cur.bump();
     }
 }
 
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at the tick.
+fn scan_char_or_lifetime(cur: &mut Cursor) -> TokenKind {
+    let next = cur.peek(1);
+    match next {
+        Some(b'\\') => {
+            cur.bump(); // the tick
+            scan_char_tail(cur);
+            TokenKind::Char
+        }
+        Some(b2) if !cur.at_end() => {
+            let w = utf8_width(b2);
+            if cur.peek(1 + w) == Some(b'\'') {
+                // `'x'` — a one-char literal closes immediately.
+                cur.bump();
+                scan_char_tail(cur);
+                TokenKind::Char
+            } else if is_ident_start(b2) {
+                cur.bump(); // the tick
+                scan_ident_tail(cur);
+                TokenKind::Lifetime
+            } else {
+                cur.bump();
+                TokenKind::Punct
+            }
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
 }
 
-/// Marks lines covered by `#[cfg(test)]` / `#[test]` items: from the
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Numeric literal: decimal/hex/octal/binary ints, floats with fraction
+/// and/or exponent, type suffixes folded into the token. A `.` is taken
+/// only when it cannot start a range (`1..2`) or a method/field access
+/// (`1.max(2)`, `x.0.abs()`).
+fn scan_number(cur: &mut Cursor) -> TokenKind {
+    let mut float = false;
+    if cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x' | b'o' | b'b')) {
+        cur.bump_n(2);
+        while cur.peek(0).is_some_and(|b| b.is_ascii_hexdigit() || b == b'_') {
+            cur.bump();
+        }
+    } else {
+        while cur.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+        if cur.peek(0) == Some(b'.') {
+            match cur.peek(1) {
+                Some(b) if b.is_ascii_digit() => {
+                    float = true;
+                    cur.bump();
+                    while cur.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                        cur.bump();
+                    }
+                }
+                Some(b'.') => {}                   // range `1..`
+                Some(b) if is_ident_start(b) => {} // method `1.max(…)`
+                _ => {
+                    float = true;
+                    cur.bump(); // trailing-dot float `1.`
+                }
+            }
+        }
+        if matches!(cur.peek(0), Some(b'e' | b'E')) {
+            let (s1, s2) = (cur.peek(1), cur.peek(2));
+            let signed = matches!(s1, Some(b'+' | b'-')) && s2.is_some_and(|b| b.is_ascii_digit());
+            if s1.is_some_and(|b| b.is_ascii_digit()) || signed {
+                float = true;
+                cur.bump_n(if signed { 2 } else { 1 });
+                while cur.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                    cur.bump();
+                }
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, …) folds into the literal.
+    let suffix_start = cur.i;
+    scan_ident_tail(cur);
+    let suffix = &cur.b[suffix_start..cur.i];
+    if float || suffix == b"f32" || suffix == b"f64" {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+// ------------------------------------------------------- test regions --
+
+/// Marks tokens covered by `#[cfg(test)]` / `#[test]` items: from the
 /// attribute to the matching close brace of the item body (or the
 /// terminating semicolon for brace-less items). An inner `#![cfg(test)]`
-/// marks the whole file.
-fn mark_test_regions(lines: &mut [Line]) {
-    // Work over the masked code joined with newlines; offsets map back to
-    // (line, column) through `line_of`.
-    let joined: String = {
-        let mut s = String::new();
-        for l in lines.iter() {
-            s.push_str(&l.code);
-            s.push('\n');
-        }
-        s
-    };
-    let chars: Vec<char> = joined.chars().collect();
-    let line_starts: Vec<usize> = {
-        let mut starts = vec![0usize];
-        for (idx, &c) in chars.iter().enumerate() {
-            if c == '\n' {
-                starts.push(idx + 1);
-            }
-        }
-        starts
-    };
-    let line_of = |offset: usize| -> usize {
-        match line_starts.binary_search(&offset) {
-            Ok(l) => l,
-            Err(l) => l - 1,
-        }
-    };
-
-    let mut i = 0usize;
-    while i < chars.len() {
-        if chars[i] != '#' {
-            i += 1;
-            continue;
-        }
-        let attr_start = i;
-        let mut j = i + 1;
-        let inner = chars.get(j) == Some(&'!');
-        if inner {
-            j += 1;
-        }
-        while matches!(chars.get(j), Some(c) if c.is_whitespace()) {
-            j += 1;
-        }
-        if chars.get(j) != Some(&'[') {
-            i += 1;
-            continue;
-        }
-        let Some((attr_text, after_attr)) = read_balanced(&chars, j, '[', ']') else {
-            i += 1;
-            continue;
+/// marks the whole file. Works over code tokens, so braces inside strings
+/// or comments can never derail the tracking.
+fn mark_test_regions(tokens: &mut [Token], src: &str) {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    {
+        let code: Vec<usize> =
+            (0..tokens.len()).filter(|&i| !tokens[i].kind.is_comment()).collect();
+        let text = |k: usize| -> &str {
+            let t = &tokens[code[k]];
+            &src[t.span.start..t.span.end]
         };
-        if !attr_marks_test(&attr_text) {
-            i = after_attr;
-            continue;
-        }
-        if inner {
-            for l in lines.iter_mut() {
-                l.in_test = true;
+        let is_punct = |k: usize, ch: &str| -> bool {
+            k < code.len() && tokens[code[k]].kind == TokenKind::Punct && text(k) == ch
+        };
+
+        let mut k = 0usize;
+        while k < code.len() {
+            if !is_punct(k, "#") {
+                k += 1;
+                continue;
             }
-            return;
+            let mut j = k + 1;
+            let inner = is_punct(j, "!");
+            if inner {
+                j += 1;
+            }
+            if !is_punct(j, "[") {
+                k += 1;
+                continue;
+            }
+            let Some(close) = matching_bracket(tokens, &code, src, j, b'[', b']') else {
+                k += 1;
+                continue;
+            };
+            if !attr_marks_test(tokens, &code, src, j + 1, close) {
+                k = close + 1;
+                continue;
+            }
+            if inner {
+                ranges.clear();
+                ranges.push((0, src.len()));
+                break;
+            }
+            let end_byte = item_end(tokens, &code, src, close + 1);
+            ranges.push((tokens[code[k]].span.start, end_byte));
+            k = close + 1;
         }
-        let end = item_end(&chars, after_attr);
-        let (from, to) = (line_of(attr_start), line_of(end.min(chars.len() - 1)));
-        for l in lines.iter_mut().take(to + 1).skip(from) {
-            l.in_test = true;
+    }
+    for (from, to) in ranges {
+        for t in tokens.iter_mut() {
+            if t.span.start >= from && t.span.start <= to {
+                t.in_test = true;
+            }
         }
-        i = after_attr;
     }
 }
 
-/// Reads a balanced `open…close` group starting at `chars[at] == open`;
-/// returns the interior text and the offset one past the closing char.
-fn read_balanced(chars: &[char], at: usize, open: char, close: char) -> Option<(String, usize)> {
-    let mut depth = 0usize;
-    let mut text = String::new();
-    let mut i = at;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == open {
-            depth += 1;
-            if depth > 1 {
-                text.push(c);
+/// Index (in `code`) of the punct closing the group opened at `open_at`.
+fn matching_bracket(
+    tokens: &[Token],
+    code: &[usize],
+    src: &str,
+    open_at: usize,
+    open: u8,
+    close: u8,
+) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, &ti) in code.iter().enumerate().skip(open_at) {
+        if tokens[ti].kind == TokenKind::Punct {
+            let b = src.as_bytes()[tokens[ti].span.start];
+            if b == open {
+                depth += 1;
+            } else if b == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
             }
-        } else if c == close {
-            depth -= 1;
-            if depth == 0 {
-                return Some((text, i + 1));
-            }
-            text.push(c);
-        } else if depth > 0 {
-            text.push(c);
         }
-        i += 1;
     }
     None
 }
 
-/// True when an attribute body (text between `[` and `]`) scopes its item
-/// to tests: `test`, `cfg(test)`, or any `cfg(…)` mentioning `test` as a
-/// standalone word (`cfg(all(test, …))`).
-fn attr_marks_test(attr: &str) -> bool {
-    let compact: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
-    if compact == "test" {
+/// True when the attribute tokens in `code[from..to]` scope their item to
+/// tests: exactly `test`, or `cfg(…)` naming `test` outside a `not(…)`
+/// group (`cfg(all(test, unix))` counts, `cfg(not(test))` does not).
+fn attr_marks_test(tokens: &[Token], code: &[usize], src: &str, from: usize, to: usize) -> bool {
+    let text = |k: usize| -> &str {
+        let t = &tokens[code[k]];
+        &src[t.span.start..t.span.end]
+    };
+    if to == from + 1 && text(from) == "test" {
         return true;
     }
-    compact.starts_with("cfg(") && contains_word(&compact, "test")
-}
-
-/// Word-boundary containment check (boundaries are non-identifier chars).
-pub fn contains_word(haystack: &str, word: &str) -> bool {
-    !find_word(haystack, word).is_empty()
-}
-
-/// Byte offsets of every word-boundary occurrence of `word` in `haystack`.
-pub fn find_word(haystack: &str, word: &str) -> Vec<usize> {
-    let mut hits = Vec::new();
-    let bytes = haystack.as_bytes();
-    let mut from = 0usize;
-    while let Some(pos) = haystack[from..].find(word) {
-        let at = from + pos;
-        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
-        let end = at + word.len();
-        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
-        if before_ok && after_ok {
-            hits.push(at);
-        }
-        from = at + word.len().max(1);
+    if from >= to || text(from) != "cfg" {
+        return false;
     }
-    hits
+    let mut groups: Vec<&str> = Vec::new();
+    let mut k = from;
+    while k < to {
+        let t = &tokens[code[k]];
+        let s = text(k);
+        if t.kind == TokenKind::Ident {
+            if s == "test" && !groups.contains(&"not") {
+                return true;
+            }
+            if k + 1 < to && tokens[code[k + 1]].kind == TokenKind::Punct && text(k + 1) == "(" {
+                groups.push(if s == "not" { "not" } else { "other" });
+                k += 2;
+                continue;
+            }
+        } else if t.kind == TokenKind::Punct && s == ")" {
+            groups.pop();
+        }
+        k += 1;
+    }
+    false
 }
 
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Finds where the item following an attribute ends: at the close of the
-/// first top-level `{…}` body, or at a `;` seen before any body opens.
-/// Further attributes on the same item are skipped.
-fn item_end(chars: &[char], mut i: usize) -> usize {
-    let mut depth = 0usize;
-    while i < chars.len() {
-        match chars[i] {
-            '#' => {
-                // Another attribute on the same item — skip it wholesale so
-                // its brackets don't confuse the brace tracking.
-                let mut j = i + 1;
-                while matches!(chars.get(j), Some(c) if c.is_whitespace()) {
-                    j += 1;
-                }
-                if depth == 0 && chars.get(j) == Some(&'[') {
-                    if let Some((_, after)) = read_balanced(chars, j, '[', ']') {
-                        i = after;
-                        continue;
+/// Byte offset where the item following an attribute ends: at the close
+/// of the first top-level `{…}` body, or at a `;` seen before any body
+/// opens. Further attributes on the same item are skipped.
+fn item_end(tokens: &[Token], code: &[usize], src: &str, mut k: usize) -> usize {
+    let text = |k: usize| -> &str {
+        let t = &tokens[code[k]];
+        &src[t.span.start..t.span.end]
+    };
+    let mut depth = 0i64;
+    while k < code.len() {
+        let t = &tokens[code[k]];
+        if t.kind == TokenKind::Punct {
+            match text(k) {
+                "#" if depth == 0 => {
+                    let mut j = k + 1;
+                    if j < code.len() && text(j) == "!" {
+                        j += 1;
+                    }
+                    if j < code.len() && text(j) == "[" {
+                        if let Some(close) = matching_bracket(tokens, code, src, j, b'[', b']') {
+                            k = close + 1;
+                            continue;
+                        }
                     }
                 }
-                i += 1;
-            }
-            '{' => {
-                depth += 1;
-                i += 1;
-            }
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return i;
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return t.span.end;
+                    }
                 }
-                i += 1;
+                ";" if depth == 0 => return t.span.end,
+                _ => {}
             }
-            ';' if depth == 0 => return i,
-            _ => i += 1,
+        }
+        k += 1;
+    }
+    src.len()
+}
+
+// ------------------------------------------------------------ Lexed --
+
+/// A lexed file with the per-line indexes the rule engine consumes.
+pub struct Lexed<'a> {
+    /// The source text (tokens slice into it).
+    pub src: &'a str,
+    /// The complete token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices (into `tokens`) of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Number of lines in the file.
+    pub line_count: usize,
+    /// 1-indexed: true when a code token starts on the line.
+    has_code: Vec<bool>,
+    /// 1-indexed: concatenated comment text covering each line (comment
+    /// markers stripped; multi-line block comments contribute per line).
+    comment_text: Vec<String>,
+}
+
+impl<'a> Lexed<'a> {
+    /// Lexes `src` and builds the line indexes.
+    pub fn new(src: &'a str) -> Lexed<'a> {
+        let tokens = lex(src);
+        let code: Vec<usize> =
+            (0..tokens.len()).filter(|&i| !tokens[i].kind.is_comment()).collect();
+        let line_count = src.lines().count().max(1);
+        let mut has_code = vec![false; line_count + 2];
+        let mut comment_text = vec![String::new(); line_count + 2];
+        for t in &tokens {
+            if t.kind.is_comment() {
+                let raw = &src[t.span.start..t.span.end];
+                for (off, fragment) in raw.split('\n').enumerate() {
+                    let line = t.span.line + off;
+                    if line < comment_text.len() {
+                        let stripped = strip_comment_markers(fragment);
+                        if !comment_text[line].is_empty() {
+                            comment_text[line].push(' ');
+                        }
+                        comment_text[line].push_str(stripped);
+                    }
+                }
+            } else if t.span.line < has_code.len() {
+                has_code[t.span.line] = true;
+            }
+        }
+        Lexed { src, tokens, code, line_count, has_code, comment_text }
+    }
+
+    /// Lexeme of the code token at code-position `k` ("" out of range).
+    pub fn ctext(&self, k: usize) -> &'a str {
+        match self.code.get(k) {
+            Some(&ti) => {
+                let t = &self.tokens[ti];
+                &self.src[t.span.start..t.span.end]
+            }
+            None => "",
         }
     }
-    chars.len().saturating_sub(1)
+
+    /// Kind of the code token at code-position `k`.
+    pub fn ckind(&self, k: usize) -> Option<TokenKind> {
+        self.code.get(k).map(|&ti| self.tokens[ti].kind)
+    }
+
+    /// True when code-position `k` is the given punctuation byte.
+    pub fn cpunct(&self, k: usize, ch: &str) -> bool {
+        self.ckind(k) == Some(TokenKind::Punct) && self.ctext(k) == ch
+    }
+
+    /// Span of the code token at code-position `k`.
+    pub fn cspan(&self, k: usize) -> Span {
+        self.code.get(k).map(|&ti| self.tokens[ti].span).unwrap_or(Span {
+            start: 0,
+            end: 0,
+            line: 1,
+            col: 1,
+        })
+    }
+
+    /// Test flag of the code token at code-position `k`.
+    pub fn cin_test(&self, k: usize) -> bool {
+        self.code.get(k).map(|&ti| self.tokens[ti].in_test).unwrap_or(false)
+    }
+
+    /// Code-position of the punct matching the opener at code-position
+    /// `open_at` (e.g. `(`/`)`), or `None` when unbalanced.
+    pub fn cmatch(&self, open_at: usize, open: &str, close: &str) -> Option<usize> {
+        let mut depth = 0i64;
+        for k in open_at..self.code.len() {
+            if self.ckind(k) == Some(TokenKind::Punct) {
+                let s = self.ctext(k);
+                if s == open {
+                    depth += 1;
+                } else if s == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// True when any code token starts on `line` (1-based).
+    pub fn line_has_code(&self, line: usize) -> bool {
+        self.has_code.get(line).copied().unwrap_or(false)
+    }
+
+    /// Comment text covering `line` ("" when none).
+    pub fn comments_on(&self, line: usize) -> &str {
+        self.comment_text.get(line).map(String::as_str).unwrap_or("")
+    }
+
+    /// Concatenated comment text of `line` plus the contiguous run of
+    /// comment-only lines directly above it (a blank line — no code, no
+    /// comment — breaks the run). Space-joined, top to bottom.
+    pub fn comment_run(&self, line: usize) -> String {
+        let mut parts = vec![self.comments_on(line)];
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let comment = self.comments_on(l);
+            if self.line_has_code(l) || comment.is_empty() {
+                break;
+            }
+            parts.push(comment);
+        }
+        parts.retain(|p| !p.is_empty());
+        parts.reverse();
+        parts.join(" ")
+    }
+
+    /// True when `line`, or the contiguous run of comment-only lines
+    /// directly above it, carries text matching `pred`. A blank line (no
+    /// code, no comment) breaks the run.
+    pub fn comment_run_matches(&self, line: usize, pred: impl Fn(&str) -> bool) -> bool {
+        if pred(self.comments_on(line)) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let comment = self.comments_on(l);
+            if self.line_has_code(l) || comment.is_empty() {
+                return false;
+            }
+            if pred(comment) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Strips `//`-family and `/*`/`*/` markers from one comment fragment.
+fn strip_comment_markers(fragment: &str) -> &str {
+    let s = fragment.trim_start();
+    let s = s.strip_prefix("//").unwrap_or(s);
+    let s = s.strip_prefix("/*").unwrap_or(s);
+    let s = s.strip_suffix("*/").unwrap_or(s);
+    s
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn strings_and_comments_are_masked() {
-        let src =
-            "let x = \"HashMap inside\"; // HashMap in comment\nuse std::collections::HashMap;\n";
-        let lines = analyze(src);
-        assert!(!contains_word(&lines[0].code, "HashMap"));
-        assert!(lines[0].comments[0].contains("HashMap"));
-        assert!(contains_word(&lines[1].code, "HashMap"));
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, &src[t.span.start..t.span.end])).collect()
     }
 
     #[test]
-    fn raw_strings_and_chars_are_masked() {
-        let src = "let s = r#\"panic!() unsafe\"#;\nlet c = 'u'; let lt: &'static str = \"x\";\nlet b = b\"SystemTime\";\n";
-        let lines = analyze(src);
-        assert!(!contains_word(&lines[0].code, "panic"));
-        assert!(!contains_word(&lines[0].code, "unsafe"));
-        assert!(contains_word(&lines[1].code, "static"), "lifetimes stay code: {}", lines[1].code);
-        assert!(!contains_word(&lines[2].code, "SystemTime"));
+    fn identifiers_literals_and_puncts_tokenize() {
+        let got = kinds("let x = foo.bar(42, \"s\");");
+        let texts: Vec<&str> = got.iter().map(|(_, s)| *s).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "foo", ".", "bar", "(", "42", ",", "\"s\"", ")", ";"]
+        );
+        assert_eq!(got[7].0, TokenKind::Int);
+        assert_eq!(got[9].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn expect_byte_is_one_identifier_not_expect() {
+        let got = kinds("self.expect_byte(b'{')?;");
+        assert!(got.iter().any(|(k, s)| *k == TokenKind::Ident && *s == "expect_byte"));
+        assert!(!got.iter().any(|(_, s)| *s == "expect"));
+        assert!(got.iter().any(|(k, s)| *k == TokenKind::Char && *s == "b'{'"));
+    }
+
+    #[test]
+    fn strings_mask_their_contents() {
+        let got = kinds("let s = \"HashMap unsafe panic!\"; use HashMap;");
+        let idents: Vec<&str> =
+            got.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, s)| *s).collect();
+        assert_eq!(idents, vec!["let", "s", "use", "HashMap"]);
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings_are_single_tokens() {
+        let got =
+            kinds("let a = r#\"panic! \" unsafe\"#; let b = br\"x\"; let c = b\"SystemTime\";");
+        let strs: Vec<&str> =
+            got.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, s)| *s).collect();
+        assert_eq!(strs, vec!["r#\"panic! \" unsafe\"#", "br\"x\"", "b\"SystemTime\""]);
+    }
+
+    #[test]
+    fn char_vs_lifetime_ambiguity() {
+        let got = kinds("let c = 'u'; let lt: &'static str = \"\"; fn f<'a>(x: &'a str) {} '\\n'");
+        let chars: Vec<&str> =
+            got.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, s)| *s).collect();
+        let lts: Vec<&str> =
+            got.iter().filter(|(k, _)| *k == TokenKind::Lifetime).map(|(_, s)| *s).collect();
+        assert_eq!(chars, vec!["'u'", "'\\n'"]);
+        assert_eq!(lts, vec!["'static", "'a", "'a"]);
     }
 
     #[test]
     fn nested_block_comments_terminate_correctly() {
-        let src = "/* outer /* inner */ still comment */ let live = 1;\n";
-        let lines = analyze(src);
-        assert!(contains_word(&lines[0].code, "live"));
-        assert!(!contains_word(&lines[0].code, "inner"));
+        let got = kinds("/* outer /* inner */ still comment */ let live = 1;");
+        assert_eq!(got[0].0, TokenKind::BlockComment);
+        assert!(got.iter().any(|(k, s)| *k == TokenKind::Ident && *s == "live"));
+        assert!(!got.iter().any(|(k, s)| !k.is_comment() && s.contains("inner")));
+    }
+
+    #[test]
+    fn numeric_shapes() {
+        for (src, kind) in [
+            ("42", TokenKind::Int),
+            ("0xff_u8", TokenKind::Int),
+            ("1_000", TokenKind::Int),
+            ("1.5", TokenKind::Float),
+            ("1.", TokenKind::Float),
+            ("1e-12", TokenKind::Float),
+            ("2.5e3f32", TokenKind::Float),
+            ("7f64", TokenKind::Float),
+            ("0b1010", TokenKind::Int),
+        ] {
+            let got = kinds(src);
+            assert_eq!(got.len(), 1, "{src} should be one token: {got:?}");
+            assert_eq!(got[0].0, kind, "{src}");
+            assert_eq!(got[0].1, src);
+        }
+        // Ranges and method calls keep their dots separate.
+        let texts: Vec<&str> = kinds("0..10").iter().map(|(_, s)| *s).collect::<Vec<_>>();
+        assert_eq!(texts, vec!["0", ".", ".", "10"]);
+        let texts: Vec<&str> = kinds("1.max(2)").iter().map(|(_, s)| *s).collect::<Vec<_>>();
+        assert_eq!(texts[..3], ["1", ".", "max"]);
+    }
+
+    #[test]
+    fn spans_slice_source_losslessly() {
+        let src = "fn f<'a>(x: &'a str) -> u64 { x.len() as u64 + 0xff } // tail\n/* b */";
+        let tokens = lex(src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            assert!(t.span.start >= prev_end, "tokens must not overlap");
+            assert!(src[prev_end..t.span.start].chars().all(char::is_whitespace));
+            assert!(t.span.end > t.span.start);
+            prev_end = t.span.end;
+        }
+        assert!(src[prev_end..].chars().all(char::is_whitespace));
     }
 
     #[test]
     fn cfg_test_region_is_brace_tracked() {
         let src =
             "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn also_live() {}\n";
-        let lines = analyze(src);
-        assert!(!lines[0].in_test);
-        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
-        assert!(!lines[5].in_test);
+        let lx = Lexed::new(src);
+        let flag_of = |word: &str| {
+            (0..lx.code.len()).find(|&k| lx.ctext(k) == word).map(|k| lx.cin_test(k)).unwrap()
+        };
+        assert!(!flag_of("live"));
+        assert!(flag_of("helper"));
+        assert!(!flag_of("also_live"));
     }
 
     #[test]
-    fn cfg_test_on_braceless_item_ends_at_semicolon() {
-        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
-        let lines = analyze(src);
-        assert!(lines[0].in_test && lines[1].in_test);
-        assert!(!lines[2].in_test);
+    fn cfg_not_test_does_not_mark_a_region() {
+        let src = "#[cfg(not(test))]\nfn prod() { body(); }\n";
+        let lx = Lexed::new(src);
+        assert!((0..lx.code.len()).all(|k| !lx.cin_test(k)));
     }
 
     #[test]
-    fn stacked_attributes_stay_in_the_region() {
-        let src = "#[test]\n#[ignore]\nfn t() {\n    body();\n}\nfn live() {}\n";
-        let lines = analyze(src);
-        assert!(lines[0].in_test && lines[1].in_test && lines[3].in_test && lines[4].in_test);
-        assert!(!lines[5].in_test);
-    }
-
-    #[test]
-    fn cfg_all_test_counts_as_test() {
-        let src = "#[cfg(all(test, unix))]\nfn t() {}\nfn live() {}\n";
-        let lines = analyze(src);
-        assert!(lines[0].in_test && lines[1].in_test);
-        assert!(!lines[2].in_test);
+    fn cfg_all_test_and_stacked_attributes_mark_the_item() {
+        let src = "#[cfg(all(test, unix))]\nfn t() {}\n#[test]\n#[ignore]\nfn u() { b(); }\nfn live() {}\n";
+        let lx = Lexed::new(src);
+        let flag_of = |word: &str| {
+            (0..lx.code.len()).find(|&k| lx.ctext(k) == word).map(|k| lx.cin_test(k)).unwrap()
+        };
+        assert!(flag_of("t"));
+        assert!(flag_of("u"));
+        assert!(flag_of("b"));
+        assert!(!flag_of("live"));
     }
 
     #[test]
     fn inner_cfg_test_marks_whole_file() {
         let src = "#![cfg(test)]\nfn anything() {}\n";
-        let lines = analyze(src);
-        assert!(lines.iter().all(|l| l.in_test));
+        let lx = Lexed::new(src);
+        assert!((0..lx.code.len()).all(|k| lx.cin_test(k)));
     }
 
     #[test]
-    fn word_boundaries_respected() {
-        assert!(contains_word("let m: HashMap<u32, u32>;", "HashMap"));
-        assert!(!contains_word("let m = MyHashMapLike::new();", "HashMap"));
-        assert!(
-            !contains_word("expect_err(", "expect")
-                || find_word("expect_err(", "expect").is_empty()
-        );
+    fn cfg_test_on_braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let lx = Lexed::new(src);
+        let flag_of = |word: &str| {
+            (0..lx.code.len()).find(|&k| lx.ctext(k) == word).map(|k| lx.cin_test(k)).unwrap()
+        };
+        assert!(flag_of("HashMap"));
+        assert!(!flag_of("live"));
+    }
+
+    #[test]
+    fn comment_lines_and_runs() {
+        let src = "// SAFETY: checked\nlet x = 1;\n\n// stale\n\nlet y = unsafe_op();\n";
+        let lx = Lexed::new(src);
+        assert!(lx.comments_on(1).contains("SAFETY:"));
+        assert!(lx.line_has_code(2));
+        assert!(lx.comment_run_matches(2, |c| c.contains("SAFETY:")));
+        assert!(!lx.comment_run_matches(6, |c| c.contains("stale")), "blank line breaks the run");
     }
 }

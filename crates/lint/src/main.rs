@@ -1,23 +1,26 @@
 //! The `rotary-lint` binary: scans the workspace, applies the ratchet
-//! baseline, prints violations sorted by (path, line, rule), and exits
-//! nonzero so `ci.sh` can gate on it.
+//! baseline, prints violations sorted by (path, line, col, rule), and
+//! exits nonzero so `ci.sh` can gate on it.
 //!
 //! Exit codes: `0` clean, `1` violations, `2` operational errors or a
 //! stale baseline (counts fell — rerun with `--update-baseline`).
 
-use rotary_lint::{analyze_workspace, find_root, gate, Baseline, BASELINE_FILE};
+use rotary_lint::{analyze_workspace, find_root, gate, report_json, Baseline, BASELINE_FILE};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: rotary-lint [--root PATH] [--update-baseline]
+usage: rotary-lint [--root PATH] [--update-baseline] [--json PATH] [--explain RULE]
 
   --root PATH          lint the workspace rooted at PATH (default: walk up
                        from the current directory to the [workspace] manifest)
-  --update-baseline    rewrite LINT_baseline.json with current P001 counts;
-                       hard violations still fail the run
+  --update-baseline    rewrite LINT_baseline.json with current ratcheted-rule
+                       counts; hard violations still fail the run
+  --json PATH          also write the machine-readable report (violations with
+                       spans, ratchet counts, lock-order edges) to PATH
+  --explain RULE       print a rule's rationale and exact scope, then exit
 
-rules:";
+rules ('*' = ratcheted via LINT_baseline.json):";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -32,6 +35,7 @@ fn main() -> ExitCode {
 fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let mut update = false;
     let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,10 +43,33 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--root" => {
                 root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?));
             }
+            "--json" => {
+                json_out = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--explain" => {
+                let name = it.next().ok_or("--explain needs a rule id (e.g. R003)")?;
+                let Some(rule) = rotary_lint::rules::rule(&name) else {
+                    return Err(format!("unknown rule '{name}' (try --help for the catalog)"));
+                };
+                println!("{} — {}", rule.id, rule.summary);
+                println!(
+                    "\nenforcement: {}",
+                    if rule.ratcheted {
+                        "ratcheted — existing per-file counts live in LINT_baseline.json \
+                         and may only decrease"
+                    } else {
+                        "hard — any violation fails the run"
+                    }
+                );
+                println!("scope: {}", rule.scope);
+                println!("\n{}", rule.explain);
+                return Ok(ExitCode::SUCCESS);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
-                for (id, summary) in rotary_lint::rules::RULES {
-                    println!("  {id}  {summary}");
+                for rule in rotary_lint::rules::RULES {
+                    let mark = if rule.ratcheted { "*" } else { " " };
+                    println!("  {}{mark} {}", rule.id, rule.summary);
                 }
                 return Ok(ExitCode::SUCCESS);
             }
@@ -65,9 +92,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         std::fs::write(&baseline_path, fresh.to_json())
             .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
         println!(
-            "rotary-lint: baseline updated — {} P001 sites across {} files",
-            fresh.p001.values().sum::<u64>(),
-            fresh.p001.len(),
+            "rotary-lint: baseline updated — {} ratcheted sites across {} rules",
+            fresh.total(),
+            fresh.counts.len(),
         );
         fresh
     } else {
@@ -81,8 +108,16 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     };
 
     let report = gate(&analysis, &baseline);
+    if let Some(path) = &json_out {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(path, report_json(&analysis, &report))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
     for v in &report.violations {
-        println!("{}:{}: {} {}", v.path, v.line, v.rule, v.message);
+        println!("{}:{}:{}: {} {}", v.path, v.line, v.col, v.rule, v.message);
     }
     for s in &report.stale {
         eprintln!("rotary-lint: stale baseline: {s}");

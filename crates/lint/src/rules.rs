@@ -1,19 +1,37 @@
-//! The rule engine: per-file checks over [`crate::lexer`] output.
+//! The rule engine: per-file checks over the [`crate::lexer`] token stream.
 //!
-//! Every rule is a statement about tokens in non-test code, so each check
-//! walks the masked per-line code from the lexer and never sees string
-//! contents or comments. Violations carry (path, 1-based line, rule id,
-//! message) and are sorted by the caller for deterministic output.
+//! Every rule is a statement about *token sequences in non-test code* (a
+//! few, noted below, include test code on purpose). Working on tokens
+//! rather than line text retires the substring false-positive class
+//! wholesale: `expect_byte` is one `Ident` token that can never match the
+//! `expect` rule, string and comment contents are separate token kinds the
+//! identifier rules never see, and `'a` is a `Lifetime`, not half a char
+//! literal.
 //!
-//! Suppressions: a comment of the form `allow(RULE[, RULE]) <reason>`
-//! prefixed by the marker in [`ALLOW_MARKER`] disables the named rules on
-//! the same line (when the comment shares a line with code) or on the next
-//! code line (when the comment stands alone). The reason text after the
-//! closing parenthesis is mandatory; malformed or unknown annotations are
-//! themselves violations (rule A001) so a typo cannot silently disable
-//! enforcement.
+//! Rule families:
+//!
+//! - **D** — determinism: no arbitrary-order collections, wall-clock
+//!   reads, or ambient randomness.
+//! - **P** — panic-freedom (ratcheted via `LINT_baseline.json`).
+//! - **U/A** — unsafe hygiene and the allow-annotation grammar itself.
+//! - **R** — race patterns: `&mut` aliasing in `rotary-par` closures,
+//!   undocumented `unsafe impl Send/Sync`, and cross-function lock-order
+//!   cycles (the per-file halves live here; the workspace-wide graph is
+//!   assembled in `lib.rs`).
+//! - **F** — float determinism: libm transcendentals, truncating casts,
+//!   and unpinned float accumulation (all ratcheted — the existing sites
+//!   are baselined and may only go down).
+//! - **L** — layering: `use`/path tokens must respect the DESIGN.md §3
+//!   dependency flow (`engine` must never name `serve` items, etc.).
+//!
+//! Suppressions: a comment of the form `allow(RULE[, RULE]) <reason>`,
+//! prefixed by the marker in [`ALLOW_MARKER`], disables the named rules on
+//! its own line (when sharing a line with code) or on the next code line
+//! (standalone comment lines stack). The
+//! reason is mandatory; malformed or unknown annotations are violations
+//! (A001) so a typo cannot silently disable enforcement.
 
-use crate::lexer::{self, Line};
+use crate::lexer::{Lexed, TokenKind};
 
 /// The annotation marker looked up inside comments.
 pub const ALLOW_MARKER: &str = "rotary-lint:";
@@ -23,44 +41,236 @@ pub const ALLOW_MARKER: &str = "rotary-lint:";
 pub struct Violation {
     /// Workspace-relative path, `/`-separated.
     pub path: String,
-    /// 1-based line number.
+    /// 1-based line number of the triggering token.
     pub line: usize,
-    /// Rule identifier (`D001` … `U001`, or `A001` for bad annotations).
+    /// 1-based byte column of the triggering token.
+    pub col: usize,
+    /// Rule identifier (`D001` … `L001`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
 }
 
-/// The suppressible rules, with one-line summaries (used by `--help`).
-pub const RULES: &[(&str, &str)] = &[
-    ("D001", "no HashMap/HashSet in deterministic crates (iteration order)"),
-    ("D002", "no wall-clock reads outside rotary-bench"),
-    ("D003", "no ambient randomness; fork named streams from rotary_sim::rng"),
-    ("P001", "no unwrap()/expect()/panic! in control-plane code (ratcheted)"),
-    ("U001", "every unsafe block needs a SAFETY: comment"),
+/// Static description of one rule, consumed by `--help`, `--explain`, and
+/// the scope tests.
+pub struct RuleInfo {
+    /// Identifier, e.g. `R003`.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// True when violations are gated by the `LINT_baseline.json` ratchet
+    /// (per-file counts may only go down) instead of failing outright.
+    pub ratcheted: bool,
+    /// Human statement of exactly which files/tokens the rule walks.
+    pub scope: &'static str,
+    /// The long-form rationale printed by `--explain`.
+    pub explain: &'static str,
+}
+
+/// The rule catalog. Order is the presentation order of `--help`.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D001",
+        summary: "no HashMap/HashSet in deterministic crates (iteration order)",
+        ratcheted: false,
+        scope: "non-test code in deterministic crate sources (crates/{core,engine,sim,aqp,dlt,faults,store,serve}/src)",
+        explain: "HashMap and HashSet iterate in a randomized order, so any loop over them \
+                  can produce run-to-run different results — PR 3 fixed a real aggregation \
+                  bug of exactly this shape. Deterministic crates must use the BTree \
+                  equivalents (or index-ordered vectors). The identifiers are matched as \
+                  whole tokens, so a string mentioning HashMap or a name like \
+                  MyHashMapLike never fires.",
+    },
+    RuleInfo {
+        id: "D002",
+        summary: "no wall-clock reads outside rotary-bench",
+        ratcheted: false,
+        scope: "non-test code everywhere except crates/bench",
+        explain: "Instant and SystemTime make control flow depend on the host's clock, \
+                  which breaks bit-identical replay. rotary-bench owns the only blessed \
+                  wall-clock probe; everything else runs on sim time or an injected \
+                  ProbeClock.",
+    },
+    RuleInfo {
+        id: "D003",
+        summary: "no ambient randomness; fork named streams from rotary_sim::rng",
+        ratcheted: false,
+        scope: "ALL code — tests, root src/ and tests/ included — except crates/sim/src/rng.rs itself",
+        explain: "thread_rng, OsRng, RandomState and friends smuggle in entropy that no \
+                  seed can replay. Tests are in scope too: a test that draws ambient \
+                  randomness cannot reproduce its own failures. All entropy must flow \
+                  from named fork streams of the in-tree xoshiro generator.",
+    },
+    RuleInfo {
+        id: "P001",
+        summary: "no unwrap()/expect()/panic! in control-plane code (ratcheted)",
+        ratcheted: true,
+        scope: "non-test code everywhere",
+        explain: "Panics in the control plane take down arbitration for every tenant. \
+                  Existing sites are counted per file in LINT_baseline.json and may only \
+                  decrease. Matching is token-exact: `.unwrap()` needs a preceding dot \
+                  (a fn named unwrap does not fire), `.expect(...)` is exempt when its \
+                  first argument is a char/byte/number literal (that is a parser-style \
+                  `expect(b'{')` method, not Result::expect), and unwrap_or_else-style \
+                  adapters never fire.",
+    },
+    RuleInfo {
+        id: "U001",
+        summary: "every unsafe needs a SAFETY: comment",
+        ratcheted: false,
+        scope: "all code, tests included",
+        explain: "Every `unsafe` token must carry a SAFETY: comment on its line or on the \
+                  contiguous comment block directly above it, stating the invariant that \
+                  makes the operation sound. A blank line breaks the comment run.",
+    },
+    RuleInfo {
+        id: "A001",
+        summary: "allow annotations must parse and name real rules",
+        ratcheted: false,
+        scope: "all comments",
+        explain: "A `rotary-lint: allow(...)` annotation that is malformed, names an \
+                  unknown rule, or omits its reason is itself a violation — otherwise a \
+                  typo would silently disable enforcement.",
+    },
+    RuleInfo {
+        id: "R001",
+        summary: "unsafe impl Send/Sync must document its synchronization",
+        ratcheted: false,
+        scope: "non-test code everywhere",
+        explain: "An `unsafe impl Send`/`Sync` asserts a cross-thread invariant the \
+                  compiler cannot check — typically because the type smuggles a raw \
+                  pointer. The SAFETY: comment above it must *name the synchronization* \
+                  that makes the claim true (a mutex, an atomic cursor claim, a join \
+                  barrier, exclusive/disjoint access, …). A SAFETY: comment with no \
+                  recognizable synchronization vocabulary fails the rule.",
+    },
+    RuleInfo {
+        id: "R002",
+        summary: "no raw &mut* aliasing in rotary-par closures outside SendPtr",
+        ratcheted: false,
+        scope: "non-test code everywhere, inside arguments of .run_indexed/.map/.map_mut/.submit/.scope calls",
+        explain: "A closure handed to the thread pool runs concurrently with its \
+                  siblings; materializing `&mut *p` from a captured pointer is a data \
+                  race unless every index's access is provably disjoint. The blessed \
+                  idiom is the SendPtr wrapper (crates/par): bind the base pointer with \
+                  `let base = SendPtr(...)` and derive per-index pointers through it. \
+                  `&mut *x` where x was not bound from SendPtr(…) in the same file \
+                  fires.",
+    },
+    RuleInfo {
+        id: "R003",
+        summary: "Mutex lock order must be globally consistent (cycle detection)",
+        ratcheted: false,
+        scope: "non-test code everywhere; edges are merged into one workspace-wide lock-order graph",
+        explain: "Each function is walked for held lock guards (`let g = x.lock()...;` \
+                  holds until drop(g), end of block, or end of statement for chained \
+                  temporaries). Acquiring lock B while holding lock A contributes edge \
+                  A→B to a workspace-wide graph; any cycle — including re-acquiring a \
+                  lock already held — is a potential deadlock and fires on every edge in \
+                  the cycle. Locks are keyed by receiver field name, which is \
+                  deliberately conservative: rename the field or add an allow if two \
+                  unrelated locks collide.",
+    },
+    RuleInfo {
+        id: "F001",
+        summary: "no libm transcendentals in deterministic crates (ratcheted)",
+        ratcheted: true,
+        scope: "non-test code in deterministic crate sources",
+        explain: "sin/cos/exp/ln/powf and friends are *not* correctly rounded — their \
+                  bit patterns legally differ across libm versions, platforms, and \
+                  optimization levels, so any value derived from them can break \
+                  bit-identical replay on a different host. sqrt is exempt (IEEE \
+                  requires correct rounding). Existing sites are ratcheted; new code \
+                  should use pinned tables or integer/fixed-point math.",
+    },
+    RuleInfo {
+        id: "F002",
+        summary: "no as f32/f64 casts in deterministic crates (ratcheted)",
+        ratcheted: true,
+        scope: "non-test code in deterministic crate sources",
+        explain: "`as f32`/`as f64` casts silently round, and the rounding site is \
+                  invisible at the use site — the class of bug where a u64 row count \
+                  above 2^53 quietly loses precision. Existing sites are ratcheted; new \
+                  code should go through named conversion helpers that document the \
+                  precision contract.",
+    },
+    RuleInfo {
+        id: "F003",
+        summary: "no unpinned float accumulation outside the fold kernels (ratcheted)",
+        ratcheted: true,
+        scope: "non-test code in deterministic crate sources, except crates/engine/src/kernels.rs",
+        explain: "Float addition is not associative, so `.sum::<f64>()` produces \
+                  different bits under different iteration orders or chunkings. The \
+                  columnar kernels (crates/engine/src/kernels.rs) pin summation order \
+                  explicitly and are the one blessed home for float accumulation; \
+                  `.sum::<f32/f64>()` / `.product::<…>()` anywhere else is ratcheted.",
+    },
+    RuleInfo {
+        id: "L001",
+        summary: "crate references must follow the DESIGN.md dependency flow",
+        ratcheted: false,
+        scope: "non-test code in crate sources and root src/ (dev-only tree like tests/ is exempt)",
+        explain: "The layering in DESIGN.md §3 is what keeps the deterministic core \
+                  auditable: core/engine must never name serve/bench items, sim sits \
+                  above core only, and so on. Any `rotary_<crate>` path token in a file \
+                  whose crate does not declare that dependency fires. The map is \
+                  hardcoded here and cross-checked against the Cargo.toml manifests by a \
+                  test, so it cannot drift silently.",
+    },
 ];
 
-fn rule_id(name: &str) -> Option<&'static str> {
-    RULES.iter().map(|(id, _)| *id).find(|id| *id == name)
+/// Looks a rule up by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
 }
 
-/// Result of scanning one file. `P001` occurrences are kept separate from
-/// hard violations because they are gated by the ratchet baseline, not
-/// reported site-by-site.
+fn rule_id(name: &str) -> Option<&'static str> {
+    rule(name).map(|r| r.id)
+}
+
+/// Ids of the ratcheted rules, in catalog order (the `LINT_baseline.json`
+/// schema: one top-level object per id).
+pub fn ratcheted_rules() -> impl Iterator<Item = &'static str> {
+    RULES.iter().filter(|r| r.ratcheted).map(|r| r.id)
+}
+
+/// One observed "lock B acquired while lock A is held" event. Per-file
+/// halves of R003; `lib.rs` merges them into the workspace lock-order
+/// graph and runs cycle detection.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Workspace-relative path of the acquisition site.
+    pub path: String,
+    /// 1-based line of the inner (`acquired`) lock call.
+    pub line: usize,
+    /// 1-based column of the inner lock call.
+    pub col: usize,
+    /// Enclosing function name ("?" at module scope).
+    pub func: String,
+    /// Receiver name of the lock already held.
+    pub held: String,
+    /// Receiver name of the lock being acquired.
+    pub acquired: String,
+}
+
+/// Result of scanning one file. Ratcheted sites are kept separate from
+/// hard violations because they are gated per file by the baseline;
+/// lock edges are inputs to the workspace-wide R003 graph.
 #[derive(Debug, Default)]
 pub struct FileScan {
-    /// Hard violations (D001/D002/D003/U001/A001).
+    /// Hard violations (everything except the ratcheted rules).
     pub violations: Vec<Violation>,
-    /// Individual `P001` sites; the caller compares per-file counts against
-    /// the checked-in baseline.
-    pub p001_sites: Vec<Violation>,
+    /// Individual sites of ratcheted rules (P001/F001/F002/F003).
+    pub ratchet_sites: Vec<Violation>,
+    /// Lock-order observations for the R003 graph.
+    pub lock_edges: Vec<LockEdge>,
 }
 
-/// Crates whose `src/` trees must stay free of arbitrary-order collections.
-/// `rotary-par` schedules OS threads (inherently ordered by the join
-/// barrier), and `rotary-bench`/`rotary-check`/`rotary-tpch` sit outside
+/// Crates whose `src/` trees carry the bit-identical replay guarantee.
+/// `rotary-par` schedules OS threads (ordered by the join barrier), and
+/// `rotary-bench`/`rotary-check`/`rotary-tpch`/`rotary-lint` sit outside
 /// the deterministic replay boundary.
-const D001_SCOPES: &[&str] = &[
+const DET_SCOPES: &[&str] = &[
     "crates/core/src/",
     "crates/engine/src/",
     "crates/sim/src/",
@@ -71,19 +281,62 @@ const D001_SCOPES: &[&str] = &[
     "crates/serve/src/",
 ];
 
-/// Identifiers whose presence means the line reads the wall clock.
+/// Identifiers whose presence means the code reads the wall clock.
 const D002_TOKENS: &[&str] = &["Instant", "SystemTime"];
 
 /// Identifiers that smuggle ambient (non-replayable) randomness in.
 const D003_TOKENS: &[&str] =
     &["thread_rng", "OsRng", "StdRng", "SmallRng", "from_entropy", "getrandom", "RandomState"];
 
+/// Method names that are libm transcendentals (not correctly rounded —
+/// platform-divergent bits). `sqrt` is exempt: IEEE 754 requires correct
+/// rounding for it, so it is as deterministic as addition.
+const F001_FNS: &[&str] = &[
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh", "exp", "exp2",
+    "exp_m1", "ln", "ln_1p", "log", "log2", "log10", "powf", "cbrt", "hypot",
+];
+
+/// Entry points whose closure arguments execute on pool threads.
+const PAR_ENTRY_POINTS: &[&str] = &["run_indexed", "map", "map_mut", "submit", "scope"];
+
+/// The one blessed home for float accumulation (fixed-order folds).
+const F003_EXEMPT_FILE: &str = "crates/engine/src/kernels.rs";
+
+/// Result/guard adapters that may trail a `.lock()` call without ending
+/// the guard's life at that expression.
+const LOCK_ADAPTERS: &[&str] =
+    &["unwrap", "expect", "unwrap_or_else", "unwrap_or_default", "map_err", "ok"];
+
+/// The DESIGN.md §3 dependency flow, as (crate, allowed dependencies).
+/// "rotary" is the root crate (src/ at the workspace root). A test in
+/// `tests/rules.rs` cross-checks this table against the Cargo.toml
+/// manifests so it cannot drift.
+pub const LAYERS: &[(&str, &[&str])] = &[
+    ("core", &[]),
+    ("par", &[]),
+    ("check", &[]),
+    ("sim", &["core"]),
+    ("store", &["core"]),
+    ("tpch", &["sim"]),
+    ("engine", &["core", "par", "tpch"]),
+    ("faults", &["core", "sim", "store"]),
+    ("serve", &["core", "sim", "faults", "store"]),
+    ("dlt", &["core", "par", "sim", "faults", "store"]),
+    ("aqp", &["core", "par", "sim", "tpch", "engine", "faults", "store"]),
+    ("lint", &["core"]),
+    ("bench", &["core", "par", "sim", "tpch", "engine", "aqp", "dlt", "faults", "serve", "store"]),
+    ("rotary", &["core", "par", "sim", "tpch", "engine", "aqp", "dlt", "faults", "store", "serve"]),
+];
+
+/// Dev-only trees: crate `tests/`, `benches/`, `examples/` directories
+/// and the root `tests/`. Code there is still linted, but the rules that
+/// exempt test code treat the whole file as test code.
 fn is_test_path(path: &str) -> bool {
-    path.split('/').any(|component| component == "tests")
+    path.split('/').any(|c| c == "tests" || c == "benches" || c == "examples")
 }
 
-fn d001_applies(path: &str) -> bool {
-    D001_SCOPES.iter().any(|scope| path.starts_with(scope))
+fn det_applies(path: &str) -> bool {
+    DET_SCOPES.iter().any(|scope| path.starts_with(scope))
 }
 
 fn d002_applies(path: &str) -> bool {
@@ -96,162 +349,520 @@ fn d003_applies(path: &str) -> bool {
     path != "crates/sim/src/rng.rs"
 }
 
+/// The crate a path belongs to, for L001: `Some(crate)` for crate `src/`
+/// trees and the root `src/`, `None` for dev-only or out-of-tree files.
+fn l001_crate_of(path: &str) -> Option<&str> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let (name, tail) = rest.split_once('/')?;
+        return if tail.starts_with("src/") { Some(name) } else { None };
+    }
+    if path.starts_with("src/") {
+        return Some("rotary");
+    }
+    None
+}
+
 /// Scans one file. `path` must be workspace-relative with `/` separators —
 /// rule scoping keys off it.
 pub fn scan_file(path: &str, src: &str) -> FileScan {
-    let lines = lexer::analyze(src);
-    let (allows, annotation_violations) = collect_allows(path, &lines);
+    let lx = Lexed::new(src);
+    let (allows, annotation_violations) = collect_allows(path, &lx);
     let mut scan = FileScan { violations: annotation_violations, ..FileScan::default() };
-    let test_path = is_test_path(path);
+    let ctx = Ctx { path, lx: &lx, allows: &allows, test_path: is_test_path(path) };
 
-    for (idx, line) in lines.iter().enumerate() {
-        if !line.has_code {
-            continue;
-        }
-        let lineno = idx + 1;
-        let allowed = |rule: &str| allows[idx].contains(&rule);
-        let in_test = test_path || line.in_test;
+    scan_token_rules(&ctx, &mut scan);
+    scan_par_closures(&ctx, &mut scan);
+    scan_lock_order(&ctx, &mut scan);
 
-        if d001_applies(path) && !in_test && !allowed("D001") {
-            for token in ["HashMap", "HashSet"] {
-                for _ in lexer::find_word(&line.code, token) {
-                    scan.violations.push(Violation {
-                        path: path.to_string(),
-                        line: lineno,
-                        rule: "D001",
-                        message: format!(
-                            "{token} iterates in arbitrary order and breaks bit-identical \
-                             replay; use the BTree equivalent or add a justified allow"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if d002_applies(path) && !in_test && !allowed("D002") {
-            for token in D002_TOKENS {
-                for _ in lexer::find_word(&line.code, token) {
-                    scan.violations.push(Violation {
-                        path: path.to_string(),
-                        line: lineno,
-                        rule: "D002",
-                        message: format!(
-                            "{token} reads the wall clock outside rotary-bench; use sim \
-                             time or accept an injected ProbeClock"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if d003_applies(path) && !allowed("D003") {
-            for token in D003_TOKENS {
-                for _ in lexer::find_word(&line.code, token) {
-                    scan.violations.push(Violation {
-                        path: path.to_string(),
-                        line: lineno,
-                        rule: "D003",
-                        message: format!(
-                            "{token} is ambient randomness; draw from a named fork \
-                             stream of rotary_sim::rng instead"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if !in_test && !allowed("P001") {
-            for token in p001_hits(&line.code) {
-                scan.p001_sites.push(Violation {
-                    path: path.to_string(),
-                    line: lineno,
-                    rule: "P001",
-                    message: format!("{token} may panic in control-plane code"),
-                });
-            }
-        }
-
-        if !allowed("U001")
-            && !lexer::find_word(&line.code, "unsafe").is_empty()
-            && !has_safety_comment(&lines, idx)
-        {
-            scan.violations.push(Violation {
-                path: path.to_string(),
-                line: lineno,
-                rule: "U001",
-                message: "unsafe without a SAFETY: comment on or directly above the line"
-                    .to_string(),
-            });
-        }
-    }
+    scan.violations.sort();
+    scan.ratchet_sites.sort();
     scan
 }
 
-/// Finds panic-capable call tokens in one masked code line: the word
-/// `unwrap` followed by `()`, `expect` followed by `(`, or `panic`
-/// followed by `!`. Word boundaries exclude `unwrap_or`, `expect_err`,
-/// and friends.
-fn p001_hits(code: &str) -> Vec<&'static str> {
-    let bytes = code.as_bytes();
-    let next_non_ws = |from: usize| {
-        bytes[from..].iter().position(|b| !b.is_ascii_whitespace()).map(|p| bytes[from + p])
-    };
-    let mut hits = Vec::new();
-    for at in lexer::find_word(code, "unwrap") {
-        if next_non_ws(at + "unwrap".len()) == Some(b'(') {
-            hits.push("unwrap()");
-        }
-    }
-    for at in lexer::find_word(code, "expect") {
-        if next_non_ws(at + "expect".len()) == Some(b'(') {
-            hits.push("expect()");
-        }
-    }
-    for at in lexer::find_word(code, "panic") {
-        if next_non_ws(at + "panic".len()) == Some(b'!') {
-            hits.push("panic!");
-        }
-    }
-    hits
+/// Shared per-file context for the rule passes.
+struct Ctx<'a> {
+    path: &'a str,
+    lx: &'a Lexed<'a>,
+    allows: &'a [Vec<&'static str>],
+    test_path: bool,
 }
 
-/// True when the line at `idx`, or the contiguous run of comment-only
-/// lines directly above it, carries a `SAFETY:` comment. A blank line
-/// (no code, no comment) breaks the run.
-fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
-    let mentions = |l: &Line| l.comments.iter().any(|c| c.contains("SAFETY:"));
-    if mentions(&lines[idx]) {
-        return true;
+impl Ctx<'_> {
+    fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows.get(line).is_some_and(|v| v.contains(&rule))
     }
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let line = &lines[i];
-        if line.has_code || line.comments.is_empty() {
-            return false;
-        }
-        if mentions(line) {
-            return true;
-        }
+
+    fn in_test(&self, k: usize) -> bool {
+        self.test_path || self.lx.cin_test(k)
     }
-    false
+
+    fn violation(&self, k: usize, rule: &'static str, message: String) -> Violation {
+        let span = self.lx.cspan(k);
+        Violation { path: self.path.to_string(), line: span.line, col: span.col, rule, message }
+    }
 }
 
-/// Collects allow annotations per line. A same-line annotation applies to
-/// its own line; an annotation on a comment-only line applies to the next
-/// line that has code (stacked annotation lines accumulate).
-fn collect_allows(path: &str, lines: &[Line]) -> (Vec<Vec<&'static str>>, Vec<Violation>) {
-    let mut allows: Vec<Vec<&'static str>> = vec![Vec::new(); lines.len()];
+/// The single-token and short-window rules: D001–D003, P001, U001, R001,
+/// F001–F003, L001. One pass over the code tokens.
+fn scan_token_rules(ctx: &Ctx, scan: &mut FileScan) {
+    let lx = ctx.lx;
+    let det = det_applies(ctx.path);
+    let l001_crate = l001_crate_of(ctx.path).filter(|_| !ctx.test_path);
+
+    for k in 0..lx.code.len() {
+        if lx.ckind(k) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let text = lx.ctext(k);
+        let line = lx.cspan(k).line;
+        let in_test = ctx.in_test(k);
+        let prev_dot = k >= 1 && lx.cpunct(k - 1, ".");
+        let next_paren = lx.cpunct(k + 1, "(");
+
+        // D001 — arbitrary-order collections in deterministic crates.
+        if det && !in_test && (text == "HashMap" || text == "HashSet") && !ctx.allowed(line, "D001")
+        {
+            scan.violations.push(ctx.violation(
+                k,
+                "D001",
+                format!(
+                    "{text} iterates in arbitrary order and breaks bit-identical \
+                     replay; use the BTree equivalent or add a justified allow"
+                ),
+            ));
+        }
+
+        // D002 — wall-clock reads.
+        if d002_applies(ctx.path)
+            && !in_test
+            && D002_TOKENS.contains(&text)
+            && !ctx.allowed(line, "D002")
+        {
+            scan.violations.push(ctx.violation(
+                k,
+                "D002",
+                format!(
+                    "{text} reads the wall clock outside rotary-bench; use sim \
+                     time or accept an injected ProbeClock"
+                ),
+            ));
+        }
+
+        // D003 — ambient randomness. Applies to test code too: a test that
+        // draws unseeded entropy cannot replay its own failures.
+        if d003_applies(ctx.path) && D003_TOKENS.contains(&text) && !ctx.allowed(line, "D003") {
+            scan.violations.push(ctx.violation(
+                k,
+                "D003",
+                format!(
+                    "{text} is ambient randomness; draw from a named fork \
+                     stream of rotary_sim::rng instead"
+                ),
+            ));
+        }
+
+        // P001 — panic-capable calls (ratcheted).
+        if !in_test && !ctx.allowed(line, "P001") {
+            let hit = match text {
+                "unwrap" if prev_dot && next_paren => Some("unwrap()"),
+                "expect" if prev_dot && next_paren => {
+                    // `expect(b'{')` / `expect(42)` is a parser-style byte
+                    // method, not Result::expect (whose argument is a &str
+                    // message) — the token-level fix that retires the old
+                    // `expect_byte` rename workaround.
+                    let arg_literal = matches!(
+                        lx.ckind(k + 2),
+                        Some(TokenKind::Char | TokenKind::Int | TokenKind::Float)
+                    );
+                    (!arg_literal).then_some("expect()")
+                }
+                "panic" if lx.cpunct(k + 1, "!") => Some("panic!"),
+                _ => None,
+            };
+            if let Some(what) = hit {
+                scan.ratchet_sites.push(ctx.violation(
+                    k,
+                    "P001",
+                    format!("{what} may panic in control-plane code"),
+                ));
+            }
+        }
+
+        // U001 / R001 — unsafe hygiene.
+        if text == "unsafe" {
+            let run = lx.comment_run(line);
+            if !ctx.allowed(line, "U001") && !run.contains("SAFETY:") {
+                scan.violations.push(ctx.violation(
+                    k,
+                    "U001",
+                    "unsafe without a SAFETY: comment on or directly above the line".to_string(),
+                ));
+            }
+            if !in_test && lx.ctext(k + 1) == "impl" && !ctx.allowed(line, "R001") {
+                if let Some(trait_name) = unsafe_impl_trait(lx, k + 1) {
+                    if (trait_name == "Send" || trait_name == "Sync")
+                        && !(run.contains("SAFETY:") && names_synchronization(&run))
+                    {
+                        scan.violations.push(ctx.violation(
+                            k,
+                            "R001",
+                            format!(
+                                "unsafe impl {trait_name} needs a SAFETY: comment naming the \
+                                 synchronization that makes it sound (mutex/atomic/cursor \
+                                 claim/disjoint access/...)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // F001 — libm transcendentals (ratcheted).
+        if det
+            && !in_test
+            && next_paren
+            && F001_FNS.contains(&text)
+            && k >= 1
+            && (lx.cpunct(k - 1, ".") || lx.cpunct(k - 1, ":"))
+            && !ctx.allowed(line, "F001")
+        {
+            scan.ratchet_sites.push(ctx.violation(
+                k,
+                "F001",
+                format!(
+                    "{text}() is a libm transcendental — not correctly rounded, so its \
+                     bits may differ across platforms; pin a table or use integer math"
+                ),
+            ));
+        }
+
+        // F002 — truncating float casts (ratcheted).
+        if det && !in_test && text == "as" && !ctx.allowed(line, "F002") {
+            let target = lx.ctext(k + 1);
+            if target == "f32" || target == "f64" {
+                scan.ratchet_sites.push(ctx.violation(
+                    k,
+                    "F002",
+                    format!(
+                        "`as {target}` silently rounds (u64 above 2^53 loses bits); go \
+                         through a named conversion helper documenting the precision"
+                    ),
+                ));
+            }
+        }
+
+        // F003 — unpinned float accumulation (ratcheted).
+        if det
+            && !in_test
+            && ctx.path != F003_EXEMPT_FILE
+            && (text == "sum" || text == "product")
+            && prev_dot
+            && lx.cpunct(k + 1, ":")
+            && lx.cpunct(k + 2, ":")
+            && lx.cpunct(k + 3, "<")
+            && matches!(lx.ctext(k + 4), "f32" | "f64")
+            && lx.cpunct(k + 5, ">")
+            && !ctx.allowed(line, "F003")
+        {
+            scan.ratchet_sites.push(ctx.violation(
+                k,
+                "F003",
+                format!(
+                    ".{text}::<{}>() accumulates floats in iterator order; use the \
+                     fixed-order folds in {F003_EXEMPT_FILE} so the order is pinned",
+                    lx.ctext(k + 4)
+                ),
+            ));
+        }
+
+        // L001 — layering.
+        if let Some(own) = l001_crate {
+            if !in_test && !ctx.allowed(line, "L001") {
+                if let Some(dep) = text.strip_prefix("rotary_") {
+                    let known = LAYERS.iter().any(|(c, _)| *c == dep);
+                    let allowed_dep = dep == own
+                        || LAYERS
+                            .iter()
+                            .find(|(c, _)| *c == own)
+                            .is_some_and(|(_, deps)| deps.contains(&dep));
+                    if known && !allowed_dep {
+                        scan.violations.push(ctx.violation(
+                            k,
+                            "L001",
+                            format!(
+                                "{text} names a rotary-{dep} item, but the DESIGN.md \
+                                 dependency flow forbids crate '{own}' -> '{dep}'"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The trait name of an `unsafe impl` whose `impl` token sits at code
+/// position `k_impl`: the identifier directly before the `for` keyword at
+/// angle-bracket depth 0 (so `unsafe impl<T: Send> Send for P<T>` resolves
+/// to the outer `Send`, not the bound). Inherent impls return `None`.
+fn unsafe_impl_trait<'a>(lx: &Lexed<'a>, k_impl: usize) -> Option<&'a str> {
+    let mut angle = 0i64;
+    for k in (k_impl + 1)..lx.code.len() {
+        if lx.ckind(k) == Some(TokenKind::Punct) {
+            match lx.ctext(k) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | ";" => return None,
+                _ => {}
+            }
+        } else if lx.ctext(k) == "for" && angle == 0 {
+            return (lx.ckind(k - 1) == Some(TokenKind::Ident)).then(|| lx.ctext(k - 1));
+        }
+    }
+    None
+}
+
+/// True when a SAFETY comment names a synchronization mechanism — the
+/// vocabulary every sound Send/Sync argument in this codebase uses.
+fn names_synchronization(comment: &str) -> bool {
+    const WORDS: &[&str] = &[
+        "sync",
+        "mutex",
+        "lock",
+        "atomic",
+        "cursor",
+        "claim",
+        "barrier",
+        "join",
+        "channel",
+        "once",
+        "fence",
+        "protocol",
+        "exclusive",
+        "disjoint",
+        "ordering",
+        "immutable",
+    ];
+    let lower = comment.to_lowercase();
+    WORDS.iter().any(|w| lower.contains(w))
+}
+
+/// R002 — raw `&mut *` dereferences inside closures handed to the thread
+/// pool, outside the blessed SendPtr idiom.
+fn scan_par_closures(ctx: &Ctx, scan: &mut FileScan) {
+    let lx = ctx.lx;
+    // Identifiers bound from `= SendPtr(…)` anywhere in the file.
+    let mut blessed: Vec<&str> = Vec::new();
+    for k in 0..lx.code.len() {
+        if lx.ctext(k) == "SendPtr"
+            && lx.cpunct(k + 1, "(")
+            && k >= 2
+            && lx.cpunct(k - 1, "=")
+            && lx.ckind(k - 2) == Some(TokenKind::Ident)
+        {
+            blessed.push(lx.ctext(k - 2));
+        }
+    }
+
+    for k in 0..lx.code.len() {
+        if lx.ckind(k) != Some(TokenKind::Ident)
+            || !PAR_ENTRY_POINTS.contains(&lx.ctext(k))
+            || k == 0
+            || !lx.cpunct(k - 1, ".")
+            || !lx.cpunct(k + 1, "(")
+        {
+            continue;
+        }
+        let Some(close) = lx.cmatch(k + 1, "(", ")") else { continue };
+        // `&` `mut` `*` <ident> inside the argument region.
+        for j in (k + 2)..close {
+            if lx.cpunct(j, "&")
+                && lx.ctext(j + 1) == "mut"
+                && lx.cpunct(j + 2, "*")
+                && lx.ckind(j + 3) == Some(TokenKind::Ident)
+            {
+                let target = lx.ctext(j + 3);
+                let line = lx.cspan(j).line;
+                if !ctx.in_test(j) && !ctx.allowed(line, "R002") && !blessed.contains(&target) {
+                    scan.violations.push(ctx.violation(
+                        j,
+                        "R002",
+                        format!(
+                            "`&mut *{target}` inside a pool closure aliases a captured \
+                             pointer outside the SendPtr idiom; bind the base pointer \
+                             with `let {target} = SendPtr(...)` and derive per-index \
+                             pointers through it"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// R003 extraction — walks functions tracking held Mutex guards and
+/// records an edge whenever a lock is acquired while another is held.
+///
+/// A guard is *held* from its `.lock()` call until:
+/// - `drop(var)` for `let var = <chain>.lock()<adapters>;` bindings,
+/// - the closing `}` of the block the binding lives in, or
+/// - the end of the statement (`;`) for chained temporaries like
+///   `x.lock().unwrap().field.push(…)` (the guard lives to the semicolon).
+///
+/// Locks are keyed by receiver name: the identifier before `.lock(`
+/// (`self.shared.state.lock()` → `state`, `slots[i].lock()` → `slots`).
+fn scan_lock_order(ctx: &Ctx, scan: &mut FileScan) {
+    let lx = ctx.lx;
+    struct Guard {
+        var: Option<String>,
+        lock: String,
+        depth: i64,
+        temp: bool,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i64;
+    let mut func = String::from("?");
+    let mut pending_let: Option<String> = None;
+
+    for k in 0..lx.code.len() {
+        let kind = lx.ckind(k);
+        let text = lx.ctext(k);
+        if kind == Some(TokenKind::Punct) {
+            match text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                ";" => {
+                    pending_let = None;
+                    guards.retain(|g| !g.temp);
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if kind != Some(TokenKind::Ident) {
+            continue;
+        }
+        match text {
+            "fn" if lx.ckind(k + 1) == Some(TokenKind::Ident) => {
+                func = lx.ctext(k + 1).to_string();
+            }
+            "let" => {
+                let j = if lx.ctext(k + 1) == "mut" { k + 2 } else { k + 1 };
+                if lx.ckind(j) == Some(TokenKind::Ident) {
+                    pending_let = Some(lx.ctext(j).to_string());
+                }
+            }
+            "drop" if lx.cpunct(k + 1, "(") && lx.cpunct(k + 3, ")") => {
+                let dropped = lx.ctext(k + 2);
+                guards.retain(|g| g.var.as_deref() != Some(dropped));
+            }
+            "lock" if k >= 2 && lx.cpunct(k - 1, ".") && lx.cpunct(k + 1, "(") => {
+                if ctx.in_test(k) {
+                    continue;
+                }
+                let lock = receiver_name(lx, k - 1);
+                let line = lx.cspan(k).line;
+                if !ctx.allowed(line, "R003") {
+                    for g in &guards {
+                        let span = lx.cspan(k);
+                        scan.lock_edges.push(LockEdge {
+                            path: ctx.path.to_string(),
+                            line: span.line,
+                            col: span.col,
+                            func: func.clone(),
+                            held: g.lock.clone(),
+                            acquired: lock.clone(),
+                        });
+                    }
+                }
+                // Held or momentary? Walk the adapter chain after `()`.
+                let Some(close) = lx.cmatch(k + 1, "(", ")") else { continue };
+                let after = adapter_chain_end(lx, close + 1);
+                let durable = lx.cpunct(after, ";") && pending_let.is_some();
+                guards.push(Guard {
+                    var: if durable { pending_let.clone() } else { None },
+                    lock,
+                    depth,
+                    temp: !durable,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Code position just past a `.adapter(...)` chain starting at `k`.
+fn adapter_chain_end(lx: &Lexed, mut k: usize) -> usize {
+    while lx.cpunct(k, ".")
+        && lx.ckind(k + 1) == Some(TokenKind::Ident)
+        && LOCK_ADAPTERS.contains(&lx.ctext(k + 1))
+        && lx.cpunct(k + 2, "(")
+    {
+        match lx.cmatch(k + 2, "(", ")") {
+            Some(close) => k = close + 1,
+            None => return k,
+        }
+    }
+    k
+}
+
+/// Receiver name of a method call whose `.` sits at code position
+/// `k_dot`: the identifier before the dot, looking through one `[...]` or
+/// `(...)` group (`slots[i].lock()` → `slots`). Falls back to `"<expr>"`.
+fn receiver_name(lx: &Lexed, k_dot: usize) -> String {
+    if k_dot == 0 {
+        return "<expr>".to_string();
+    }
+    let j = k_dot - 1;
+    if lx.ckind(j) == Some(TokenKind::Ident) {
+        return lx.ctext(j).to_string();
+    }
+    for (open, close) in [("[", "]"), ("(", ")")] {
+        if lx.cpunct(j, close) {
+            // Walk back to the matching opener.
+            let mut depth = 0i64;
+            let mut i = j;
+            loop {
+                if lx.cpunct(i, close) {
+                    depth += 1;
+                } else if lx.cpunct(i, open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        if i >= 1 && lx.ckind(i - 1) == Some(TokenKind::Ident) {
+                            return lx.ctext(i - 1).to_string();
+                        }
+                        break;
+                    }
+                }
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+            }
+        }
+    }
+    "<expr>".to_string()
+}
+
+/// Collects allow annotations per line (1-indexed). A same-line annotation
+/// applies to its own line; an annotation on a comment-only line applies
+/// to the next line that has code (stacked annotation lines accumulate).
+fn collect_allows(path: &str, lx: &Lexed) -> (Vec<Vec<&'static str>>, Vec<Violation>) {
+    let mut allows: Vec<Vec<&'static str>> = vec![Vec::new(); lx.line_count + 2];
     let mut violations = Vec::new();
     let mut pending: Vec<&'static str> = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
+    for (line, slot) in allows.iter_mut().enumerate().take(lx.line_count + 1).skip(1) {
         let mut here = Vec::new();
-        for comment in &line.comments {
-            parse_annotations(path, idx + 1, comment, &mut here, &mut violations);
+        let comment = lx.comments_on(line);
+        if !comment.is_empty() {
+            parse_annotations(path, line, comment, &mut here, &mut violations);
         }
-        if line.has_code {
-            allows[idx].append(&mut pending);
-            allows[idx].append(&mut here);
+        if lx.line_has_code(line) {
+            slot.append(&mut pending);
+            slot.append(&mut here);
         } else {
             pending.append(&mut here);
         }
@@ -260,7 +871,7 @@ fn collect_allows(path: &str, lines: &[Line]) -> (Vec<Vec<&'static str>>, Vec<Vi
 }
 
 fn a001(path: &str, line: usize, message: String) -> Violation {
-    Violation { path: path.to_string(), line, rule: "A001", message }
+    Violation { path: path.to_string(), line, col: 1, rule: "A001", message }
 }
 
 fn parse_annotations(

@@ -1,0 +1,219 @@
+//! Property tests for the lint lexer: 256 seeded token-soup cases assert
+//! the round trip `lex → spans → source slice` is lossless — every
+//! generated token comes back with its exact kind, text, and a correct
+//! line/col — and a totality property feeds the lexer adversarial garbage
+//! (unterminated strings, stray ticks, half comments) asserting it always
+//! returns ordered, in-bounds, char-aligned spans.
+//!
+//! Replay a failure with `ROTARY_CHECK_SEED=<seed>`; scale case count with
+//! `ROTARY_CHECK_CASES`.
+
+// `*s.pick(&[...])` everywhere: the deref pins `T = &str` during
+// inference (clippy's auto-deref suggestion would leave `T = str`, which
+// does not compile).
+#![allow(clippy::explicit_auto_deref)]
+
+use rotary_check::{check, Source};
+use rotary_lint::lexer::{lex, Lexed, TokenKind};
+
+/// One generated token: its rendered text and the kind the lexer must
+/// report for it.
+struct Piece {
+    text: String,
+    kind: TokenKind,
+}
+
+fn piece(text: &str, kind: TokenKind) -> Piece {
+    Piece { text: text.to_string(), kind }
+}
+
+/// Draws one token from the soup palette. Every variant is chosen to be
+/// self-delimiting once whitespace-separated, so the expected token
+/// sequence is exactly the generated one.
+fn random_piece(s: &mut Source) -> Piece {
+    match s.u64_in(0, 10) {
+        0 => {
+            // Random identifier — including the raw-string lookalikes `r`
+            // and `b`, which stress the prefix disambiguation when the
+            // next token happens to be a string.
+            let first = *s.pick(&["a", "z", "_", "r", "b", "br", "déjà"]);
+            let tail: String =
+                s.vec_of(0, 6, |s| *s.pick(&["a", "b", "c", "_", "0", "9"])).concat();
+            Piece { text: format!("{first}{tail}"), kind: TokenKind::Ident }
+        }
+        1 => piece(*s.pick(&["'a", "'static", "'_", "'de"]), TokenKind::Lifetime),
+        2 => {
+            let p = *s.pick(&[
+                "+", "-", "*", "/", "%", "&", "|", "!", "<", ">", "=", ".", ",", ";", ":", "#",
+                "?", "@", "(", ")", "{", "}", "[", "]",
+            ]);
+            piece(p, TokenKind::Punct)
+        }
+        3 => {
+            let n = s.u64_in(0, u64::MAX);
+            Piece { text: n.to_string(), kind: TokenKind::Int }
+        }
+        4 => {
+            piece(*s.pick(&["0x1f", "0o77", "0b1010", "1_000", "7u32", "0xFF_FF"]), TokenKind::Int)
+        }
+        5 => piece(
+            *s.pick(&["1.5", "2e10", "3.14f64", "1.", "2.5e-3", "6.02e+23", "9f32", "1_0.5"]),
+            TokenKind::Float,
+        ),
+        6 => piece(
+            *s.pick(&[
+                "\"hello\"",
+                "\"a\\\"b\"",
+                "\"line1\nline2\"",
+                "r\"raw\"",
+                "r#\"ra\"w\"#",
+                "r##\"deep \"# still\"##",
+                "b\"bytes\"",
+                "br#\"x\"#",
+                "\"\"",
+            ]),
+            TokenKind::Str,
+        ),
+        7 => piece(
+            *s.pick(&["'a'", "'\\n'", "'\\''", "'\\u{1F600}'", "b'x'", "b'\\0'", "'\"'", "'é'"]),
+            TokenKind::Char,
+        ),
+        8 => piece(
+            *s.pick(&["// hello world", "//", "//! inner doc", "/// outer doc"]),
+            TokenKind::LineComment,
+        ),
+        9 => piece(
+            *s.pick(&[
+                "/* simple */",
+                "/* nested /* inner */ outer */",
+                "/* multi\n   line */",
+                "/** doc block */",
+            ]),
+            TokenKind::BlockComment,
+        ),
+        _ => piece(*s.pick(&["fn", "unsafe", "impl", "let", "mut", "as", "for"]), TokenKind::Ident),
+    }
+}
+
+/// Renders pieces into source text, whitespace-separated. Line comments
+/// force a newline separator (anything else would swallow the next token).
+fn render(s: &mut Source, pieces: &[Piece]) -> String {
+    let mut src = String::new();
+    if s.bool(0.3) {
+        src.push_str(*s.pick(&[" ", "\n", "\t"]));
+    }
+    for p in pieces {
+        src.push_str(&p.text);
+        if p.kind == TokenKind::LineComment {
+            src.push('\n');
+        } else {
+            src.push_str(*s.pick(&[" ", "\n", "  ", "\t", " \n "]));
+        }
+    }
+    src
+}
+
+/// Line (1-based) and byte column (1-based) of `offset`, recomputed from
+/// scratch as ground truth for the lexer's incremental accounting.
+fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let before = &src.as_bytes()[..offset];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let col = offset - before.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1) + 1;
+    (line, col)
+}
+
+#[test]
+fn token_soup_round_trips_losslessly() {
+    check("token_soup_round_trips_losslessly", |s| {
+        let pieces = s.vec_of(0, 40, random_piece);
+        let src = render(s, &pieces);
+        let tokens = lex(&src);
+
+        assert_eq!(tokens.len(), pieces.len(), "1:1 tokens for whitespace-separated soup");
+        let mut prev_end = 0usize;
+        for (tok, p) in tokens.iter().zip(&pieces) {
+            assert_eq!(tok.kind, p.kind, "kind for {:?}", p.text);
+            assert_eq!(&src[tok.span.start..tok.span.end], p.text, "span slices the exact text");
+            assert!(tok.span.start >= prev_end, "spans are ordered and disjoint");
+            assert!(
+                src[prev_end..tok.span.start].bytes().all(|b| b.is_ascii_whitespace()),
+                "gaps between tokens are pure whitespace"
+            );
+            let (line, col) = line_col(&src, tok.span.start);
+            assert_eq!((tok.span.line, tok.span.col), (line, col), "line/col for {:?}", p.text);
+            prev_end = tok.span.end;
+        }
+        assert!(
+            src[prev_end..].bytes().all(|b| b.is_ascii_whitespace()),
+            "the tail after the last token is pure whitespace"
+        );
+
+        // The code view skips exactly the comments, in order.
+        let lx = Lexed::new(&src);
+        let non_comments: Vec<usize> =
+            (0..tokens.len()).filter(|&i| !tokens[i].kind.is_comment()).collect();
+        assert_eq!(lx.code, non_comments, "Lexed::code is the comment-free index");
+    });
+}
+
+#[test]
+fn lexer_is_total_on_adversarial_garbage() {
+    check("lexer_is_total_on_adversarial_garbage", |s| {
+        // Fragments engineered to be malformed: unterminated strings and
+        // block comments, stray ticks and hashes, half raw-string
+        // prefixes, bare backslashes, exotic unicode.
+        let fragments: Vec<&str> = s.vec_of(0, 30, |s| {
+            *s.pick(&[
+                "\"unterminated",
+                "/* never closed",
+                "/* nested /* deeper",
+                "'",
+                "''",
+                "'\\",
+                "r#\"no close",
+                "r###",
+                "b'",
+                "\\",
+                "\u{1F600}",
+                "0x",
+                "1.e",
+                "e+",
+                "🦀🦀",
+                "\"\\\"",
+                "ident",
+                "#!",
+                "'a",
+                "*/",
+                "\n",
+                " ",
+            ])
+        });
+        let src: String = fragments.concat();
+        let tokens = lex(&src); // must not panic
+        let mut prev_end = 0usize;
+        for tok in &tokens {
+            assert!(tok.span.start >= prev_end, "spans stay ordered on garbage");
+            assert!(tok.span.end >= tok.span.start && tok.span.end <= src.len());
+            assert!(
+                src.get(tok.span.start..tok.span.end).is_some(),
+                "spans always cut on char boundaries"
+            );
+            let (line, col) = line_col(&src, tok.span.start);
+            assert_eq!((tok.span.line, tok.span.col), (line, col));
+            prev_end = tok.span.end;
+        }
+        // Totality also means coverage: everything that is not whitespace
+        // belongs to some token, even when malformed.
+        let mut covered = vec![false; src.len()];
+        for tok in &tokens {
+            covered[tok.span.start..tok.span.end].iter_mut().for_each(|c| *c = true);
+        }
+        for (i, b) in src.bytes().enumerate() {
+            assert!(
+                covered[i] || b.is_ascii_whitespace(),
+                "byte {i} ({:?}) is neither covered nor whitespace",
+                b as char
+            );
+        }
+    });
+}

@@ -32,8 +32,24 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+
+/// Explicit poison propagation for every pool mutex: a poisoned lock means
+/// a thread panicked *inside a pool critical section* (not inside a user
+/// task — those unwind through `catch_unwind` and never poison anything).
+/// That is unrecoverable pool state, so propagate it as a panic whose
+/// message says what actually happened instead of the bare
+/// `Result::unwrap` on a `PoisonError`.
+fn poisoned<G>(_: PoisonError<G>) -> G {
+    // rotary-lint: allow(P001) this is the poison propagation path itself:
+    // a worker panicked inside a pool critical section and the pool state
+    // can no longer be trusted.
+    panic!(
+        "rotary-par: pool mutex poisoned — a thread panicked inside a pool \
+         critical section, pool state is unrecoverable"
+    )
+}
 
 /// Upper bound on the configured pool size (a safety valve against
 /// `ROTARY_THREADS=999999`-style mistakes).
@@ -96,11 +112,11 @@ impl JobCore {
             let task = unsafe { &*self.task.0 };
             let outcome = catch_unwind(AssertUnwindSafe(|| task(i)));
             if let Err(payload) = outcome {
-                let mut slot = self.panic.lock().unwrap();
+                let mut slot = self.panic.lock().unwrap_or_else(poisoned);
                 // Keep the first panic; later ones would mask the cause.
                 slot.get_or_insert(payload);
             }
-            let mut done = self.done.lock().unwrap();
+            let mut done = self.done.lock().unwrap_or_else(poisoned);
             *done += 1;
             if *done == self.total {
                 self.finished.notify_all();
@@ -206,19 +222,19 @@ impl ThreadPool {
             finished: Condvar::new(),
             panic: Mutex::new(None),
         });
-        self.shared.state.lock().unwrap().jobs.push(Arc::clone(&job));
+        self.shared.state.lock().unwrap_or_else(poisoned).jobs.push(Arc::clone(&job));
         self.shared.work_ready.notify_all();
 
         // Work the cursor alongside the workers, then wait for stragglers.
         job.drive();
-        let mut done = job.done.lock().unwrap();
+        let mut done = job.done.lock().unwrap_or_else(poisoned);
         while *done < total {
-            done = job.finished.wait(done).unwrap();
+            done = job.finished.wait(done).unwrap_or_else(poisoned);
         }
         drop(done);
 
-        self.shared.state.lock().unwrap().jobs.retain(|j| !Arc::ptr_eq(j, &job));
-        let payload = job.panic.lock().unwrap().take();
+        self.shared.state.lock().unwrap_or_else(poisoned).jobs.retain(|j| !Arc::ptr_eq(j, &job));
+        let payload = job.panic.lock().unwrap_or_else(poisoned).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -236,11 +252,15 @@ impl ThreadPool {
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         self.run_indexed(items.len(), &|i| {
             let r = f(i, &items[i]);
-            *slots[i].lock().unwrap() = Some(r);
+            *slots[i].lock().unwrap_or_else(poisoned) = Some(r);
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("completed map index must have a result"))
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(poisoned)
+                    .expect("completed map index must have a result")
+            })
             .collect()
     }
 
@@ -279,11 +299,15 @@ impl ThreadPool {
             // is in bounds because `run_indexed` never exceeds `total`.
             let item = unsafe { &mut *base.at(i) };
             let r = f(i, item);
-            *slots[i].lock().unwrap() = Some(r);
+            *slots[i].lock().unwrap_or_else(poisoned) = Some(r);
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("completed map index must have a result"))
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(poisoned)
+                    .expect("completed map index must have a result")
+            })
             .collect()
     }
 
@@ -296,7 +320,8 @@ impl ThreadPool {
         let tasks: Vec<Mutex<Option<BoxedTask<'env>>>> =
             scope.tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
         self.run_indexed(tasks.len(), &|i| {
-            let task = tasks[i].lock().unwrap().take().expect("scope task claimed twice");
+            let task =
+                tasks[i].lock().unwrap_or_else(poisoned).take().expect("scope task claimed twice");
             task();
         });
         out
@@ -305,7 +330,7 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.state.lock().unwrap_or_else(poisoned).shutdown = true;
         self.shared.work_ready.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -342,7 +367,7 @@ impl<'env> Scope<'env> {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = shared.state.lock().unwrap_or_else(poisoned);
             loop {
                 if state.shutdown {
                     return;
@@ -350,7 +375,7 @@ fn worker_loop(shared: &PoolShared) {
                 if let Some(job) = state.jobs.iter().find(|j| j.has_unclaimed()) {
                     break Arc::clone(job);
                 }
-                state = shared.work_ready.wait(state).unwrap();
+                state = shared.work_ready.wait(state).unwrap_or_else(poisoned);
             }
         };
         job.drive();

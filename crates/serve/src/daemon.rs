@@ -43,10 +43,15 @@ use rotary_faults::{FaultPlan, RetryPolicy};
 use rotary_store::{fnv1a, DurableConfig, DurableOutcome, SnapshotRecords, SnapshotStore};
 use std::collections::VecDeque;
 
+/// Upper bound on [`ServeConfig::queue_capacity`]: 2^32 keeps the
+/// watermark arithmetic (`capacity as f64 * watermark`) exact, since every
+/// integer below 2^53 round-trips through f64 losslessly.
+pub const MAX_QUEUE_CAPACITY: usize = 1 << 32;
+
 /// Everything that sizes the daemon's front door.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Hard bound on the admission queue.
+    /// Hard bound on the admission queue (at most [`MAX_QUEUE_CAPACITY`]).
     pub queue_capacity: usize,
     /// Per-tenant quota bucket sizing.
     pub bucket: TokenBucketConfig,
@@ -101,6 +106,9 @@ impl ServeConfig {
         if self.queue_capacity == 0 {
             return bad("queue capacity must be at least 1");
         }
+        if self.queue_capacity > MAX_QUEUE_CAPACITY {
+            return bad("queue capacity exceeds 2^32 (watermark math requires exact f64)");
+        }
         if self.max_inflight == 0 {
             return bad("max inflight must be at least 1");
         }
@@ -121,14 +129,18 @@ impl ServeConfig {
     }
 
     fn pressure_mark(&self) -> usize {
+        // rotary-lint: allow(F002) queue_capacity is validated <= 2^32, far
+        // inside f64's exact-integer range (2^53), so the cast cannot round.
         ((self.queue_capacity as f64 * self.pressure_watermark).ceil() as usize).max(1)
     }
 
     fn shed_mark(&self) -> usize {
+        // rotary-lint: allow(F002) exact for the same capacity bound.
         ((self.queue_capacity as f64 * self.shed_watermark).ceil() as usize).max(1)
     }
 
     fn resume_mark(&self) -> usize {
+        // rotary-lint: allow(F002) exact for the same capacity bound.
         (self.queue_capacity as f64 * self.resume_watermark).floor() as usize
     }
 
