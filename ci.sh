@@ -11,7 +11,8 @@
 #                           BENCH_arbitration.json (+35%, plus the
 #                           sub-linear scaling assertion), and
 #                           BENCH_serve.json (+35% on p99 wait and
-#                           ns/submission) baselines, failing on
+#                           ns/submission, plus the socket front-end's
+#                           p50/p99 latency) baselines, failing on
 #                           regression
 #   ./ci.sh --bench-update  ... then refresh all three baselines in place
 #   ./ci.sh --lint-update   refresh LINT_baseline.json (the ratchet for
@@ -85,6 +86,17 @@ echo "== rotary-serve admission suite (256 cases) =="
 ROTARY_CHECK_CASES=256 cargo test -q --test serve
 cargo test -q -p rotary-serve
 
+# Network front-end gate (DESIGN.md §15): the framed wire codec property
+# suite (256 cases per property, plus the checked-in corrupted-frame
+# fixtures), the loopback transport smoke tests, and the socket chaos run
+# that must stay byte-identical to the in-process daemon under torn
+# writes, bit flips, resets, dribbled bytes and reconnect storms. Rerun
+# by name so a wire regression is called out here rather than buried in
+# the workspace test run.
+echo "== rotary-serve wire =="
+ROTARY_CHECK_CASES=256 cargo test -q -p rotary-serve --test wire_props
+cargo test -q -p rotary-serve --test transport_loopback --test net_chaos
+
 case "$MODE" in
 --bench)
     echo "== bench gate (BENCH_engine.json, ±25%) =="
@@ -100,6 +112,11 @@ case "$MODE" in
     # the (deterministic) p99 admission wait.
     echo "== serve gate (BENCH_serve.json, +35%) =="
     ./target/release/bench_serve --check BENCH_serve.json
+    # Socket front-end load (DESIGN.md §15): an open-loop arrival schedule
+    # over real loopback TCP; gates client-observed p50/p99 response
+    # latency and the error-close canary.
+    echo "== serve socket gate (BENCH_serve.json, +35%) =="
+    ./target/release/bench_serve --socket --check BENCH_serve.json
     ;;
 --bench-update)
     # Refreshing re-measures every throughput key from scratch, so the
@@ -113,6 +130,7 @@ case "$MODE" in
     ./target/release/bench_engine --write BENCH_engine.json
     ./target/release/bench_arbitration --write BENCH_arbitration.json
     ./target/release/bench_serve --write BENCH_serve.json
+    ./target/release/bench_serve --socket --write BENCH_serve.json
     ;;
 --lint-update) ;;
 "") ;;

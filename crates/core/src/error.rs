@@ -85,6 +85,19 @@ pub enum RotaryError {
         /// The newest version this build supports.
         supported: u16,
     },
+    /// A structurally valid snapshot does not belong to the system trying
+    /// to restore it (different configuration fingerprint or backend).
+    SnapshotMismatch {
+        /// Human-readable description of the incompatibility.
+        detail: String,
+    },
+    /// A drive loop stopped making progress with work still outstanding.
+    Stalled {
+        /// Which loop detected the stall.
+        site: &'static str,
+        /// Tickets still open when progress stopped.
+        outstanding: u64,
+    },
 }
 
 impl fmt::Display for RotaryError {
@@ -124,6 +137,13 @@ impl fmt::Display for RotaryError {
             RotaryError::SnapshotVersion { found, supported } => write!(
                 f,
                 "snapshot format version {found} is newer than supported version {supported}"
+            ),
+            RotaryError::SnapshotMismatch { detail } => {
+                write!(f, "snapshot does not belong to this system: {detail}")
+            }
+            RotaryError::Stalled { site, outstanding } => write!(
+                f,
+                "{site} stopped making progress with {outstanding} ticket(s) outstanding"
             ),
         }
     }
@@ -201,6 +221,16 @@ impl RotaryError {
                     ("supported", Json::Num(f64::from(*supported))),
                 ],
             ),
+            RotaryError::SnapshotMismatch { detail } => {
+                kind("snapshot-mismatch", vec![("detail", Json::Str(detail.clone()))])
+            }
+            RotaryError::Stalled { site, outstanding } => kind(
+                "stalled",
+                vec![
+                    ("site", Json::Str(site.to_string())),
+                    ("outstanding", u64_json(*outstanding)),
+                ],
+            ),
         }
     }
 
@@ -249,6 +279,11 @@ impl RotaryError {
                 found: u16::try_from(n("found")?).ok()?,
                 supported: u16::try_from(n("supported")?).ok()?,
             }),
+            "snapshot-mismatch" => Some(RotaryError::SnapshotMismatch { detail: s("detail")? }),
+            "stalled" => Some(RotaryError::Stalled {
+                site: intern_site(&s("site")?),
+                outstanding: u("outstanding")?,
+            }),
             _ => None,
         }
     }
@@ -258,6 +293,17 @@ impl RotaryError {
 /// use; unknown names are leaked once to satisfy the `&'static str` field.
 fn intern_estimator(name: &str) -> &'static str {
     const KNOWN: &[&str] = &["wlr", "log-shifted", "joint-curve", "tee", "tme"];
+    for k in KNOWN {
+        if *k == name {
+            return k;
+        }
+    }
+    Box::leak(name.to_string().into_boxed_str())
+}
+
+/// Same interning scheme for [`RotaryError::Stalled`] site names.
+fn intern_site(name: &str) -> &'static str {
+    const KNOWN: &[&str] = &["closed loop", "listener drain"];
     for k in KNOWN {
         if *k == name {
             return k;
@@ -335,6 +381,8 @@ mod tests {
             RotaryError::RetriesExhausted { job: 3, epoch: 4, attempts: 3 },
             RotaryError::SnapshotCorrupt { detail: "torn".into() },
             RotaryError::SnapshotVersion { found: 2, supported: 1 },
+            RotaryError::SnapshotMismatch { detail: "different backend".into() },
+            RotaryError::Stalled { site: "closed loop", outstanding: u64::MAX },
         ];
         for e in errors {
             let json = e.to_json();

@@ -157,6 +157,146 @@ impl Default for SubmissionFaultConfig {
     }
 }
 
+/// Probabilities governing hostile **byte streams** at the TCP front
+/// door (`rotary-serve`'s transport). One level below
+/// [`SubmissionFaultConfig`]: these faults damage the wire itself —
+/// frames torn by a dying client, single bit flips the CRC must catch,
+/// connections reset mid-conversation, and slow clients dribbling a
+/// frame a few bytes at a time (slowloris).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultConfig {
+    /// Per-frame probability the frame is torn: only a prefix reaches the
+    /// server before the connection drops.
+    pub torn_prob: f64,
+    /// Per-frame probability of a single bit flip somewhere in the frame.
+    pub bitflip_prob: f64,
+    /// Per-frame probability the connection is reset right after the
+    /// frame is written, before any response is read.
+    pub reset_prob: f64,
+    /// Per-frame probability the frame is dribbled out in tiny chunks.
+    pub dribble_prob: f64,
+    /// Dribble chunk size in bytes (uniform inclusive range, `≥ 1`).
+    pub dribble_chunk: (u32, u32),
+    /// Extra immediate reconnects a client performs after a fault-induced
+    /// disconnect (uniform inclusive range) — the reconnect-burst storm.
+    pub reconnect_burst: (u32, u32),
+}
+
+impl NetFaultConfig {
+    /// An inert configuration: every frame arrives whole, in order, once.
+    pub fn none() -> NetFaultConfig {
+        NetFaultConfig {
+            torn_prob: 0.0,
+            bitflip_prob: 0.0,
+            reset_prob: 0.0,
+            dribble_prob: 0.0,
+            dribble_chunk: (1, 1),
+            reconnect_burst: (0, 0),
+        }
+    }
+
+    /// The hostile-network profile folded into [`FaultConfig::chaos`].
+    pub fn chaos() -> NetFaultConfig {
+        NetFaultConfig {
+            torn_prob: 0.04,
+            bitflip_prob: 0.06,
+            reset_prob: 0.04,
+            dribble_prob: 0.06,
+            dribble_chunk: (1, 7),
+            reconnect_burst: (1, 3),
+        }
+    }
+
+    /// True when no wire-level fault can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.torn_prob == 0.0
+            && self.bitflip_prob == 0.0
+            && self.reset_prob == 0.0
+            && self.dribble_prob == 0.0
+    }
+}
+
+impl Default for NetFaultConfig {
+    fn default() -> Self {
+        NetFaultConfig::none()
+    }
+}
+
+/// What the plan decreed for one `(connection, frame)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetFault {
+    /// The frame goes out whole.
+    None,
+    /// Only a prefix of the frame is written, then the connection drops:
+    /// the server is left holding a partial frame forever.
+    Torn {
+        /// Fraction of the frame's bytes that make it out, in `[0, 1)`.
+        keep_fraction: f64,
+    },
+    /// One bit of the frame is flipped in flight; the frame CRC (or the
+    /// magic check) must catch it.
+    BitFlip {
+        /// Where in the frame the flip lands, as a fraction of its
+        /// length in `[0, 1)`.
+        offset_fraction: f64,
+        /// Which bit of that byte flips.
+        bit: u8,
+    },
+    /// The whole frame is written, then the connection is torn down
+    /// before the client reads any response.
+    Reset,
+    /// The frame is written `chunk` bytes at a time — a stalled client
+    /// exercising the server's per-frame deadline.
+    Dribble {
+        /// Write granularity in bytes, `≥ 1`.
+        chunk: usize,
+    },
+}
+
+/// How a faulted frame should be put on the wire: the deterministic byte
+/// transform behind [`NetFault`], shared by the chaos tests and the
+/// bench shim so both damage frames identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetEffect {
+    /// The bytes that actually go out (possibly truncated or flipped).
+    pub bytes: Vec<u8>,
+    /// Write granularity; `None` means one write.
+    pub chunk: Option<usize>,
+    /// Whether the client tears the connection down after writing.
+    pub drop_after: bool,
+}
+
+impl NetFault {
+    /// Applies the fault to an encoded frame, yielding the wire plan.
+    pub fn apply(&self, frame: &[u8]) -> NetEffect {
+        match *self {
+            NetFault::None => NetEffect { bytes: frame.to_vec(), chunk: None, drop_after: false },
+            NetFault::Torn { keep_fraction } => {
+                // rotary-lint: allow(F002) frame lengths are capped at
+                // MAX_FRAME_PAYLOAD (~2^20), far inside f64's exact range.
+                let keep = ((frame.len() as f64) * keep_fraction.clamp(0.0, 1.0)) as usize;
+                let keep = keep.min(frame.len().saturating_sub(1));
+                NetEffect { bytes: frame[..keep].to_vec(), chunk: None, drop_after: true }
+            }
+            NetFault::BitFlip { offset_fraction, bit } => {
+                let mut bytes = frame.to_vec();
+                if !bytes.is_empty() {
+                    // rotary-lint: allow(F002) same bound as Torn above.
+                    let offset = (((bytes.len() as f64) * offset_fraction.clamp(0.0, 1.0))
+                        as usize)
+                        .min(bytes.len() - 1);
+                    bytes[offset] ^= 1 << (bit & 7);
+                }
+                NetEffect { bytes, chunk: None, drop_after: false }
+            }
+            NetFault::Reset => NetEffect { bytes: frame.to_vec(), chunk: None, drop_after: true },
+            NetFault::Dribble { chunk } => {
+                NetEffect { bytes: frame.to_vec(), chunk: Some(chunk.max(1)), drop_after: false }
+            }
+        }
+    }
+}
+
 /// What the plan decreed for one tenant's `k`-th submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmissionFault {
@@ -201,6 +341,8 @@ pub struct FaultConfig {
     pub retry: RetryPolicy,
     /// Submission-stream faults consumed by the service layer.
     pub submission: SubmissionFaultConfig,
+    /// Wire-level faults consumed by the TCP transport's chaos shim.
+    pub net: NetFaultConfig,
 }
 
 impl FaultConfig {
@@ -220,6 +362,7 @@ impl FaultConfig {
             mem_spike_slot: SimTime::from_mins(10),
             retry: RetryPolicy::default(),
             submission: SubmissionFaultConfig::none(),
+            net: NetFaultConfig::none(),
         }
     }
 
@@ -240,6 +383,7 @@ impl FaultConfig {
             mem_spike_slot: SimTime::from_mins(10),
             retry: RetryPolicy::default(),
             submission: SubmissionFaultConfig::chaos(),
+            net: NetFaultConfig::chaos(),
         }
     }
 }
@@ -420,6 +564,53 @@ impl FaultPlan {
             return SubmissionFault::Oversized;
         }
         SubmissionFault::None
+    }
+
+    /// The fate of the `frame`-th frame (0-based) written on connection
+    /// `conn`. Pure in `(seed, conn, frame)`, like every plan decision,
+    /// so the chaos shim and a replay of the same plan damage the wire
+    /// identically. Deliberately *not* part of [`FaultPlan::is_inert`]:
+    /// wire faults are consumed upstream of the arbitration loop.
+    pub fn net_fault(&self, conn: u64, frame: u64) -> NetFault {
+        let n = &self.config.net;
+        if n.is_inert() {
+            return NetFault::None;
+        }
+        let mut rng = self.stream(&format!("net/{conn}/{frame}"));
+        if n.torn_prob > 0.0 && rng.gen_bool(n.torn_prob) {
+            return NetFault::Torn { keep_fraction: rng.gen_range(0.0..1.0) };
+        }
+        if n.bitflip_prob > 0.0 && rng.gen_bool(n.bitflip_prob) {
+            let offset_fraction = rng.gen_range(0.0..1.0);
+            let bit = (rng.gen_range(0.0..8.0) as u32).min(7) as u8;
+            return NetFault::BitFlip { offset_fraction, bit };
+        }
+        if n.reset_prob > 0.0 && rng.gen_bool(n.reset_prob) {
+            return NetFault::Reset;
+        }
+        if n.dribble_prob > 0.0 && rng.gen_bool(n.dribble_prob) {
+            let (lo, hi) = n.dribble_chunk;
+            let chunk =
+                if hi > lo { lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32 } else { lo };
+            return NetFault::Dribble { chunk: chunk.max(1) as usize };
+        }
+        NetFault::None
+    }
+
+    /// How many immediate reconnects the client behind connection `conn`
+    /// performs after its `nth` fault-induced disconnect — the
+    /// reconnect-burst storm. Pure in `(seed, conn, nth)`.
+    pub fn reconnect_burst(&self, conn: u64, nth: u64) -> u32 {
+        let (lo, hi) = self.config.net.reconnect_burst;
+        if hi == 0 {
+            return 0;
+        }
+        let mut rng = self.stream(&format!("reconnect/{conn}/{nth}"));
+        if hi > lo {
+            lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32
+        } else {
+            lo
+        }
     }
 
     /// Extra arrivals injected into tenant `tenant`'s arrival window
@@ -667,6 +858,91 @@ mod tests {
             }),
             "flood factor must be 1 or the configured multiplier"
         );
+    }
+
+    #[test]
+    fn net_faults_inert_by_default_and_pure_under_chaos() {
+        let inert = FaultPlan::none();
+        assert!(inert.config().net.is_inert());
+        for conn in 0..10u64 {
+            for frame in 0..50u64 {
+                assert_eq!(inert.net_fault(conn, frame), NetFault::None);
+            }
+            assert_eq!(inert.reconnect_burst(conn, 0), 0);
+        }
+
+        let plan = FaultPlan::chaos(57);
+        let first: Vec<NetFault> = (0..4000u64).map(|f| plan.net_fault(f % 32, f)).collect();
+        let again: Vec<NetFault> = (0..4000u64).map(|f| plan.net_fault(f % 32, f)).collect();
+        assert_eq!(first, again, "net fate must be pure in (seed, conn, frame)");
+        let torn = first.iter().filter(|f| matches!(f, NetFault::Torn { .. })).count();
+        let flips = first.iter().filter(|f| matches!(f, NetFault::BitFlip { .. })).count();
+        let resets = first.iter().filter(|f| matches!(f, NetFault::Reset)).count();
+        let dribbles = first.iter().filter(|f| matches!(f, NetFault::Dribble { .. })).count();
+        // 4% / ~5.76% / ~3.6% / ~5.2% effective over 4000 draws: loose 3σ.
+        assert!((100..=270).contains(&torn), "torn {torn}");
+        assert!((140..=340).contains(&flips), "flips {flips}");
+        assert!((80..=240).contains(&resets), "resets {resets}");
+        assert!((120..=320).contains(&dribbles), "dribbles {dribbles}");
+        for fault in &first {
+            match *fault {
+                NetFault::Torn { keep_fraction } => assert!((0.0..1.0).contains(&keep_fraction)),
+                NetFault::BitFlip { offset_fraction, bit } => {
+                    assert!((0.0..1.0).contains(&offset_fraction));
+                    assert!(bit < 8);
+                }
+                NetFault::Dribble { chunk } => {
+                    let (lo, hi) = plan.config().net.dribble_chunk;
+                    assert!((lo as usize..=hi as usize).contains(&chunk));
+                }
+                NetFault::None | NetFault::Reset => {}
+            }
+        }
+        let (lo, hi) = plan.config().net.reconnect_burst;
+        for nth in 0..500u64 {
+            let b = plan.reconnect_burst(3, nth);
+            assert!((lo..=hi).contains(&b), "burst {b} outside [{lo}, {hi}]");
+        }
+        // Wire faults must not flip epoch inertness (separate axis).
+        let net_only =
+            FaultPlan::new(FaultConfig { net: NetFaultConfig::chaos(), ..FaultConfig::none() });
+        assert!(net_only.is_inert());
+        assert!(!net_only.config().net.is_inert());
+    }
+
+    #[test]
+    fn net_effects_transform_frames_deterministically() {
+        let frame: Vec<u8> = (0..100u8).collect();
+
+        let clean = NetFault::None.apply(&frame);
+        assert_eq!(clean, NetEffect { bytes: frame.clone(), chunk: None, drop_after: false });
+
+        let torn = NetFault::Torn { keep_fraction: 0.5 }.apply(&frame);
+        assert_eq!(torn.bytes, &frame[..50]);
+        assert!(torn.drop_after, "a torn frame drops the connection");
+        // Even keep_fraction ~ 1.0 must lose at least one byte.
+        let barely = NetFault::Torn { keep_fraction: 0.999999 }.apply(&frame);
+        assert!(barely.bytes.len() < frame.len());
+
+        let flipped = NetFault::BitFlip { offset_fraction: 0.25, bit: 3 }.apply(&frame);
+        assert_eq!(flipped.bytes.len(), frame.len());
+        let diffs: Vec<usize> =
+            (0..frame.len()).filter(|&i| flipped.bytes[i] != frame[i]).collect();
+        assert_eq!(diffs, vec![25], "exactly one byte changes");
+        assert_eq!(flipped.bytes[25] ^ frame[25], 1 << 3, "by exactly one bit");
+        assert!(!flipped.drop_after);
+
+        let reset = NetFault::Reset.apply(&frame);
+        assert_eq!(reset.bytes, frame);
+        assert!(reset.drop_after);
+
+        let dribble = NetFault::Dribble { chunk: 3 }.apply(&frame);
+        assert_eq!(dribble.bytes, frame);
+        assert_eq!(dribble.chunk, Some(3));
+
+        // Degenerate inputs stay total.
+        assert_eq!(NetFault::BitFlip { offset_fraction: 0.9, bit: 12 }.apply(&[]).bytes, vec![]);
+        assert_eq!(NetFault::Torn { keep_fraction: 0.9 }.apply(&[7]).bytes, vec![]);
     }
 
     #[test]

@@ -111,6 +111,19 @@ fn d002_is_silent_in_bench_and_tests() {
 }
 
 #[test]
+fn d002_covers_the_network_transport() {
+    // The TCP front-end is exactly the place a wall-clock read would creep
+    // in (deadlines, idle timers); the transport must stay on the injected
+    // Clock seam so the loopback and chaos suites replay bit-identically.
+    let src = "let t0 = std::time::Instant::now();\nlet wall = SystemTime::now();\n";
+    assert_eq!(fired("crates/serve/src/transport.rs", src), vec!["D002", "D002"]);
+    // The CLI composition root is in scope too — its one blessed read
+    // carries an allow annotation.
+    let allowed = "// rotary-lint: allow(D002) composition root\nlet epoch = Instant::now();\n";
+    assert!(fired("src/bin/rotary-cli.rs", allowed).is_empty());
+}
+
+#[test]
 fn d002_matches_whole_tokens_not_substrings() {
     // The pre-token analyzer matched on substrings with hand-rolled word
     // boundaries; the lexer makes this structural. An identifier that merely

@@ -20,6 +20,20 @@
 //! youngest ticket. Every shed is a typed [`Outcome::Shed`] in the ledger
 //! and a [`Notice`] to the client; nothing is silently dropped.
 //!
+//! ## Retry hints
+//!
+//! Every rejection and shed carries a capped-exponential earliest-retry
+//! hint computed by [`RetryPolicy::backoff`]: for attempt `a ≥ 1` the
+//! hint is `base_backoff · 2^(min(a−1, 32))`, saturating, and **clamped
+//! to `max_backoff`** — the cap. Hints are therefore monotone
+//! nondecreasing in the attempt number and constant at `max_backoff` once
+//! `base_backoff · 2^(a−1)` reaches it; a client that keeps resubmitting
+//! converges to a fixed retry cadence instead of backing off forever.
+//! Quota rejections additionally raise the hint to the exact bucket
+//! refill time, so the cap is a floor on patience, never a lie about
+//! quota. The boundary behaviour is pinned by the
+//! `retry_hint_cap_and_monotonicity` property in `tests/serve.rs`.
+//!
 //! ## Determinism and time
 //!
 //! The daemon lives in virtual time. `submit(at, …)` first advances
@@ -27,7 +41,9 @@
 //! exactly `at` land before the new submission — a freed slot is visible
 //! to the arrival), then handles the submission. Timeout sheds are
 //! detected when an entry is popped for admission, so the whole loop is
-//! O(log n) per event with no periodic scans.
+//! O(log n) per event with no periodic scans. The network transport
+//! ([`crate::transport`]) maps an injected wall clock onto this virtual
+//! timeline and drives idle progress through [`Daemon::advance`].
 
 use crate::admission::{Pending, TokenBucket, TokenBucketConfig};
 use crate::backend::{Backend, BackendDone};
@@ -465,6 +481,17 @@ impl<B: Backend> Daemon<B> {
         self.pump();
     }
 
+    /// Advances virtual time to `t` (clamped monotone) with no
+    /// submission: processes every backend event at or before `t` and
+    /// pumps the admission queue. This is the transport's idle tick —
+    /// completions become visible (and notices fire) even when no new
+    /// work arrives. Equivalent to the advance half of
+    /// [`Daemon::submit`], so interleaving extra `advance` calls never
+    /// changes the outcome trace of a given submission sequence.
+    pub fn advance(&mut self, t: SimTime) {
+        self.advance_to(t);
+    }
+
     /// Handles one submission arriving at virtual time `at` (clamped
     /// monotone). Returns the typed front-door response; admitted tickets
     /// resolve later via [`Daemon::take_notices`].
@@ -645,8 +672,8 @@ impl<B: Backend> Daemon<B> {
     ///
     /// # Errors
     /// [`RotaryError::SnapshotCorrupt`] on any structural mismatch,
-    /// [`RotaryError::InvalidConfig`] when the snapshot was taken under a
-    /// different configuration or backend kind.
+    /// [`RotaryError::SnapshotMismatch`] when the snapshot was taken under
+    /// a different configuration or backend kind.
     pub fn restore(
         config: ServeConfig,
         mut backend: B,
@@ -671,9 +698,10 @@ impl<B: Backend> Daemon<B> {
             .and_then(Json::as_u64_str)
             .ok_or_else(|| corrupt("meta missing fingerprint".into()))?;
         if fp != config.fingerprint(backend.name()) {
-            return Err(RotaryError::InvalidConfig(
-                "snapshot was taken under a different serve configuration or backend".into(),
-            ));
+            return Err(RotaryError::SnapshotMismatch {
+                detail: "snapshot was taken under a different serve configuration or backend"
+                    .into(),
+            });
         }
         let now = meta
             .get("now")
@@ -1089,7 +1117,7 @@ mod tests {
         let mut other = cfg;
         other.queue_capacity += 1;
         let err = Daemon::restore(other, SimBackend::new(), &a.snapshot_records().unwrap());
-        assert!(matches!(err, Err(RotaryError::InvalidConfig(_))));
+        assert!(matches!(err, Err(RotaryError::SnapshotMismatch { .. })));
     }
 
     #[test]

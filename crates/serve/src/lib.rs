@@ -42,7 +42,9 @@
 //! [`daemon`] is the event loop, overload state machine and snapshot
 //! codec; [`loadgen`] generates open- and closed-loop submission streams
 //! from `rotary_sim::rng` fork streams; [`metrics`] aggregates waiting
-//! times, deadline misses and shed rates.
+//! times, deadline misses and shed rates; [`wire`] is the checksummed
+//! frame codec the TCP front-end speaks; [`transport`] is the
+//! nonblocking poll-loop listener that serves it over `std::net`.
 
 #![warn(missing_docs)]
 
@@ -51,6 +53,8 @@ pub mod backend;
 pub mod daemon;
 pub mod loadgen;
 pub mod metrics;
+pub mod transport;
+pub mod wire;
 
 pub use admission::{Pending, TokenBucket, TokenBucketConfig};
 pub use backend::{Backend, BackendDone, SimBackend};
@@ -59,6 +63,8 @@ pub use daemon::{
 };
 pub use loadgen::{open_schedule, ClosedLoop, LoadGenConfig, LoadMode};
 pub use metrics::ServeMetrics;
+pub use transport::{Clock, Listener, ManualClock, TransportConfig, TransportStats};
+pub use wire::{decode_frame, encode_frame, ConnClosed, Frame, WireError};
 
 use rotary_core::json::{u64_json, Json};
 use rotary_core::SimTime;

@@ -313,9 +313,10 @@ impl ClosedLoop {
                     daemon.finish();
                     self.harvest(daemon);
                     if self.outstanding > 0 {
-                        return Err(RotaryError::InvalidConfig(
-                            "closed loop: outstanding tickets after quiescence".into(),
-                        ));
+                        return Err(RotaryError::Stalled {
+                            site: "closed loop",
+                            outstanding: self.outstanding,
+                        });
                     }
                     break;
                 }

@@ -1,0 +1,442 @@
+//! Network chaos over a real loopback socket: the full [`NetFault`]
+//! family — torn frames, mid-flight bit flips, resets, byte dribbling,
+//! reconnect bursts — driven from a seeded [`FaultPlan`], with the
+//! daemon's outcome ledger proven **byte-identical** to the same
+//! submission sequence fed in-process.
+//!
+//! The argument for the oracle: in this single-threaded harness every
+//! submit frame that survives the wire is dispatched in the poll that
+//! reads it, and its response flushes in the same poll — so the set of
+//! submissions the client got a `SubmitResp` for *is* the set the daemon
+//! saw, with the clock value at receipt as the dispatch time. Feeding
+//! that recorded sequence to a fresh in-process daemon must reproduce
+//! the socket daemon's trace and metrics to the byte.
+
+use rotary_core::json::Json;
+use rotary_core::SimTime;
+use rotary_faults::{FaultConfig, FaultPlan, NetFault, NetFaultConfig};
+use rotary_serve::wire::{decode_frame, encode_frame, ConnClosed, Frame};
+use rotary_serve::{
+    Clock, Daemon, Listener, ManualClock, ServeConfig, SimBackend, Submission, SubmitResponse,
+    TokenBucketConfig, TransportConfig,
+};
+use std::collections::BTreeSet;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 1 << 10,
+        bucket: TokenBucketConfig::per_second(1 << 20, 1 << 20),
+        max_tenants: 64,
+        max_payload_bytes: 1 << 12,
+        max_inflight: 1 << 10,
+        admission_timeout: SimTime::from_mins(1 << 16),
+        retry: rotary_faults::RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimTime::from_secs(1),
+            max_backoff: SimTime::from_secs(8),
+        },
+        pressure_watermark: 1.0,
+        shed_watermark: 1.0,
+        resume_watermark: 1.0,
+        record_outcomes: true,
+        retain_payloads: true,
+    }
+}
+
+fn chaos_plan() -> FaultPlan {
+    let mut config = FaultConfig::none();
+    config.seed = 0xC4A05;
+    config.net = NetFaultConfig {
+        torn_prob: 0.10,
+        bitflip_prob: 0.12,
+        reset_prob: 0.08,
+        dribble_prob: 0.15,
+        dribble_chunk: (1, 7),
+        reconnect_burst: (1, 2),
+    };
+    FaultPlan::new(config)
+}
+
+/// One live client connection with its plan-side identity.
+struct Conn {
+    stream: TcpStream,
+    /// Index into the plan's `net/{conn}/{frame}` streams.
+    id: u64,
+    /// Frames attempted on this connection so far.
+    frames: u64,
+    buf: Vec<u8>,
+}
+
+struct ChaosClient {
+    addr: std::net::SocketAddr,
+    plan: FaultPlan,
+    conn: Option<Conn>,
+    next_conn_id: u64,
+    reconnects: u64,
+    burst_opened: u64,
+    fired: [u64; 4], // torn, bitflip, reset, dribble
+}
+
+const TORN: usize = 0;
+const FLIP: usize = 1;
+const RESET: usize = 2;
+const DRIBBLE: usize = 3;
+
+impl ChaosClient {
+    fn new(addr: std::net::SocketAddr, plan: FaultPlan) -> ChaosClient {
+        ChaosClient {
+            addr,
+            plan,
+            conn: None,
+            next_conn_id: 0,
+            reconnects: 0,
+            burst_opened: 0,
+            fired: [0; 4],
+        }
+    }
+
+    fn connect(addr: std::net::SocketAddr) -> TcpStream {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nonblocking(true).expect("nonblocking");
+        // Without nodelay, Nagle holds dribbled chunks hostage to the
+        // server's delayed ACKs — real milliseconds the virtual clock
+        // never sees, which reads as a wedged server.
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+    }
+
+    /// Ensures a live connection, replaying the seeded reconnect burst
+    /// (extra connections opened and immediately abandoned) on the way.
+    fn ensure_conn<F: FnMut()>(&mut self, poll: &mut F) -> &mut Conn {
+        if self.conn.is_none() {
+            if self.next_conn_id > 0 {
+                let burst = self.plan.reconnect_burst(self.next_conn_id - 1, self.reconnects);
+                self.reconnects += 1;
+                for _ in 0..burst {
+                    let extra = ChaosClient::connect(self.addr);
+                    poll();
+                    drop(extra);
+                    poll();
+                    self.burst_opened += 1;
+                }
+            }
+            let id = self.next_conn_id;
+            self.next_conn_id += 1;
+            self.conn = Some(Conn {
+                stream: ChaosClient::connect(self.addr),
+                id,
+                frames: 0,
+                buf: Vec::new(),
+            });
+            poll();
+        }
+        self.conn.as_mut().expect("just ensured")
+    }
+
+    fn drop_conn<F: FnMut()>(&mut self, poll: &mut F) {
+        self.conn = None;
+        // Let the listener observe the FIN and free the slot.
+        poll();
+        poll();
+    }
+
+    /// Submits until a response arrives, applying the per-frame seeded
+    /// fault. Returns the response plus any notices seen while waiting.
+    fn submit_through_chaos<F: FnMut()>(
+        &mut self,
+        sub: &Submission,
+        clock: &ManualClock,
+        frame_deadline_ms: u64,
+        poll: &mut F,
+    ) -> (SubmitResponse, Vec<rotary_serve::Notice>, Submission) {
+        let mut notices = Vec::new();
+        let mut attempt_sub = sub.clone();
+        loop {
+            self.ensure_conn(poll);
+            let (conn_id, frame_idx) = {
+                let conn = self.conn.as_mut().expect("live conn");
+                let pair = (conn.id, conn.frames);
+                conn.frames += 1;
+                pair
+            };
+            let fault = self.plan.net_fault(conn_id, frame_idx);
+            let bytes = encode_frame(&Frame::Submit(attempt_sub.clone()));
+            let effect = fault.apply(&bytes);
+            match fault {
+                NetFault::None => {}
+                NetFault::Torn { .. } => self.fired[TORN] += 1,
+                NetFault::BitFlip { .. } => self.fired[FLIP] += 1,
+                NetFault::Reset => self.fired[RESET] += 1,
+                NetFault::Dribble { .. } => self.fired[DRIBBLE] += 1,
+            }
+
+            if effect.drop_after {
+                // Torn or reset: the bytes (a strict prefix, or the whole
+                // frame) land together with the FIN, so the server discards
+                // them without dispatching — the submission is provably
+                // unacknowledged AND unprocessed, which is what lets the
+                // in-process oracle replay exclude it.
+                let conn = self.conn.as_mut().expect("live conn");
+                let _ = conn.stream.write_all(&effect.bytes);
+                self.drop_conn(poll);
+                attempt_sub.attempt = attempt_sub.attempt.saturating_add(1);
+                continue;
+            }
+            let chunk = effect.chunk.unwrap_or(effect.bytes.len().max(1));
+            let mut wrote_ok = true;
+            for piece in effect.bytes.chunks(chunk) {
+                let conn = self.conn.as_mut().expect("live conn");
+                if conn.stream.write_all(piece).is_err() {
+                    wrote_ok = false;
+                    break;
+                }
+                poll();
+            }
+            if !wrote_ok {
+                self.drop_conn(poll);
+                attempt_sub.attempt = attempt_sub.attempt.saturating_add(1);
+                continue;
+            }
+
+            // Await the response; a corrupted frame instead earns a typed
+            // close (Bye then FIN), or a silent stall the slowloris
+            // deadline resolves.
+            let mut stalled_once = false;
+            'wait: loop {
+                for _ in 0..50 {
+                    poll();
+                    let conn = self.conn.as_mut().expect("live conn");
+                    let open = pump(conn);
+                    while let Some(frame) = next_frame(conn) {
+                        match frame {
+                            Frame::SubmitResp(resp) => {
+                                return (resp, notices, attempt_sub);
+                            }
+                            Frame::Notice(n) => notices.push(n),
+                            Frame::Bye(reason) => {
+                                assert!(
+                                    matches!(
+                                        reason,
+                                        ConnClosed::BadFrame
+                                            | ConnClosed::FrameTooLarge
+                                            | ConnClosed::IdleTimeout
+                                    ),
+                                    "corrupted frame closed with unexpected reason {reason:?}"
+                                );
+                            }
+                            other => panic!("unexpected frame {other:?}"),
+                        }
+                    }
+                    if !open {
+                        // Typed close observed; retry on a new connection.
+                        self.drop_conn(poll);
+                        attempt_sub.attempt = attempt_sub.attempt.saturating_add(1);
+                        break 'wait;
+                    }
+                }
+                // No response and no close: a flipped length field left the
+                // server waiting for bytes that never come. The per-frame
+                // deadline must reap it.
+                assert!(!stalled_once, "server wedged past the frame deadline");
+                stalled_once = true;
+                clock.advance_ms(frame_deadline_ms + 1);
+            }
+        }
+    }
+}
+
+fn pump(conn: &mut Conn) -> bool {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+fn next_frame(conn: &mut Conn) -> Option<Frame> {
+    match decode_frame(&conn.buf).expect("server sent a malformed frame") {
+        Some((frame, used)) => {
+            conn.buf.drain(..used);
+            Some(frame)
+        }
+        None => None,
+    }
+}
+
+/// What the daemon actually saw for one schedule item: dispatch time,
+/// the submission as decoded server-side, and the response.
+struct Dispatched {
+    at: SimTime,
+    sub: Submission,
+    resp: SubmitResponse,
+}
+
+/// The submission as the server decodes it: `bytes` stamped from the
+/// frame, everything else verbatim.
+fn wire_stamped(sub: &Submission) -> Submission {
+    let bytes = encode_frame(&Frame::Submit(sub.clone()));
+    match decode_frame(&bytes).expect("own frame").expect("complete") {
+        (Frame::Submit(stamped), _) => stamped,
+        _ => unreachable!("submit decodes to submit"),
+    }
+}
+
+#[test]
+fn chaos_socket_run_is_byte_identical_to_in_process() {
+    let items = 140u64;
+    let clock = ManualClock::new();
+    let daemon = Daemon::new(serve_config(), SimBackend::new()).expect("daemon");
+    let transport = TransportConfig::small();
+    let frame_deadline_ms = transport.frame_deadline.as_millis();
+    let mut listener =
+        Listener::bind("127.0.0.1:0", transport, daemon, clock.clone()).expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut client = ChaosClient::new(addr, chaos_plan());
+
+    let mut dispatched: Vec<Dispatched> = Vec::new();
+    let mut notices = Vec::new();
+    for i in 0..items {
+        let at_ms = i * 40;
+        if clock.now_ms() < at_ms {
+            clock.set_ms(at_ms);
+        }
+        let sub = Submission {
+            tenant: i % 4,
+            seq: i / 4 + 1,
+            attempt: 0,
+            deadline: SimTime::from_secs(3600),
+            cost_milli: 1000,
+            bytes: 0,
+            payload: Json::obj(vec![("svc_ms", Json::Num((20 + (i * 7) % 100) as f64))]),
+        };
+        let (resp, mut seen, sent) =
+            client.submit_through_chaos(&sub, &clock, frame_deadline_ms, &mut || {
+                listener.poll();
+            });
+        notices.append(&mut seen);
+        dispatched.push(Dispatched {
+            at: SimTime::from_millis(clock.now_ms()),
+            sub: wire_stamped(&sent),
+            resp,
+        });
+    }
+
+    // Every fault class must actually have fired, else the test proves
+    // nothing about it.
+    let [torn, flips, resets, dribbles] = client.fired;
+    assert!(
+        torn > 0 && flips > 0 && resets > 0 && dribbles > 0,
+        "fault classes silent: {:?}",
+        client.fired
+    );
+
+    // Let every admitted job run to completion, then drain cleanly. The
+    // live connection is retired first so the long quiet stretch reads as
+    // a peer close, not an idle timeout (those are reserved for flips in
+    // the accounting below).
+    client.drop_conn(&mut || {
+        listener.poll();
+    });
+    let end = SimTime::from_millis(clock.now_ms() + 120_000);
+    clock.set_ms(end.as_millis());
+    for _ in 0..100 {
+        if !listener.poll() {
+            break;
+        }
+    }
+    {
+        let conn = client.ensure_conn(&mut || {
+            listener.poll();
+        });
+        conn.stream.write_all(&encode_frame(&Frame::Drain)).expect("drain");
+        let mut saw_drain_resp = false;
+        for _ in 0..200 {
+            listener.poll();
+            let open = pump(conn);
+            while let Some(frame) = next_frame(conn) {
+                match frame {
+                    Frame::DrainResp => saw_drain_resp = true,
+                    Frame::Notice(n) => notices.push(n),
+                    Frame::Bye(ConnClosed::ServerDraining) => {}
+                    other => panic!("unexpected drain-phase frame {other:?}"),
+                }
+            }
+            if !open {
+                break;
+            }
+        }
+        assert!(saw_drain_resp, "drain was never acknowledged");
+    }
+    client.conn = None;
+    for _ in 0..100 {
+        if listener.is_finished() {
+            break;
+        }
+        listener.poll();
+    }
+    assert!(listener.is_finished(), "listener never went quiet");
+
+    // Wire-level accounting: every torn/reset (and every abandoned burst
+    // connection) ends as a peer-close; every bit flip earns exactly one
+    // typed rejection close.
+    let stats = listener.stats().clone();
+    assert!(
+        stats.closed_for(ConnClosed::PeerClosed) >= torn + resets,
+        "peer closes {} < torn {torn} + resets {resets}",
+        stats.closed_for(ConnClosed::PeerClosed),
+    );
+    let typed_rejections = stats.closed_for(ConnClosed::BadFrame)
+        + stats.closed_for(ConnClosed::FrameTooLarge)
+        + stats.closed_for(ConnClosed::IdleTimeout);
+    assert_eq!(
+        typed_rejections, flips,
+        "each flipped frame must close its connection with a typed reason exactly once"
+    );
+    assert!(stats.wire_errors > 0, "no decode error was ever recorded");
+
+    let socket_daemon = listener.into_daemon();
+    let socket_report = socket_daemon.report();
+
+    // The oracle: the recorded dispatch sequence fed straight into a
+    // fresh daemon, no sockets involved.
+    let mut oracle = Daemon::new(serve_config(), SimBackend::new()).expect("oracle daemon");
+    for d in &dispatched {
+        oracle.advance(d.at);
+        let resp = oracle.submit(d.at, &d.sub);
+        assert_eq!(resp, d.resp, "oracle disagreed on {:?}", d.sub);
+    }
+    oracle.advance(end);
+    oracle.drain();
+    oracle.finish();
+    let oracle_report = oracle.report();
+
+    assert_eq!(socket_report.trace, oracle_report.trace, "outcome ledgers diverged");
+    assert_eq!(
+        socket_report.metrics.to_json().to_pretty(),
+        oracle_report.metrics.to_json().to_pretty(),
+        "metrics diverged"
+    );
+
+    // Client-visible notices are a subset of the ledger, all terminal.
+    let admitted: BTreeSet<u64> = dispatched
+        .iter()
+        .filter_map(|d| match d.resp {
+            SubmitResponse::Admitted { ticket } => Some(ticket),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(admitted.len() as u64, socket_daemon.counters().admitted);
+    let mut seen_tickets = BTreeSet::new();
+    for n in &notices {
+        assert!(admitted.contains(&n.ticket), "notice for a ticket never admitted");
+        assert!(seen_tickets.insert(n.ticket), "duplicate notice for ticket {}", n.ticket);
+        assert!(n.fate.is_ok(), "job shed on an uncontended server: {n:?}");
+    }
+}

@@ -1,0 +1,390 @@
+//! Wire-codec property suite and corrupted-frame fixtures.
+//!
+//! The decoder must be **total on arbitrary bytes**: every input yields a
+//! frame, a need-more-bytes, or a typed [`WireError`] — never a panic.
+//! The properties below feed it random frames, truncations, trailing
+//! garbage, bit flips, and raw byte soup; the fixture set pins concrete
+//! damaged frames into the repository (mirroring
+//! `crates/store/tests/fixtures/`) so a codec change that reclassifies
+//! damage is caught as a diff, not a silent behaviour shift.
+//!
+//! Fixtures are regenerated (only when the format changes) with:
+//!
+//! ```text
+//! ROTARY_SERVE_WRITE_FIXTURES=1 cargo test -p rotary-serve --test wire_props
+//! ```
+
+use rotary_check::check;
+use rotary_core::json::{u64_json, Json};
+use rotary_core::SimTime;
+use rotary_serve::wire::{
+    decode_frame, encode_frame, ConnClosed, Frame, WireError, FRAME_HEADER_LEN, FRAME_TRAILER_LEN,
+    MAX_FRAME_PAYLOAD,
+};
+use rotary_serve::{CompletionKind, Notice, RejectReason, ShedReason, Submission, SubmitResponse};
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Strings with every character class the JSON escaper must survive.
+const TRICKY_STRINGS: &[&str] =
+    &["", "plain", "with \"quotes\"", "back\\slash", "line\nbreak\ttab", "ünïcode ✓", "{}[],:"];
+
+fn arb_payload(src: &mut rotary_check::Source) -> Json {
+    match src.usize_in(0, 4) {
+        0 => Json::obj(vec![("svc_ms", u64_json(src.u64_in(0, 100_000)))]),
+        1 => Json::Null,
+        2 => Json::Str(src.pick(TRICKY_STRINGS).to_string()),
+        3 => Json::Arr(vec![
+            u64_json(src.raw()),
+            Json::Bool(src.bool(0.5)),
+            Json::Str(src.pick(TRICKY_STRINGS).to_string()),
+        ]),
+        _ => Json::obj(vec![
+            ("query", u64_json(src.u64_in(1, 22))),
+            ("threshold_bits", u64_json(src.raw())),
+            ("nested", Json::obj(vec![("k", Json::Str(src.pick(TRICKY_STRINGS).to_string()))])),
+        ]),
+    }
+}
+
+fn arb_submission(src: &mut rotary_check::Source) -> Submission {
+    Submission {
+        tenant: src.u64_in(0, 1 << 40),
+        seq: src.u64_in(1, u64::MAX / 2),
+        attempt: src.u64_in(0, u32::MAX as u64) as u32,
+        deadline: SimTime::from_millis(src.u64_in(0, 1 << 40)),
+        cost_milli: src.raw(),
+        bytes: 0, // stamped by the decoder from the frame itself
+        payload: arb_payload(src),
+    }
+}
+
+fn arb_frame(src: &mut rotary_check::Source) -> Frame {
+    match src.usize_in(0, 7) {
+        0 => Frame::Submit(arb_submission(src)),
+        1 => Frame::Drain,
+        2 => Frame::Stats,
+        3 => {
+            if src.bool(0.5) {
+                Frame::SubmitResp(SubmitResponse::Admitted { ticket: src.raw() })
+            } else {
+                Frame::SubmitResp(SubmitResponse::Rejected {
+                    reason: *src.pick(&[
+                        RejectReason::QueueFull,
+                        RejectReason::QuotaExceeded,
+                        RejectReason::Draining,
+                        RejectReason::Malformed,
+                        RejectReason::Oversized,
+                        RejectReason::Duplicate,
+                    ]),
+                    retry_after: SimTime::from_millis(src.u64_in(0, 1 << 32)),
+                })
+            }
+        }
+        4 => Frame::DrainResp,
+        5 => Frame::StatsResp(arb_payload(src)),
+        6 => Frame::Notice(Notice {
+            ticket: src.raw(),
+            at: SimTime::from_millis(src.u64_in(0, 1 << 40)),
+            fate: if src.bool(0.5) {
+                Ok(*src.pick(&[
+                    CompletionKind::Attained,
+                    CompletionKind::FalselyAttained,
+                    CompletionKind::DeadlineMissed,
+                    CompletionKind::Failed,
+                ]))
+            } else {
+                Err((
+                    *src.pick(&[ShedReason::Overload, ShedReason::Timeout, ShedReason::Drain]),
+                    SimTime::from_millis(src.u64_in(0, 1 << 32)),
+                ))
+            },
+        }),
+        _ => Frame::Bye(*src.pick(&ConnClosed::ALL)),
+    }
+}
+
+/// Frames are equal up to the decoder stamping `Submission::bytes` from
+/// the wire (the encoder deliberately does not serialise it).
+fn assert_round_trip(frame: &Frame, decoded: &Frame, wire_len: usize) {
+    match (frame, decoded) {
+        (Frame::Submit(sent), Frame::Submit(got)) => {
+            let payload_len = (wire_len - FRAME_HEADER_LEN - FRAME_TRAILER_LEN) as u64;
+            assert_eq!(got.bytes, payload_len, "bytes must be stamped from framing");
+            let mut sent = sent.clone();
+            sent.bytes = got.bytes;
+            assert_eq!(&sent, got);
+        }
+        _ => assert_eq!(frame, decoded),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+#[test]
+fn encode_decode_round_trips_exactly() {
+    check("wire_round_trip", |src| {
+        let frame = arb_frame(src);
+        let bytes = encode_frame(&frame);
+        let (decoded, used) = decode_frame(&bytes)
+            .unwrap_or_else(|e| panic!("own encoding rejected: {e} for {frame:?}"))
+            .expect("own encoding must be complete");
+        assert_eq!(used, bytes.len(), "consumed length must cover the whole frame");
+        assert_round_trip(&frame, &decoded, bytes.len());
+    });
+}
+
+#[test]
+fn every_truncation_asks_for_more_bytes() {
+    check("wire_truncation", |src| {
+        let bytes = encode_frame(&arb_frame(src));
+        let cut = src.usize_in(0, bytes.len() - 1);
+        assert_eq!(
+            decode_frame(&bytes[..cut]),
+            Ok(None),
+            "a strict prefix of a valid frame is never an error (cut at {cut}/{})",
+            bytes.len()
+        );
+    });
+}
+
+#[test]
+fn trailing_garbage_does_not_disturb_the_frame() {
+    check("wire_trailing_garbage", |src| {
+        let frame = arb_frame(src);
+        let mut bytes = encode_frame(&frame);
+        let frame_len = bytes.len();
+        let garbage = src.vec_of(1, 64, |s| s.u64_in(0, 255) as u8);
+        bytes.extend_from_slice(&garbage);
+        let (decoded, used) = decode_frame(&bytes).expect("frame decodes").expect("complete");
+        assert_eq!(used, frame_len, "must consume exactly one frame");
+        assert_round_trip(&frame, &decoded, frame_len);
+        // The remainder decodes independently: total, never a panic.
+        let _ = decode_frame(&bytes[used..]);
+    });
+}
+
+#[test]
+fn any_bit_flip_is_rejected_not_misread() {
+    check("wire_bitflip", |src| {
+        let frame = arb_frame(src);
+        let bytes = encode_frame(&frame);
+        let byte = src.usize_in(0, bytes.len() - 1);
+        let bit = src.usize_in(0, 7) as u8;
+        let mut corrupt = bytes.clone();
+        corrupt[byte] ^= 1 << bit;
+        match decode_frame(&corrupt) {
+            // A flip in the length field can make the frame look longer
+            // than the buffer — indistinguishable from a short read.
+            Ok(None) | Err(_) => {}
+            Ok(Some((decoded, _))) => {
+                // Never silently equal to what was sent.
+                let differs = match (&frame, &decoded) {
+                    (Frame::Submit(sent), Frame::Submit(got)) => {
+                        let mut sent = sent.clone();
+                        sent.bytes = got.bytes;
+                        sent != *got
+                    }
+                    _ => frame != decoded,
+                };
+                assert!(
+                    differs,
+                    "flip at byte {byte} bit {bit} decoded back to the original frame"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn decoder_is_total_on_byte_soup() {
+    check("wire_byte_soup", |src| {
+        let mut soup = src.vec_of(0, 256, |s| s.u64_in(0, 255) as u8);
+        // Half the time, splice in a valid magic so the soup gets past the
+        // first gate and attacks the header/CRC paths instead.
+        if src.bool(0.5) {
+            soup.splice(0..0, *b"RWIR");
+        }
+        let _ = decode_frame(&soup); // must not panic
+                                     // Streaming consumption terminates: each consumed frame is
+                                     // non-empty, so the loop always makes progress or stops.
+        let mut rest = soup.as_slice();
+        while let Ok(Some((_, used))) = decode_frame(rest) {
+            assert!(used > 0);
+            rest = &rest[used..];
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted-frame fixtures
+// ---------------------------------------------------------------------------
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+/// The frame every fixture derives from — fixed so the files are stable.
+fn fixture_frame() -> Frame {
+    Frame::Submit(Submission {
+        tenant: 7,
+        seq: 41,
+        attempt: 2,
+        deadline: SimTime::from_secs(30),
+        cost_milli: 1500,
+        bytes: 0,
+        payload: Json::obj(vec![("svc_ms", u64_json(250))]),
+    })
+}
+
+/// Builds a frame with an arbitrary header but a *correct* CRC, for
+/// damage the CRC cannot be blamed for (unknown kind, bad payload).
+fn raw_frame(version: u16, kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"RWIR");
+    out.extend_from_slice(&version.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = rotary_store::crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn fixture_bytes(name: &str) -> Vec<u8> {
+    let valid = encode_frame(&fixture_frame());
+    match name {
+        "clean_submit" => valid,
+        "torn_submit" => valid[..FRAME_HEADER_LEN + 9].to_vec(),
+        "bitflip_payload" => {
+            let mut bytes = valid;
+            bytes[FRAME_HEADER_LEN + 4] ^= 1 << 2;
+            bytes
+        }
+        "bad_magic" => {
+            let mut bytes = valid;
+            bytes[0] = b'X';
+            bytes
+        }
+        "bad_version" => raw_frame(9, 1, b"{}"),
+        "unknown_kind" => raw_frame(1, 99, b"{}"),
+        "oversized_len" => {
+            let mut bytes = valid;
+            bytes[7..11].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+            bytes
+        }
+        "garbage_payload" => raw_frame(1, 1, b"not json at all"),
+        "trailing_garbage" => {
+            let mut bytes = valid;
+            bytes.extend_from_slice(b"GET / HTTP/1.1");
+            bytes
+        }
+        other => unreachable!("unknown fixture '{other}'"),
+    }
+}
+
+const FIXTURES: &[&str] = &[
+    "clean_submit",
+    "torn_submit",
+    "bitflip_payload",
+    "bad_magic",
+    "bad_version",
+    "unknown_kind",
+    "oversized_len",
+    "garbage_payload",
+    "trailing_garbage",
+];
+
+/// Regenerates the checked-in fixtures. Gated behind an env var so normal
+/// test runs only ever *read* the repository.
+#[test]
+fn write_fixtures_when_asked() {
+    if std::env::var("ROTARY_SERVE_WRITE_FIXTURES").is_err() {
+        return;
+    }
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    for name in FIXTURES {
+        let path = dir.join(format!("{name}.rwire"));
+        std::fs::write(&path, fixture_bytes(name)).expect("write fixture");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn read_fixture(name: &str) -> Vec<u8> {
+    let path = fixture_dir().join(format!("{name}.rwire"));
+    std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", path.display()))
+}
+
+#[test]
+fn fixtures_match_their_generators() {
+    for name in FIXTURES {
+        assert_eq!(read_fixture(name), fixture_bytes(name), "fixture '{name}' is stale");
+    }
+}
+
+#[test]
+fn clean_fixture_decodes() {
+    let bytes = read_fixture("clean_submit");
+    let (frame, used) = decode_frame(&bytes).expect("decodes").expect("complete");
+    assert_eq!(used, bytes.len());
+    assert_round_trip(&fixture_frame(), &frame, bytes.len());
+}
+
+#[test]
+fn torn_fixture_waits_for_more_bytes() {
+    assert_eq!(decode_frame(&read_fixture("torn_submit")), Ok(None));
+}
+
+#[test]
+fn bitflip_fixture_is_a_crc_mismatch() {
+    assert!(matches!(
+        decode_frame(&read_fixture("bitflip_payload")),
+        Err(WireError::CrcMismatch { .. })
+    ));
+}
+
+#[test]
+fn bad_magic_fixture_is_typed() {
+    assert_eq!(decode_frame(&read_fixture("bad_magic")), Err(WireError::BadMagic));
+}
+
+#[test]
+fn bad_version_fixture_is_typed() {
+    assert_eq!(decode_frame(&read_fixture("bad_version")), Err(WireError::BadVersion { found: 9 }));
+}
+
+#[test]
+fn unknown_kind_fixture_is_typed() {
+    assert_eq!(decode_frame(&read_fixture("unknown_kind")), Err(WireError::UnknownKind(99)));
+}
+
+#[test]
+fn oversized_len_fixture_rejected_from_header_alone() {
+    assert_eq!(
+        decode_frame(&read_fixture("oversized_len")),
+        Err(WireError::FrameTooLarge { len: MAX_FRAME_PAYLOAD + 1 })
+    );
+}
+
+#[test]
+fn garbage_payload_fixture_is_typed() {
+    assert!(matches!(
+        decode_frame(&read_fixture("garbage_payload")),
+        Err(WireError::BadPayload { .. })
+    ));
+}
+
+#[test]
+fn trailing_garbage_fixture_decodes_one_frame_then_rejects() {
+    let bytes = read_fixture("trailing_garbage");
+    let (frame, used) = decode_frame(&bytes).expect("decodes").expect("complete");
+    assert_round_trip(&fixture_frame(), &frame, used);
+    assert_eq!(decode_frame(&bytes[used..]), Err(WireError::BadMagic));
+}

@@ -36,6 +36,7 @@ struct Options {
     snapshot_dir: Option<PathBuf>,
     snapshot_every: u64,
     resume: bool,
+    listen: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -43,7 +44,8 @@ fn usage() -> ExitCode {
         "usage:\n  rotary-cli aqp \"<TPCH Qn> <criterion>\" [--sf 0.005] [--seed 7]\n  \
          rotary-cli dlt \"TRAIN <model> … <criterion>\" [--seed 7]\n  \
          rotary-cli demo [--seed 7]\n  \
-         rotary-cli serve [--jobs 10] [--sf 0.005] [--seed 7]\n\ndurability (aqp/dlt):\n  \
+         rotary-cli serve [--jobs 10] [--sf 0.005] [--seed 7]\n  \
+         rotary-cli serve --listen 127.0.0.1:7070\n\ndurability (aqp/dlt):\n  \
          --snapshot-dir <dir>   write checksummed snapshots while running\n  \
          --snapshot-every <n>   snapshot cadence in completed epochs (default 4)\n  \
          --resume               continue from the newest valid snapshot\n\n\
@@ -61,6 +63,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut snapshot_dir = None;
     let mut snapshot_every = 4u64;
     let mut resume = false;
+    let mut listen = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -80,6 +83,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--resume" => {
                 resume = true;
                 i += 1;
+            }
+            "--listen" => {
+                listen = Some(
+                    args.get(i + 1).ok_or("--listen needs an address like 127.0.0.1:7070")?.clone(),
+                );
+                i += 2;
             }
             "--sf" => {
                 scale_factor = args
@@ -122,6 +131,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         snapshot_dir,
         snapshot_every,
         resume,
+        listen,
     })
 }
 
@@ -295,6 +305,77 @@ fn run_serve(opts: &Options) -> Result<(), String> {
             m.p99_wait_ms
         );
     }
+    let failed =
+        report.aqp.metrics.counters.completed_failed + report.dlt.metrics.counters.completed_failed;
+    if failed > 0 {
+        return Err(format!("{failed} admitted submissions failed inside the backend"));
+    }
+    Ok(())
+}
+
+/// `serve --listen <addr>`: the real TCP front-end over the framed wire
+/// protocol, serving the simulated backend until a client sends a Drain
+/// frame. This is the one place outside `rotary-bench` where wall time
+/// enters the system: the composition root turns a monotonic clock into
+/// the millisecond counter the transport runs on, and everything below
+/// the [`rotary::serve::Listener`] stays on that injected clock.
+fn run_listen(addr: &str) -> Result<(), String> {
+    use rotary::core::SimTime;
+    use rotary::faults::RetryPolicy;
+    use rotary::serve::{
+        Daemon, Listener, ServeConfig, SimBackend, TokenBucketConfig, TransportConfig,
+    };
+
+    let config = ServeConfig {
+        queue_capacity: 1 << 10,
+        bucket: TokenBucketConfig::per_second(1 << 20, 1 << 20),
+        max_tenants: 1 << 10,
+        max_payload_bytes: 1 << 16,
+        max_inflight: 64,
+        admission_timeout: SimTime::from_mins(5),
+        retry: RetryPolicy::default(),
+        pressure_watermark: 0.5,
+        shed_watermark: 0.875,
+        resume_watermark: 0.5,
+        record_outcomes: false,
+        retain_payloads: false,
+    };
+    let daemon = Daemon::new(config, SimBackend::new()).map_err(|e| e.to_string())?;
+    // rotary-lint: allow(D002) composition root: the CLI serve loop is the
+    // blessed boundary where wall time becomes the transport's clock.
+    let epoch = std::time::Instant::now();
+    let clock = move || epoch.elapsed().as_millis() as u64;
+    let mut listener = Listener::bind(addr, TransportConfig::small(), daemon, clock)
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("listening on {bound} (framed wire protocol; a Drain frame stops the server)");
+    while !listener.is_finished() {
+        if !listener.poll() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    let stats = listener.stats().clone();
+    let daemon = listener.into_daemon();
+    let m = daemon.metrics();
+    println!(
+        "drained: {} connections served, {} wire errors; \
+         {} submissions → {} admitted / {} rejected / {} shed; \
+         {} attained, {} failed",
+        stats.accepted,
+        stats.wire_errors,
+        m.counters.submissions,
+        m.counters.admitted,
+        m.counters.rejected(),
+        m.counters.shed(),
+        m.counters.completed_attained,
+        m.counters.completed_failed,
+    );
+    if m.counters.completed_failed > 0 {
+        return Err(format!(
+            "{} admitted submissions failed inside the backend",
+            m.counters.completed_failed
+        ));
+    }
     Ok(())
 }
 
@@ -314,7 +395,10 @@ fn main() -> ExitCode {
         "aqp" if !opts.statement.is_empty() => run_aqp(&opts),
         "dlt" if !opts.statement.is_empty() => run_dlt(&opts),
         "demo" => run_demo(&opts),
-        "serve" => run_serve(&opts),
+        "serve" => match &opts.listen {
+            Some(addr) => run_listen(addr),
+            None => run_serve(&opts),
+        },
         _ => return usage(),
     };
     match outcome {

@@ -165,6 +165,7 @@ fn random_config(src: &mut Source) -> FaultConfig {
             max_backoff: SimTime::from_secs(src.u64_in(30, 300)),
         },
         submission: rotary::faults::SubmissionFaultConfig::none(),
+        net: rotary::faults::NetFaultConfig::none(),
     }
 }
 

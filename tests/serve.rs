@@ -14,9 +14,9 @@ use rotary::core::json::Json;
 use rotary::core::SimTime;
 use rotary::faults::{FaultConfig, FaultPlan, RetryPolicy, SubmissionFaultConfig};
 use rotary::serve::{
-    aqp_payload, open_schedule, run_schedule, run_schedule_durable, AqpServeBackend, Daemon,
-    LoadGenConfig, LoadMode, RejectReason, ServeConfig, ServeReport, SimBackend, Submission,
-    SubmitResponse, TokenBucketConfig,
+    aqp_payload, decode_frame, encode_frame, open_schedule, run_schedule, run_schedule_durable,
+    AqpServeBackend, Daemon, Frame, LoadGenConfig, LoadMode, RejectReason, ServeConfig,
+    ServeReport, SimBackend, Submission, SubmitResponse, TokenBucketConfig,
 };
 use rotary::store::{DurableConfig, DurableOutcome};
 use rotary::tpch::{Generator, TpchData};
@@ -452,4 +452,290 @@ fn sustained_overload_is_deterministic_and_bounded() {
         a.metrics.p99_wait_ms
     );
     assert!(a.metrics.shed_rate > 0.0 && a.metrics.shed_rate < 1.0);
+}
+
+// -------------------------------------------------------------------------
+// Retry hints
+// -------------------------------------------------------------------------
+
+#[test]
+fn retry_hint_cap_and_monotonicity() {
+    // Pins the capped-exponential contract documented in daemon.rs:
+    // hints never exceed max_backoff, never decrease with the attempt
+    // number, go constant once the doubling window (32) is exhausted, and
+    // actually attain the cap when the horizon allows it. Rejections hand
+    // out exactly backoff(attempt + 1).
+    check("retry_hint_cap", |src| {
+        let base_ms = src.u64_in(1, 5_000);
+        let policy = RetryPolicy {
+            max_attempts: src.u64_in(1, 10) as u32,
+            base_backoff: SimTime::from_millis(base_ms),
+            // Kept within base · 2^32 so the cap is reachable, not vacuous.
+            max_backoff: SimTime::from_millis(base_ms * src.u64_in(1, 1 << 20)),
+        };
+        let mut prev = SimTime::ZERO;
+        for attempt in 0..=64u32 {
+            let hint = policy.backoff(attempt);
+            assert!(hint <= policy.max_backoff, "hint over the cap at attempt {attempt}");
+            assert!(hint >= prev, "hint regressed at attempt {attempt}");
+            prev = hint;
+        }
+        assert_eq!(
+            policy.backoff(64),
+            policy.max_backoff,
+            "cap never attained: base={base_ms}ms max={}ms",
+            policy.max_backoff.as_millis()
+        );
+        // Beyond the doubling window the hint is exactly constant.
+        assert_eq!(policy.backoff(33), policy.backoff(45));
+        assert_eq!(policy.backoff(33), policy.backoff(u32::MAX));
+
+        // A live rejection quotes backoff(attempt + 1), cap included.
+        let mut cfg = base_config();
+        cfg.retry = policy;
+        let mut daemon = Daemon::new(cfg, SimBackend::new()).unwrap();
+        daemon.drain();
+        let attempt = *src.pick(&[0u32, 1, 2, 31, 32, 33, u32::MAX]);
+        let mut sub = sim_sub(0, 1, 100, 1 << 30);
+        sub.attempt = attempt;
+        match daemon.submit(SimTime::ZERO, &sub) {
+            SubmitResponse::Rejected { reason, retry_after } => {
+                assert_eq!(reason, RejectReason::Draining);
+                assert_eq!(retry_after, policy.backoff(attempt.saturating_add(1)));
+            }
+            other => panic!("draining daemon admitted work: {other:?}"),
+        }
+    });
+}
+
+// -------------------------------------------------------------------------
+// Socket kill chain
+// -------------------------------------------------------------------------
+
+/// Minimal frame-at-a-time client for the kill-chain test.
+struct WireClient {
+    stream: std::net::TcpStream,
+    buf: Vec<u8>,
+}
+
+impl WireClient {
+    fn connect(addr: std::net::SocketAddr) -> WireClient {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.set_nonblocking(true).expect("nonblocking");
+        stream.set_nodelay(true).expect("nodelay");
+        WireClient { stream, buf: Vec::new() }
+    }
+
+    fn send(&mut self, frame: &Frame) {
+        use std::io::Write as _;
+        self.stream.write_all(&encode_frame(frame)).expect("client write");
+    }
+
+    /// Polls the listener until the next frame arrives.
+    fn recv<F: FnMut()>(&mut self, mut poll: F) -> Frame {
+        use std::io::Read as _;
+        for _ in 0..200 {
+            if let Some((frame, used)) =
+                decode_frame(&self.buf).expect("server sent a malformed frame")
+            {
+                self.buf.drain(..used);
+                return frame;
+            }
+            poll();
+            let mut chunk = [0u8; 4096];
+            loop {
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+        panic!("no frame from server after 200 polls");
+    }
+}
+
+/// The submission as the decoder stamps it (wire byte count), so oracle
+/// replays feed the daemon exactly what the socket run did.
+fn stamped(sub: &Submission) -> Submission {
+    let bytes = encode_frame(&Frame::Submit(sub.clone()));
+    match decode_frame(&bytes).expect("own frame").expect("complete") {
+        (Frame::Submit(s), _) => s,
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn socket_kill_chain_matches_in_process_replay() {
+    use rotary::serve::{Backend as _, Clock as _, Listener, ManualClock, TransportConfig};
+    use rotary::store::SnapshotStore;
+
+    // Tight arrivals against a single-slot backend keep the admission
+    // queue non-empty, so every kill really is mid-load.
+    let mut cfg = base_config();
+    cfg.max_inflight = 1;
+    let items: Vec<(u64, Submission)> = (0..18u64)
+        .map(|i| (i * 40, sim_sub(i % 3, i / 3 + 1, 150 + (i * 13) % 200, 1 << 30)))
+        .collect();
+
+    let dir = temp_store("socket-kill");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = SnapshotStore::open(&dir).unwrap();
+    let clock = ManualClock::new();
+
+    // Everything the daemon dispatched, in order, with the response the
+    // client saw (None = dispatched but unacknowledged at a kill).
+    let mut dispatched: Vec<(SimTime, Submission, Option<SubmitResponse>)> = Vec::new();
+    let mut duplicates = 0u64;
+    let mut readmitted = 0u64;
+
+    let mut next_item = 0usize;
+    let mut resubmit: Vec<(Submission, bool)> = Vec::new(); // (sub, expect_duplicate)
+    for leg in 0..3u64 {
+        let daemon = if leg == 0 {
+            Daemon::new(cfg.clone(), SimBackend::new()).unwrap()
+        } else {
+            let (_, records) = store.latest_valid().unwrap().expect("a committed snapshot");
+            Daemon::restore(cfg.clone(), SimBackend::new(), &records).unwrap()
+        };
+        let mut listener =
+            Listener::bind("127.0.0.1:0", TransportConfig::small(), daemon, clock.clone())
+                .expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let mut client = WireClient::connect(addr);
+
+        // Re-submit work left unacknowledged by the previous kill. A
+        // submission the old daemon had admitted into the snapshot must
+        // come back `Duplicate`; one whose dispatch was lost after the
+        // snapshot cut must be admitted as if never seen.
+        for (sub, expect_duplicate) in resubmit.drain(..) {
+            let mut retry = sub.clone();
+            retry.attempt += 1;
+            client.send(&Frame::Submit(retry.clone()));
+            let resp = match client.recv(|| {
+                listener.poll();
+            }) {
+                Frame::SubmitResp(resp) => resp,
+                other => panic!("expected a submit response, got {other:?}"),
+            };
+            match (&resp, expect_duplicate) {
+                (SubmitResponse::Rejected { reason: RejectReason::Duplicate, .. }, true) => {
+                    duplicates += 1;
+                }
+                (SubmitResponse::Admitted { .. }, false) => readmitted += 1,
+                other => panic!("re-submission outcome inconsistent: {other:?}"),
+            }
+            dispatched.push((SimTime::from_millis(clock.now_ms()), stamped(&retry), Some(resp)));
+        }
+
+        if leg == 2 {
+            // Final leg: everything left, then run to quiescence.
+            while next_item < items.len() {
+                let (at_ms, sub) = &items[next_item];
+                next_item += 1;
+                if clock.now_ms() < *at_ms {
+                    clock.set_ms(*at_ms);
+                }
+                client.send(&Frame::Submit(sub.clone()));
+                let resp = match client.recv(|| {
+                    listener.poll();
+                }) {
+                    Frame::SubmitResp(resp) => resp,
+                    Frame::Notice(_) => continue, // drained below via ledger
+                    other => panic!("expected a submit response, got {other:?}"),
+                };
+                dispatched.push((SimTime::from_millis(clock.now_ms()), stamped(sub), Some(resp)));
+            }
+            let end = clock.now_ms() + 60_000;
+            clock.set_ms(end);
+            for _ in 0..100 {
+                if !listener.poll() {
+                    break;
+                }
+            }
+            listener.drain();
+            for _ in 0..100 {
+                if listener.is_finished() {
+                    break;
+                }
+                listener.poll();
+            }
+            let socket_daemon = listener.into_daemon();
+            assert_conservation(&socket_daemon);
+            let socket_report = socket_daemon.report();
+
+            // Oracle: the same dispatch sequence fed in-process, no
+            // sockets, no kills, no snapshots.
+            let mut oracle = Daemon::new(cfg.clone(), SimBackend::new()).unwrap();
+            for (at, sub, resp) in &dispatched {
+                oracle.advance(*at);
+                let got = oracle.submit(*at, sub);
+                if let Some(resp) = resp {
+                    assert_eq!(&got, resp, "oracle disagreed on {sub:?}");
+                }
+            }
+            oracle.advance(SimTime::from_millis(end));
+            oracle.drain();
+            oracle.finish();
+            let oracle_report = oracle.report();
+            assert_eq!(
+                socket_report.trace, oracle_report.trace,
+                "kill chain over the socket diverged from the in-process replay"
+            );
+            assert_eq!(socket_report.metrics, oracle_report.metrics);
+            assert!(duplicates >= 2, "no duplicate re-submission exercised ({duplicates})");
+            assert!(readmitted >= 2, "no lost-dispatch re-submission exercised ({readmitted})");
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+
+        // Normal batch for this leg.
+        for _ in 0..4 {
+            let (at_ms, sub) = &items[next_item];
+            next_item += 1;
+            if clock.now_ms() < *at_ms {
+                clock.set_ms(*at_ms);
+            }
+            client.send(&Frame::Submit(sub.clone()));
+            let resp = match client.recv(|| {
+                listener.poll();
+            }) {
+                Frame::SubmitResp(resp) => resp,
+                other => panic!("expected a submit response, got {other:?}"),
+            };
+            dispatched.push((SimTime::from_millis(clock.now_ms()), stamped(sub), Some(resp)));
+        }
+
+        // One dispatch the daemon processes but the client never hears
+        // about (the response is flushed into a socket we abandon), THEN
+        // the snapshot: the admission is durable, so the retry must be a
+        // duplicate.
+        let (_, unacked) = items[next_item].clone();
+        next_item += 1;
+        client.send(&Frame::Submit(unacked.clone()));
+        listener.poll(); // dispatches and flushes; we never read it
+        dispatched.push((SimTime::from_millis(clock.now_ms()), stamped(&unacked), None));
+        let records = listener.daemon_mut().snapshot_records().unwrap();
+        store.commit(leg + 1, &records, None).unwrap();
+        resubmit.push((unacked, true));
+
+        // One dispatch AFTER the snapshot cut: the kill erases it, so the
+        // retry must be admitted as brand-new work. It never reaches the
+        // oracle sequence — it has no durable effect.
+        let (_, lost) = items[next_item].clone();
+        next_item += 1;
+        client.send(&Frame::Submit(lost.clone()));
+        listener.poll();
+        resubmit.push((lost, false));
+
+        // Kill: listener and client dropped mid-load, queue non-empty.
+        assert!(
+            listener.daemon().queue_len() > 0 || listener.daemon().backend().inflight() > 0,
+            "kill at leg {leg} was not mid-load"
+        );
+        drop(listener);
+    }
+    unreachable!("final leg returns");
 }
